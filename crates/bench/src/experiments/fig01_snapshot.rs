@@ -1,0 +1,134 @@
+//! **Figure 1** — a tiptop snapshot of a shared data-center node: eleven
+//! processes, three users, on a bi-Xeon E5640 (16 logical cores). The
+//! regenerated screen must show the same structure: %CPU ≈ 100 for ten
+//! jobs and ~44% for one, a wide IPC spread (≈0.7 … ≈2.4), and exactly one
+//! memory-bound job with non-zero DMIS (LLC misses per hundred
+//! instructions).
+
+use tiptop_core::app::{Tiptop, TiptopOptions};
+use tiptop_core::config::ScreenConfig;
+use tiptop_core::render::Frame;
+use tiptop_core::session::run_refreshes;
+use tiptop_kernel::task::{SpawnSpec, Uid};
+use tiptop_machine::config::MachineConfig;
+use tiptop_machine::time::SimDuration;
+use tiptop_workloads::datacenter::{fig1_jobs, fig1_reference, users, Fig1Row};
+
+use crate::report::TableReport;
+
+/// The regenerated snapshot plus the paper's reference rows.
+pub struct Fig01Result {
+    pub frame: Frame,
+    pub reference: Vec<Fig1Row>,
+}
+
+/// Run the node for `warmup_s` seconds, then take the snapshot with a
+/// tiptop refresh interval of `delay_s`.
+pub fn run(seed: u64, warmup_s: u64, delay_s: u64) -> Fig01Result {
+    let mut k = super::kernel_on(MachineConfig::datacenter_e5640(), seed);
+    for (uid, name) in users() {
+        k.add_user(uid, name);
+    }
+    for job in fig1_jobs() {
+        k.spawn(SpawnSpec::new(job.comm, job.uid, job.program).seed(job.seed));
+    }
+    k.advance(SimDuration::from_secs(warmup_s));
+
+    // The observer is root here (the paper's author monitoring all users'
+    // jobs on the grid node — any single user would see only their own).
+    let mut tool = Tiptop::new(
+        TiptopOptions::default()
+            .observer(Uid::ROOT)
+            .delay(SimDuration::from_secs(delay_s)),
+        ScreenConfig::default_screen(),
+    );
+    let frames = run_refreshes(&mut k, &mut tool, 3);
+    Fig01Result { frame: frames.into_iter().last().unwrap(), reference: fig1_reference() }
+}
+
+impl Fig01Result {
+    /// The regenerated screen plus a paper-vs-measured comparison table.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== Figure 1: regenerated tiptop snapshot ===\n");
+        out.push_str(&self.frame.render());
+        out.push('\n');
+
+        let mut t = TableReport::new(
+            "paper vs measured (matched by command name)",
+            &["COMMAND", "paper %CPU", "meas %CPU", "paper IPC", "meas IPC", "paper DMIS", "meas DMIS"],
+        );
+        for r in &self.reference {
+            let row = self.frame.row_for_comm(r.comm);
+            let (cpu, ipc, dmis) = row
+                .map(|row| {
+                    (
+                        format!("{:.1}", row.cpu_pct),
+                        row.value("IPC").map(|v| format!("{v:.2}")).unwrap_or("-".into()),
+                        row.value("DMIS").map(|v| format!("{v:.1}")).unwrap_or("-".into()),
+                    )
+                })
+                .unwrap_or(("?".into(), "?".into(), "?".into()));
+            t.row(vec![
+                r.comm.to_string(),
+                format!("{:.1}", r.cpu_pct),
+                cpu,
+                format!("{:.2}", r.ipc),
+                ipc,
+                format!("{:.1}", r.dmis),
+                dmis,
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reproduces_fig1_structure() {
+        let r = run(42, 20, 10);
+        assert_eq!(r.frame.rows.len(), 11, "eleven processes visible");
+
+        // Ten jobs near 100% CPU, one near 44%.
+        let busy = r.frame.rows.iter().filter(|row| row.cpu_pct > 97.0).count();
+        assert_eq!(busy, 10, "ten fully busy jobs");
+        let idle_ish = r.frame.row_for_comm("process11").unwrap();
+        assert!(
+            (35.0..55.0).contains(&idle_ish.cpu_pct),
+            "process11 should be ~43.7%, got {}",
+            idle_ish.cpu_pct
+        );
+
+        // Sorted by %CPU descending, so process11 is last.
+        assert_eq!(r.frame.rows.last().unwrap().comm, "process11");
+
+        // IPC spread: fastest > 2, slowest < 0.9 (paper: 2.36 and 0.66).
+        let fast = r.frame.row_for_comm("process4").unwrap().value("IPC").unwrap();
+        let slow = r.frame.row_for_comm("process6").unwrap().value("IPC").unwrap();
+        assert!(fast > 1.9, "process4 IPC {fast} should be ≈2.36");
+        assert!(slow < 0.95, "process6 IPC {slow} should be ≈0.66");
+
+        // Exactly one job with meaningful DMIS.
+        let dmis_jobs = r
+            .frame
+            .rows
+            .iter()
+            .filter(|row| row.value("DMIS").unwrap_or(0.0) > 0.3)
+            .count();
+        assert_eq!(dmis_jobs, 1, "only process6 misses the LLC");
+        let dmis = r.frame.row_for_comm("process6").unwrap().value("DMIS").unwrap();
+        assert!((0.4..1.6).contains(&dmis), "DMIS ≈ 0.9, got {dmis}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(1, 10, 5);
+        let text = r.report();
+        assert!(text.contains("process6"));
+        assert!(text.contains("paper IPC"));
+    }
+}

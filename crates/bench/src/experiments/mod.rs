@@ -1,0 +1,32 @@
+//! One module per paper artifact. Every module exposes `run(...) -> Result`
+//! returning structured data plus a `report()` rendering the same rows or
+//! series the paper shows. The binaries in `src/bin/` are thin wrappers;
+//! Criterion benches run reduced-scale versions of the same functions.
+
+pub mod fig01_snapshot;
+pub mod fig03_evolution;
+pub mod fig06_07_phases;
+pub mod fig08_ipc_vs_instructions;
+pub mod fig09_compilers;
+pub mod fig10_datacenter;
+pub mod fig11_interference;
+pub mod table1_fp_micro;
+pub mod validation;
+
+use tiptop_kernel::kernel::{Kernel, KernelConfig};
+use tiptop_machine::config::MachineConfig;
+
+/// Fresh deterministic kernel on the given machine.
+pub fn kernel_on(machine: MachineConfig, seed: u64) -> Kernel {
+    Kernel::new(KernelConfig::new(machine).seed(seed))
+}
+
+/// The three evaluation machines of Figs 3/6/7/8, labelled as the paper
+/// labels them.
+pub fn evaluation_machines() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("Nehalem", MachineConfig::nehalem_w3550()),
+        ("Core", MachineConfig::core2_machine()),
+        ("PPC970", MachineConfig::ppc970_machine()),
+    ]
+}

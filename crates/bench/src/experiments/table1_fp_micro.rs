@@ -1,0 +1,160 @@
+//! **Table 1** — measured behaviour of the floating-point micro-benchmark:
+//!
+//! ```text
+//!          finite            infinite/NaN
+//!          IPC   %FP-assist  IPC     %FP-assist
+//! x87      1.33  0           0.015   25%
+//! SSE      1.33  0           1.33    0
+//! ```
+//!
+//! The x87 build collapses 87× on non-finite operands while `%CPU` stays at
+//! 100; the SSE build is unaffected.
+
+use tiptop_core::app::{Tiptop, TiptopOptions};
+use tiptop_core::config::ScreenConfig;
+use tiptop_core::session::run_refreshes;
+use tiptop_kernel::program::Program;
+use tiptop_kernel::task::{SpawnSpec, Uid};
+use tiptop_machine::config::MachineConfig;
+use tiptop_machine::exec::FpUnit;
+use tiptop_machine::time::SimDuration;
+use tiptop_workloads::micro::{fp_micro_profile, run_native, FpInit};
+
+use crate::report::TableReport;
+
+/// One measured cell pair of the table.
+#[derive(Clone, Debug)]
+pub struct MicroMeasurement {
+    pub unit: FpUnit,
+    pub init: FpInit,
+    pub ipc: f64,
+    pub fp_assist_pct: f64,
+    pub cpu_pct: f64,
+    /// The native Rust run's final accumulator (demonstrates the IEEE
+    /// semantics driving the case).
+    pub native_result: f64,
+}
+
+pub struct Table1Result {
+    pub cells: Vec<MicroMeasurement>,
+}
+
+/// Measure all six (unit × init) combinations.
+pub fn run(seed: u64) -> Table1Result {
+    let mut cells = Vec::new();
+    for unit in [FpUnit::X87, FpUnit::Sse] {
+        for init in FpInit::ALL {
+            cells.push(measure(unit, init, seed));
+        }
+    }
+    Table1Result { cells }
+}
+
+fn measure(unit: FpUnit, init: FpInit, seed: u64) -> MicroMeasurement {
+    let mut k = super::kernel_on(MachineConfig::nehalem_w3550().noiseless(), seed);
+    k.add_user(Uid(1), "user1");
+    let pid = k.spawn(
+        SpawnSpec::new(
+            format!("fp-{}", init.label()),
+            Uid(1),
+            Program::endless(fp_micro_profile(unit, init)),
+        )
+        .seed(seed ^ 0xF00D),
+    );
+    let mut tool = Tiptop::new(
+        TiptopOptions::default().observer(Uid(1)).delay(SimDuration::from_secs(1)),
+        ScreenConfig::fp_assist_screen(),
+    );
+    let frames = run_refreshes(&mut k, &mut tool, 3);
+    let row = frames.last().unwrap().row_for(pid).expect("task visible");
+    MicroMeasurement {
+        unit,
+        init,
+        ipc: row.value("IPC").unwrap_or(f64::NAN),
+        fp_assist_pct: row.value("%ASS").unwrap_or(f64::NAN),
+        cpu_pct: row.cpu_pct,
+        native_result: run_native(init, 1000),
+    }
+}
+
+impl Table1Result {
+    pub fn cell(&self, unit: FpUnit, init: FpInit) -> &MicroMeasurement {
+        self.cells
+            .iter()
+            .find(|c| c.unit == unit && c.init == init)
+            .expect("all cells measured")
+    }
+
+    /// The paper's headline ratio: x87 finite IPC over x87 non-finite IPC.
+    pub fn x87_slowdown(&self) -> f64 {
+        self.cell(FpUnit::X87, FpInit::Finite).ipc / self.cell(FpUnit::X87, FpInit::Infinite).ipc
+    }
+
+    pub fn report(&self) -> String {
+        let mut t = TableReport::new(
+            "=== Table 1: FP micro-benchmark (paper: x87 1.33/0.015 IPC, 0/25 %assist; SSE flat 1.33) ===",
+            &["unit", "init", "IPC", "%FP-assist", "%CPU", "native z"],
+        );
+        for c in &self.cells {
+            t.row(vec![
+                format!("{:?}", c.unit),
+                c.init.label().to_string(),
+                format!("{:.3}", c.ipc),
+                format!("{:.1}", c.fp_assist_pct),
+                format!("{:.1}", c.cpu_pct),
+                format!("{}", c.native_result),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "\nx87 slowdown on non-finite operands: {:.0}x (paper: 87x)\n",
+            self.x87_slowdown()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_shape() {
+        let r = run(7);
+
+        let x87_fin = r.cell(FpUnit::X87, FpInit::Finite);
+        assert!((1.28..1.38).contains(&x87_fin.ipc), "x87 finite IPC {}", x87_fin.ipc);
+        assert!(x87_fin.fp_assist_pct < 0.01);
+
+        let x87_inf = r.cell(FpUnit::X87, FpInit::Infinite);
+        assert!(x87_inf.ipc < 0.02, "x87 Inf IPC {} should be ≈0.015", x87_inf.ipc);
+        assert!(
+            (23.0..27.0).contains(&x87_inf.fp_assist_pct),
+            "assists ≈ 25 per 100 insns, got {}",
+            x87_inf.fp_assist_pct
+        );
+        assert!(x87_inf.cpu_pct > 99.0, "the whole point: %CPU stays at 100");
+
+        // Inf and NaN behave identically (the paper reports them together).
+        let x87_nan = r.cell(FpUnit::X87, FpInit::Nan);
+        assert!((x87_nan.ipc - x87_inf.ipc).abs() < 0.005);
+
+        // SSE is flat across operand classes.
+        for init in FpInit::ALL {
+            let c = r.cell(FpUnit::Sse, init);
+            assert!((1.28..1.38).contains(&c.ipc), "SSE {} IPC {}", init.label(), c.ipc);
+            assert!(c.fp_assist_pct < 0.01);
+        }
+
+        let slowdown = r.x87_slowdown();
+        assert!((75.0..100.0).contains(&slowdown), "slowdown {slowdown} ≈ 87x");
+    }
+
+    #[test]
+    fn native_results_show_why() {
+        let r = run(3);
+        assert!(r.cell(FpUnit::X87, FpInit::Nan).native_result.is_nan());
+        assert_eq!(r.cell(FpUnit::X87, FpInit::Infinite).native_result, f64::INFINITY);
+        assert_eq!(r.cell(FpUnit::X87, FpInit::Finite).native_result, 0.0);
+    }
+}

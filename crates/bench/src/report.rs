@@ -1,0 +1,256 @@
+//! Reporting helpers shared by every experiment: labelled series, aligned
+//! tables, quick ASCII plots, and CSV dumps under `target/experiments/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// A labelled `(x, y)` series — one curve of a figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|(_, y)| y).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Mean of y over samples whose x lies in `[x0, x1)`.
+    pub fn mean_in(&self, x0: f64, x1: f64) -> f64 {
+        let ys: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(x, _)| *x >= x0 && *x < x1)
+            .map(|(_, y)| *y)
+            .collect();
+        if ys.is_empty() {
+            0.0
+        } else {
+            ys.iter().sum::<f64>() / ys.len() as f64
+        }
+    }
+
+    pub fn min_y(&self) -> f64 {
+        self.points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    pub fn last_x(&self) -> f64 {
+        self.points.last().map(|(x, _)| *x).unwrap_or(0.0)
+    }
+}
+
+/// Where experiment CSVs are written.
+pub fn experiments_dir() -> PathBuf {
+    let base = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    base.join("experiments")
+}
+
+/// Write series as a CSV (`x,label1,label2,...` by x-merge of the union of
+/// x values; missing samples are blank).
+pub fn write_csv(name: &str, series: &[Series]) -> io::Result<PathBuf> {
+    let dir = experiments_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut out = String::new();
+    out.push('x');
+    for s in series {
+        let _ = write!(out, ",{}", s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    for x in xs {
+        let _ = write!(out, "{x}");
+        for s in series {
+            match s.points.iter().find(|(px, _)| (px - x).abs() < 1e-12) {
+                Some((_, y)) => {
+                    let _ = write!(out, ",{y}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// A quick dot-matrix ASCII plot of one or more series (distinct glyphs per
+/// series), with y-axis labels. Good enough to eyeball figure shapes in a
+/// terminal.
+pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (0.0f64, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y1 = y1.max(y);
+            y0 = y0.min(y);
+        }
+    }
+    if !x0.is_finite() || !y1.is_finite() || x1 <= x0 {
+        return format!("{title}: (no data)\n");
+    }
+    if y1 <= y0 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = g;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{}={}", glyphs[i % glyphs.len()], s.label))
+        .collect();
+    let _ = writeln!(out, "  [{}]", legend.join("  "));
+    for (i, row) in grid.iter().enumerate() {
+        let yv = y1 - (y1 - y0) * i as f64 / (height - 1) as f64;
+        let _ = writeln!(out, "{yv:>8.2} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "         +{}\n          x: {:.1} .. {:.1}",
+        "-".repeat(width),
+        x0,
+        x1
+    );
+    out
+}
+
+/// An aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TableReport {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableReport {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TableReport {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_stats() {
+        let s = Series::new("s", vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.mean_in(0.5, 2.5), 2.5);
+        assert_eq!(s.min_y(), 1.0);
+        assert_eq!(s.max_y(), 3.0);
+        assert_eq!(s.last_x(), 2.0);
+    }
+
+    #[test]
+    fn csv_merges_x_values() {
+        let a = Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let b = Series::new("b", vec![(1.0, 5.0), (2.0, 6.0)]);
+        let path = write_csv("test_csv_merge", &[a, b]).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "1,2,5");
+        assert_eq!(lines[3], "2,,6");
+    }
+
+    #[test]
+    fn plot_renders_all_series() {
+        let a = Series::new("up", (0..10).map(|i| (i as f64, i as f64)).collect());
+        let b = Series::new("down", (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect());
+        let p = ascii_plot("cross", &[a, b], 40, 10);
+        assert!(p.contains("*=up"));
+        assert!(p.contains("+=down"));
+        assert!(p.contains('*') && p.contains('+'));
+    }
+
+    #[test]
+    fn plot_handles_empty() {
+        assert!(ascii_plot("none", &[], 10, 5).contains("no data"));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TableReport::new("T", &["name", "ipc"]);
+        t.row(vec!["x87".into(), "1.33".into()]);
+        t.row(vec!["sse-long".into(), "0.01".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_mismatched_rows() {
+        let mut t = TableReport::new("T", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

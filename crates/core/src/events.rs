@@ -1,0 +1,82 @@
+//! Event naming and selection for the tool.
+//!
+//! Tiptop's configuration names events symbolically; this module maps those
+//! names onto the kernel's perf interface, preferring *generic* (portable)
+//! events where the Linux header defines one and falling back to *raw*
+//! target-specific events otherwise (§2.2: "The default configuration
+//! collects these generic and portable events. But the tool is very flexible
+//! and lets users monitor any target-specific event supported by the
+//! underlying architecture").
+
+use tiptop_kernel::perf::{EventSel, GenericEvent};
+use tiptop_machine::pmu::HwEvent;
+
+/// The portable subset: events the generic perf interface names.
+const GENERIC: [(HwEvent, GenericEvent); 6] = [
+    (HwEvent::Cycles, GenericEvent::CpuCycles),
+    (HwEvent::Instructions, GenericEvent::Instructions),
+    (HwEvent::CacheReferences, GenericEvent::CacheReferences),
+    (HwEvent::CacheMisses, GenericEvent::CacheMisses),
+    (HwEvent::BranchInstructions, GenericEvent::BranchInstructions),
+    (HwEvent::BranchMisses, GenericEvent::BranchMisses),
+];
+
+/// Build the perf selector for a hardware event: generic when portable,
+/// raw otherwise.
+pub fn selector_for(hw: HwEvent) -> EventSel {
+    GENERIC
+        .iter()
+        .find(|(h, _)| *h == hw)
+        .map(|(_, g)| EventSel::Generic(*g))
+        .unwrap_or(EventSel::Raw(hw))
+}
+
+/// Is this event portable across architectures?
+pub fn is_generic(hw: HwEvent) -> bool {
+    GENERIC.iter().any(|(h, _)| *h == hw)
+}
+
+/// Parse a symbolic event name (the DSL identifiers). Accepts the canonical
+/// [`HwEvent::name`]s plus a few familiar aliases.
+pub fn parse_event(name: &str) -> Option<HwEvent> {
+    match name {
+        "LLC_MISSES" => Some(HwEvent::CacheMisses),
+        "LLC_REFERENCES" => Some(HwEvent::CacheReferences),
+        "CYCLE" | "MCYCLE" => Some(HwEvent::Cycles),
+        "INSN" | "INST" => Some(HwEvent::Instructions),
+        other => HwEvent::from_name(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_events_use_generic_selectors() {
+        assert!(matches!(selector_for(HwEvent::Cycles), EventSel::Generic(_)));
+        assert!(matches!(selector_for(HwEvent::CacheMisses), EventSel::Generic(_)));
+    }
+
+    #[test]
+    fn target_specific_events_are_raw() {
+        assert!(matches!(selector_for(HwEvent::FpAssists), EventSel::Raw(_)));
+        assert!(matches!(selector_for(HwEvent::L2Misses), EventSel::Raw(_)));
+        assert!(!is_generic(HwEvent::FpAssists));
+    }
+
+    #[test]
+    fn parse_accepts_canonical_and_aliases() {
+        assert_eq!(parse_event("CYCLES"), Some(HwEvent::Cycles));
+        assert_eq!(parse_event("LLC_MISSES"), Some(HwEvent::CacheMisses));
+        assert_eq!(parse_event("FP_ASSIST"), Some(HwEvent::FpAssists));
+        assert_eq!(parse_event("NOT_AN_EVENT"), None);
+    }
+
+    #[test]
+    fn selector_roundtrips_to_same_hw_event() {
+        for e in tiptop_machine::pmu::ALL_EVENTS {
+            assert_eq!(selector_for(e).to_hw(), e);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! The metric expression language.
+//!
+//! Tiptop's displayed columns are "fully customizable" ratios over counter
+//! deltas (§2.2). This module implements a small arithmetic language over
+//! named counter values:
+//!
+//! ```text
+//! IPC   = INSTRUCTIONS / CYCLES
+//! DMIS  = 100 * CACHE_MISSES / INSTRUCTIONS
+//! %ASS  = 100 * FP_ASSIST / INSTRUCTIONS
+//! MIPS  = INSTRUCTIONS / DELTA_T / 1e6
+//! ```
+//!
+//! Identifiers resolve against an environment supplied at evaluation time:
+//! per-refresh event deltas plus the builtins `DELTA_T` (seconds since the
+//! previous refresh), `CPU_PCT`, and `TIME` (seconds since boot). Division
+//! by zero yields NaN, which the renderer prints as `-` — exactly what a
+//! fresh tiptop screen shows before the first full interval.
+//!
+//! Grammar (standard precedence, left-associative):
+//!
+//! ```text
+//! expr  := term  (('+' | '-') term)*
+//! term  := unary (('*' | '/') unary)*
+//! unary := '-' unary | atom
+//! atom  := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//! ```
+
+use std::fmt;
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Built-in functions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Func {
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `ratio(a, b)`: `a / b`, but 0 when `b` is 0 (instead of NaN).
+    Ratio,
+    /// `abs(a)`
+    Abs,
+}
+
+impl Func {
+    fn parse(name: &str) -> Option<(Func, usize)> {
+        match name {
+            "min" => Some((Func::Min, 2)),
+            "max" => Some((Func::Max, 2)),
+            "ratio" => Some((Func::Ratio, 2)),
+            "abs" => Some((Func::Abs, 1)),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed expression tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Var(String),
+    Neg(Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Call(Func, Vec<Expr>),
+}
+
+/// A parse failure, with byte position in the source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push((i, Tok::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push((i, Tok::Minus));
+                i += 1;
+            }
+            '*' => {
+                out.push((i, Tok::Star));
+                i += 1;
+            }
+            '/' => {
+                out.push((i, Tok::Slash));
+                i += 1;
+            }
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E')
+                {
+                    // Allow exponent signs: 1e-6.
+                    if matches!(bytes[i] as char, 'e' | 'E')
+                        && i + 1 < bytes.len()
+                        && matches!(bytes[i + 1] as char, '+' | '-')
+                    {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: f64 = text.parse().map_err(|_| ParseError {
+                    pos: start,
+                    message: format!("bad number '{text}'"),
+                })?;
+                out.push((start, Tok::Num(n)));
+            }
+            'a'..='z' | 'A'..='Z' | '_' | '%' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char,
+                        'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | '%')
+                {
+                    i += 1;
+                }
+                out.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError {
+                    pos: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    at: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.at).map(|(p, _)| *p).unwrap_or(self.len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.at).map(|(_, t)| t.clone());
+        self.at += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(ParseError { pos: self.pos(), message: format!("expected {what}") })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.at += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.at += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.at += 1;
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    let (func, arity) = Func::parse(&name).ok_or_else(|| ParseError {
+                        pos,
+                        message: format!("unknown function '{name}'"),
+                    })?;
+                    self.at += 1; // '('
+                    let mut args = vec![self.expr()?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.at += 1;
+                        args.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen, "')'")?;
+                    if args.len() != arity {
+                        return Err(ParseError {
+                            pos,
+                            message: format!(
+                                "{name} takes {arity} argument(s), got {}",
+                                args.len()
+                            ),
+                        });
+                    }
+                    Ok(Expr::Call(func, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            _ => Err(ParseError { pos, message: "expected expression".to_string() }),
+        }
+    }
+}
+
+impl Expr {
+    /// Parse an expression from source text.
+    pub fn parse(src: &str) -> Result<Expr, ParseError> {
+        let toks = tokenize(src)?;
+        let mut p = Parser { toks, at: 0, len: src.len() };
+        let e = p.expr()?;
+        if p.peek().is_some() {
+            return Err(ParseError {
+                pos: p.pos(),
+                message: "trailing input after expression".to_string(),
+            });
+        }
+        Ok(e)
+    }
+
+    /// Evaluate with a variable environment. Unknown variables are an error;
+    /// division by zero yields NaN (rendered as `-`).
+    pub fn eval(&self, env: &dyn Fn(&str) -> Option<f64>) -> Result<f64, String> {
+        match self {
+            Expr::Num(n) => Ok(*n),
+            Expr::Var(name) => {
+                env(name).ok_or_else(|| format!("unknown identifier '{name}'"))
+            }
+            Expr::Neg(e) => Ok(-e.eval(env)?),
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.eval(env)?, b.eval(env)?);
+                Ok(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b, // 0/0 and x/0 become NaN/inf → '-'
+                })
+            }
+            Expr::Call(f, args) => {
+                let vals: Result<Vec<f64>, String> =
+                    args.iter().map(|a| a.eval(env)).collect();
+                let v = vals?;
+                Ok(match f {
+                    Func::Min => v[0].min(v[1]),
+                    Func::Max => v[0].max(v[1]),
+                    Func::Ratio => {
+                        if v[1] == 0.0 {
+                            0.0
+                        } else {
+                            v[0] / v[1]
+                        }
+                    }
+                    Func::Abs => v[0].abs(),
+                })
+            }
+        }
+    }
+
+    /// All identifiers the expression references (for planning which
+    /// counters to open).
+    pub fn idents(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_idents(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_idents(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Var(n) => out.push(n.clone()),
+            Expr::Neg(e) => e.collect_idents(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_idents(out);
+                b.collect_idents(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_idents(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str, vars: &[(&str, f64)]) -> f64 {
+        let e = Expr::parse(src).unwrap();
+        e.eval(&|name| vars.iter().find(|(n, _)| *n == name).map(|(_, v)| *v))
+            .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval("1 + 2 * 3", &[]), 7.0);
+        assert_eq!(eval("(1 + 2) * 3", &[]), 9.0);
+        assert_eq!(eval("10 - 4 - 3", &[]), 3.0, "left associative");
+        assert_eq!(eval("8 / 4 / 2", &[]), 1.0);
+        assert_eq!(eval("-2 * 3", &[]), -6.0);
+        assert_eq!(eval("--2", &[]), 2.0);
+        assert_eq!(eval("1.5e2 + 1e-1", &[]), 150.1);
+    }
+
+    #[test]
+    fn the_paper_metrics_evaluate() {
+        let vars = [
+            ("INSTRUCTIONS", 52125e6),
+            ("CYCLES", 26456e6),
+            ("CACHE_MISSES", 0.0),
+        ];
+        let ipc = eval("INSTRUCTIONS / CYCLES", &vars);
+        assert!((ipc - 1.97).abs() < 0.01, "Fig 1, process1: IPC 1.97, got {ipc}");
+        assert_eq!(eval("100 * CACHE_MISSES / INSTRUCTIONS", &vars), 0.0);
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(eval("min(3, 5)", &[]), 3.0);
+        assert_eq!(eval("max(3, 5)", &[]), 5.0);
+        assert_eq!(eval("abs(0 - 4)", &[]), 4.0);
+        assert_eq!(eval("ratio(10, 0)", &[]), 0.0, "guarded division");
+        assert_eq!(eval("ratio(10, 4)", &[]), 2.5);
+    }
+
+    #[test]
+    fn division_by_zero_is_nan_or_inf() {
+        assert!(eval("0 / 0", &[]).is_nan());
+        assert!(eval("1 / 0", &[]).is_infinite());
+    }
+
+    #[test]
+    fn identifiers_with_percent_prefix() {
+        assert_eq!(eval("%CPU * 2", &[("%CPU", 50.0)]), 100.0);
+    }
+
+    #[test]
+    fn idents_are_collected_for_planning() {
+        let e = Expr::parse("100 * FP_ASSIST / max(INSTRUCTIONS, 1)").unwrap();
+        assert_eq!(e.idents(), vec!["FP_ASSIST".to_string(), "INSTRUCTIONS".to_string()]);
+    }
+
+    #[test]
+    fn unknown_identifier_is_an_eval_error() {
+        let e = Expr::parse("BOGUS + 1").unwrap();
+        assert!(e.eval(&|_| None).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = Expr::parse("1 + $").unwrap_err();
+        assert_eq!(err.pos, 4);
+        assert!(Expr::parse("foo(1)").is_err(), "unknown function");
+        assert!(Expr::parse("min(1)").is_err(), "wrong arity");
+        assert!(Expr::parse("1 2").is_err(), "trailing input");
+        assert!(Expr::parse("").is_err(), "empty");
+        assert!(Expr::parse("(1").is_err(), "unclosed paren");
+    }
+}

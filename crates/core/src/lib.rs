@@ -1,0 +1,84 @@
+//! # tiptop-core
+//!
+//! The paper's contribution: **tiptop**, a `top`-like monitor that attaches
+//! hardware performance counters to *already-running, unmodified* tasks —
+//! no root, no source code, no restart — and displays simple derived
+//! metrics (IPC, last-level-cache misses per hundred instructions, branch
+//! misprediction and FP-assist rates) next to the familiar `PID USER %CPU
+//! ... COMMAND` columns.
+//!
+//! The tool is organized exactly like the original:
+//!
+//! * [`events`] — generic (portable) vs raw (target-specific) event
+//!   selection;
+//! * [`expr`] + [`config`] — fully customizable screens: every numeric
+//!   column is an expression over counter deltas;
+//! * [`collector`] — `/proc` discovery and `perf_event_open`-based
+//!   attachment, with permission walls and task churn handled the way the
+//!   real syscalls force you to;
+//! * [`procinfo`] — `%CPU` computed from `/proc` deltas, like `top`;
+//! * [`app`] — the refresh loop, sorting, thread aggregation, live/batch
+//!   modes;
+//! * [`render`] — aligned text frames (the "no graphics" philosophy);
+//! * [`session`] — drive the tool against a simulated kernel and harvest
+//!   time series;
+//! * [`baseline`] — the comparators the paper measures against (`top`,
+//!   Pin-style `inscount`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tiptop_core::prelude::*;
+//! use tiptop_kernel::prelude::*;
+//! use tiptop_machine::prelude::*;
+//!
+//! // A Nehalem workstation with one busy task.
+//! let mut k = Kernel::new(KernelConfig::new(MachineConfig::nehalem_w3550()));
+//! k.add_user(Uid(1000), "alice");
+//! k.spawn(SpawnSpec::new(
+//!     "hog",
+//!     Uid(1000),
+//!     Program::endless(ExecProfile::builder("hog").build()),
+//! ));
+//!
+//! // Run tiptop for three 2-second refreshes and inspect the screen.
+//! let mut tool = Tiptop::new(
+//!     TiptopOptions::default().delay(SimDuration::from_secs(2)),
+//!     ScreenConfig::default_screen(),
+//! );
+//! let frames = run_refreshes(&mut k, &mut tool, 3);
+//! let last = frames.last().unwrap();
+//! let row = last.row_for_comm("hog").unwrap();
+//! assert!(row.value("IPC").unwrap() > 0.5);
+//! println!("{}", last.render());
+//! ```
+
+pub mod app;
+pub mod baseline;
+pub mod collector;
+pub mod config;
+pub mod events;
+pub mod expr;
+pub mod procinfo;
+pub mod render;
+pub mod session;
+
+pub use app::{SortKey, Tiptop, TiptopOptions};
+pub use baseline::{PinInscount, PinReport, TopView};
+pub use collector::{Collector, TaskDelta};
+pub use config::{ColumnKind, ColumnSpec, NumFormat, ScreenConfig};
+pub use expr::Expr;
+pub use procinfo::CpuTracker;
+pub use render::{Frame, Row};
+pub use session::{mean, run_refreshes, run_until, series_for_comm, series_for_pid};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::app::{SortKey, Tiptop, TiptopOptions};
+    pub use crate::baseline::{PinInscount, TopView};
+    pub use crate::config::ScreenConfig;
+    pub use crate::render::Frame;
+    pub use crate::session::{
+        mean, run_refreshes, run_until, series_for_comm, series_for_pid,
+    };
+}

@@ -1,0 +1,160 @@
+//! Frame rendering: the live screen (ncurses stand-in) and batch-mode text.
+//!
+//! Tiptop "has no graphics capability, our focus is only the collection of
+//! the raw data" (§2.1); the live mode pretty-prints aligned columns, the
+//! batch mode streams the same rows as plain text for downstream filters.
+//! Here a [`Frame`] carries both the typed values (for experiments and
+//! tests) and the rendered text.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use tiptop_kernel::task::Pid;
+use tiptop_machine::time::SimTime;
+
+/// One displayed task row: rendered cells plus typed metric values.
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub pid: Pid,
+    pub user: String,
+    pub comm: String,
+    pub cpu_pct: f64,
+    /// Rendered cell text, one per column.
+    pub cells: Vec<String>,
+    /// Typed values of metric columns (and `%CPU`), keyed by column header.
+    pub values: HashMap<String, f64>,
+}
+
+impl Row {
+    /// Typed value of a column, if numeric.
+    pub fn value(&self, header: &str) -> Option<f64> {
+        self.values.get(header).copied()
+    }
+}
+
+/// One refresh of the screen.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    pub time: SimTime,
+    /// Column headers with display widths.
+    pub headers: Vec<(String, usize)>,
+    pub rows: Vec<Row>,
+    /// Tasks visible in /proc but not observable (other users, no privilege).
+    pub unobservable: usize,
+}
+
+impl Frame {
+    /// The row displaying `pid`, if any.
+    pub fn row_for(&self, pid: Pid) -> Option<&Row> {
+        self.rows.iter().find(|r| r.pid == pid)
+    }
+
+    /// The row for the first task whose command matches `comm`.
+    pub fn row_for_comm(&self, comm: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.comm == comm)
+    }
+
+    fn header_line(&self) -> String {
+        let mut line = String::new();
+        for (h, w) in &self.headers {
+            let _ = write!(line, "{h:>w$} ", w = *w);
+        }
+        line.trim_end().to_string()
+    }
+
+    fn row_line(&self, row: &Row) -> String {
+        let mut line = String::new();
+        for (cell, (_, w)) in row.cells.iter().zip(self.headers.iter()) {
+            let _ = write!(line, "{cell:>w$} ", w = *w);
+        }
+        line.trim_end().to_string()
+    }
+
+    /// Live-mode screen: clock line, header, aligned rows.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "tiptop - {:>10.3}s  {} tasks shown ({} unobservable)",
+            self.time.as_secs_f64(),
+            self.rows.len(),
+            self.unobservable
+        );
+        let _ = writeln!(out, "{}", self.header_line());
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", self.row_line(row));
+        }
+        out
+    }
+
+    /// Batch-mode lines (`tiptop -b`): one timestamped line per task.
+    pub fn batch_lines(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|r| format!("{:.3} {}", self.time.as_secs_f64(), self.row_line(r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        let headers = vec![
+            ("PID".to_string(), 6),
+            ("%CPU".to_string(), 5),
+            ("IPC".to_string(), 5),
+            ("COMMAND".to_string(), 12),
+        ];
+        let row = |pid: u32, cpu: f64, ipc: f64, comm: &str| Row {
+            pid: Pid(pid),
+            user: "user1".into(),
+            comm: comm.into(),
+            cpu_pct: cpu,
+            cells: vec![
+                pid.to_string(),
+                format!("{cpu:.1}"),
+                format!("{ipc:.2}"),
+                comm.to_string(),
+            ],
+            values: [("%CPU".to_string(), cpu), ("IPC".to_string(), ipc)].into(),
+        };
+        Frame {
+            time: SimTime::from_secs(5),
+            headers,
+            rows: vec![row(101, 100.0, 1.97, "mcf"), row(102, 43.7, 1.62, "idleish")],
+            unobservable: 1,
+        }
+    }
+
+    #[test]
+    fn rendered_screen_is_aligned_and_complete() {
+        let f = frame();
+        let s = f.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("2 tasks shown (1 unobservable)"));
+        assert!(lines[1].ends_with("COMMAND"));
+        assert!(lines[2].contains("1.97"));
+        assert!(lines[3].contains("43.7"));
+        // Columns align: 'PID' right-aligned in width 6.
+        assert!(lines[1].starts_with("   PID"));
+    }
+
+    #[test]
+    fn batch_lines_are_timestamped() {
+        let f = frame();
+        let lines = f.batch_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("5.000 "));
+        assert!(lines[0].contains("mcf"));
+    }
+
+    #[test]
+    fn typed_lookup() {
+        let f = frame();
+        assert_eq!(f.row_for(Pid(102)).unwrap().value("IPC"), Some(1.62));
+        assert!(f.row_for(Pid(999)).is_none());
+        assert_eq!(f.row_for_comm("mcf").unwrap().pid, Pid(101));
+    }
+}

@@ -1,0 +1,159 @@
+//! Session driver: run tiptop against a kernel for N refreshes and collect
+//! the frames, plus helpers to extract per-task time series — what every
+//! figure-regeneration experiment consumes.
+
+use tiptop_kernel::kernel::Kernel;
+use tiptop_kernel::task::Pid;
+
+use crate::app::Tiptop;
+use crate::render::Frame;
+
+/// Run `refreshes` refresh intervals: each iteration advances simulated
+/// time by the tool's delay, then takes a frame (so frame *i* covers
+/// interval *i*). An initial priming refresh attaches counters at t=0
+/// without recording a frame — like starting the real tool.
+pub fn run_refreshes(k: &mut Kernel, tiptop: &mut Tiptop, refreshes: usize) -> Vec<Frame> {
+    let delay = tiptop.options().delay;
+    tiptop.refresh(k); // prime: attach at the current instant
+    let mut frames = Vec::with_capacity(refreshes);
+    for _ in 0..refreshes {
+        k.advance(delay);
+        frames.push(tiptop.refresh(k));
+    }
+    frames
+}
+
+/// Like [`run_refreshes`] but stops early when `until` says so (given the
+/// latest frame). Returns the frames recorded so far.
+pub fn run_until(
+    k: &mut Kernel,
+    tiptop: &mut Tiptop,
+    max_refreshes: usize,
+    until: impl Fn(&Frame) -> bool,
+) -> Vec<Frame> {
+    let delay = tiptop.options().delay;
+    tiptop.refresh(k);
+    let mut frames = Vec::new();
+    for _ in 0..max_refreshes {
+        k.advance(delay);
+        let f = tiptop.refresh(k);
+        let done = until(&f);
+        frames.push(f);
+        if done {
+            break;
+        }
+    }
+    frames
+}
+
+/// Extract `(time_s, value)` samples of one column for one pid across
+/// frames; frames where the task is absent are skipped.
+pub fn series_for_pid(frames: &[Frame], pid: Pid, column: &str) -> Vec<(f64, f64)> {
+    frames
+        .iter()
+        .filter_map(|f| {
+            f.row_for(pid)
+                .and_then(|r| r.value(column))
+                .filter(|v| v.is_finite())
+                .map(|v| (f.time.as_secs_f64(), v))
+        })
+        .collect()
+}
+
+/// Extract a column series for the first task matching a command name.
+pub fn series_for_comm(frames: &[Frame], comm: &str, column: &str) -> Vec<(f64, f64)> {
+    frames
+        .iter()
+        .filter_map(|f| {
+            f.row_for_comm(comm)
+                .and_then(|r| r.value(column))
+                .filter(|v| v.is_finite())
+                .map(|v| (f.time.as_secs_f64(), v))
+        })
+        .collect()
+}
+
+/// Mean of a series' values (0 for empty).
+pub fn mean(series: &[(f64, f64)]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.iter().map(|(_, v)| v).sum::<f64>() / series.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Tiptop, TiptopOptions};
+    use crate::config::ScreenConfig;
+    use tiptop_kernel::kernel::KernelConfig;
+    use tiptop_kernel::program::Program;
+    use tiptop_kernel::task::{SpawnSpec, Uid};
+    use tiptop_machine::access::MemoryBehavior;
+    use tiptop_machine::config::MachineConfig;
+    use tiptop_machine::exec::ExecProfile;
+    use tiptop_machine::time::SimDuration;
+
+    fn world_with_spinner() -> (Kernel, Pid) {
+        let mut k = Kernel::new(
+            KernelConfig::new(MachineConfig::nehalem_w3550().noiseless()).seed(9),
+        );
+        k.add_user(Uid(1), "user1");
+        let pid = k.spawn(SpawnSpec::new(
+            "spin",
+            Uid(1),
+            Program::endless(
+                ExecProfile::builder("spin")
+                    .base_cpi(0.8)
+                    .branches(0.18, 0.0)
+                    .memory(MemoryBehavior::uniform(16 * 1024))
+                    .build(),
+            ),
+        ));
+        (k, pid)
+    }
+
+    #[test]
+    fn frames_cover_consecutive_intervals() {
+        let (mut k, pid) = world_with_spinner();
+        let mut t = Tiptop::new(
+            TiptopOptions::default().delay(SimDuration::from_secs(1)),
+            ScreenConfig::default_screen(),
+        );
+        let frames = run_refreshes(&mut k, &mut t, 3);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].time.as_secs_f64(), 1.0);
+        assert_eq!(frames[2].time.as_secs_f64(), 3.0);
+        let s = series_for_pid(&frames, pid, "IPC");
+        assert_eq!(s.len(), 3);
+        for (_, ipc) in &s {
+            assert!((1.1..1.4).contains(ipc), "steady IPC ≈ 1.25, got {ipc}");
+        }
+        assert!((mean(&s) - 1.25).abs() < 0.1);
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let (mut k, _) = world_with_spinner();
+        let mut t = Tiptop::new(
+            TiptopOptions::default().delay(SimDuration::from_secs(1)),
+            ScreenConfig::default_screen(),
+        );
+        let frames = run_until(&mut k, &mut t, 100, |f| f.time.as_secs_f64() >= 2.0);
+        assert_eq!(frames.len(), 2);
+    }
+
+    #[test]
+    fn series_for_comm_matches_series_for_pid() {
+        let (mut k, pid) = world_with_spinner();
+        let mut t = Tiptop::new(
+            TiptopOptions::default().delay(SimDuration::from_secs(1)),
+            ScreenConfig::default_screen(),
+        );
+        let frames = run_refreshes(&mut k, &mut t, 2);
+        assert_eq!(
+            series_for_pid(&frames, pid, "IPC"),
+            series_for_comm(&frames, "spin", "IPC")
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Errno-style error codes for the simulated system calls.
+//!
+//! The perf_event and /proc interfaces fail the way Linux fails: with small
+//! negative integers that callers must handle. Tiptop's robustness (tasks
+//! vanishing mid-refresh, permission walls between users) is exercised
+//! through these.
+
+use std::fmt;
+
+/// Subset of Linux errnos the simulated syscalls can return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Errno {
+    /// No such process (task exited or never existed).
+    ESRCH,
+    /// Permission denied (observing another user's task without privilege).
+    EACCES,
+    /// Invalid argument (malformed attr, bad cpu index, ...).
+    EINVAL,
+    /// Too many open counter fds.
+    EMFILE,
+    /// Bad file descriptor (closed or never opened).
+    EBADF,
+}
+
+impl Errno {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Errno::ESRCH => "ESRCH",
+            Errno::EACCES => "EACCES",
+            Errno::EINVAL => "EINVAL",
+            Errno::EMFILE => "EMFILE",
+            Errno::EBADF => "EBADF",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_names() {
+        assert_eq!(Errno::ESRCH.to_string(), "ESRCH");
+        assert_eq!(Errno::EACCES.to_string(), "EACCES");
+    }
+}

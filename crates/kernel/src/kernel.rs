@@ -1,0 +1,543 @@
+//! The kernel: owns the machine, the tasks, the scheduler, `/proc`, and the
+//! `perf_event` subsystem; advances simulated time in epochs.
+//!
+//! This is the layer tiptop talks to. It exposes exactly the interfaces the
+//! real tool uses on Linux — `/proc` reads and the four perf syscalls — plus
+//! `spawn`/`advance` for driving experiments.
+
+use std::collections::BTreeMap;
+
+use tiptop_machine::config::MachineConfig;
+use tiptop_machine::machine::{Machine, SliceRequest};
+use tiptop_machine::pmu::{EventCounts, HwEvent};
+use tiptop_machine::time::{SimDuration, SimTime};
+use tiptop_machine::topology::PuId;
+
+use crate::errno::Errno;
+use crate::perf::{
+    multiplex_active, PerfCounter, PerfEventAttr, PerfFd, PerfValue, MAX_FDS_PER_OBSERVER,
+};
+use crate::procfs::ProcStat;
+use crate::program::NextWork;
+use crate::sched::{plan_epoch, weight_for_nice, SchedEntity};
+use crate::task::{Pid, SpawnSpec, Task, TaskState, Uid};
+
+/// Kernel construction parameters.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    pub machine: MachineConfig,
+    /// Scheduler epoch. Coarser than a real kernel tick, but far finer than
+    /// tiptop's seconds-scale refresh; 20 ms keeps multi-hour simulations
+    /// cheap while timesharing still averages out within one refresh.
+    pub epoch: SimDuration,
+    pub seed: u64,
+}
+
+impl KernelConfig {
+    pub fn new(machine: MachineConfig) -> Self {
+        KernelConfig { machine, epoch: SimDuration::from_millis(20), seed: 0 }
+    }
+
+    pub fn epoch(mut self, e: SimDuration) -> Self {
+        assert!(!e.is_zero(), "epoch must be positive");
+        self.epoch = e;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+/// What remains of a task after it exits: final accounting, readable via
+/// [`Kernel::exit_record`] (the ground truth for §2.4-style validation).
+#[derive(Clone, Debug)]
+pub struct ExitRecord {
+    pub pid: Pid,
+    pub comm: String,
+    pub start_time: SimTime,
+    pub end_time: SimTime,
+    pub utime: SimDuration,
+    pub total_instructions: u64,
+    pub ground_truth: EventCounts,
+}
+
+/// The simulated operating system.
+pub struct Kernel {
+    cfg: KernelConfig,
+    machine: Machine,
+    now: SimTime,
+    epoch_index: u64,
+    tasks: BTreeMap<Pid, Task>,
+    /// Tombstones of exited tasks; pids are never reused.
+    exited: BTreeMap<Pid, ExitRecord>,
+    next_pid: u32,
+    counters: BTreeMap<PerfFd, PerfCounter>,
+    next_fd: u64,
+    users: BTreeMap<Uid, String>,
+}
+
+impl Kernel {
+    pub fn new(cfg: KernelConfig) -> Self {
+        let machine = Machine::new(cfg.machine.clone(), cfg.seed);
+        let mut users = BTreeMap::new();
+        users.insert(Uid::ROOT, "root".to_string());
+        Kernel {
+            machine,
+            now: SimTime::ZERO,
+            epoch_index: 0,
+            tasks: BTreeMap::new(),
+            exited: BTreeMap::new(),
+            next_pid: 100,
+            counters: BTreeMap::new(),
+            next_fd: 3,
+            users,
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn num_alive(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Ground-truth lifetime event totals for a task (what the hardware
+    /// really did). Used by the validation experiments, not by the tool.
+    /// Works for live and exited tasks.
+    pub fn ground_truth(&self, pid: Pid) -> Option<EventCounts> {
+        self.tasks
+            .get(&pid)
+            .map(|t| t.ground_truth)
+            .or_else(|| self.exited.get(&pid).map(|r| r.ground_truth))
+    }
+
+    /// Final accounting of an exited task.
+    pub fn exit_record(&self, pid: Pid) -> Option<&ExitRecord> {
+        self.exited.get(&pid)
+    }
+
+    // ------------------------------------------------------------------
+    // User management
+    // ------------------------------------------------------------------
+
+    /// Register a user name for a uid (like `/etc/passwd`).
+    pub fn add_user(&mut self, uid: Uid, name: impl Into<String>) {
+        self.users.insert(uid, name.into());
+    }
+
+    /// `/etc/passwd` lookup; unknown uids render as their number.
+    pub fn username(&self, uid: Uid) -> String {
+        self.users.get(&uid).cloned().unwrap_or_else(|| uid.0.to_string())
+    }
+
+    // ------------------------------------------------------------------
+    // Task lifecycle
+    // ------------------------------------------------------------------
+
+    /// Create a task. It becomes runnable immediately.
+    pub fn spawn(&mut self, spec: SpawnSpec) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let mut task = Task::new(pid, spec, self.now);
+        // CFS: a newcomer starts at the current minimum vruntime so it
+        // neither starves others nor waits forever.
+        let min_vr = self
+            .tasks
+            .values()
+            .filter(|t| t.state == TaskState::Runnable)
+            .map(|t| t.vruntime)
+            .fold(f64::INFINITY, f64::min);
+        if min_vr.is_finite() {
+            task.vruntime = min_vr;
+        }
+        self.tasks.insert(pid, task);
+        pid
+    }
+
+    /// Terminate a task right now (SIGKILL-style).
+    pub fn kill(&mut self, pid: Pid) -> Result<(), Errno> {
+        let task = self.tasks.get_mut(&pid).ok_or(Errno::ESRCH)?;
+        task.state = TaskState::Zombie;
+        task.end_time = Some(self.now);
+        Ok(())
+    }
+
+    /// Has the task exited (or never existed)?
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.tasks.contains_key(&pid)
+    }
+
+    // ------------------------------------------------------------------
+    // /proc
+    // ------------------------------------------------------------------
+
+    /// List live pids, ascending (a `/proc` directory scan).
+    pub fn pids(&self) -> Vec<Pid> {
+        self.tasks.keys().copied().collect()
+    }
+
+    /// Read `/proc/<pid>/stat`. `None` if the task is gone — callers must
+    /// cope, exactly like the real tool.
+    pub fn stat(&self, pid: Pid) -> Option<ProcStat> {
+        let t = self.tasks.get(&pid)?;
+        Some(ProcStat {
+            pid: t.pid,
+            tgid: t.tgid,
+            comm: t.comm.clone(),
+            uid: t.uid,
+            state: t.state,
+            nice: t.nice,
+            utime: t.utime,
+            stime: t.stime,
+            start_time: t.start_time,
+            processor: t.last_pu,
+            ground_truth_instructions: t.total_instructions,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // perf_event syscalls
+    // ------------------------------------------------------------------
+
+    /// `perf_event_open(attr, pid, cpu, group_fd, flags)` as the observer
+    /// `observer`. Only per-task counting (`cpu == -1`) is supported, which
+    /// is all tiptop uses (§2.3: "We set cpu to -1 to monitor events per
+    /// task").
+    pub fn perf_event_open(
+        &mut self,
+        attr: &PerfEventAttr,
+        pid: Pid,
+        cpu: i32,
+        observer: Uid,
+    ) -> Result<PerfFd, Errno> {
+        if cpu != -1 {
+            return Err(Errno::EINVAL);
+        }
+        let task = self.tasks.get(&pid).ok_or(Errno::ESRCH)?;
+        if !observer.is_root() && observer != task.uid {
+            return Err(Errno::EACCES);
+        }
+        let open_by_observer =
+            self.counters.values().filter(|c| c.owner == observer).count();
+        if open_by_observer >= MAX_FDS_PER_OBSERVER {
+            return Err(Errno::EMFILE);
+        }
+        let fd = PerfFd(self.next_fd);
+        self.next_fd += 1;
+        self.counters.insert(
+            fd,
+            PerfCounter {
+                fd,
+                task: pid,
+                owner: observer,
+                hw: attr.event.to_hw(),
+                enabled: !attr.disabled,
+                count: 0,
+                time_enabled: SimDuration::ZERO,
+                time_running: SimDuration::ZERO,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Read the counter. Remains valid after the task exits (the fd holds
+    /// the final value), like Linux.
+    pub fn perf_read(&self, fd: PerfFd) -> Result<PerfValue, Errno> {
+        let c = self.counters.get(&fd).ok_or(Errno::EBADF)?;
+        Ok(PerfValue {
+            value: c.count,
+            time_enabled: c.time_enabled,
+            time_running: c.time_running,
+        })
+    }
+
+    pub fn perf_enable(&mut self, fd: PerfFd) -> Result<(), Errno> {
+        self.counters.get_mut(&fd).ok_or(Errno::EBADF)?.enabled = true;
+        Ok(())
+    }
+
+    pub fn perf_disable(&mut self, fd: PerfFd) -> Result<(), Errno> {
+        self.counters.get_mut(&fd).ok_or(Errno::EBADF)?.enabled = false;
+        Ok(())
+    }
+
+    pub fn perf_close(&mut self, fd: PerfFd) -> Result<(), Errno> {
+        self.counters.remove(&fd).map(|_| ()).ok_or(Errno::EBADF)
+    }
+
+    /// Open fds held by an observer (for leak assertions in tests).
+    pub fn open_fds(&self, observer: Uid) -> usize {
+        self.counters.values().filter(|c| c.owner == observer).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Time
+    // ------------------------------------------------------------------
+
+    /// Advance simulated time by `dur`, running whole epochs (the final
+    /// epoch is shortened to land exactly on `now + dur`).
+    pub fn advance(&mut self, dur: SimDuration) {
+        let target = self.now + dur;
+        while self.now < target {
+            let e = self.cfg.epoch.min(target - self.now);
+            self.run_epoch(e);
+        }
+    }
+
+    /// Advance to an absolute instant (no-op if already past).
+    pub fn advance_until(&mut self, t: SimTime) {
+        if t > self.now {
+            self.advance(t - self.now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The epoch engine
+    // ------------------------------------------------------------------
+
+    fn run_epoch(&mut self, epoch_len: SimDuration) {
+        let epoch_end = self.now + epoch_len;
+        let clock = self.cfg.machine.uarch.clock;
+        let budget_cycles = clock.cycles_in(epoch_len);
+
+        self.wake_and_settle();
+
+        // Plan placement for this epoch.
+        let entities: Vec<SchedEntity> = self
+            .tasks
+            .values()
+            .filter(|t| t.state == TaskState::Runnable)
+            .map(|t| SchedEntity {
+                pid: t.pid,
+                vruntime: t.vruntime,
+                weight: weight_for_nice(t.nice),
+                affinity: t.affinity,
+                last_pu: t.last_pu,
+            })
+            .collect();
+        let plan = plan_epoch(self.machine.topology(), &entities);
+
+        // Per-task epoch bookkeeping. `remaining` tracks unspent cycle
+        // budget (used = budget - remaining); `blocked` marks tasks that
+        // slept or exited mid-epoch and must not run again this epoch.
+        let mut blocked: std::collections::BTreeSet<Pid> = std::collections::BTreeSet::new();
+        let mut remaining: BTreeMap<Pid, u64> = BTreeMap::new();
+        let mut pu_of: BTreeMap<Pid, PuId> = BTreeMap::new();
+        let mut epoch_delta: BTreeMap<Pid, EventCounts> = BTreeMap::new();
+        for (pu, pid) in plan.running_pairs() {
+            remaining.insert(pid, budget_cycles);
+            pu_of.insert(pid, pu);
+        }
+
+        // Execute in rounds so phase boundaries inside the epoch are honored.
+        for _round in 0..8 {
+            // Collect (pid, remaining_phase_instructions) of tasks that still
+            // have cycles and compute work.
+            let mut runnable_now: Vec<(Pid, u64)> = Vec::new();
+            let mut to_sleep: Vec<(Pid, SimTime)> = Vec::new();
+            let mut to_exit: Vec<Pid> = Vec::new();
+            for (&pid, &rem) in remaining.iter() {
+                if rem == 0 || blocked.contains(&pid) {
+                    continue;
+                }
+                let task = self.tasks.get_mut(&pid).expect("planned task exists");
+                match task.cursor.step(&task.program) {
+                    NextWork::Compute { remaining: insns, .. } => {
+                        runnable_now.push((pid, insns));
+                    }
+                    NextWork::Sleep { duration } => {
+                        // Sleep begins at the point in the epoch where the
+                        // task stopped computing.
+                        let used = budget_cycles - rem;
+                        let start = self.now + clock.duration_of(used);
+                        to_sleep.push((pid, start + duration));
+                    }
+                    NextWork::Exit => to_exit.push(pid),
+                }
+            }
+            for (pid, until) in to_sleep {
+                let t = self.tasks.get_mut(&pid).unwrap();
+                t.state = TaskState::Sleeping;
+                t.sleep_until = Some(until);
+                blocked.insert(pid);
+            }
+            for pid in to_exit {
+                let t = self.tasks.get_mut(&pid).unwrap();
+                t.state = TaskState::Zombie;
+                let used = budget_cycles - remaining[&pid];
+                t.end_time = Some(self.now + clock.duration_of(used));
+                blocked.insert(pid);
+            }
+            if runnable_now.is_empty() {
+                break;
+            }
+
+            // Build joint slice requests. Split borrows: take tasks out of
+            // the map temporarily.
+            let mut borrowed: Vec<(Pid, Task)> = runnable_now
+                .iter()
+                .map(|(pid, _)| (*pid, self.tasks.remove(pid).unwrap()))
+                .collect();
+            {
+                let mut requests: Vec<SliceRequest<'_>> = Vec::with_capacity(borrowed.len());
+                for ((pid, task), (_, phase_insns)) in
+                    borrowed.iter_mut().zip(runnable_now.iter())
+                {
+                    // Destructure to borrow disjoint fields: the profile
+                    // borrows `program` (via the cursor), the stream is a
+                    // separate field.
+                    let Task { program, cursor, stream, cpi_hint, .. } = task;
+                    let profile = match cursor.step(program) {
+                        NextWork::Compute { profile, .. } => profile,
+                        _ => unreachable!("filtered to compute work above"),
+                    };
+                    let mut req = SliceRequest::new(pu_of[&*pid], profile, stream)
+                        .cycles(remaining[&*pid])
+                        .max_instructions(*phase_insns);
+                    if *cpi_hint > 0.0 {
+                        req = req.cpi_hint(*cpi_hint);
+                    }
+                    requests.push(req);
+                }
+                let outcomes = self.machine.execute_epoch(&mut requests);
+
+                for ((pid, task), outcome) in borrowed.iter_mut().zip(outcomes) {
+                    task.cursor.retire(outcome.instructions);
+                    task.total_instructions += outcome.instructions;
+                    task.ground_truth.accumulate(&outcome.events);
+                    if outcome.instructions > 0 {
+                        task.cpi_hint = outcome.cycles as f64 / outcome.instructions as f64;
+                    }
+                    task.last_pu = Some(pu_of[&*pid]);
+                    let rem = remaining.get_mut(pid).unwrap();
+                    *rem = rem.saturating_sub(outcome.cycles.max(1));
+                    epoch_delta.entry(*pid).or_default().accumulate(&outcome.events);
+                }
+            }
+            for (pid, task) in borrowed {
+                self.tasks.insert(pid, task);
+            }
+        }
+
+        // Charge CPU time, fairness, and perf counters.
+        for (&pid, &pu) in pu_of.iter() {
+            let used_cycles = budget_cycles - remaining.get(&pid).copied().unwrap_or(0);
+            if used_cycles == 0 {
+                continue;
+            }
+            let run_dur = clock.duration_of(used_cycles);
+            let delta = epoch_delta.get(&pid).copied().unwrap_or(EventCounts::ZERO);
+            if let Some(task) = self.tasks.get_mut(&pid) {
+                task.utime += run_dur;
+                task.vruntime += run_dur.as_nanos() as f64 / weight_for_nice(task.nice);
+                task.last_pu = Some(pu);
+            }
+            self.apply_perf_deltas(pid, run_dur, &delta);
+        }
+
+        // Reap zombies (tombstones keep the pid reserved).
+        let dead: Vec<Pid> = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.state == TaskState::Zombie)
+            .map(|(&p, _)| p)
+            .collect();
+        for pid in dead {
+            let t = self.tasks.remove(&pid).unwrap();
+            self.exited.insert(
+                pid,
+                ExitRecord {
+                    pid,
+                    comm: t.comm,
+                    start_time: t.start_time,
+                    end_time: t.end_time.unwrap_or(epoch_end),
+                    utime: t.utime,
+                    total_instructions: t.total_instructions,
+                    ground_truth: t.ground_truth,
+                },
+            );
+        }
+
+        self.now = epoch_end;
+        self.epoch_index += 1;
+    }
+
+    /// Wake expired sleepers.
+    fn wake_and_settle(&mut self) {
+        let now = self.now;
+        for t in self.tasks.values_mut() {
+            if t.state == TaskState::Sleeping {
+                if let Some(until) = t.sleep_until {
+                    if until <= now {
+                        t.state = TaskState::Runnable;
+                        t.sleep_until = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Update all counters attached to `pid` for an epoch in which the task
+    /// ran for `run_dur` and the hardware observed `delta`.
+    fn apply_perf_deltas(&mut self, pid: Pid, run_dur: SimDuration, delta: &EventCounts) {
+        let pmu = self.cfg.machine.uarch.pmu;
+
+        // Distinct requested events for this task, split fixed/programmable.
+        let mut fixed: Vec<HwEvent> = Vec::new();
+        let mut programmable: Vec<HwEvent> = Vec::new();
+        for c in self.counters.values() {
+            if c.task == pid && c.enabled {
+                let bucket = if c.hw.is_fixed() && fixed_slot(c.hw) < pmu.fixed_counters {
+                    &mut fixed
+                } else {
+                    &mut programmable
+                };
+                if !bucket.contains(&c.hw) {
+                    bucket.push(c.hw);
+                }
+            }
+        }
+        programmable.sort_by_key(|e| e.index());
+        let active =
+            multiplex_active(&programmable, pmu.programmable_counters, self.epoch_index);
+
+        for c in self.counters.values_mut() {
+            if c.task != pid || !c.enabled {
+                continue;
+            }
+            c.time_enabled += run_dur;
+            let on_fixed = c.hw.is_fixed() && fixed_slot(c.hw) < pmu.fixed_counters;
+            if on_fixed || active.contains(&c.hw) {
+                c.count += delta.get(c.hw);
+                c.time_running += run_dur;
+            }
+        }
+    }
+}
+
+/// Which fixed-counter slot an event occupies (Intel order: instructions,
+/// cycles, ref-cycles).
+fn fixed_slot(e: HwEvent) -> usize {
+    match e {
+        HwEvent::Instructions => 0,
+        HwEvent::Cycles => 1,
+        HwEvent::RefCycles => 2,
+        _ => usize::MAX,
+    }
+}

@@ -1,0 +1,419 @@
+//! # tiptop-kernel
+//!
+//! The simulated operating-system layer of the Tiptop reproduction. It sits
+//! between the hardware model ([`tiptop_machine`]) and the monitoring tool
+//! (`tiptop-core`), exposing exactly the interfaces the real tool consumes
+//! on Linux:
+//!
+//! * **Tasks & scheduler** — threads/processes with `nice`, `taskset`-style
+//!   affinity, and a CFS-like epoch scheduler that prefers idle physical
+//!   cores before SMT siblings.
+//! * **`/proc`** — pid enumeration and per-task `stat` (comm, uid, state,
+//!   utime/stime, last CPU), from which tiptop computes `%CPU` exactly like
+//!   `top` does.
+//! * **`perf_event`** — `perf_event_open`/`read`/`enable`/`disable`/`close`
+//!   with per-task counting, owner-only permission checks, counter
+//!   virtualization across context switches, and time-multiplexing with
+//!   `time_enabled`/`time_running` scaling when more events are requested
+//!   than the PMU has counters.
+//!
+//! ```
+//! use tiptop_kernel::prelude::*;
+//! use tiptop_machine::prelude::*;
+//!
+//! let mut k = Kernel::new(KernelConfig::new(MachineConfig::nehalem_w3550()));
+//! k.add_user(Uid(1000), "user1");
+//!
+//! let profile = ExecProfile::builder("spin").build();
+//! let pid = k.spawn(SpawnSpec::new("spin", Uid(1000), Program::endless(profile)));
+//!
+//! // Attach a cycle counter the way tiptop does, then run for a second.
+//! let fd = k
+//!     .perf_event_open(
+//!         &PerfEventAttr::generic(GenericEvent::CpuCycles),
+//!         pid,
+//!         -1,
+//!         Uid(1000),
+//!     )
+//!     .unwrap();
+//! k.advance(SimDuration::from_secs(1));
+//! assert!(k.perf_read(fd).unwrap().value > 0);
+//! ```
+
+pub mod errno;
+pub mod kernel;
+pub mod perf;
+pub mod procfs;
+pub mod program;
+pub mod sched;
+pub mod task;
+pub mod world;
+
+pub use errno::Errno;
+pub use kernel::{ExitRecord, Kernel, KernelConfig};
+pub use perf::{EventSel, GenericEvent, PerfEventAttr, PerfFd, PerfValue};
+pub use procfs::ProcStat;
+pub use program::{Continuation, NextWork, Phase, Program, ProgramCursor};
+pub use sched::{plan_epoch, weight_for_nice, CpuSet, EpochPlan, SchedEntity};
+pub use task::{Pid, SpawnSpec, Task, TaskState, Uid};
+pub use world::World;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::errno::Errno;
+    pub use crate::kernel::{Kernel, KernelConfig};
+    pub use crate::perf::{EventSel, GenericEvent, PerfEventAttr, PerfFd, PerfValue};
+    pub use crate::procfs::ProcStat;
+    pub use crate::program::{Phase, Program};
+    pub use crate::sched::CpuSet;
+    pub use crate::task::{Pid, SpawnSpec, TaskState, Uid};
+    pub use crate::world::World;
+    pub use tiptop_machine::time::{SimDuration, SimTime};
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use crate::perf::PerfEventAttr;
+    use crate::prelude::*;
+    use crate::program::Phase;
+    use tiptop_machine::access::MemoryBehavior;
+    use tiptop_machine::config::MachineConfig;
+    use tiptop_machine::exec::ExecProfile;
+    use tiptop_machine::pmu::HwEvent;
+
+    fn kernel() -> Kernel {
+        Kernel::new(
+            KernelConfig::new(MachineConfig::nehalem_w3550().noiseless()).seed(42),
+        )
+    }
+
+    fn spin_profile() -> ExecProfile {
+        ExecProfile::builder("spin")
+            .base_cpi(0.8)
+            .branches(0.18, 0.0)
+            .memory(MemoryBehavior::uniform(16 * 1024))
+            .build()
+    }
+
+    #[test]
+    fn cpu_bound_task_accrues_full_utime() {
+        let mut k = kernel();
+        let pid = k.spawn(SpawnSpec::new("spin", Uid(1), Program::endless(spin_profile())));
+        k.advance(SimDuration::from_secs(2));
+        let st = k.stat(pid).unwrap();
+        let frac = st.cpu_time().as_secs_f64() / 2.0;
+        assert!(frac > 0.99, "CPU-bound task should be ~100% CPU, got {frac}");
+    }
+
+    #[test]
+    fn finite_program_exits_and_leaves_tombstone() {
+        let mut k = kernel();
+        // ~3.07e9 cycles/s at CPI≈0.8 → ~1e9 insns in ~0.26 s.
+        let pid = k.spawn(SpawnSpec::new(
+            "short",
+            Uid(1),
+            Program::single(spin_profile(), 1_000_000_000),
+        ));
+        k.advance(SimDuration::from_secs(2));
+        assert!(!k.is_alive(pid));
+        assert!(k.stat(pid).is_none(), "stat of exited task is None");
+    }
+
+    #[test]
+    fn sleep_phases_reduce_cpu_share() {
+        let mut k = kernel();
+        // 50% duty cycle: compute ~10 ms worth of instructions, sleep 10 ms.
+        // At 3.07 GHz and CPI 0.8, 10 ms ≈ 38.4 M instructions.
+        let p = spin_profile();
+        let prog = Program::looping(vec![
+            Phase::compute(p, 38_375_000),
+            Phase::sleep(SimDuration::from_millis(10)),
+        ]);
+        let pid = k.spawn(SpawnSpec::new("duty", Uid(1), prog));
+        k.advance(SimDuration::from_secs(2));
+        let st = k.stat(pid).unwrap();
+        let frac = st.cpu_time().as_secs_f64() / 2.0;
+        assert!(
+            (0.35..0.65).contains(&frac),
+            "50% duty cycle should give ~50% CPU, got {frac}"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_pus_share_fairly() {
+        // 3 CPU-bound tasks pinned to one PU: each gets ~1/3.
+        let mut k = kernel();
+        let pin = CpuSet::single(tiptop_machine::topology::PuId(0));
+        let pids: Vec<Pid> = (0..3)
+            .map(|i| {
+                k.spawn(
+                    SpawnSpec::new(format!("t{i}"), Uid(1), Program::endless(spin_profile()))
+                        .affinity(pin),
+                )
+            })
+            .collect();
+        k.advance(SimDuration::from_secs(3));
+        for pid in pids {
+            let frac = k.stat(pid).unwrap().cpu_time().as_secs_f64() / 3.0;
+            assert!(
+                (0.28..0.39).contains(&frac),
+                "pinned 3-way share should be ~1/3, got {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn nice_weights_shift_shares() {
+        let mut k = kernel();
+        let pin = CpuSet::single(tiptop_machine::topology::PuId(0));
+        let favored = k.spawn(
+            SpawnSpec::new("fav", Uid(1), Program::endless(spin_profile()))
+                .affinity(pin)
+                .nice(-5),
+        );
+        let penalized = k.spawn(
+            SpawnSpec::new("pen", Uid(1), Program::endless(spin_profile()))
+                .affinity(pin)
+                .nice(5),
+        );
+        k.advance(SimDuration::from_secs(3));
+        let f = k.stat(favored).unwrap().cpu_time().as_secs_f64();
+        let p = k.stat(penalized).unwrap().cpu_time().as_secs_f64();
+        assert!(f > p * 3.0, "nice -5 vs +5 should be ≥3x share: {f} vs {p}");
+    }
+
+    #[test]
+    fn perf_counts_cycles_and_instructions() {
+        let mut k = kernel();
+        let pid = k.spawn(SpawnSpec::new("spin", Uid(1), Program::endless(spin_profile())));
+        let cy = k
+            .perf_event_open(&PerfEventAttr::generic(GenericEvent::CpuCycles), pid, -1, Uid(1))
+            .unwrap();
+        let insn = k
+            .perf_event_open(
+                &PerfEventAttr::generic(GenericEvent::Instructions),
+                pid,
+                -1,
+                Uid(1),
+            )
+            .unwrap();
+        k.advance(SimDuration::from_secs(1));
+        let cycles = k.perf_read(cy).unwrap();
+        let insns = k.perf_read(insn).unwrap();
+        // ~3.07e9 cycles in 1 s of 100% CPU.
+        let expect = 3.07e9;
+        let got = cycles.value as f64;
+        assert!(
+            (got / expect - 1.0).abs() < 0.02,
+            "cycle count {got} should be ≈{expect}"
+        );
+        let ipc = insns.value as f64 / got;
+        assert!((1.1..1.4).contains(&ipc), "IPC {ipc} should be ~1.25");
+        assert_eq!(cycles.time_enabled, cycles.time_running, "no multiplexing here");
+    }
+
+    #[test]
+    fn counting_starts_at_attach_not_task_start() {
+        // Paper §2.2: "only events that occur after the start of tiptop are
+        // observed".
+        let mut k = kernel();
+        let pid = k.spawn(SpawnSpec::new("spin", Uid(1), Program::endless(spin_profile())));
+        k.advance(SimDuration::from_secs(1));
+        let fd = k
+            .perf_event_open(
+                &PerfEventAttr::generic(GenericEvent::Instructions),
+                pid,
+                -1,
+                Uid(1),
+            )
+            .unwrap();
+        k.advance(SimDuration::from_secs(1));
+        let counted = k.perf_read(fd).unwrap().value;
+        let truth = k.ground_truth(pid).unwrap().get(HwEvent::Instructions);
+        assert!(
+            counted < truth * 6 / 10,
+            "attached halfway: counted {counted} must be well below lifetime {truth}"
+        );
+        assert!(counted > truth * 4 / 10, "but roughly half of it: {counted} vs {truth}");
+    }
+
+    #[test]
+    fn permission_denied_for_other_users() {
+        let mut k = kernel();
+        let pid = k.spawn(SpawnSpec::new("mine", Uid(1000), Program::endless(spin_profile())));
+        let attr = PerfEventAttr::generic(GenericEvent::CpuCycles);
+        assert_eq!(k.perf_event_open(&attr, pid, -1, Uid(2000)).unwrap_err(), Errno::EACCES);
+        assert!(k.perf_event_open(&attr, pid, -1, Uid(1000)).is_ok(), "owner may");
+        assert!(k.perf_event_open(&attr, pid, -1, Uid::ROOT).is_ok(), "root may");
+    }
+
+    #[test]
+    fn perf_error_paths() {
+        let mut k = kernel();
+        let attr = PerfEventAttr::generic(GenericEvent::CpuCycles);
+        assert_eq!(k.perf_event_open(&attr, Pid(9999), -1, Uid(1)).unwrap_err(), Errno::ESRCH);
+        let pid = k.spawn(SpawnSpec::new("t", Uid(1), Program::endless(spin_profile())));
+        assert_eq!(
+            k.perf_event_open(&attr, pid, 0, Uid(1)).unwrap_err(),
+            Errno::EINVAL,
+            "per-cpu counting unsupported"
+        );
+        assert_eq!(k.perf_read(PerfFd(777)).unwrap_err(), Errno::EBADF);
+        let fd = k.perf_event_open(&attr, pid, -1, Uid(1)).unwrap();
+        assert!(k.perf_close(fd).is_ok());
+        assert_eq!(k.perf_read(fd).unwrap_err(), Errno::EBADF);
+    }
+
+    #[test]
+    fn fd_survives_task_exit_with_final_value() {
+        let mut k = kernel();
+        let pid = k.spawn(SpawnSpec::new(
+            "short",
+            Uid(1),
+            Program::single(spin_profile(), 100_000_000),
+        ));
+        let fd = k
+            .perf_event_open(
+                &PerfEventAttr::generic(GenericEvent::Instructions),
+                pid,
+                -1,
+                Uid(1),
+            )
+            .unwrap();
+        k.advance(SimDuration::from_secs(1));
+        assert!(!k.is_alive(pid));
+        let v1 = k.perf_read(fd).unwrap();
+        assert!(v1.value >= 100_000_000, "final count readable after exit");
+        k.advance(SimDuration::from_secs(1));
+        let v2 = k.perf_read(fd).unwrap();
+        assert_eq!(v1, v2, "count frozen after exit");
+    }
+
+    #[test]
+    fn disabled_counter_counts_nothing_until_enabled() {
+        let mut k = kernel();
+        let pid = k.spawn(SpawnSpec::new("spin", Uid(1), Program::endless(spin_profile())));
+        let mut attr = PerfEventAttr::generic(GenericEvent::CpuCycles);
+        attr.disabled = true;
+        let fd = k.perf_event_open(&attr, pid, -1, Uid(1)).unwrap();
+        k.advance(SimDuration::from_secs(1));
+        assert_eq!(k.perf_read(fd).unwrap().value, 0);
+        k.perf_enable(fd).unwrap();
+        k.advance(SimDuration::from_secs(1));
+        assert!(k.perf_read(fd).unwrap().value > 0);
+    }
+
+    #[test]
+    fn multiplexing_scales_to_roughly_true_counts() {
+        // PMU with 2 programmable counters; request 4 programmable events.
+        let mut cfg = MachineConfig::nehalem_w3550().noiseless();
+        cfg.uarch.pmu = tiptop_machine::pmu::PmuCapabilities {
+            fixed_counters: 3,
+            programmable_counters: 2,
+        };
+        let mut k = Kernel::new(KernelConfig::new(cfg).seed(7));
+        let p = ExecProfile::builder("mem")
+            .base_cpi(0.8)
+            .branches(0.18, 0.01)
+            .memory(MemoryBehavior::uniform(16 << 20))
+            .build();
+        let pid = k.spawn(SpawnSpec::new("mem", Uid(1), Program::endless(p)));
+        let events = [
+            HwEvent::CacheMisses,
+            HwEvent::BranchMisses,
+            HwEvent::L1dMisses,
+            HwEvent::L2Misses,
+        ];
+        let fds: Vec<PerfFd> = events
+            .iter()
+            .map(|&e| {
+                k.perf_event_open(&PerfEventAttr::raw(e), pid, -1, Uid(1)).unwrap()
+            })
+            .collect();
+        k.advance(SimDuration::from_secs(5));
+        let truth = k.ground_truth(pid).unwrap();
+        for (fd, &e) in fds.iter().zip(events.iter()) {
+            let v = k.perf_read(*fd).unwrap();
+            assert!(
+                v.time_running < v.time_enabled,
+                "{e:?} must have been multiplexed"
+            );
+            let scaled = v.scaled() as f64;
+            let t = truth.get(e) as f64;
+            assert!(t > 0.0, "{e:?} truth is zero?");
+            let rel = (scaled - t).abs() / t;
+            assert!(
+                rel < 0.15,
+                "{e:?}: scaled {scaled} vs truth {t} off by {:.1}%",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn raw_fp_assist_event_counts() {
+        let mut k = kernel();
+        let p = ExecProfile::builder("x87")
+            .base_cpi(0.75)
+            .branches(0.25, 0.0)
+            .fp(0.25, tiptop_machine::exec::FpUnit::X87)
+            .operand_classes(1.0, 0.0)
+            .memory(MemoryBehavior::uniform(4096))
+            .build();
+        let pid = k.spawn(SpawnSpec::new("fp", Uid(1), Program::endless(p)));
+        let fd = k
+            .perf_event_open(&PerfEventAttr::raw(HwEvent::FpAssists), pid, -1, Uid(1))
+            .unwrap();
+        k.advance(SimDuration::from_secs(1));
+        assert!(k.perf_read(fd).unwrap().value > 0, "FP_ASSIST must fire for x87 Inf/NaN");
+    }
+
+    #[test]
+    fn advance_until_is_idempotent() {
+        let mut k = kernel();
+        k.advance_until(SimTime::from_secs(1));
+        assert_eq!(k.now(), SimTime::from_secs(1));
+        k.advance_until(SimTime::from_secs(1));
+        assert_eq!(k.now(), SimTime::from_secs(1));
+        k.advance_until(SimTime::ZERO);
+        assert_eq!(k.now(), SimTime::from_secs(1), "cannot go back");
+    }
+
+    #[test]
+    fn kill_removes_task() {
+        let mut k = kernel();
+        let pid = k.spawn(SpawnSpec::new("victim", Uid(1), Program::endless(spin_profile())));
+        k.advance(SimDuration::from_millis(100));
+        k.kill(pid).unwrap();
+        k.advance(SimDuration::from_millis(100));
+        assert!(!k.is_alive(pid));
+        assert_eq!(k.kill(pid).unwrap_err(), Errno::ESRCH);
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let run = || {
+            let mut k = kernel();
+            let pid =
+                k.spawn(SpawnSpec::new("d", Uid(1), Program::endless(spin_profile())).seed(3));
+            k.advance(SimDuration::from_secs(1));
+            k.ground_truth(pid).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn threads_share_tgid_and_run_concurrently() {
+        let mut k = kernel();
+        let main = k.spawn(SpawnSpec::new("app", Uid(1), Program::endless(spin_profile())));
+        let thr = k.spawn(
+            SpawnSpec::new("app", Uid(1), Program::endless(spin_profile())).thread_of(main),
+        );
+        k.advance(SimDuration::from_secs(1));
+        let st_main = k.stat(main).unwrap();
+        let st_thr = k.stat(thr).unwrap();
+        assert_eq!(st_thr.tgid, main);
+        assert_eq!(st_main.tgid, main);
+        assert!(st_thr.cpu_time().as_secs_f64() > 0.9, "thread runs on its own PU");
+    }
+}

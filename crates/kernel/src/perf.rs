@@ -1,0 +1,214 @@
+//! The `perf_event` subsystem: counter attributes, file descriptors,
+//! per-task virtualized counters, and time-multiplexing.
+//!
+//! This mirrors the Linux `perf_event_open(2)` interface tiptop is built on
+//! (paper §2.3): an observer opens one fd per (event, task); the kernel
+//! virtualizes hardware counters across context switches; `read` returns the
+//! accumulated count together with `time_enabled`/`time_running` so that
+//! user space can scale counts when the PMU had fewer hardware counters than
+//! requested events and the kernel had to rotate them.
+//!
+//! Permission model (paper §2.2, footnote 1): a non-root observer may only
+//! open counters on tasks of its own uid — "ability to monitor anybody's
+//! process opens the door to side-channel attacks".
+
+use tiptop_machine::pmu::HwEvent;
+use tiptop_machine::time::SimDuration;
+
+use crate::task::{Pid, Uid};
+
+/// Generic, architecture-portable events, exactly the set the Linux header
+/// provides (`PERF_COUNT_HW_*`) and the paper's default configuration uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GenericEvent {
+    CpuCycles,
+    Instructions,
+    CacheReferences,
+    CacheMisses,
+    BranchInstructions,
+    BranchMisses,
+}
+
+impl GenericEvent {
+    /// Map the portable event onto this machine's hardware event.
+    pub fn to_hw(self) -> HwEvent {
+        match self {
+            GenericEvent::CpuCycles => HwEvent::Cycles,
+            GenericEvent::Instructions => HwEvent::Instructions,
+            GenericEvent::CacheReferences => HwEvent::CacheReferences,
+            GenericEvent::CacheMisses => HwEvent::CacheMisses,
+            GenericEvent::BranchInstructions => HwEvent::BranchInstructions,
+            GenericEvent::BranchMisses => HwEvent::BranchMisses,
+        }
+    }
+}
+
+/// Event selector: generic (portable) or raw (target-specific, looked up in
+/// "the vendor's architecture manuals" — here, [`HwEvent`] directly).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventSel {
+    Generic(GenericEvent),
+    Raw(HwEvent),
+}
+
+impl EventSel {
+    pub fn to_hw(self) -> HwEvent {
+        match self {
+            EventSel::Generic(g) => g.to_hw(),
+            EventSel::Raw(h) => h,
+        }
+    }
+}
+
+/// The `perf_event_attr` struct of the simulated syscall.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfEventAttr {
+    pub event: EventSel,
+    /// Open in disabled state; count only after `perf_enable`.
+    pub disabled: bool,
+}
+
+impl PerfEventAttr {
+    pub fn counting(event: EventSel) -> Self {
+        PerfEventAttr { event, disabled: false }
+    }
+
+    pub fn generic(g: GenericEvent) -> Self {
+        Self::counting(EventSel::Generic(g))
+    }
+
+    pub fn raw(h: HwEvent) -> Self {
+        Self::counting(EventSel::Raw(h))
+    }
+}
+
+/// Counter file descriptor returned by `perf_event_open`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PerfFd(pub u64);
+
+/// What `perf_read` returns: the raw accumulated count plus the scaling
+/// times. When `time_running < time_enabled` the event was multiplexed and
+/// user space should estimate `value * time_enabled / time_running`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PerfValue {
+    pub value: u64,
+    pub time_enabled: SimDuration,
+    pub time_running: SimDuration,
+}
+
+impl PerfValue {
+    /// Multiplexing-scaled estimate of the true count.
+    pub fn scaled(&self) -> u64 {
+        if self.time_running.is_zero() || self.time_running == self.time_enabled {
+            self.value
+        } else {
+            ((self.value as u128 * self.time_enabled.as_nanos() as u128)
+                / self.time_running.as_nanos() as u128) as u64
+        }
+    }
+}
+
+/// Kernel-internal counter state.
+#[derive(Clone, Debug)]
+pub struct PerfCounter {
+    pub fd: PerfFd,
+    /// Task being observed.
+    pub task: Pid,
+    /// Observer that opened the fd (for accounting/limits).
+    pub owner: Uid,
+    pub hw: HwEvent,
+    pub enabled: bool,
+    pub count: u64,
+    pub time_enabled: SimDuration,
+    pub time_running: SimDuration,
+}
+
+/// Maximum counters one observer may hold open at once (per-process fd-table
+/// stand-in; exceeding it yields `EMFILE`).
+pub const MAX_FDS_PER_OBSERVER: usize = 4096;
+
+/// Given a task's distinct requested programmable (non-fixed) events in a
+/// deterministic order, and the PMU's programmable counter budget, return
+/// the *active window* of events for this epoch. Rotation advances one event
+/// per epoch, like the kernel's multiplexing tick.
+pub fn multiplex_active(events: &[HwEvent], budget: usize, epoch_index: u64) -> Vec<HwEvent> {
+    if events.len() <= budget {
+        return events.to_vec();
+    }
+    let n = events.len();
+    let start = (epoch_index as usize) % n;
+    (0..budget).map(|i| events[(start + i) % n]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_events_map_to_hw() {
+        assert_eq!(GenericEvent::CpuCycles.to_hw(), HwEvent::Cycles);
+        assert_eq!(GenericEvent::CacheMisses.to_hw(), HwEvent::CacheMisses);
+        assert_eq!(
+            EventSel::Raw(HwEvent::FpAssists).to_hw(),
+            HwEvent::FpAssists,
+            "raw events pass through"
+        );
+    }
+
+    #[test]
+    fn scaled_value_extrapolates_multiplexed_counts() {
+        let v = PerfValue {
+            value: 300,
+            time_enabled: SimDuration::from_millis(100),
+            time_running: SimDuration::from_millis(25),
+        };
+        assert_eq!(v.scaled(), 1200);
+    }
+
+    #[test]
+    fn scaled_value_identity_when_fully_counted() {
+        let v = PerfValue {
+            value: 300,
+            time_enabled: SimDuration::from_millis(100),
+            time_running: SimDuration::from_millis(100),
+        };
+        assert_eq!(v.scaled(), 300);
+    }
+
+    #[test]
+    fn scaled_value_zero_running_is_raw() {
+        let v = PerfValue {
+            value: 0,
+            time_enabled: SimDuration::from_millis(100),
+            time_running: SimDuration::ZERO,
+        };
+        assert_eq!(v.scaled(), 0);
+    }
+
+    #[test]
+    fn multiplex_all_fit() {
+        let evs = [HwEvent::CacheMisses, HwEvent::BranchMisses];
+        assert_eq!(multiplex_active(&evs, 4, 17), evs.to_vec());
+    }
+
+    #[test]
+    fn multiplex_rotates_fairly() {
+        let evs = [
+            HwEvent::CacheMisses,
+            HwEvent::BranchMisses,
+            HwEvent::L1dMisses,
+            HwEvent::FpAssists,
+        ];
+        // Budget 2, 4 events: over 4 consecutive epochs every event must be
+        // active exactly twice.
+        let mut tally = std::collections::HashMap::new();
+        for epoch in 0..4 {
+            for e in multiplex_active(&evs, 2, epoch) {
+                *tally.entry(e).or_insert(0u32) += 1;
+            }
+        }
+        for e in evs {
+            assert_eq!(tally[&e], 2, "{e:?} under/over-scheduled");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Programs: what a task executes.
+//!
+//! A [`Program`] is a sequence of phases — compute phases described by a
+//! machine-facing [`ExecProfile`] with an instruction budget, and sleep
+//! phases. Phase boundaries are expressed in *retired instructions*, not
+//! time: the same program takes different wall-clock time on different
+//! machines (exactly the property the paper's Figure 8 exploits by plotting
+//! IPC against instructions executed so the Nehalem/Core/PPC970 curves
+//! align).
+
+use tiptop_machine::exec::ExecProfile;
+use tiptop_machine::time::SimDuration;
+
+/// One phase of a program.
+#[derive(Clone, Debug)]
+pub enum Phase {
+    /// Execute `instructions` instructions behaving like `profile`.
+    Compute { profile: ExecProfile, instructions: u64 },
+    /// Block for a fixed duration (I/O, timer, idle loop in the interpreter).
+    Sleep { duration: SimDuration },
+}
+
+impl Phase {
+    pub fn compute(profile: ExecProfile, instructions: u64) -> Phase {
+        assert!(instructions > 0, "empty compute phase");
+        Phase::Compute { profile, instructions }
+    }
+
+    pub fn sleep(duration: SimDuration) -> Phase {
+        Phase::Sleep { duration }
+    }
+
+    /// Instructions retired by this phase (0 for sleeps).
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Phase::Compute { instructions, .. } => *instructions,
+            Phase::Sleep { .. } => 0,
+        }
+    }
+}
+
+/// How a program continues after its last phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Continuation {
+    /// The task exits.
+    Exit,
+    /// The phase list restarts from the beginning, forever (daemons, the
+    /// monitoring tool itself).
+    Loop,
+}
+
+/// A complete program: phases plus continuation behaviour.
+#[derive(Clone, Debug)]
+pub struct Program {
+    phases: Vec<Phase>,
+    continuation: Continuation,
+}
+
+impl Program {
+    /// A program that runs its phases once and exits.
+    pub fn run_once(phases: Vec<Phase>) -> Program {
+        assert!(!phases.is_empty(), "a program needs at least one phase");
+        Program { phases, continuation: Continuation::Exit }
+    }
+
+    /// A program that repeats its phases forever.
+    pub fn looping(phases: Vec<Phase>) -> Program {
+        assert!(!phases.is_empty(), "a program needs at least one phase");
+        Program { phases, continuation: Continuation::Loop }
+    }
+
+    /// Single-profile convenience: run `profile` for `instructions`, then exit.
+    pub fn single(profile: ExecProfile, instructions: u64) -> Program {
+        Program::run_once(vec![Phase::compute(profile, instructions)])
+    }
+
+    /// Single-profile daemon: run `profile` forever.
+    pub fn endless(profile: ExecProfile) -> Program {
+        Program::looping(vec![Phase::compute(profile, u64::MAX / 2)])
+    }
+
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    pub fn continuation(&self) -> Continuation {
+        self.continuation
+    }
+
+    /// Total instructions in one pass over the phases.
+    pub fn instructions_per_pass(&self) -> u64 {
+        self.phases.iter().map(|p| p.instructions()).sum()
+    }
+}
+
+/// A task's position within its program.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramCursor {
+    pub phase_idx: usize,
+    /// Instructions retired within the current compute phase.
+    pub done_in_phase: u64,
+    /// Completed passes over the phase list (for looping programs).
+    pub passes: u64,
+}
+
+/// What the task should do next, as resolved by [`ProgramCursor::step`].
+#[derive(Debug)]
+pub enum NextWork<'a> {
+    /// Run this profile for at most `remaining` instructions.
+    Compute { profile: &'a ExecProfile, remaining: u64 },
+    /// Sleep for this long (the cursor has already advanced past the phase).
+    Sleep { duration: SimDuration },
+    /// Program finished.
+    Exit,
+}
+
+impl ProgramCursor {
+    /// Resolve the current work item. Sleep phases are consumed by this call:
+    /// the caller is expected to actually put the task to sleep, and the next
+    /// `step` will look at the following phase.
+    pub fn step<'a>(&mut self, program: &'a Program) -> NextWork<'a> {
+        loop {
+            if self.phase_idx >= program.phases.len() {
+                match program.continuation {
+                    Continuation::Exit => return NextWork::Exit,
+                    Continuation::Loop => {
+                        self.phase_idx = 0;
+                        self.done_in_phase = 0;
+                        self.passes += 1;
+                    }
+                }
+            }
+            match &program.phases[self.phase_idx] {
+                Phase::Compute { profile, instructions } => {
+                    let remaining = instructions.saturating_sub(self.done_in_phase);
+                    if remaining == 0 {
+                        self.phase_idx += 1;
+                        self.done_in_phase = 0;
+                        continue;
+                    }
+                    return NextWork::Compute { profile, remaining };
+                }
+                Phase::Sleep { duration } => {
+                    let d = *duration;
+                    self.phase_idx += 1;
+                    self.done_in_phase = 0;
+                    return NextWork::Sleep { duration: d };
+                }
+            }
+        }
+    }
+
+    /// Record `retired` instructions against the current compute phase.
+    pub fn retire(&mut self, retired: u64) {
+        self.done_in_phase += retired;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptop_machine::exec::ExecProfile;
+
+    fn prof(name: &str) -> ExecProfile {
+        ExecProfile::builder(name).build()
+    }
+
+    #[test]
+    fn run_once_walks_phases_then_exits() {
+        let prog = Program::run_once(vec![
+            Phase::compute(prof("a"), 100),
+            Phase::sleep(SimDuration::from_millis(5)),
+            Phase::compute(prof("b"), 50),
+        ]);
+        assert_eq!(prog.instructions_per_pass(), 150);
+        let mut cur = ProgramCursor::default();
+
+        match cur.step(&prog) {
+            NextWork::Compute { profile, remaining } => {
+                assert_eq!(profile.name, "a");
+                assert_eq!(remaining, 100);
+            }
+            other => panic!("expected compute, got {other:?}"),
+        }
+        cur.retire(60);
+        match cur.step(&prog) {
+            NextWork::Compute { remaining, .. } => assert_eq!(remaining, 40),
+            other => panic!("expected compute, got {other:?}"),
+        }
+        cur.retire(40);
+        match cur.step(&prog) {
+            NextWork::Sleep { duration } => assert_eq!(duration, SimDuration::from_millis(5)),
+            other => panic!("expected sleep, got {other:?}"),
+        }
+        match cur.step(&prog) {
+            NextWork::Compute { profile, .. } => assert_eq!(profile.name, "b"),
+            other => panic!("expected compute, got {other:?}"),
+        }
+        cur.retire(50);
+        assert!(matches!(cur.step(&prog), NextWork::Exit));
+        // Exit is sticky.
+        assert!(matches!(cur.step(&prog), NextWork::Exit));
+    }
+
+    #[test]
+    fn looping_program_restarts_and_counts_passes() {
+        let prog = Program::looping(vec![Phase::compute(prof("l"), 10)]);
+        let mut cur = ProgramCursor::default();
+        for pass in 0..3 {
+            match cur.step(&prog) {
+                NextWork::Compute { remaining, .. } => assert_eq!(remaining, 10),
+                other => panic!("unexpected {other:?}"),
+            }
+            cur.retire(10);
+            let _ = cur.step(&prog); // trigger wraparound
+            assert_eq!(cur.passes, pass + 1);
+        }
+    }
+
+    #[test]
+    fn overshoot_retire_saturates() {
+        let prog = Program::run_once(vec![Phase::compute(prof("x"), 10)]);
+        let mut cur = ProgramCursor::default();
+        let _ = cur.step(&prog);
+        cur.retire(25); // more than the phase holds (kernel rounds up)
+        assert!(matches!(cur.step(&prog), NextWork::Exit));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_program_rejected() {
+        Program::run_once(vec![]);
+    }
+}

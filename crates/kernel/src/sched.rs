@@ -1,0 +1,274 @@
+//! Epoch-driven CFS-like scheduler.
+//!
+//! The kernel advances time in fixed *epochs* (default 20 ms). Each epoch the
+//! scheduler picks, per processing unit, at most one runnable task; fairness
+//! across epochs comes from CFS-style virtual runtimes — tasks that were left
+//! out keep their low `vruntime` and win the next epoch, so timesharing
+//! emerges at epoch granularity (far finer than the tool's seconds-scale
+//! refresh).
+//!
+//! Placement mirrors the behaviour the paper leans on: a waking task prefers
+//! (1) the PU it last ran on if free (cache warmth), then (2) a PU on a fully
+//! idle *physical core* (so SMT siblings are used only when all cores are
+//! busy — and the mostly-idle tiptop process itself lands "on the least
+//! loaded core", §2.5), then (3) any free PU. `taskset`-style affinity masks
+//! restrict all choices.
+
+use tiptop_machine::topology::{PuId, Topology};
+
+use crate::task::Pid;
+
+/// A set of PUs a task may run on (`taskset` mask). Supports up to 64 PUs,
+/// ample for the paper's 16-PU data-center nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CpuSet(u64);
+
+impl CpuSet {
+    /// All PUs allowed.
+    pub fn all() -> CpuSet {
+        CpuSet(u64::MAX)
+    }
+
+    /// Only `pu` allowed.
+    pub fn single(pu: PuId) -> CpuSet {
+        assert!(pu.0 < 64, "CpuSet supports up to 64 PUs");
+        CpuSet(1 << pu.0)
+    }
+
+    /// Allow exactly the given PUs.
+    pub fn of(pus: &[PuId]) -> CpuSet {
+        let mut m = 0u64;
+        for pu in pus {
+            assert!(pu.0 < 64, "CpuSet supports up to 64 PUs");
+            m |= 1 << pu.0;
+        }
+        assert!(m != 0, "empty CpuSet");
+        CpuSet(m)
+    }
+
+    pub fn allows(&self, pu: PuId) -> bool {
+        pu.0 < 64 && (self.0 >> pu.0) & 1 == 1
+    }
+
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+/// CFS weight for a nice level: each nice step changes the share by ~1.25×,
+/// as in Linux.
+pub fn weight_for_nice(nice: i32) -> f64 {
+    1.25f64.powi(-nice)
+}
+
+/// Scheduler's view of one runnable task.
+#[derive(Clone, Debug)]
+pub struct SchedEntity {
+    pub pid: Pid,
+    pub vruntime: f64,
+    pub weight: f64,
+    pub affinity: CpuSet,
+    /// PU the task last ran on, for cache-warm placement.
+    pub last_pu: Option<PuId>,
+}
+
+/// The epoch's placement decision: `assignment[pu] = Some(pid)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochPlan {
+    pub assignment: Vec<Option<Pid>>,
+}
+
+impl EpochPlan {
+    pub fn running_pairs(&self) -> impl Iterator<Item = (PuId, Pid)> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(pu, p)| p.map(|pid| (PuId(pu), pid)))
+    }
+
+    pub fn num_running(&self) -> usize {
+        self.assignment.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+/// Plan one epoch: assign the lowest-vruntime runnable tasks to PUs.
+///
+/// Deterministic: ties break on pid, placement preferences are fixed-order.
+pub fn plan_epoch(topo: &Topology, runnable: &[SchedEntity]) -> EpochPlan {
+    let num_pus = topo.num_pus();
+    let mut assignment: Vec<Option<Pid>> = vec![None; num_pus];
+    let mut core_busy = vec![0u32; topo.num_cores()];
+
+    // Lowest vruntime first; ties on pid for determinism.
+    let mut order: Vec<&SchedEntity> = runnable.iter().collect();
+    order.sort_by(|a, b| {
+        a.vruntime.partial_cmp(&b.vruntime).unwrap().then_with(|| a.pid.cmp(&b.pid))
+    });
+
+    for ent in order {
+        let chosen = choose_pu(topo, &assignment, &core_busy, ent);
+        if let Some(pu) = chosen {
+            assignment[pu.0] = Some(ent.pid);
+            core_busy[topo.core_of(pu).0] += 1;
+        }
+        // else: no allowed PU free this epoch; the task keeps its low
+        // vruntime and wins next epoch — round-robin timesharing.
+    }
+    EpochPlan { assignment }
+}
+
+fn choose_pu(
+    topo: &Topology,
+    assignment: &[Option<Pid>],
+    core_busy: &[u32],
+    ent: &SchedEntity,
+) -> Option<PuId> {
+    let free_allowed = |pu: PuId| assignment[pu.0].is_none() && ent.affinity.allows(pu);
+
+    // 1. Warm PU, if free and its core is not already busy with someone else
+    //    (don't volunteer for SMT sharing just for warmth).
+    if let Some(last) = ent.last_pu {
+        if last.0 < assignment.len()
+            && free_allowed(last)
+            && core_busy[topo.core_of(last).0] == 0
+        {
+            return Some(last);
+        }
+    }
+    // 2. Any PU on a fully idle physical core.
+    for pu in topo.pus() {
+        if free_allowed(pu) && core_busy[topo.core_of(pu).0] == 0 {
+            return Some(pu);
+        }
+    }
+    // 3. Warm PU even if sharing the core.
+    if let Some(last) = ent.last_pu {
+        if last.0 < assignment.len() && free_allowed(last) {
+            return Some(last);
+        }
+    }
+    // 4. Any free allowed PU (SMT sibling of a busy core).
+    topo.pus().find(|&pu| free_allowed(pu))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(1, 4, 2, 4096) // 4 cores, 8 PUs
+    }
+
+    fn ent(pid: u32, vruntime: f64) -> SchedEntity {
+        SchedEntity {
+            pid: Pid(pid),
+            vruntime,
+            weight: 1.0,
+            affinity: CpuSet::all(),
+            last_pu: None,
+        }
+    }
+
+    #[test]
+    fn cpuset_membership() {
+        let s = CpuSet::of(&[PuId(0), PuId(4)]);
+        assert!(s.allows(PuId(0)));
+        assert!(s.allows(PuId(4)));
+        assert!(!s.allows(PuId(1)));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CpuSet")]
+    fn empty_cpuset_rejected() {
+        CpuSet::of(&[]);
+    }
+
+    #[test]
+    fn weight_monotone_in_nice() {
+        assert!(weight_for_nice(-5) > weight_for_nice(0));
+        assert!(weight_for_nice(0) > weight_for_nice(5));
+        assert_eq!(weight_for_nice(0), 1.0);
+    }
+
+    #[test]
+    fn spreads_across_physical_cores_before_smt() {
+        let t = topo();
+        let runnable: Vec<_> = (0..4).map(|i| ent(i, 0.0)).collect();
+        let plan = plan_epoch(&t, &runnable);
+        assert_eq!(plan.num_running(), 4);
+        // Each task must be on a distinct physical core.
+        let mut cores: Vec<_> = plan
+            .running_pairs()
+            .map(|(pu, _)| t.core_of(pu).0)
+            .collect();
+        cores.sort_unstable();
+        cores.dedup();
+        assert_eq!(cores.len(), 4, "4 tasks should occupy 4 distinct cores");
+    }
+
+    #[test]
+    fn smt_used_when_cores_exhausted() {
+        let t = topo();
+        let runnable: Vec<_> = (0..8).map(|i| ent(i, 0.0)).collect();
+        let plan = plan_epoch(&t, &runnable);
+        assert_eq!(plan.num_running(), 8, "all 8 PUs busy");
+    }
+
+    #[test]
+    fn oversubscription_picks_lowest_vruntime() {
+        let t = topo();
+        // 10 tasks, 8 PUs: the two largest vruntimes are left out.
+        let runnable: Vec<_> = (0..10).map(|i| ent(i, i as f64)).collect();
+        let plan = plan_epoch(&t, &runnable);
+        assert_eq!(plan.num_running(), 8);
+        let scheduled: Vec<u32> = plan.running_pairs().map(|(_, p)| p.0).collect();
+        assert!(!scheduled.contains(&8) && !scheduled.contains(&9));
+    }
+
+    #[test]
+    fn affinity_respected_even_if_core_busy() {
+        let t = topo();
+        // Both pinned to PU 0 and its sibling PU 4 — the paper's "two copies
+        // on the same physical core" experiment.
+        let mut a = ent(1, 0.0);
+        a.affinity = CpuSet::single(PuId(0));
+        let mut b = ent(2, 0.0);
+        b.affinity = CpuSet::single(PuId(4));
+        let plan = plan_epoch(&t, &[a, b]);
+        assert_eq!(plan.assignment[0], Some(Pid(1)));
+        assert_eq!(plan.assignment[4], Some(Pid(2)));
+    }
+
+    #[test]
+    fn pinned_task_waits_if_pu_taken() {
+        let t = topo();
+        let mut a = ent(1, 0.0);
+        a.affinity = CpuSet::single(PuId(3));
+        let mut b = ent(2, 1.0);
+        b.affinity = CpuSet::single(PuId(3));
+        let plan = plan_epoch(&t, &[a, b]);
+        assert_eq!(plan.assignment[3], Some(Pid(1)), "lower vruntime wins the pin");
+        assert_eq!(plan.num_running(), 1, "loser cannot run elsewhere");
+    }
+
+    #[test]
+    fn warm_placement_prefers_last_pu() {
+        let t = topo();
+        let mut a = ent(1, 0.0);
+        a.last_pu = Some(PuId(6));
+        let plan = plan_epoch(&t, &[a]);
+        assert_eq!(plan.assignment[6], Some(Pid(1)));
+    }
+
+    #[test]
+    fn determinism_ties_break_on_pid() {
+        let t = topo();
+        let runnable: Vec<_> = (0..3).map(|i| ent(i, 7.0)).collect();
+        let p1 = plan_epoch(&t, &runnable);
+        let mut rev = runnable.clone();
+        rev.reverse();
+        let p2 = plan_epoch(&t, &rev);
+        assert_eq!(p1, p2, "plan must not depend on input order");
+    }
+}

@@ -1,0 +1,90 @@
+//! A thread-safe handle around the kernel for multi-threaded drivers.
+//!
+//! Most experiments drive the kernel single-threaded (`&mut Kernel`), which
+//! is simplest and fully deterministic. Some examples want a *monitor
+//! thread* and a *driver thread* (like a human watching a live screen while
+//! the machine churns); [`World`] wraps the kernel in an `Arc<RwLock>` for
+//! that shape.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use tiptop_machine::time::{SimDuration, SimTime};
+
+use crate::kernel::{Kernel, KernelConfig};
+use crate::task::{Pid, SpawnSpec};
+
+/// Shared, clonable handle to a [`Kernel`].
+#[derive(Clone)]
+pub struct World {
+    inner: Arc<RwLock<Kernel>>,
+}
+
+impl World {
+    pub fn new(cfg: KernelConfig) -> Self {
+        World { inner: Arc::new(RwLock::new(Kernel::new(cfg))) }
+    }
+
+    pub fn from_kernel(kernel: Kernel) -> Self {
+        World { inner: Arc::new(RwLock::new(kernel)) }
+    }
+
+    /// Run `f` with exclusive access to the kernel.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Run `f` with shared (read-only) access.
+    pub fn read<R>(&self, f: impl FnOnce(&Kernel) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.inner.read().now()
+    }
+
+    pub fn advance(&self, dur: SimDuration) {
+        self.inner.write().advance(dur);
+    }
+
+    pub fn spawn(&self, spec: SpawnSpec) -> Pid {
+        self.inner.write().spawn(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::task::Uid;
+    use tiptop_machine::config::MachineConfig;
+    use tiptop_machine::exec::ExecProfile;
+
+    #[test]
+    fn world_shares_kernel_across_clones() {
+        let w = World::new(KernelConfig::new(MachineConfig::nehalem_w3550()));
+        let w2 = w.clone();
+        let pid = w.spawn(SpawnSpec::new(
+            "t",
+            Uid(1),
+            Program::endless(ExecProfile::builder("x").build()),
+        ));
+        w2.advance(SimDuration::from_millis(100));
+        assert_eq!(w.now(), SimTime(100_000_000));
+        assert!(w.read(|k| k.is_alive(pid)));
+    }
+
+    #[test]
+    fn world_is_send_and_usable_from_threads() {
+        let w = World::new(KernelConfig::new(MachineConfig::nehalem_w3550()));
+        let w2 = w.clone();
+        let handle = std::thread::spawn(move || {
+            w2.advance(SimDuration::from_millis(50));
+            w2.now()
+        });
+        let t = handle.join().unwrap();
+        assert_eq!(t, SimTime(50_000_000));
+        assert_eq!(w.now(), t);
+    }
+}

@@ -1,0 +1,297 @@
+//! Set-associative cache model.
+//!
+//! The interference phenomena the paper studies (Section 3.4: multiple copies
+//! of 429.mcf degrading each other through the shared L3, SMT siblings
+//! thrashing a shared L2) require caches with real capacity and replacement
+//! behaviour — a miss-rate formula per task cannot exhibit *cross-task*
+//! contention. This module implements a classic set-associative LRU cache and
+//! the three-level hierarchy lookup used by [`crate::Machine`].
+//!
+//! Tags carry the full (address-space-qualified) line address, so two tasks
+//! touching the same virtual addresses still conflict only through capacity,
+//! never through aliasing.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// Convenience constructor with sizes in KiB.
+    pub fn kib(size_kib: u64, ways: u32, line_bytes: u32) -> Self {
+        CacheGeometry { size_bytes: size_kib * 1024, ways, line_bytes }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// Set counts need not be powers of two (the 12 MB L3 of the Xeon E5640
+    /// has 12288 sets); lines are mapped to sets by modulo.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero ways/line, a non-power-of-
+    /// two line size, or capacity not a multiple of `ways * line_bytes`).
+    pub fn num_sets(&self) -> u64 {
+        assert!(self.ways > 0 && self.line_bytes > 0, "degenerate cache geometry");
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let per_set = self.ways as u64 * self.line_bytes as u64;
+        assert!(
+            self.size_bytes % per_set == 0,
+            "capacity {} not a multiple of ways*line {}",
+            self.size_bytes,
+            per_set
+        );
+        self.size_bytes / per_set
+    }
+
+    pub fn size_kib(&self) -> u64 {
+        self.size_bytes / 1024
+    }
+}
+
+/// Which level of the hierarchy an access was served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheLevel {
+    L1,
+    L2,
+    L3,
+    Memory,
+}
+
+/// Result of one address walked through a [`crate::machine::Machine`]
+/// hierarchy: the level that finally supplied the data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    pub served_by: CacheLevel,
+}
+
+impl AccessOutcome {
+    pub fn missed_l1(&self) -> bool {
+        self.served_by > CacheLevel::L1
+    }
+    pub fn missed_l2(&self) -> bool {
+        self.served_by > CacheLevel::L2
+    }
+    pub fn missed_l3(&self) -> bool {
+        self.served_by > CacheLevel::L3
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Stores 64-bit *line* tags (already shifted by the line size and qualified
+/// with the owning task's address-space id by the caller). `u64::MAX` is
+/// reserved as the invalid tag.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    line_shift: u32,
+    num_sets: u64,
+    ways: usize,
+    /// `sets * ways` tags, LRU-ordered within each set: index 0 is MRU.
+    tags: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl SetAssocCache {
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = geometry.num_sets();
+        let ways = geometry.ways as usize;
+        SetAssocCache {
+            geometry,
+            line_shift: geometry.line_bytes.trailing_zeros(),
+            num_sets: sets,
+            ways,
+            tags: vec![INVALID; sets as usize * ways],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Translate a byte address to its line address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Access the line containing `addr` (byte address); on miss, fill it.
+    /// Returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        debug_assert_ne!(line, INVALID, "reserved tag");
+        let set = (line % self.num_sets) as usize;
+        let base = set * self.ways;
+        let slots = &mut self.tags[base..base + self.ways];
+
+        match slots.iter().position(|&t| t == line) {
+            Some(0) => {
+                self.hits += 1;
+                true
+            }
+            Some(pos) => {
+                // Move to MRU position; order of the others is preserved.
+                slots[..=pos].rotate_right(1);
+                self.hits += 1;
+                true
+            }
+            None => {
+                // Evict LRU (last slot) by shifting everything down.
+                slots.rotate_right(1);
+                slots[0] = line;
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Is `addr`'s line currently resident? Does not touch LRU state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set = (line % self.num_sets) as usize;
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&line)
+    }
+
+    /// Lifetime (hits, misses) over all accesses.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of valid (filled) lines — useful for warmup assertions.
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+
+    /// Drop all contents and statistics.
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID);
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        SetAssocCache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn geometry_sets() {
+        assert_eq!(CacheGeometry::kib(32, 8, 64).num_sets(), 64); // Nehalem L1D
+        assert_eq!(CacheGeometry::kib(256, 8, 64).num_sets(), 512); // Nehalem L2
+        assert_eq!(CacheGeometry::kib(8192, 16, 64).num_sets(), 8192); // Nehalem L3
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn bad_geometry_panics() {
+        CacheGeometry { size_bytes: 1000, ways: 2, line_bytes: 64 }.num_sets();
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_is_allowed() {
+        // The E5640's 12 MB L3: 12288 sets.
+        let g = CacheGeometry::kib(12 * 1024, 16, 64);
+        assert_eq!(g.num_sets(), 12288);
+        let mut c = SetAssocCache::new(g);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.stats(), (2, 2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to set 0: line addresses 0, 4, 8 (set = line & 3).
+        let a = 0u64 * 64;
+        let b = 4u64 * 64;
+        let d = 8u64 * 64;
+        c.access(a); // [a]
+        c.access(b); // [b, a]
+        c.access(a); // [a, b]  — a is MRU now
+        c.access(d); // evicts b → [d, a]
+        assert!(c.probe(a), "a was MRU, must survive");
+        assert!(!c.probe(b), "b was LRU, must be evicted");
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn capacity_working_set_fits() {
+        let mut c = tiny();
+        // 8 distinct lines = exactly capacity; a second sweep in the same
+        // order hits only if each set holds its 2 lines (true for uniform
+        // mapping 0..8 over 4 sets × 2 ways).
+        for i in 0..8u64 {
+            c.access(i * 64);
+        }
+        for i in 0..8u64 {
+            assert!(c.access(i * 64), "line {i} should be resident");
+        }
+        assert_eq!(c.resident_lines(), 8);
+    }
+
+    #[test]
+    fn oversized_working_set_thrashes() {
+        let mut c = tiny();
+        // 12 lines -> 3 lines per 2-way set, cyclic sweep = 100% miss under LRU.
+        for _ in 0..4 {
+            for i in 0..12u64 {
+                c.access(i * 64);
+            }
+        }
+        let (hits, misses) = c.stats();
+        assert_eq!(hits, 0, "cyclic over-capacity sweep never hits under LRU");
+        assert_eq!(misses, 48);
+    }
+
+    #[test]
+    fn distinct_address_spaces_conflict_not_alias() {
+        let mut c = tiny();
+        let asid0 = 0u64 << 40;
+        let asid1 = 1u64 << 40;
+        c.access(asid0 | 0);
+        // Same virtual line in another address space is a different tag...
+        assert!(!c.access(asid1 | 0));
+        // ...but both can be resident at once (2-way set).
+        assert!(c.probe(asid0 | 0));
+        assert!(c.probe(asid1 | 0));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = tiny();
+        c.access(0);
+        c.flush();
+        assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.probe(0));
+    }
+}

@@ -1,0 +1,240 @@
+//! Data-center job scripts reproducing the paper's Figure 1 (a snapshot of
+//! a shared node) and Figure 10 (cross-job interference on a production
+//! node).
+//!
+//! The node is a bi-Xeon E5640 (2 sockets × 4 cores × SMT = 16 logical
+//! cores) running jobs submitted by several users through a grid scheduler.
+//! Figure 1 is a tiptop screen of eleven anonymized processes from three
+//! users; Figure 10 shows user2's five jobs arriving on a node where user1
+//! already has two long-running jobs, depressing their IPC by ~20% through
+//! shared-L3 contention while `%CPU` stays above 99.3%.
+
+use tiptop_kernel::program::{Phase, Program};
+use tiptop_kernel::task::Uid;
+use tiptop_machine::access::{AccessPattern, MemoryBehavior, WorkingSetTier};
+use tiptop_machine::exec::{ExecProfile, FpUnit};
+use tiptop_machine::time::SimDuration;
+
+/// A job submission: what to spawn and when.
+#[derive(Clone, Debug)]
+pub struct Job {
+    pub comm: String,
+    pub uid: Uid,
+    /// Submission time relative to the experiment start.
+    pub start: SimDuration,
+    pub program: Program,
+    /// Stream seed so co-running copies don't share address sequences.
+    pub seed: u64,
+}
+
+/// The three users of Figure 1.
+pub const USER1: Uid = Uid(1001);
+pub const USER2: Uid = Uid(1002);
+pub const USER3: Uid = Uid(1003);
+
+/// Register the figure's user names on a kernel.
+pub fn users() -> [(Uid, &'static str); 3] {
+    [(USER1, "user1"), (USER2, "user2"), (USER3, "user3")]
+}
+
+/// Compute-bound job profile targeting a given IPC on the E5640, with a
+/// configurable memory tier for the DMIS column.
+fn job_profile(name: &str, target_ipc: f64, llc_tier: Option<(u64, f64)>) -> ExecProfile {
+    let branches = 0.16;
+    let miss_rate = 0.012;
+    let branch_cpi = branches * miss_rate * 17.0;
+    let base = (1.0 / target_ipc - branch_cpi).max(0.26);
+    let mem = match llc_tier {
+        None => MemoryBehavior::uniform(128 * 1024),
+        Some((bytes, weight)) => MemoryBehavior::new(vec![
+            WorkingSetTier::new(128 * 1024, 1.0 - weight, AccessPattern::Random),
+            WorkingSetTier::new(bytes, weight, AccessPattern::Random),
+        ]),
+    };
+    ExecProfile::builder(name)
+        .base_cpi(base)
+        .loads_per_insn(0.24)
+        .stores_per_insn(0.08)
+        .branches(branches, miss_rate)
+        .fp(0.1, FpUnit::Sse)
+        .memory(mem)
+        .mlp(4.0)
+        .build()
+}
+
+/// One row of the paper's Figure 1, for checking the regenerated snapshot.
+#[derive(Clone, Debug)]
+pub struct Fig1Row {
+    pub comm: &'static str,
+    pub user: &'static str,
+    pub cpu_pct: f64,
+    pub ipc: f64,
+    pub dmis: f64,
+}
+
+/// The paper's Figure 1 table (PIDs omitted — they are assigned by the
+/// kernel; ordering is by %CPU as tiptop sorts it).
+pub fn fig1_reference() -> Vec<Fig1Row> {
+    let row = |comm, user, cpu_pct, ipc, dmis| Fig1Row { comm, user, cpu_pct, ipc, dmis };
+    vec![
+        row("process1", "user1", 100.0, 1.97, 0.0),
+        row("process2", "user3", 100.0, 1.32, 0.0),
+        row("process3", "user1", 99.9, 2.27, 0.0),
+        row("process4", "user1", 99.9, 2.36, 0.0),
+        row("process5", "user3", 99.9, 1.17, 0.0),
+        row("process6", "user2", 99.9, 0.66, 0.9),
+        row("process7", "user1", 99.8, 1.73, 0.0),
+        row("process8", "user1", 99.8, 1.44, 0.0),
+        row("process9", "user1", 99.8, 1.39, 0.0),
+        row("process10", "user1", 99.8, 1.39, 0.0),
+        row("process11", "user1", 43.7, 1.62, 0.0),
+    ]
+}
+
+/// The eleven jobs of Figure 1. All are long-running; process11 has a ~44%
+/// duty cycle (it waits on I/O), process6 is the memory-bound one with 0.9
+/// LLC misses per hundred instructions.
+pub fn fig1_jobs() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    let mut seed = 100u64;
+    for r in fig1_reference() {
+        seed += 17;
+        let uid = match r.user {
+            "user1" => USER1,
+            "user2" => USER2,
+            _ => USER3,
+        };
+        let program = if r.comm == "process11" {
+            // ~43.7% duty cycle: compute ≈39 ms worth of work, sleep 50 ms.
+            // 39 ms × 2.67 GHz × IPC 1.62 ≈ 169 M instructions.
+            let p = job_profile(r.comm, r.ipc, None);
+            Program::looping(vec![
+                Phase::compute(p, 169_000_000),
+                Phase::sleep(SimDuration::from_millis(50)),
+            ])
+        } else if r.comm == "process6" {
+            // DMIS 0.9/100 insns: a warm tier big enough to miss the 12 MB
+            // L3 regularly. accesses/insn 0.32 × tier-weight 0.09 with a
+            // mostly-missing 64 MB tier ≈ 0.9 misses per 100 instructions.
+            Program::endless(job_profile(r.comm, r.ipc, Some((64 << 20, 0.09))))
+        } else {
+            Program::endless(job_profile(r.comm, r.ipc, None))
+        };
+        jobs.push(Job {
+            comm: r.comm.to_string(),
+            uid,
+            start: SimDuration::ZERO,
+            program,
+            seed,
+        });
+    }
+    jobs
+}
+
+/// Figure 10's script, time-scaled: user1's two jobs run for the whole
+/// experiment; user2's five jobs arrive together at `arrival` and leave
+/// roughly `burst` later.
+///
+/// The interference is *not* scripted — it comes from the five extra warm
+/// working sets overflowing the sockets' shared L3s.
+pub struct Fig10Script {
+    pub jobs: Vec<Job>,
+    /// When user2's jobs arrive.
+    pub arrival: SimDuration,
+    /// How long user2's jobs run (approximately; they exit by instruction
+    /// count).
+    pub burst: SimDuration,
+}
+
+/// Build the Figure 10 script. `scale` compresses time (1.0 = the paper's
+/// ~1 h burst; 0.05 = a ~3 min burst with identical structure).
+pub fn fig10_script(scale: f64) -> Fig10Script {
+    assert!(scale > 0.0, "bad scale");
+    let arrival = SimDuration::from_secs_f64(600.0 * scale.max(0.02));
+    let burst = SimDuration::from_secs_f64(3600.0 * scale);
+
+    // user1's jobs: moderate L3 appetite — healthy IPC 1.3 / 1.0 alone.
+    let u1a = job_profile("sim-fluid", 1.40, Some((5 << 20, 0.06)));
+    let u1b = job_profile("sim-grid", 1.06, Some((6 << 20, 0.08)));
+
+    // user2's burst jobs: each drags a ~4.5 MB warm tier through the L3.
+    let u2 = |i: usize| {
+        job_profile(&format!("batch{i}"), 1.2, Some((4 << 20, 0.10)))
+    };
+
+    let clock_ghz = 2.67e9;
+    let burst_insns = |ipc: f64| (burst.as_secs_f64() * clock_ghz * ipc * 0.8) as u64;
+
+    let mut jobs = vec![
+        Job {
+            comm: "sim-fluid".into(),
+            uid: USER1,
+            start: SimDuration::ZERO,
+            program: Program::endless(u1a),
+            seed: 11,
+        },
+        Job {
+            comm: "sim-grid".into(),
+            uid: USER1,
+            start: SimDuration::ZERO,
+            program: Program::endless(u1b),
+            seed: 12,
+        },
+    ];
+    for i in 0..5 {
+        jobs.push(Job {
+            comm: format!("batch{i}"),
+            uid: USER2,
+            start: arrival,
+            program: Program::single(u2(i), burst_insns(1.2)),
+            seed: 20 + i as u64,
+        });
+    }
+    Fig10Script { jobs, arrival, burst }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_has_eleven_jobs_three_users() {
+        let jobs = fig1_jobs();
+        assert_eq!(jobs.len(), 11);
+        let mut uids: Vec<u32> = jobs.iter().map(|j| j.uid.0).collect();
+        uids.sort_unstable();
+        uids.dedup();
+        assert_eq!(uids.len(), 3);
+        // user1 has 8 jobs, like the figure.
+        assert_eq!(jobs.iter().filter(|j| j.uid == USER1).count(), 8);
+    }
+
+    #[test]
+    fn fig1_reference_matches_paper_extremes() {
+        let rows = fig1_reference();
+        assert_eq!(rows.len(), 11);
+        let max_ipc = rows.iter().map(|r| r.ipc).fold(0.0, f64::max);
+        let min_ipc = rows.iter().map(|r| r.ipc).fold(f64::INFINITY, f64::min);
+        assert_eq!(max_ipc, 2.36);
+        assert_eq!(min_ipc, 0.66);
+        assert_eq!(rows.last().unwrap().cpu_pct, 43.7);
+        assert_eq!(rows[5].dmis, 0.9, "process6 is the memory-bound one");
+    }
+
+    #[test]
+    fn fig10_script_structure() {
+        let s = fig10_script(0.05);
+        assert_eq!(s.jobs.len(), 7);
+        assert_eq!(s.jobs.iter().filter(|j| j.uid == USER2).count(), 5);
+        assert!(s.jobs.iter().filter(|j| j.uid == USER2).all(|j| j.start == s.arrival));
+        assert!(s.arrival < s.burst);
+    }
+
+    #[test]
+    fn job_profile_ipc_targets_are_monotone() {
+        // Higher target IPC → lower base CPI.
+        let fast = job_profile("f", 2.3, None);
+        let slow = job_profile("s", 0.7, None);
+        assert!(fast.base_cpi < slow.base_cpi);
+    }
+}

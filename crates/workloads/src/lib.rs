@@ -1,0 +1,29 @@
+//! # tiptop-workloads
+//!
+//! Workload models for the Tiptop reproduction. The paper evaluates tiptop
+//! on workloads we cannot run here (SPEC CPU2006 with reference inputs, a
+//! biologists' R program, a production data center), so this crate builds
+//! the closest synthetic equivalents:
+//!
+//! * [`spec`] — phase-structured stand-ins for the eight SPEC CPU2006
+//!   benchmarks the paper plots (mcf, astar, bwaves, gromacs, hmmer,
+//!   sphinx3, h264ref, milc), with per-compiler (gcc/icc) variants where the
+//!   evaluation compares code generation (§3.3).
+//! * [`rlang`] — the evolutionary algorithm of §3.1: a *real* iterated
+//!   matrix computation whose numerical divergence to ±Inf/NaN drives the
+//!   floating-point operand classes of the simulated instruction stream.
+//! * [`micro`] — Table 1's x87/SSE micro-benchmark and the §2.4 validation
+//!   kernels with analytically known event counts.
+//! * [`datacenter`] — the job scripts of Fig 1 and Fig 10.
+//!
+//! All constructors return [`tiptop_kernel::Program`]s ready to spawn, and
+//! take a `scale` factor so tests can run the same shapes at a fraction of
+//! the paper's multi-hour durations.
+
+pub mod datacenter;
+pub mod micro;
+pub mod rlang;
+pub mod spec;
+
+pub use rlang::EvolutionAlgorithm;
+pub use spec::{Compiler, SpecBenchmark};

@@ -1,0 +1,245 @@
+//! Micro-benchmarks: Table 1's floating-point kernel and the §2.4
+//! validation kernels with analytically known event counts.
+//!
+//! The FP micro-benchmark is the paper's Figure 4/5 program: a
+//! four-instruction loop (`addq; fadd/addsd; cmpq; jne`) continuously adding
+//! two doubles that are initialised to finite, infinite, or NaN values. On
+//! Nehalem the x87 build takes a micro-code assist on every `fadd` touching
+//! a non-finite operand — an 87× slowdown invisible to `%CPU` — while the
+//! SSE build does not.
+
+use tiptop_kernel::program::Program;
+use tiptop_machine::access::MemoryBehavior;
+use tiptop_machine::exec::{ExecProfile, FpUnit};
+
+/// How `x` and `y` are initialised (the paper's `init_XXX()` choices).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FpInit {
+    /// `x = -1.0; y = 1.0`
+    Finite,
+    /// `x = 0.0; y = INFINITY`
+    Infinite,
+    /// `x = -INFINITY; y = INFINITY` (the sum is NaN)
+    Nan,
+}
+
+impl FpInit {
+    pub const ALL: [FpInit; 3] = [FpInit::Finite, FpInit::Infinite, FpInit::Nan];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            FpInit::Finite => "finite",
+            FpInit::Infinite => "infinite",
+            FpInit::Nan => "NaN",
+        }
+    }
+
+    /// The actual initial values — used by [`run_native`].
+    pub fn values(self) -> (f64, f64) {
+        match self {
+            FpInit::Finite => (-1.0, 1.0),
+            FpInit::Infinite => (0.0, f64::INFINITY),
+            FpInit::Nan => (f64::NEG_INFINITY, f64::INFINITY),
+        }
+    }
+
+    /// Does the inner `z += x + y` operate on non-finite operands?
+    pub fn is_nonfinite(self) -> bool {
+        !matches!(self, FpInit::Finite)
+    }
+}
+
+/// The paper's Figure 4, reproduced verbatim as the reference source.
+pub const FP_MICRO_SOURCE: &str = r#"#include <math.h>
+double x, y;
+void init_fin() { x = -1.0; y = 1.0; }
+void init_inf() { x = 0.0;  y = INFINITY; }
+void init_nan() { x = -INFINITY; y = INFINITY; }
+int main(int argc, char *argv[]) {
+    double z = 0.0;
+    init_XXX(); /* choose init values here */
+    for (i = 0; i < max; i++)
+        z += x + y;
+    return 0;
+}"#;
+
+/// The paper's Figure 5: the x87 loop body emitted by `gcc -mfpmath=387`.
+pub const FP_MICRO_ASM_X87: &str = ".L16:\n    addq  $1, %rax\n    fadd  %st, %st(1)\n    cmpq  %rbx, %rax\n    jne   .L16";
+
+/// The paper's Figure 5: the SSE loop body emitted by `gcc -mfpmath=sse`.
+pub const FP_MICRO_ASM_SSE: &str = ".L16:\n    addq  $1, %rax\n    addsd %xmm1, %xmm0\n    cmpq  %rbx, %rax\n    jne   .L16";
+
+/// Instructions per loop iteration (see the assembly above).
+pub const FP_MICRO_INSNS_PER_ITER: u64 = 4;
+
+/// Actually run the inner loop in native Rust (`z += x + y`) to demonstrate
+/// the IEEE-754 semantics that make the use case real: `0 + ∞ = ∞`,
+/// `-∞ + ∞ = NaN`, and NaN propagates.
+pub fn run_native(init: FpInit, iters: u64) -> f64 {
+    let (x, y) = init.values();
+    let mut z = 0.0f64;
+    for _ in 0..iters {
+        z += x + y;
+    }
+    z
+}
+
+/// The machine-facing profile of the loop: one FP add, one integer add, one
+/// compare, one predictable branch per iteration. `base_cpi` is set so the
+/// un-assisted loop runs at the measured IPC 1.33 (3 cycles/iteration).
+pub fn fp_micro_profile(unit: FpUnit, init: FpInit) -> ExecProfile {
+    let nonfinite = if init.is_nonfinite() { 1.0 } else { 0.0 };
+    ExecProfile::builder(format!("fpmicro-{:?}-{}", unit, init.label()))
+        .base_cpi(0.75)
+        .loads_per_insn(0.0)
+        .stores_per_insn(0.0)
+        .branches(0.25, 0.0)
+        .fp(0.25, unit)
+        .operand_classes(nonfinite, 0.0)
+        .memory(MemoryBehavior::uniform(4096))
+        .mlp(4.0)
+        .build()
+}
+
+/// A complete program executing `iterations` loop iterations.
+pub fn fp_micro_program(unit: FpUnit, init: FpInit, iterations: u64) -> Program {
+    Program::single(fp_micro_profile(unit, init), iterations * FP_MICRO_INSNS_PER_ITER)
+}
+
+// ---------------------------------------------------------------------
+// §2.4 validation kernels: event counts predictable by inspection.
+// ---------------------------------------------------------------------
+
+/// Expected counts of a validation kernel, derived analytically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExpectedCounts {
+    pub instructions: u64,
+    pub branches: u64,
+    pub branch_misses: u64,
+    pub fp_ops: u64,
+}
+
+/// A single-basic-block loop with a known instruction count — the paper's
+/// "micro-kernels for which we can analytically estimate the number of
+/// instructions (by inspecting the assembly file of a single basic-block
+/// loop)". 6 instructions per iteration, fully predictable branch.
+pub fn inscount_kernel(iterations: u64) -> (Program, ExpectedCounts) {
+    const INSNS_PER_ITER: u64 = 6;
+    let p = ExecProfile::builder("val-inscount")
+        .base_cpi(0.5)
+        .loads_per_insn(1.0 / 6.0)
+        .stores_per_insn(0.0)
+        .branches(1.0 / 6.0, 0.0)
+        .memory(MemoryBehavior::uniform(4096))
+        .build();
+    let total = iterations * INSNS_PER_ITER;
+    (
+        Program::single(p, total),
+        ExpectedCounts {
+            instructions: total,
+            branches: total / 6,
+            branch_misses: 0,
+            fp_ops: 0,
+        },
+    )
+}
+
+/// A loop of random indirect jumps to well-known locations: the predictor
+/// is wrong a known fraction of the time (the paper validates misprediction
+/// ratios with "random or periodic indirect jumps").
+pub fn branch_kernel(iterations: u64, miss_rate: f64) -> (Program, ExpectedCounts) {
+    const INSNS_PER_ITER: u64 = 5;
+    let branches_per_insn = 1.0 / INSNS_PER_ITER as f64;
+    let p = ExecProfile::builder("val-branch")
+        .base_cpi(0.6)
+        .loads_per_insn(0.2)
+        .stores_per_insn(0.0)
+        .branches(branches_per_insn, miss_rate)
+        .memory(MemoryBehavior::uniform(4096))
+        .build();
+    let total = iterations * INSNS_PER_ITER;
+    let branches = total / INSNS_PER_ITER;
+    (
+        Program::single(p, total),
+        ExpectedCounts {
+            instructions: total,
+            branches,
+            branch_misses: (branches as f64 * miss_rate).round() as u64,
+            fp_ops: 0,
+        },
+    )
+}
+
+/// A streaming sweep over a footprint far exceeding the LLC: in steady
+/// state every new 64-byte line misses all levels, so LLC misses per access
+/// are `64 / stride_bytes⁻¹`-predictable.
+pub fn cache_kernel(iterations: u64, footprint: u64) -> (Program, ExpectedCounts) {
+    const INSNS_PER_ITER: u64 = 4;
+    let p = ExecProfile::builder("val-cache")
+        .base_cpi(0.6)
+        .loads_per_insn(0.25)
+        .stores_per_insn(0.0)
+        .branches(0.25, 0.0)
+        .memory(MemoryBehavior::streaming(footprint))
+        .mlp(8.0)
+        .build();
+    let total = iterations * INSNS_PER_ITER;
+    (
+        Program::single(p, total),
+        ExpectedCounts {
+            instructions: total,
+            branches: total / 4,
+            branch_misses: 0,
+            fp_ops: 0,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_semantics_match_ieee754() {
+        assert_eq!(run_native(FpInit::Finite, 1000), 0.0, "(-1 + 1) summed is 0");
+        assert_eq!(run_native(FpInit::Infinite, 10), f64::INFINITY);
+        assert!(run_native(FpInit::Nan, 10).is_nan(), "-inf + inf must be NaN");
+    }
+
+    #[test]
+    fn x87_profile_assists_only_on_nonfinite() {
+        let fin = fp_micro_profile(FpUnit::X87, FpInit::Finite);
+        let inf = fp_micro_profile(FpUnit::X87, FpInit::Infinite);
+        assert_eq!(fin.nonfinite_frac, 0.0);
+        assert_eq!(inf.nonfinite_frac, 1.0);
+        assert_eq!(inf.fp_per_insn, 0.25, "one fadd in four instructions");
+    }
+
+    #[test]
+    fn program_instruction_count_matches_iterations() {
+        let p = fp_micro_program(FpUnit::Sse, FpInit::Nan, 1000);
+        assert_eq!(p.instructions_per_pass(), 4000);
+    }
+
+    #[test]
+    fn validation_kernels_expose_expected_counts() {
+        let (prog, exp) = inscount_kernel(1_000_000);
+        assert_eq!(prog.instructions_per_pass(), exp.instructions);
+        assert_eq!(exp.instructions, 6_000_000);
+
+        let (_, exp) = branch_kernel(100_000, 0.5);
+        assert_eq!(exp.branches, 100_000);
+        assert_eq!(exp.branch_misses, 50_000);
+
+        let (prog, exp) = cache_kernel(100_000, 64 << 20);
+        assert_eq!(prog.instructions_per_pass(), exp.instructions);
+    }
+
+    #[test]
+    fn asm_listings_have_four_instructions() {
+        for asm in [FP_MICRO_ASM_X87, FP_MICRO_ASM_SSE] {
+            // label line + 4 instruction lines
+            assert_eq!(asm.lines().count(), 5);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The §3.1 use case: a biologists' evolutionary algorithm in R whose
+//! matrices diverge to ±Inf/NaN, silently collapsing IPC through x87
+//! micro-code assists.
+//!
+//! This module runs a *real* iterated matrix computation (no R interpreter,
+//! but genuine IEEE-754 arithmetic): a population matrix is repeatedly
+//! multiplied by a growth operator whose spectral radius exceeds 1 for the
+//! "unstable" data set, so entries overflow to `inf` and then poison the
+//! matrix with `NaN`s. The measured fraction of non-finite values in each
+//! time step drives the operand-class mix of that step's interpreter
+//! profile — the simulated Nehalem then takes an FP assist on exactly those
+//! operations, and IPC collapses at the same time step where the arithmetic
+//! diverged. With `clip` enabled (the paper's fix), values are clamped each
+//! iteration and nothing collapses.
+
+use tiptop_kernel::program::{Phase, Program};
+use tiptop_machine::access::MemoryBehavior;
+use tiptop_machine::exec::{ExecProfile, FpUnit};
+
+/// Configuration of the evolutionary-algorithm model.
+///
+/// Timing calibration, reconciling the paper's three §3.1 measurements:
+/// the collapsed IPC of 0.03 (33× the cycles per instruction), the 4.8×
+/// wall-clock speedup on the faulty part alone, and the 2.3× total
+/// speedup. A 33× per-instruction slowdown with only a 4.8× per-step
+/// slowdown means collapsed steps retire ≈7× fewer instructions — the
+/// interpreter and math library short-circuit on non-finite values while
+/// every remaining x87 operation drags a ~264-cycle assist. With 1448
+/// steps of 5 s each: the healthy prefix is 953 steps (1.3 h), the faulty
+/// 495 steps stretch to 3.3 h (4.6 h total, ≈3330 five-second samples —
+/// the paper's "3327 samples"), and the clipped run takes 2.0 h.
+#[derive(Clone, Debug)]
+pub struct EvolutionAlgorithm {
+    /// Matrix dimension (the population grid is `n × n`).
+    pub n: usize,
+    /// Number of outer time steps.
+    pub steps: usize,
+    /// Per-step growth multiplier. >1 diverges; the default is calibrated so
+    /// divergence reaches `f64::MAX` near step 953.
+    pub growth: f64,
+    /// Clamp values into a finite interval each iteration (the paper's fix).
+    pub clip: bool,
+    /// Instructions the interpreter retires per healthy time step. On the
+    /// paper's machine one step took ≈5 s at IPC ≈ 1, i.e. ≈15.4 G
+    /// instructions; scale down for faster experiments.
+    pub instructions_per_step: u64,
+    /// Factor by which a fully non-finite step's retired instructions
+    /// shrink (NaN short-circuits in the interpreter's math paths).
+    pub nan_work_factor: f64,
+}
+
+impl EvolutionAlgorithm {
+    /// The paper's configuration, scaled: `scale = 1.0` reproduces the
+    /// original ≈4.6 h run; smaller scales keep the same number of steps at
+    /// proportionally shorter per-step durations.
+    pub fn paper(clip: bool, scale: f64) -> Self {
+        assert!(scale > 0.0, "bad scale");
+        EvolutionAlgorithm {
+            n: 48,
+            steps: 1448,
+            // Calibrated: starting magnitude ~1, f64 overflows at ~1.8e308,
+            // so divergence at step S needs growth ≈ exp(ln(1e308)/S).
+            growth: (709.0f64 / 953.0).exp(),
+            clip,
+            instructions_per_step: ((15.4e9 * scale) as u64).max(1_000_000),
+            nan_work_factor: 6.9,
+        }
+    }
+
+    /// Run the matrix model and return, per time step, the fraction of
+    /// non-finite (Inf or NaN) matrix entries after that step.
+    ///
+    /// This is the actual numerics — if Rust's `f64` did not overflow the
+    /// way the paper's R build did, the whole use case would vanish.
+    pub fn nonfinite_trace(&self) -> Vec<f64> {
+        let n = self.n;
+        // Deterministic "population" and spatially varying growth field.
+        let mut pop: Vec<f64> = (0..n * n)
+            .map(|i| 1.0 + 0.5 * ((i as f64 * 0.7).sin()))
+            .collect();
+        // Growth field averaging `self.growth` with ±5% spatial variation.
+        let field: Vec<f64> = (0..n * n)
+            .map(|i| self.growth * (1.0 + 0.05 * ((i as f64 * 1.3).cos())))
+            .collect();
+
+        let mut trace = Vec::with_capacity(self.steps);
+        let mut scratch = vec![0.0f64; n * n];
+        for _step in 0..self.steps {
+            // Local diffusion + growth: each cell takes a neighbourhood
+            // average (migration) and multiplies by its growth factor. This
+            // is the matrix-shaped computation of the paper's model.
+            for r in 0..n {
+                for c in 0..n {
+                    let idx = r * n + c;
+                    let up = pop[if r == 0 { idx } else { idx - n }];
+                    let down = pop[if r == n - 1 { idx } else { idx + n }];
+                    let left = pop[if c == 0 { idx } else { idx - 1 }];
+                    let right = pop[if c == n - 1 { idx } else { idx + 1 }];
+                    let mixed = 0.6 * pop[idx] + 0.1 * (up + down + left + right);
+                    scratch[idx] = mixed * field[idx];
+                }
+            }
+            std::mem::swap(&mut pop, &mut scratch);
+            if self.clip {
+                for v in pop.iter_mut() {
+                    // The paper: "We clipped the values of the matrices to
+                    // force them in a finite interval at each iteration."
+                    *v = v.clamp(-1e6, 1e6);
+                    if v.is_nan() {
+                        *v = 0.0;
+                    }
+                }
+            }
+            let nonfinite = pop.iter().filter(|v| !v.is_finite()).count();
+            trace.push(nonfinite as f64 / (n * n) as f64);
+        }
+        trace
+    }
+
+    /// Interpreter profile for one time step given the fraction of
+    /// non-finite operands its FP work touches.
+    fn step_profile(&self, step: usize, nonfinite_frac: f64) -> ExecProfile {
+        // The R interpreter: IPC ≈ 1 with noise (paper Fig 3 (a), first 953
+        // steps), pointer-heavy dispatch, modest FP density. FP ops on
+        // non-finite operands assist on Nehalem x87 but not on PPC970.
+        //
+        // Brief "pulses" in the collapsed region (visible in Fig 3 (a)):
+        // every so often a step does interpreter housekeeping (GC, I/O
+        // bookkeeping) with little FP.
+        let housekeeping = step % 41 == 0;
+        let fp = if housekeeping { 0.02 } else { 0.13 };
+        ExecProfile::builder(format!("r-step{step}"))
+            .base_cpi(0.86)
+            .loads_per_insn(0.27)
+            .stores_per_insn(0.09)
+            .branches(0.19, 0.022)
+            .fp(fp, FpUnit::X87)
+            .operand_classes(nonfinite_frac, 0.0)
+            .memory(MemoryBehavior::uniform(
+                (self.n * self.n * 16).max(64 * 1024) as u64,
+            ))
+            .mlp(3.0)
+            .build()
+    }
+
+    /// Build the complete program: one compute phase per time step, with
+    /// operand classes taken from the real matrix trajectory. Steps whose
+    /// matrices are non-finite retire fewer instructions (see the struct
+    /// docs) — but each of those instructions costs vastly more cycles on a
+    /// machine with x87 assists.
+    pub fn program(&self) -> Program {
+        let trace = self.nonfinite_trace();
+        let phases: Vec<Phase> = trace
+            .iter()
+            .enumerate()
+            .map(|(step, &frac)| {
+                let shrink = (1.0 - frac) + frac / self.nan_work_factor;
+                let insns =
+                    ((self.instructions_per_step as f64 * shrink) as u64).max(1000);
+                Phase::compute(self.step_profile(step, frac), insns)
+            })
+            .collect();
+        Program::run_once(phases)
+    }
+
+    /// Step index at which the matrix first contains non-finite values
+    /// (`None` if it never diverges — e.g. with clipping).
+    pub fn divergence_step(&self) -> Option<usize> {
+        self.nonfinite_trace().iter().position(|&f| f > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(clip: bool) -> EvolutionAlgorithm {
+        let mut a = EvolutionAlgorithm::paper(clip, 0.001);
+        a.n = 16; // keep unit tests quick
+        a
+    }
+
+    #[test]
+    fn unclipped_model_diverges_near_step_953() {
+        let a = small(false);
+        let step = a.divergence_step().expect("must diverge");
+        // The paper observes the collapse after 953 of 3327 steps. The
+        // divergence step depends only on the growth calibration, not on n.
+        assert!(
+            (900..1010).contains(&step),
+            "divergence at step {step}, expected ≈953"
+        );
+    }
+
+    #[test]
+    fn divergence_becomes_total() {
+        let a = small(false);
+        let trace = a.nonfinite_trace();
+        let last = *trace.last().unwrap();
+        assert!(last > 0.95, "matrix should end almost fully non-finite, got {last}");
+        // Monotone-ish: once diverged, never recovers.
+        let d = a.divergence_step().unwrap();
+        assert!(trace[d + 50] > trace[d] * 0.9);
+    }
+
+    #[test]
+    fn clipped_model_never_diverges() {
+        let a = small(true);
+        assert_eq!(a.divergence_step(), None);
+        assert!(a.nonfinite_trace().iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn program_has_one_phase_per_step() {
+        let mut a = small(true);
+        a.steps = 100;
+        let p = a.program();
+        assert_eq!(p.phases().len(), 100);
+        assert_eq!(
+            p.instructions_per_pass(),
+            100 * a.instructions_per_step,
+            "clipped steps all retire the full instruction budget"
+        );
+    }
+
+    #[test]
+    fn collapsed_steps_retire_fewer_instructions() {
+        let a = small(false);
+        let p = a.program();
+        let healthy = p.phases()[10].instructions();
+        let collapsed = p.phases()[a.steps - 10].instructions();
+        let ratio = healthy as f64 / collapsed as f64;
+        assert!(
+            (5.5..7.5).contains(&ratio),
+            "NaN steps should do ~6.9x less work, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = small(false);
+        assert_eq!(a.nonfinite_trace(), a.nonfinite_trace());
+    }
+}

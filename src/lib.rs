@@ -1,0 +1,30 @@
+//! # tiptop
+//!
+//! A full reproduction of *"Tiptop: Hardware Performance Counters for the
+//! Masses"* (Erven Rohou, INRIA RR-7789, 2011 / ICPP 2012) as a Rust
+//! workspace — the tool **and** every substrate it needs:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`machine`](tiptop_machine) | multicore CPU simulator: Nehalem/Core/PPC970 models, SMT topology, set-associative L1/L2/shared-L3 caches, per-hw-thread PMU events |
+//! | [`kernel`](tiptop_kernel) | OS layer: tasks, CFS-like scheduler with affinity, `/proc`, `perf_event_open`-style syscalls with multiplexing |
+//! | [`workloads`](tiptop_workloads) | SPEC CPU2006 stand-ins, the §3.1 diverging R program, micro-benchmarks, data-center job scripts |
+//! | [`core`](tiptop_core) | **tiptop itself**: collector, metric DSL, screens, live/batch rendering, baselines (`top`, Pin-style `inscount`) |
+//!
+//! See `examples/` for runnable walk-throughs of every use case in the
+//! paper, and the `tiptop-bench` crate for the harnesses that regenerate
+//! each table and figure.
+
+pub use tiptop_core as core;
+pub use tiptop_kernel as kernel;
+pub use tiptop_machine as machine;
+pub use tiptop_workloads as workloads;
+
+/// Everything needed to build a machine, spawn workloads, and watch them.
+pub mod prelude {
+    pub use tiptop_core::prelude::*;
+    pub use tiptop_kernel::prelude::*;
+    pub use tiptop_machine::prelude::*;
+    pub use tiptop_workloads::{datacenter, micro, rlang, spec};
+    pub use tiptop_workloads::{Compiler, EvolutionAlgorithm, SpecBenchmark};
+}
