@@ -8,7 +8,7 @@
 use tiptop_core::app::{Tiptop, TiptopOptions};
 use tiptop_core::config::ScreenConfig;
 use tiptop_core::render::Frame;
-use tiptop_core::session::run_refreshes;
+use tiptop_core::scenario::Scenario;
 use tiptop_kernel::task::{SpawnSpec, Uid};
 use tiptop_machine::config::MachineConfig;
 use tiptop_machine::time::SimDuration;
@@ -25,14 +25,21 @@ pub struct Fig01Result {
 /// Run the node for `warmup_s` seconds, then take the snapshot with a
 /// tiptop refresh interval of `delay_s`.
 pub fn run(seed: u64, warmup_s: u64, delay_s: u64) -> Fig01Result {
-    let mut k = super::kernel_on(MachineConfig::datacenter_e5640(), seed);
+    let mut scenario = Scenario::new(MachineConfig::datacenter_e5640()).seed(seed);
     for (uid, name) in users() {
-        k.add_user(uid, name);
+        scenario = scenario.user(uid, name);
     }
     for job in fig1_jobs() {
-        k.spawn(SpawnSpec::new(job.comm, job.uid, job.program).seed(job.seed));
+        let comm = job.comm.clone();
+        scenario = scenario.spawn(
+            comm,
+            SpawnSpec::new(job.comm, job.uid, job.program).seed(job.seed),
+        );
     }
-    k.advance(SimDuration::from_secs(warmup_s));
+    let mut session = scenario.build().expect("fig1 job tags are unique");
+    session
+        .advance(SimDuration::from_secs(warmup_s))
+        .expect("no scheduled events");
 
     // The observer is root here (the paper's author monitoring all users'
     // jobs on the grid node — any single user would see only their own).
@@ -42,8 +49,13 @@ pub fn run(seed: u64, warmup_s: u64, delay_s: u64) -> Fig01Result {
             .delay(SimDuration::from_secs(delay_s)),
         ScreenConfig::default_screen(),
     );
-    let frames = run_refreshes(&mut k, &mut tool, 3);
-    Fig01Result { frame: frames.into_iter().last().unwrap(), reference: fig1_reference() }
+    let frames = session
+        .run(&mut tool, 3)
+        .expect("monitor has a positive interval");
+    Fig01Result {
+        frame: frames.into_iter().last().unwrap(),
+        reference: fig1_reference(),
+    }
 }
 
 impl Fig01Result {
@@ -56,7 +68,15 @@ impl Fig01Result {
 
         let mut t = TableReport::new(
             "paper vs measured (matched by command name)",
-            &["COMMAND", "paper %CPU", "meas %CPU", "paper IPC", "meas IPC", "paper DMIS", "meas DMIS"],
+            &[
+                "COMMAND",
+                "paper %CPU",
+                "meas %CPU",
+                "paper IPC",
+                "meas IPC",
+                "paper DMIS",
+                "meas DMIS",
+            ],
         );
         for r in &self.reference {
             let row = self.frame.row_for_comm(r.comm);
@@ -64,8 +84,12 @@ impl Fig01Result {
                 .map(|row| {
                     (
                         format!("{:.1}", row.cpu_pct),
-                        row.value("IPC").map(|v| format!("{v:.2}")).unwrap_or("-".into()),
-                        row.value("DMIS").map(|v| format!("{v:.1}")).unwrap_or("-".into()),
+                        row.value("IPC")
+                            .map(|v| format!("{v:.2}"))
+                            .unwrap_or("-".into()),
+                        row.value("DMIS")
+                            .map(|v| format!("{v:.1}"))
+                            .unwrap_or("-".into()),
                     )
                 })
                 .unwrap_or(("?".into(), "?".into(), "?".into()));
@@ -107,8 +131,18 @@ mod tests {
         assert_eq!(r.frame.rows.last().unwrap().comm, "process11");
 
         // IPC spread: fastest > 2, slowest < 0.9 (paper: 2.36 and 0.66).
-        let fast = r.frame.row_for_comm("process4").unwrap().value("IPC").unwrap();
-        let slow = r.frame.row_for_comm("process6").unwrap().value("IPC").unwrap();
+        let fast = r
+            .frame
+            .row_for_comm("process4")
+            .unwrap()
+            .value("IPC")
+            .unwrap();
+        let slow = r
+            .frame
+            .row_for_comm("process6")
+            .unwrap()
+            .value("IPC")
+            .unwrap();
         assert!(fast > 1.9, "process4 IPC {fast} should be ≈2.36");
         assert!(slow < 0.95, "process6 IPC {slow} should be ≈0.66");
 
@@ -120,7 +154,12 @@ mod tests {
             .filter(|row| row.value("DMIS").unwrap_or(0.0) > 0.3)
             .count();
         assert_eq!(dmis_jobs, 1, "only process6 misses the LLC");
-        let dmis = r.frame.row_for_comm("process6").unwrap().value("DMIS").unwrap();
+        let dmis = r
+            .frame
+            .row_for_comm("process6")
+            .unwrap()
+            .value("DMIS")
+            .unwrap();
         assert!((0.4..1.6).contains(&dmis), "DMIS ≈ 0.9, got {dmis}");
     }
 

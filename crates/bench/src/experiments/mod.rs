@@ -1,28 +1,22 @@
-//! One module per paper artifact. Every module exposes `run(...) -> Result`
-//! returning structured data plus a `report()` rendering the same rows or
-//! series the paper shows. The binaries in `src/bin/` are thin wrappers;
-//! Criterion benches run reduced-scale versions of the same functions.
+//! One module per paper artifact. Every module exposes `run(...)` returning
+//! structured data plus a `report()` rendering the same rows or series the
+//! paper shows.
+//!
+//! Implemented so far: Figure 1 (the data-center snapshot) and Table 1 (the
+//! x87/SSE FP micro-benchmark). The remaining figures (3, 6–11, and the
+//! §2.4 validation) are tracked as open items in `ROADMAP.md`.
 
 pub mod fig01_snapshot;
-pub mod fig03_evolution;
-pub mod fig06_07_phases;
-pub mod fig08_ipc_vs_instructions;
-pub mod fig09_compilers;
-pub mod fig10_datacenter;
-pub mod fig11_interference;
 pub mod table1_fp_micro;
-pub mod validation;
 
-use tiptop_kernel::kernel::{Kernel, KernelConfig};
 use tiptop_machine::config::MachineConfig;
-
-/// Fresh deterministic kernel on the given machine.
-pub fn kernel_on(machine: MachineConfig, seed: u64) -> Kernel {
-    Kernel::new(KernelConfig::new(machine).seed(seed))
-}
 
 /// The three evaluation machines of Figs 3/6/7/8, labelled as the paper
 /// labels them.
+///
+/// Currently unused: its consumers are the figure experiments still listed
+/// as ROADMAP open items; it is kept so those modules can come back against
+/// the same machine set.
 pub fn evaluation_machines() -> Vec<(&'static str, MachineConfig)> {
     vec![
         ("Nehalem", MachineConfig::nehalem_w3550()),

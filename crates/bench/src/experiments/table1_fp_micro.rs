@@ -12,7 +12,7 @@
 
 use tiptop_core::app::{Tiptop, TiptopOptions};
 use tiptop_core::config::ScreenConfig;
-use tiptop_core::session::run_refreshes;
+use tiptop_core::scenario::Scenario;
 use tiptop_kernel::program::Program;
 use tiptop_kernel::task::{SpawnSpec, Uid};
 use tiptop_machine::config::MachineConfig;
@@ -51,21 +51,31 @@ pub fn run(seed: u64) -> Table1Result {
 }
 
 fn measure(unit: FpUnit, init: FpInit, seed: u64) -> MicroMeasurement {
-    let mut k = super::kernel_on(MachineConfig::nehalem_w3550().noiseless(), seed);
-    k.add_user(Uid(1), "user1");
-    let pid = k.spawn(
-        SpawnSpec::new(
-            format!("fp-{}", init.label()),
-            Uid(1),
-            Program::endless(fp_micro_profile(unit, init)),
+    let comm = format!("fp-{}", init.label());
+    let mut session = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .seed(seed)
+        .user(Uid(1), "user1")
+        .spawn(
+            &comm,
+            SpawnSpec::new(
+                &comm,
+                Uid(1),
+                Program::endless(fp_micro_profile(unit, init)),
+            )
+            .seed(seed ^ 0xF00D),
         )
-        .seed(seed ^ 0xF00D),
-    );
+        .build()
+        .expect("single tag");
+    let pid = session.pid(&comm).expect("spawned at t=0");
     let mut tool = Tiptop::new(
-        TiptopOptions::default().observer(Uid(1)).delay(SimDuration::from_secs(1)),
+        TiptopOptions::default()
+            .observer(Uid(1))
+            .delay(SimDuration::from_secs(1)),
         ScreenConfig::fp_assist_screen(),
     );
-    let frames = run_refreshes(&mut k, &mut tool, 3);
+    let frames = session
+        .run(&mut tool, 3)
+        .expect("monitor has a positive interval");
     let row = frames.last().unwrap().row_for(pid).expect("task visible");
     MicroMeasurement {
         unit,
@@ -123,11 +133,19 @@ mod tests {
         let r = run(7);
 
         let x87_fin = r.cell(FpUnit::X87, FpInit::Finite);
-        assert!((1.28..1.38).contains(&x87_fin.ipc), "x87 finite IPC {}", x87_fin.ipc);
+        assert!(
+            (1.28..1.38).contains(&x87_fin.ipc),
+            "x87 finite IPC {}",
+            x87_fin.ipc
+        );
         assert!(x87_fin.fp_assist_pct < 0.01);
 
         let x87_inf = r.cell(FpUnit::X87, FpInit::Infinite);
-        assert!(x87_inf.ipc < 0.02, "x87 Inf IPC {} should be ≈0.015", x87_inf.ipc);
+        assert!(
+            x87_inf.ipc < 0.02,
+            "x87 Inf IPC {} should be ≈0.015",
+            x87_inf.ipc
+        );
         assert!(
             (23.0..27.0).contains(&x87_inf.fp_assist_pct),
             "assists ≈ 25 per 100 insns, got {}",
@@ -142,19 +160,30 @@ mod tests {
         // SSE is flat across operand classes.
         for init in FpInit::ALL {
             let c = r.cell(FpUnit::Sse, init);
-            assert!((1.28..1.38).contains(&c.ipc), "SSE {} IPC {}", init.label(), c.ipc);
+            assert!(
+                (1.28..1.38).contains(&c.ipc),
+                "SSE {} IPC {}",
+                init.label(),
+                c.ipc
+            );
             assert!(c.fp_assist_pct < 0.01);
         }
 
         let slowdown = r.x87_slowdown();
-        assert!((75.0..100.0).contains(&slowdown), "slowdown {slowdown} ≈ 87x");
+        assert!(
+            (75.0..100.0).contains(&slowdown),
+            "slowdown {slowdown} ≈ 87x"
+        );
     }
 
     #[test]
     fn native_results_show_why() {
         let r = run(3);
         assert!(r.cell(FpUnit::X87, FpInit::Nan).native_result.is_nan());
-        assert_eq!(r.cell(FpUnit::X87, FpInit::Infinite).native_result, f64::INFINITY);
+        assert_eq!(
+            r.cell(FpUnit::X87, FpInit::Infinite).native_result,
+            f64::INFINITY
+        );
         assert_eq!(r.cell(FpUnit::X87, FpInit::Finite).native_result, 0.0);
     }
 }

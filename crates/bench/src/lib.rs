@@ -1,0 +1,9 @@
+//! # tiptop-bench
+//!
+//! Experiment harnesses that regenerate the paper's tables and figures from
+//! the simulated stack. Every experiment module exposes `run(...)` returning
+//! structured data plus a `report()` rendering the same rows or series the
+//! paper shows.
+
+pub mod experiments;
+pub mod report;

@@ -15,7 +15,10 @@ pub struct Series {
 
 impl Series {
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     pub fn mean(&self) -> f64 {
@@ -41,11 +44,17 @@ impl Series {
     }
 
     pub fn min_y(&self) -> f64 {
-        self.points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min)
     }
 
     pub fn max_y(&self) -> f64 {
-        self.points.iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     pub fn last_x(&self) -> f64 {
@@ -67,7 +76,10 @@ pub fn write_csv(name: &str, series: &[Series]) -> io::Result<PathBuf> {
     let dir = experiments_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
-    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
@@ -225,7 +237,10 @@ mod tests {
     #[test]
     fn plot_renders_all_series() {
         let a = Series::new("up", (0..10).map(|i| (i as f64, i as f64)).collect());
-        let b = Series::new("down", (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect());
+        let b = Series::new(
+            "down",
+            (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect(),
+        );
         let p = ascii_plot("cross", &[a, b], 40, 10);
         assert!(p.contains("*=up"));
         assert!(p.contains("+=down"));

@@ -125,7 +125,13 @@ pub struct Tiptop {
 impl Tiptop {
     pub fn new(options: TiptopOptions, screen: ScreenConfig) -> Self {
         let collector = Collector::new(options.observer, screen.required_events());
-        Tiptop { options, screen, collector, cpu: CpuTracker::new(), self_pid: None }
+        Tiptop {
+            options,
+            screen,
+            collector,
+            cpu: CpuTracker::new(),
+            self_pid: None,
+        }
     }
 
     /// Tool with default options and the Figure 1 screen, run as root.
@@ -168,7 +174,9 @@ impl Tiptop {
             Phase::sleep(self.options.delay),
         ]);
         let pid = k.spawn(
-            SpawnSpec::new("tiptop", self.options.observer, prog).nice(0).seed(0xF1F),
+            SpawnSpec::new("tiptop", self.options.observer, prog)
+                .nice(0)
+                .seed(0xF1F),
         );
         self.self_pid = Some(pid);
     }
@@ -211,7 +219,9 @@ impl Tiptop {
         } else {
             let mut groups: HashMap<Pid, (Vec<usize>, f64, EventCounts)> = HashMap::new();
             for (i, (pid, stat, pct)) in entries.iter().enumerate() {
-                let g = groups.entry(stat.tgid).or_insert((Vec::new(), 0.0, EventCounts::ZERO));
+                let g = groups
+                    .entry(stat.tgid)
+                    .or_insert((Vec::new(), 0.0, EventCounts::ZERO));
                 g.0.push(i);
                 g.1 += pct;
                 g.2.accumulate(&deltas[pid].counts);
@@ -291,9 +301,10 @@ impl Tiptop {
                 ColumnKind::User => user.clone(),
                 ColumnKind::CpuPct => format!("{cpu_pct:.1}"),
                 ColumnKind::State => stat.state.code().to_string(),
-                ColumnKind::Processor => {
-                    stat.processor.map(|p| p.0.to_string()).unwrap_or_else(|| "-".into())
-                }
+                ColumnKind::Processor => stat
+                    .processor
+                    .map(|p| p.0.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 ColumnKind::Comm => stat.comm.clone(),
                 ColumnKind::Metric { expr, format } => {
                     let v = expr.eval(&env).unwrap_or(f64::NAN);
@@ -303,7 +314,14 @@ impl Tiptop {
             };
             cells.push(cell);
         }
-        Row { pid: display_pid, user, comm: stat.comm.clone(), cpu_pct, cells, values }
+        Row {
+            pid: display_pid,
+            user,
+            comm: stat.comm.clone(),
+            cpu_pct,
+            cells,
+            values,
+        }
     }
 
     /// Tear down all counters (end of run).

@@ -7,13 +7,19 @@
 //!   run it to completion ~1.7× slower, and report the *exact* retired
 //!   instruction count. §2.4 validates tiptop against this (within 0.06%);
 //!   §2.5 contrasts its 1.7× overhead with tiptop's ~0.7%.
+//!
+//! Both implement [`crate::monitor::Monitor`], so either can be driven
+//! side-by-side with tiptop through one [`crate::scenario::Session`].
 
-use tiptop_kernel::kernel::{Kernel, KernelConfig};
+use std::collections::BTreeMap;
+
+use tiptop_kernel::kernel::{ExitRecord, Kernel, KernelConfig};
 use tiptop_kernel::program::Program;
 use tiptop_kernel::task::{Pid, SpawnSpec, Uid};
 use tiptop_machine::time::{SimDuration, SimTime};
 
 use crate::procinfo::CpuTracker;
+use crate::scenario::{Scenario, SessionError};
 
 /// One row of the `top` baseline.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,14 +31,31 @@ pub struct TopRow {
 }
 
 /// The CPU%-only view.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TopView {
     cpu: CpuTracker,
+    /// Refresh period when driven as a [`crate::monitor::Monitor`] (`top -d`).
+    pub(crate) delay: SimDuration,
+}
+
+impl Default for TopView {
+    fn default() -> Self {
+        TopView {
+            cpu: CpuTracker::new(),
+            delay: SimDuration::from_secs(2),
+        }
+    }
 }
 
 impl TopView {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set the refresh period (`top -d`; defaults to 2 s).
+    pub fn delay(mut self, d: SimDuration) -> Self {
+        self.delay = d;
+        self
     }
 
     /// One refresh: all tasks, sorted by `%CPU` descending.
@@ -54,7 +77,10 @@ impl TopView {
             })
             .collect();
         rows.sort_by(|a, b| {
-            b.cpu_pct.partial_cmp(&a.cpu_pct).unwrap().then_with(|| a.pid.cmp(&b.pid))
+            b.cpu_pct
+                .partial_cmp(&a.cpu_pct)
+                .unwrap()
+                .then_with(|| a.pid.cmp(&b.pid))
         });
         rows
     }
@@ -82,28 +108,79 @@ impl PinReport {
 /// Instrumentation inserts a counting stub at every basic block: the
 /// instrumented binary retires more instructions and runs ~1.7× slower, but
 /// the reported count is of *original* instructions — exact by
-/// construction. Modelled by running the unmodified program to completion
-/// in a dedicated kernel (the count is the machine's ground truth) and
-/// charging the measured 1.7× on wall time.
+/// construction. Two modes:
+///
+/// * [`PinInscount::run`] / [`PinInscount::try_run`] — the §2.4/§2.5 batch
+///   shape: run one program to completion in a dedicated kernel and charge
+///   the measured 1.7× on wall time.
+/// * as a [`crate::monitor::Monitor`] — sample exact per-task counts inside
+///   a live [`crate::scenario::Session`], for cross-checks against tiptop's
+///   sampled counters.
 pub struct PinInscount {
     /// The §2.5 measurement: "The suite run with inscount2 ... is 1.7×
     /// slower."
     pub slowdown_factor: f64,
+    /// Sampling period when driven as a monitor.
+    pub(crate) sample_every: SimDuration,
+    /// Monitor-mode state: retired-instruction count per task at attach
+    /// time (counts before attach are not Pin's).
+    pub(crate) baselines: BTreeMap<Pid, u64>,
+    /// Monitor-mode state: exited tasks whose final count has already been
+    /// emitted (or that died before attach and were never instrumented).
+    pub(crate) reported: std::collections::BTreeSet<Pid>,
 }
 
 impl Default for PinInscount {
     fn default() -> Self {
-        PinInscount { slowdown_factor: 1.7 }
+        Self::new(1.7)
     }
 }
 
 impl PinInscount {
+    pub fn new(slowdown_factor: f64) -> Self {
+        PinInscount {
+            slowdown_factor,
+            sample_every: SimDuration::from_secs(1),
+            baselines: BTreeMap::new(),
+            reported: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Set the monitor-mode sampling period (defaults to 1 s).
+    pub fn sample_every(mut self, d: SimDuration) -> Self {
+        self.sample_every = d;
+        self
+    }
+
     /// Run `program` to completion under instrumentation and report the
     /// exact instruction count.
     ///
+    /// # Errors
+    /// [`SessionError::Timeout`] if the program does not finish within
+    /// `timeout` of simulated time (looping programs never finish).
+    pub fn try_run(
+        &self,
+        kcfg: KernelConfig,
+        program: Program,
+        seed: u64,
+        timeout: SimDuration,
+    ) -> Result<PinReport, SessionError> {
+        let rec = try_run_to_completion_as("inscount-target", kcfg, program, seed, timeout)?;
+        let native = rec.end_time - rec.start_time;
+        Ok(PinReport {
+            instructions: rec.total_instructions,
+            native_wall: native,
+            instrumented_wall: SimDuration::from_secs_f64(
+                native.as_secs_f64() * self.slowdown_factor,
+            ),
+        })
+    }
+
+    /// Like [`PinInscount::try_run`], panicking on timeout (the original
+    /// API; prefer `try_run`).
+    ///
     /// # Panics
-    /// Panics if the program does not finish within `timeout` of simulated
-    /// time (looping programs never finish).
+    /// Panics if the program does not finish within `timeout`.
     pub fn run(
         &self,
         kcfg: KernelConfig,
@@ -111,64 +188,103 @@ impl PinInscount {
         seed: u64,
         timeout: SimDuration,
     ) -> PinReport {
-        let mut k = Kernel::new(kcfg);
-        let pid = k.spawn(SpawnSpec::new("inscount-target", Uid(1), program).seed(seed));
-        let step = SimDuration::from_millis(200);
-        let deadline = SimTime::ZERO + timeout;
-        while k.is_alive(pid) {
-            assert!(k.now() < deadline, "instrumented program did not finish in {timeout:?}");
-            k.advance(step);
-        }
-        let rec = k.exit_record(pid).expect("exited task has a record");
-        let native = rec.end_time - rec.start_time;
-        PinReport {
-            instructions: rec.total_instructions,
-            native_wall: native,
-            instrumented_wall: SimDuration::from_secs_f64(
-                native.as_secs_f64() * self.slowdown_factor,
-            ),
+        match self.try_run(kcfg, program, seed, timeout) {
+            Ok(report) => report,
+            Err(e) => panic!("instrumented program {e}"),
         }
     }
 }
 
-/// Convenience: run a program natively (no instrumentation) and return its
+fn try_run_to_completion_as(
+    comm: &str,
+    kcfg: KernelConfig,
+    program: Program,
+    seed: u64,
+    timeout: SimDuration,
+) -> Result<ExitRecord, SessionError> {
+    let mut session = Scenario::from_kernel_config(kcfg)
+        .spawn(comm, SpawnSpec::new(comm, Uid(1), program).seed(seed))
+        .build()?;
+    let pid = session.pid(comm).expect("spawned at t=0");
+    let step = SimDuration::from_millis(200);
+    let deadline = SimTime::ZERO + timeout;
+    while session.kernel().is_alive(pid) {
+        if session.now() >= deadline {
+            return Err(SessionError::Timeout {
+                limit: timeout,
+                waiting_for: format!("{comm} exit"),
+            });
+        }
+        session.advance(step)?;
+    }
+    Ok(session
+        .kernel()
+        .exit_record(pid)
+        .expect("exited task has a record")
+        .clone())
+}
+
+/// Run a program natively (no instrumentation) to completion and return its
 /// exit record — used by experiments measuring wall times.
+pub fn try_run_to_completion(
+    kcfg: KernelConfig,
+    program: Program,
+    seed: u64,
+    timeout: SimDuration,
+) -> Result<ExitRecord, SessionError> {
+    try_run_to_completion_as("native-run", kcfg, program, seed, timeout)
+}
+
+/// Like [`try_run_to_completion`], panicking on timeout (the original API).
+///
+/// # Panics
+/// Panics if the program does not finish within `timeout`.
 pub fn run_to_completion(
     kcfg: KernelConfig,
     program: Program,
     seed: u64,
     timeout: SimDuration,
-) -> tiptop_kernel::kernel::ExitRecord {
-    let mut k = Kernel::new(kcfg);
-    let pid = k.spawn(SpawnSpec::new("native-run", Uid(1), program).seed(seed));
-    let step = SimDuration::from_millis(200);
-    let deadline = SimTime::ZERO + timeout;
-    while k.is_alive(pid) {
-        assert!(k.now() < deadline, "program did not finish in {timeout:?}");
-        k.advance(step);
+) -> ExitRecord {
+    match try_run_to_completion(kcfg, program, seed, timeout) {
+        Ok(rec) => rec,
+        Err(e) => panic!("program {e}"),
     }
-    k.exit_record(pid).expect("exited task has a record").clone()
 }
 
 /// Helper: spawn a list of programs and run until all exit, returning the
 /// kernel for inspection.
+///
+/// # Panics
+/// Panics if any program is still alive after `timeout`.
 pub fn run_all_to_completion(
     kcfg: KernelConfig,
     programs: Vec<(String, Uid, Program, u64)>,
     timeout: SimDuration,
 ) -> (Kernel, Vec<Pid>) {
-    let mut k = Kernel::new(kcfg);
-    let pids: Vec<Pid> = programs
-        .into_iter()
-        .map(|(comm, uid, prog, seed)| k.spawn(SpawnSpec::new(comm, uid, prog).seed(seed)))
+    let mut scenario = Scenario::from_kernel_config(kcfg);
+    let tags: Vec<String> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, (comm, _, _, _))| format!("{comm}#{i}"))
+        .collect();
+    for (tag, (comm, uid, prog, seed)) in tags.iter().zip(programs) {
+        scenario = scenario.spawn(tag, SpawnSpec::new(comm, uid, prog).seed(seed));
+    }
+    let mut session = scenario.build().expect("unique tags");
+    let pids: Vec<Pid> = tags
+        .iter()
+        .map(|t| session.pid(t).expect("spawned at t=0"))
         .collect();
     let step = SimDuration::from_millis(200);
     let deadline = SimTime::ZERO + timeout;
-    while pids.iter().any(|&p| k.is_alive(p)) {
-        assert!(k.now() < deadline, "programs did not finish in {timeout:?}");
-        k.advance(step);
+    while pids.iter().any(|&p| session.kernel().is_alive(p)) {
+        assert!(
+            session.now() < deadline,
+            "programs did not finish in {timeout:?}"
+        );
+        session.advance(step).expect("no scheduled events can fail");
     }
-    (k, pids)
+    (session.into_kernel(), pids)
 }
 
 #[cfg(test)]
@@ -228,6 +344,19 @@ mod tests {
     }
 
     #[test]
+    fn pin_try_run_returns_typed_timeout() {
+        let err = PinInscount::default()
+            .try_run(
+                kcfg(),
+                Program::endless(ExecProfile::builder("x").build()),
+                0,
+                SimDuration::from_millis(600),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Timeout { .. }), "got {err:?}");
+    }
+
+    #[test]
     #[should_panic(expected = "did not finish")]
     fn pin_rejects_endless_programs() {
         PinInscount::default().run(
@@ -248,6 +377,22 @@ mod tests {
             ],
             SimDuration::from_secs(60),
         );
+        for pid in pids {
+            assert!(k.exit_record(pid).is_some());
+        }
+    }
+
+    #[test]
+    fn run_all_allows_duplicate_comms() {
+        let (k, pids) = run_all_to_completion(
+            kcfg(),
+            vec![
+                ("twin".into(), Uid(1), short_program(50_000_000), 1),
+                ("twin".into(), Uid(1), short_program(50_000_000), 2),
+            ],
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(pids.len(), 2);
         for pid in pids {
             assert!(k.exit_record(pid).is_some());
         }

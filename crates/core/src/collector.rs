@@ -49,7 +49,12 @@ pub struct Collector {
 impl Collector {
     /// `events` is the union the current screen needs.
     pub fn new(observer: Uid, events: Vec<HwEvent>) -> Self {
-        Collector { observer, events, tasks: HashMap::new(), forbidden: Default::default() }
+        Collector {
+            observer,
+            events,
+            tasks: HashMap::new(),
+            forbidden: Default::default(),
+        }
     }
 
     pub fn observer(&self) -> Uid {
@@ -74,8 +79,12 @@ impl Collector {
         let mut out: HashMap<Pid, TaskDelta> = HashMap::with_capacity(self.tasks.len());
 
         // Harvest final counts from vanished tasks, then release their fds.
-        let gone: Vec<Pid> =
-            self.tasks.keys().copied().filter(|p| !live.contains(p)).collect();
+        let gone: Vec<Pid> = self
+            .tasks
+            .keys()
+            .copied()
+            .filter(|p| !live.contains(p))
+            .collect();
         for pid in gone {
             if let Some(tc) = self.tasks.remove(&pid) {
                 let mut finals = EventCounts::ZERO;
@@ -138,7 +147,13 @@ impl Collector {
             tc.last = now;
             let full = tc.primed;
             tc.primed = true;
-            out.insert(pid, TaskDelta { counts: delta, full_interval: full });
+            out.insert(
+                pid,
+                TaskDelta {
+                    counts: delta,
+                    full_interval: full,
+                },
+            );
         }
         out
     }
@@ -161,7 +176,11 @@ impl Collector {
                 }
             }
         }
-        Ok(TaskCounters { fds, last: EventCounts::ZERO, primed: false })
+        Ok(TaskCounters {
+            fds,
+            last: EventCounts::ZERO,
+            primed: false,
+        })
     }
 
     /// Close everything (end of session).
@@ -221,7 +240,10 @@ mod tests {
         let d = &second[&pid];
         assert!(d.full_interval);
         let cy = d.counts.get(HwEvent::Cycles) as f64;
-        assert!((cy / 3.07e9 - 1.0).abs() < 0.02, "one second of cycles, got {cy}");
+        assert!(
+            (cy / 3.07e9 - 1.0).abs() < 0.02,
+            "one second of cycles, got {cy}"
+        );
     }
 
     #[test]
@@ -262,7 +284,10 @@ mod tests {
         // The final partial-interval counts are harvested before closing.
         let last = &deltas[&pid];
         assert!(!last.full_interval);
-        assert!(last.counts.get(HwEvent::Cycles) > 0, "final counts harvested");
+        assert!(
+            last.counts.get(HwEvent::Cycles) > 0,
+            "final counts harvested"
+        );
         assert_eq!(k.open_fds(Uid(1)), 0, "fds closed after exit");
         assert_eq!(c.attached(), 0);
         assert!(c.refresh(&mut k).is_empty(), "nothing left next refresh");

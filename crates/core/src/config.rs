@@ -67,7 +67,10 @@ pub enum ColumnKind {
     Processor,
     Comm,
     /// A metric over counter deltas.
-    Metric { expr: Expr, format: NumFormat },
+    Metric {
+        expr: Expr,
+        format: NumFormat,
+    },
 }
 
 /// One column of a screen.
@@ -86,7 +89,11 @@ impl ColumnSpec {
         expr_src: &str,
     ) -> Result<ColumnSpec, String> {
         let expr = Expr::parse(expr_src).map_err(|e| e.to_string())?;
-        Ok(ColumnSpec { header: header.into(), width, kind: ColumnKind::Metric { expr, format } })
+        Ok(ColumnSpec {
+            header: header.into(),
+            width,
+            kind: ColumnKind::Metric { expr, format },
+        })
     }
 }
 
@@ -103,13 +110,24 @@ impl ScreenConfig {
         ScreenConfig {
             name: "default".to_string(),
             columns: vec![
-                ColumnSpec { header: "PID".into(), width: 6, kind: ColumnKind::Pid },
-                ColumnSpec { header: "USER".into(), width: 8, kind: ColumnKind::User },
-                ColumnSpec { header: "%CPU".into(), width: 5, kind: ColumnKind::CpuPct },
+                ColumnSpec {
+                    header: "PID".into(),
+                    width: 6,
+                    kind: ColumnKind::Pid,
+                },
+                ColumnSpec {
+                    header: "USER".into(),
+                    width: 8,
+                    kind: ColumnKind::User,
+                },
+                ColumnSpec {
+                    header: "%CPU".into(),
+                    width: 5,
+                    kind: ColumnKind::CpuPct,
+                },
                 ColumnSpec::metric("Mcycle", 8, NumFormat::Millions, "CYCLES").unwrap(),
                 ColumnSpec::metric("Minst", 8, NumFormat::Millions, "INSTRUCTIONS").unwrap(),
-                ColumnSpec::metric("IPC", 5, NumFormat::Float(2), "INSTRUCTIONS / CYCLES")
-                    .unwrap(),
+                ColumnSpec::metric("IPC", 5, NumFormat::Float(2), "INSTRUCTIONS / CYCLES").unwrap(),
                 ColumnSpec::metric(
                     "DMIS",
                     5,
@@ -117,7 +135,11 @@ impl ScreenConfig {
                     "100 * CACHE_MISSES / INSTRUCTIONS",
                 )
                 .unwrap(),
-                ColumnSpec { header: "COMMAND".into(), width: 12, kind: ColumnKind::Comm },
+                ColumnSpec {
+                    header: "COMMAND".into(),
+                    width: 12,
+                    kind: ColumnKind::Comm,
+                },
             ],
         }
     }
@@ -130,8 +152,13 @@ impl ScreenConfig {
         s.name = "fp-assist".to_string();
         let comm = s.columns.pop().unwrap();
         s.columns.push(
-            ColumnSpec::metric("%ASS", 6, NumFormat::Float(2), "100 * FP_ASSIST / INSTRUCTIONS")
-                .unwrap(),
+            ColumnSpec::metric(
+                "%ASS",
+                6,
+                NumFormat::Float(2),
+                "100 * FP_ASSIST / INSTRUCTIONS",
+            )
+            .unwrap(),
         );
         s.columns.push(comm);
         s
@@ -142,11 +169,22 @@ impl ScreenConfig {
         ScreenConfig {
             name: "cache".to_string(),
             columns: vec![
-                ColumnSpec { header: "PID".into(), width: 6, kind: ColumnKind::Pid },
-                ColumnSpec { header: "P".into(), width: 2, kind: ColumnKind::Processor },
-                ColumnSpec { header: "%CPU".into(), width: 5, kind: ColumnKind::CpuPct },
-                ColumnSpec::metric("IPC", 5, NumFormat::Float(2), "INSTRUCTIONS / CYCLES")
-                    .unwrap(),
+                ColumnSpec {
+                    header: "PID".into(),
+                    width: 6,
+                    kind: ColumnKind::Pid,
+                },
+                ColumnSpec {
+                    header: "P".into(),
+                    width: 2,
+                    kind: ColumnKind::Processor,
+                },
+                ColumnSpec {
+                    header: "%CPU".into(),
+                    width: 5,
+                    kind: ColumnKind::CpuPct,
+                },
+                ColumnSpec::metric("IPC", 5, NumFormat::Float(2), "INSTRUCTIONS / CYCLES").unwrap(),
                 ColumnSpec::metric(
                     "L2/100",
                     7,
@@ -161,7 +199,11 @@ impl ScreenConfig {
                     "100 * CACHE_MISSES / INSTRUCTIONS",
                 )
                 .unwrap(),
-                ColumnSpec { header: "COMMAND".into(), width: 12, kind: ColumnKind::Comm },
+                ColumnSpec {
+                    header: "COMMAND".into(),
+                    width: 12,
+                    kind: ColumnKind::Comm,
+                },
             ],
         }
     }
@@ -181,7 +223,9 @@ impl ScreenConfig {
                 }
             }
         }
-        set.into_iter().map(|i| tiptop_machine::pmu::ALL_EVENTS[i]).collect()
+        set.into_iter()
+            .map(|i| tiptop_machine::pmu::ALL_EVENTS[i])
+            .collect()
     }
 
     /// Parse the text format described in the module docs.
@@ -213,7 +257,11 @@ impl ScreenConfig {
                 _ => None,
             };
             if let Some((kind, width)) = builtin {
-                columns.push(ColumnSpec { header: rest.to_string(), width, kind });
+                columns.push(ColumnSpec {
+                    header: rest.to_string(),
+                    width,
+                    kind,
+                });
                 continue;
             }
             // Metric columns: "HDR" WIDTH FMT = EXPR
@@ -231,7 +279,9 @@ impl ScreenConfig {
                 .ok_or_else(|| err("missing width".to_string()))?
                 .parse()
                 .map_err(|_| err("bad width".to_string()))?;
-            let fmt_s = parts.next().ok_or_else(|| err("missing format".to_string()))?;
+            let fmt_s = parts
+                .next()
+                .ok_or_else(|| err("missing format".to_string()))?;
             let format = if fmt_s == "M" {
                 NumFormat::Millions
             } else if fmt_s == "i" {
@@ -283,7 +333,11 @@ mod tests {
     fn fp_screen_adds_assist_counter() {
         let s = ScreenConfig::fp_assist_screen();
         assert!(s.required_events().contains(&HwEvent::FpAssists));
-        assert_eq!(s.columns.last().unwrap().header, "COMMAND", "COMMAND stays last");
+        assert_eq!(
+            s.columns.last().unwrap().header,
+            "COMMAND",
+            "COMMAND stays last"
+        );
     }
 
     #[test]
@@ -315,19 +369,32 @@ col COMMAND
     #[test]
     fn parse_rejects_malformed_lines() {
         assert!(ScreenConfig::parse("nonsense").is_err());
-        assert!(ScreenConfig::parse("col \"X\" 5 .2").is_err(), "missing expr");
-        assert!(ScreenConfig::parse("col \"X\" w .2 = 1").is_err(), "bad width");
-        assert!(ScreenConfig::parse("col \"X\" 5 q = 1").is_err(), "bad format");
-        assert!(ScreenConfig::parse("# only comments\n").is_err(), "no columns");
-        assert!(ScreenConfig::parse("col \"X\" 5 .2 = 1 +").is_err(), "bad expr");
+        assert!(
+            ScreenConfig::parse("col \"X\" 5 .2").is_err(),
+            "missing expr"
+        );
+        assert!(
+            ScreenConfig::parse("col \"X\" w .2 = 1").is_err(),
+            "bad width"
+        );
+        assert!(
+            ScreenConfig::parse("col \"X\" 5 q = 1").is_err(),
+            "bad format"
+        );
+        assert!(
+            ScreenConfig::parse("# only comments\n").is_err(),
+            "no columns"
+        );
+        assert!(
+            ScreenConfig::parse("col \"X\" 5 .2 = 1 +").is_err(),
+            "bad expr"
+        );
     }
 
     #[test]
     fn parse_supports_custom_raw_events() {
-        let s = ScreenConfig::parse(
-            "col PID\ncol \"ASS\" 6 .2 = 100 * FP_ASSIST / INSTRUCTIONS\n",
-        )
-        .unwrap();
+        let s = ScreenConfig::parse("col PID\ncol \"ASS\" 6 .2 = 100 * FP_ASSIST / INSTRUCTIONS\n")
+            .unwrap();
         assert!(s.required_events().contains(&HwEvent::FpAssists));
     }
 }

@@ -17,7 +17,10 @@ const GENERIC: [(HwEvent, GenericEvent); 6] = [
     (HwEvent::Instructions, GenericEvent::Instructions),
     (HwEvent::CacheReferences, GenericEvent::CacheReferences),
     (HwEvent::CacheMisses, GenericEvent::CacheMisses),
-    (HwEvent::BranchInstructions, GenericEvent::BranchInstructions),
+    (
+        HwEvent::BranchInstructions,
+        GenericEvent::BranchInstructions,
+    ),
     (HwEvent::BranchMisses, GenericEvent::BranchMisses),
 ];
 
@@ -54,8 +57,14 @@ mod tests {
 
     #[test]
     fn generic_events_use_generic_selectors() {
-        assert!(matches!(selector_for(HwEvent::Cycles), EventSel::Generic(_)));
-        assert!(matches!(selector_for(HwEvent::CacheMisses), EventSel::Generic(_)));
+        assert!(matches!(
+            selector_for(HwEvent::Cycles),
+            EventSel::Generic(_)
+        ));
+        assert!(matches!(
+            selector_for(HwEvent::CacheMisses),
+            EventSel::Generic(_)
+        ));
     }
 
     #[test]

@@ -138,9 +138,7 @@ fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
             }
             '0'..='9' | '.' => {
                 let start = i;
-                while i < bytes.len()
-                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E')
-                {
+                while i < bytes.len() && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E') {
                     // Allow exponent signs: 1e-6.
                     if matches!(bytes[i] as char, 'e' | 'E')
                         && i + 1 < bytes.len()
@@ -204,7 +202,10 @@ impl Parser {
             self.at += 1;
             Ok(())
         } else {
-            Err(ParseError { pos: self.pos(), message: format!("expected {what}") })
+            Err(ParseError {
+                pos: self.pos(),
+                message: format!("expected {what}"),
+            })
         }
     }
 
@@ -282,7 +283,10 @@ impl Parser {
                 self.expect(&Tok::RParen, "')'")?;
                 Ok(e)
             }
-            _ => Err(ParseError { pos, message: "expected expression".to_string() }),
+            _ => Err(ParseError {
+                pos,
+                message: "expected expression".to_string(),
+            }),
         }
     }
 }
@@ -291,7 +295,11 @@ impl Expr {
     /// Parse an expression from source text.
     pub fn parse(src: &str) -> Result<Expr, ParseError> {
         let toks = tokenize(src)?;
-        let mut p = Parser { toks, at: 0, len: src.len() };
+        let mut p = Parser {
+            toks,
+            at: 0,
+            len: src.len(),
+        };
         let e = p.expr()?;
         if p.peek().is_some() {
             return Err(ParseError {
@@ -307,9 +315,7 @@ impl Expr {
     pub fn eval(&self, env: &dyn Fn(&str) -> Option<f64>) -> Result<f64, String> {
         match self {
             Expr::Num(n) => Ok(*n),
-            Expr::Var(name) => {
-                env(name).ok_or_else(|| format!("unknown identifier '{name}'"))
-            }
+            Expr::Var(name) => env(name).ok_or_else(|| format!("unknown identifier '{name}'")),
             Expr::Neg(e) => Ok(-e.eval(env)?),
             Expr::Bin(op, a, b) => {
                 let (a, b) = (a.eval(env)?, b.eval(env)?);
@@ -321,8 +327,7 @@ impl Expr {
                 })
             }
             Expr::Call(f, args) => {
-                let vals: Result<Vec<f64>, String> =
-                    args.iter().map(|a| a.eval(env)).collect();
+                let vals: Result<Vec<f64>, String> = args.iter().map(|a| a.eval(env)).collect();
                 let v = vals?;
                 Ok(match f {
                     Func::Min => v[0].min(v[1]),
@@ -397,7 +402,10 @@ mod tests {
             ("CACHE_MISSES", 0.0),
         ];
         let ipc = eval("INSTRUCTIONS / CYCLES", &vars);
-        assert!((ipc - 1.97).abs() < 0.01, "Fig 1, process1: IPC 1.97, got {ipc}");
+        assert!(
+            (ipc - 1.97).abs() < 0.01,
+            "Fig 1, process1: IPC 1.97, got {ipc}"
+        );
         assert_eq!(eval("100 * CACHE_MISSES / INSTRUCTIONS", &vars), 0.0);
     }
 
@@ -424,7 +432,10 @@ mod tests {
     #[test]
     fn idents_are_collected_for_planning() {
         let e = Expr::parse("100 * FP_ASSIST / max(INSTRUCTIONS, 1)").unwrap();
-        assert_eq!(e.idents(), vec!["FP_ASSIST".to_string(), "INSTRUCTIONS".to_string()]);
+        assert_eq!(
+            e.idents(),
+            vec!["FP_ASSIST".to_string(), "INSTRUCTIONS".to_string()]
+        );
     }
 
     #[test]

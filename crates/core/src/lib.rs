@@ -20,10 +20,18 @@
 //! * [`app`] — the refresh loop, sorting, thread aggregation, live/batch
 //!   modes;
 //! * [`render`] — aligned text frames (the "no graphics" philosophy);
-//! * [`session`] — drive the tool against a simulated kernel and harvest
-//!   time series;
 //! * [`baseline`] — the comparators the paper measures against (`top`,
 //!   Pin-style `inscount`).
+//!
+//! Experiments drive the tools through the **session subsystem**:
+//!
+//! * [`monitor`] — the [`Monitor`] trait every tool implements, plus the
+//!   streaming [`FrameSink`] observer API;
+//! * [`scenario`] — the declarative [`Scenario`] builder (machine, users,
+//!   timed spawn/kill/renice events) and the [`Session`] loop that drives
+//!   any set of monitors over one live kernel;
+//! * [`session`] — per-task time-series helpers and the deprecated
+//!   free-function shims the subsystem replaced.
 //!
 //! ## Quickstart
 //!
@@ -32,21 +40,26 @@
 //! use tiptop_kernel::prelude::*;
 //! use tiptop_machine::prelude::*;
 //!
-//! // A Nehalem workstation with one busy task.
-//! let mut k = Kernel::new(KernelConfig::new(MachineConfig::nehalem_w3550()));
-//! k.add_user(Uid(1000), "alice");
-//! k.spawn(SpawnSpec::new(
-//!     "hog",
-//!     Uid(1000),
-//!     Program::endless(ExecProfile::builder("hog").build()),
-//! ));
+//! // A Nehalem workstation with one busy task, declared as a scenario.
+//! let mut session = Scenario::new(MachineConfig::nehalem_w3550())
+//!     .user(Uid(1000), "alice")
+//!     .spawn(
+//!         "hog",
+//!         SpawnSpec::new(
+//!             "hog",
+//!             Uid(1000),
+//!             Program::endless(ExecProfile::builder("hog").build()),
+//!         ),
+//!     )
+//!     .build()
+//!     .unwrap();
 //!
 //! // Run tiptop for three 2-second refreshes and inspect the screen.
 //! let mut tool = Tiptop::new(
 //!     TiptopOptions::default().delay(SimDuration::from_secs(2)),
 //!     ScreenConfig::default_screen(),
 //! );
-//! let frames = run_refreshes(&mut k, &mut tool, 3);
+//! let frames = session.run(&mut tool, 3).unwrap();
 //! let last = frames.last().unwrap();
 //! let row = last.row_for_comm("hog").unwrap();
 //! assert!(row.value("IPC").unwrap() > 0.5);
@@ -59,8 +72,10 @@ pub mod collector;
 pub mod config;
 pub mod events;
 pub mod expr;
+pub mod monitor;
 pub mod procinfo;
 pub mod render;
+pub mod scenario;
 pub mod session;
 
 pub use app::{SortKey, Tiptop, TiptopOptions};
@@ -68,17 +83,23 @@ pub use baseline::{PinInscount, PinReport, TopView};
 pub use collector::{Collector, TaskDelta};
 pub use config::{ColumnKind, ColumnSpec, NumFormat, ScreenConfig};
 pub use expr::Expr;
+pub use monitor::{CollectSink, FrameSink, Monitor};
 pub use procinfo::CpuTracker;
 pub use render::{Frame, Row};
-pub use session::{mean, run_refreshes, run_until, series_for_comm, series_for_pid};
+pub use scenario::{Scenario, Session, SessionError, WorkloadEvent};
+pub use session::{mean, series_for_comm, series_for_pid};
+#[allow(deprecated)]
+pub use session::{run_refreshes, run_until};
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::app::{SortKey, Tiptop, TiptopOptions};
     pub use crate::baseline::{PinInscount, TopView};
     pub use crate::config::ScreenConfig;
+    pub use crate::monitor::{CollectSink, FrameSink, Monitor};
     pub use crate::render::Frame;
-    pub use crate::session::{
-        mean, run_refreshes, run_until, series_for_comm, series_for_pid,
-    };
+    pub use crate::scenario::{Scenario, Session, SessionError, WorkloadEvent};
+    pub use crate::session::{mean, series_for_comm, series_for_pid};
+    #[allow(deprecated)]
+    pub use crate::session::{run_refreshes, run_until};
 }

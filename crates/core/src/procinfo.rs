@@ -97,7 +97,10 @@ mod tests {
     fn zero_wall_interval_is_zero() {
         let mut t = CpuTracker::new();
         t.update(&stat(1, 100, SimTime::ZERO), SimTime::from_secs(1));
-        assert_eq!(t.update(&stat(1, 100, SimTime::ZERO), SimTime::from_secs(1)), 0.0);
+        assert_eq!(
+            t.update(&stat(1, 100, SimTime::ZERO), SimTime::from_secs(1)),
+            0.0
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ mod tests {
         Frame {
             time: SimTime::from_secs(5),
             headers,
-            rows: vec![row(101, 100.0, 1.97, "mcf"), row(102, 43.7, 1.62, "idleish")],
+            rows: vec![
+                row(101, 100.0, 1.97, "mcf"),
+                row(102, 43.7, 1.62, "idleish"),
+            ],
             unobservable: 1,
         }
     }

@@ -1,0 +1,694 @@
+//! Declarative experiment sessions: a [`Scenario`] assembles the machine,
+//! the users, and *timed workload events* (spawn at t, kill at t, renice at
+//! t); building it yields a [`Session`] that owns the kernel, applies each
+//! event at its exact instant, and drives any set of
+//! [`Monitor`]s — tiptop, `top`, Pin, or several at once — through one loop.
+//!
+//! This replaces the seed's hand-rolled `Kernel::new` + `spawn` + `advance`
+//! choreography that every experiment used to reassemble:
+//!
+//! ```
+//! use tiptop_core::prelude::*;
+//! use tiptop_kernel::prelude::*;
+//! use tiptop_machine::prelude::*;
+//!
+//! let mut session = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+//!     .seed(7)
+//!     .user(Uid(1), "alice")
+//!     .spawn(
+//!         "hog",
+//!         SpawnSpec::new("hog", Uid(1), Program::endless(ExecProfile::builder("hog").build())),
+//!     )
+//!     .kill_at(SimTime::from_secs(5), "hog")
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut tool = Tiptop::new(
+//!     TiptopOptions::default().delay(SimDuration::from_secs(1)),
+//!     ScreenConfig::default_screen(),
+//! );
+//! let frames = session.run(&mut tool, 6).unwrap();
+//! assert!(frames[3].row_for_comm("hog").is_some(), "alive at t=4s");
+//! assert!(frames[5].row_for_comm("hog").is_none(), "killed at t=5s");
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use tiptop_kernel::errno::Errno;
+use tiptop_kernel::kernel::{Kernel, KernelConfig};
+use tiptop_kernel::task::Uid;
+use tiptop_kernel::task::{Pid, SpawnSpec};
+use tiptop_machine::config::MachineConfig;
+use tiptop_machine::time::{SimDuration, SimTime};
+
+use crate::monitor::{CollectSink, FrameSink, Monitor};
+use crate::render::Frame;
+
+/// Typed failure of a session — the core crate's public surface instead of
+/// leaked [`Errno`]s and panics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionError {
+    /// The scenario is self-contradictory (duplicate tag, event against an
+    /// unknown tag, event scheduled before its task's spawn, ...).
+    InvalidScenario(String),
+    /// A scheduled event's syscall failed (e.g. killing a task that had
+    /// already exited on its own).
+    Syscall {
+        call: &'static str,
+        pid: Pid,
+        errno: Errno,
+    },
+    /// A bounded wait elapsed.
+    Timeout {
+        limit: SimDuration,
+        waiting_for: String,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            SessionError::Syscall { call, pid, errno } => {
+                write!(f, "{call}(pid {}) failed: {errno}", pid.0)
+            }
+            SessionError::Timeout { limit, waiting_for } => {
+                write!(
+                    f,
+                    "did not finish within {limit:?} (waiting for {waiting_for})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A timed action on the workload.
+#[derive(Debug)]
+pub enum WorkloadEvent {
+    /// Create the task; its pid becomes addressable by `tag`.
+    Spawn { tag: String, spec: SpawnSpec },
+    /// SIGKILL the tagged task.
+    Kill { tag: String },
+    /// Change the tagged task's nice level.
+    Renice { tag: String, nice: i32 },
+}
+
+/// Declarative description of an experiment: machine, seed, users, and a
+/// schedule of [`WorkloadEvent`]s. Build it into a [`Session`] to run.
+#[derive(Debug)]
+pub struct Scenario {
+    machine: MachineConfig,
+    seed: u64,
+    epoch: Option<SimDuration>,
+    users: Vec<(Uid, String)>,
+    events: Vec<(SimTime, WorkloadEvent)>,
+}
+
+impl Scenario {
+    pub fn new(machine: MachineConfig) -> Self {
+        Scenario {
+            machine,
+            seed: 0,
+            epoch: None,
+            users: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Adopt an existing [`KernelConfig`] (machine + epoch + seed).
+    pub fn from_kernel_config(cfg: KernelConfig) -> Self {
+        Scenario::new(cfg.machine).epoch(cfg.epoch).seed(cfg.seed)
+    }
+
+    /// Deterministic seed for the machine and the task address streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the scheduler epoch (defaults to the kernel's 20 ms).
+    pub fn epoch(mut self, epoch: SimDuration) -> Self {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// Register a user name for a uid (like `/etc/passwd`).
+    pub fn user(mut self, uid: Uid, name: impl Into<String>) -> Self {
+        self.users.push((uid, name.into()));
+        self
+    }
+
+    /// Spawn a task at t=0. `tag` names it for later events and
+    /// [`Session::pid`]; tags must be unique.
+    pub fn spawn(self, tag: impl Into<String>, spec: SpawnSpec) -> Self {
+        self.spawn_at(SimTime::ZERO, tag, spec)
+    }
+
+    /// Spawn a task at an absolute instant.
+    pub fn spawn_at(mut self, at: SimTime, tag: impl Into<String>, spec: SpawnSpec) -> Self {
+        self.events.push((
+            at,
+            WorkloadEvent::Spawn {
+                tag: tag.into(),
+                spec,
+            },
+        ));
+        self
+    }
+
+    /// SIGKILL the tagged task at an absolute instant.
+    pub fn kill_at(mut self, at: SimTime, tag: impl Into<String>) -> Self {
+        self.events
+            .push((at, WorkloadEvent::Kill { tag: tag.into() }));
+        self
+    }
+
+    /// Renice the tagged task at an absolute instant.
+    pub fn renice_at(mut self, at: SimTime, tag: impl Into<String>, nice: i32) -> Self {
+        self.events.push((
+            at,
+            WorkloadEvent::Renice {
+                tag: tag.into(),
+                nice,
+            },
+        ));
+        self
+    }
+
+    /// Validate the schedule and build the live [`Session`]. Events at t=0
+    /// are applied immediately, so their pids are resolvable right away.
+    pub fn build(mut self) -> Result<Session, SessionError> {
+        // Stable by time: same-instant events keep their declaration order.
+        self.events.sort_by_key(|(at, _)| *at);
+
+        let mut spawn_time: BTreeMap<&str, SimTime> = BTreeMap::new();
+        for (at, ev) in &self.events {
+            if let WorkloadEvent::Spawn { tag, .. } = ev {
+                if spawn_time.insert(tag, *at).is_some() {
+                    return Err(SessionError::InvalidScenario(format!(
+                        "duplicate spawn tag '{tag}'"
+                    )));
+                }
+            }
+        }
+        // Walk in final apply order (sorted is stable, so same-instant
+        // events keep declaration order): every kill/renice must see its
+        // tag already spawned, which also catches a kill declared *before*
+        // a same-instant spawn.
+        let mut defined: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for (at, ev) in &self.events {
+            match ev {
+                WorkloadEvent::Spawn { tag, .. } => {
+                    defined.insert(tag);
+                }
+                WorkloadEvent::Kill { tag } | WorkloadEvent::Renice { tag, .. } => {
+                    if !defined.contains(tag.as_str()) {
+                        return Err(match spawn_time.get(tag.as_str()) {
+                            None => SessionError::InvalidScenario(format!(
+                                "event against unknown tag '{tag}'"
+                            )),
+                            Some(spawned) => SessionError::InvalidScenario(format!(
+                                "event against '{tag}' at {at:?} precedes its spawn at \
+                                 {spawned:?} (same-instant events apply in declaration order)"
+                            )),
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut cfg = KernelConfig::new(self.machine).seed(self.seed);
+        if let Some(epoch) = self.epoch {
+            cfg = cfg.epoch(epoch);
+        }
+        let mut kernel = Kernel::new(cfg);
+        for (uid, name) in self.users {
+            kernel.add_user(uid, name);
+        }
+        let mut session = Session {
+            kernel,
+            pending: self.events.into(),
+            pids: BTreeMap::new(),
+        };
+        session.apply_due()?;
+        Ok(session)
+    }
+}
+
+/// A live experiment: the kernel plus the not-yet-due workload events. The
+/// session owns the clock — all time advancement goes through it so events
+/// land at their exact instants.
+pub struct Session {
+    kernel: Kernel,
+    /// Sorted by time (stable); front is next due.
+    pending: VecDeque<(SimTime, WorkloadEvent)>,
+    pids: BTreeMap<String, Pid>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("now", &self.kernel.now())
+            .field("tasks", &self.kernel.num_alive())
+            .field("pending_events", &self.pending.len())
+            .field("tags", &self.pids)
+            .finish()
+    }
+}
+
+impl Session {
+    /// The pid a spawn tag resolved to (`None` until its spawn time).
+    pub fn pid(&self, tag: &str) -> Option<Pid> {
+        self.pids.get(tag).copied()
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Escape hatch for direct syscalls mid-experiment. Advancing the
+    /// kernel directly skips scheduled events — use [`Session::advance`].
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Dissolve the session into its kernel (pending events are dropped).
+    pub fn into_kernel(self) -> Kernel {
+        self.kernel
+    }
+
+    /// Workload events not yet applied.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn apply_due(&mut self) -> Result<(), SessionError> {
+        while let Some((at, _)) = self.pending.front() {
+            if *at > self.kernel.now() {
+                break;
+            }
+            let (_, ev) = self.pending.pop_front().expect("front exists");
+            self.apply(ev)?;
+        }
+        Ok(())
+    }
+
+    fn resolved(&self, tag: &str) -> Result<Pid, SessionError> {
+        self.pids.get(tag).copied().ok_or_else(|| {
+            SessionError::InvalidScenario(format!(
+                "event against '{tag}' applied before its spawn (declare the spawn first \
+                 when scheduling same-instant events)"
+            ))
+        })
+    }
+
+    fn apply(&mut self, ev: WorkloadEvent) -> Result<(), SessionError> {
+        match ev {
+            WorkloadEvent::Spawn { tag, spec } => {
+                let pid = self.kernel.spawn(spec);
+                self.pids.insert(tag, pid);
+            }
+            WorkloadEvent::Kill { tag } => {
+                let pid = self.resolved(&tag)?;
+                self.kernel
+                    .kill(pid)
+                    .map_err(|errno| SessionError::Syscall {
+                        call: "kill",
+                        pid,
+                        errno,
+                    })?;
+            }
+            WorkloadEvent::Renice { tag, nice } => {
+                let pid = self.resolved(&tag)?;
+                self.kernel
+                    .renice(pid, nice)
+                    .map_err(|errno| SessionError::Syscall {
+                        call: "renice",
+                        pid,
+                        errno,
+                    })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance simulated time to an absolute instant, applying every
+    /// scheduled event at its exact time along the way (events at `t`
+    /// itself apply before this returns). No-op if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) -> Result<(), SessionError> {
+        loop {
+            let next_due = self
+                .pending
+                .front()
+                .map(|(at, _)| *at)
+                .filter(|at| *at <= t);
+            match next_due {
+                Some(at) => {
+                    self.kernel.advance_until(at);
+                    self.apply_due()?;
+                }
+                None => {
+                    self.kernel.advance_until(t);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Advance simulated time by a span (see [`Session::advance_to`]).
+    pub fn advance(&mut self, dur: SimDuration) -> Result<(), SessionError> {
+        self.advance_to(self.kernel.now() + dur)
+    }
+
+    /// Reject zero-interval monitors (they would never let time advance)
+    /// and prime the rest at the current instant.
+    fn check_and_prime(&mut self, monitors: &mut [&mut dyn Monitor]) -> Result<(), SessionError> {
+        for m in monitors.iter() {
+            if m.interval().is_zero() {
+                return Err(SessionError::InvalidScenario(format!(
+                    "monitor '{}' has a zero refresh interval",
+                    m.name()
+                )));
+            }
+        }
+        for m in monitors.iter_mut() {
+            m.prime(&mut self.kernel);
+        }
+        Ok(())
+    }
+
+    /// Advance one interval of a primed monitor (applying due events) and
+    /// take its observation.
+    fn observe_next(&mut self, monitor: &mut dyn Monitor) -> Result<Frame, SessionError> {
+        self.advance_to(self.kernel.now() + monitor.interval())?;
+        Ok(monitor.observe(&mut self.kernel))
+    }
+
+    /// Drive several monitors concurrently — the §2.5 interference shape.
+    /// Every monitor is primed now, then observed on its own interval until
+    /// it has produced `refreshes` frames; frames go to `sink` labelled
+    /// with [`Monitor::name`]. Monitors due at the same instant observe in
+    /// slice order.
+    pub fn run_all(
+        &mut self,
+        monitors: &mut [&mut dyn Monitor],
+        refreshes: usize,
+        sink: &mut dyn FrameSink,
+    ) -> Result<(), SessionError> {
+        self.check_and_prime(monitors)?;
+        let start = self.kernel.now();
+        let mut next: Vec<SimTime> = monitors.iter().map(|m| start + m.interval()).collect();
+        let mut taken = vec![0usize; monitors.len()];
+        loop {
+            let due = next
+                .iter()
+                .zip(&taken)
+                .filter(|(_, &n)| n < refreshes)
+                .map(|(&t, _)| t)
+                .min();
+            let Some(t) = due else { break };
+            self.advance_to(t)?;
+            for (i, m) in monitors.iter_mut().enumerate() {
+                if taken[i] < refreshes && next[i] == t {
+                    let frame = m.observe(&mut self.kernel);
+                    sink.on_frame(m.name(), frame);
+                    taken[i] += 1;
+                    next[i] = t + m.interval();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drive one monitor for `refreshes` intervals and collect its frames —
+    /// the successor of the old `run_refreshes` free function.
+    pub fn run(
+        &mut self,
+        monitor: &mut dyn Monitor,
+        refreshes: usize,
+    ) -> Result<Vec<Frame>, SessionError> {
+        let mut sink = CollectSink::new();
+        self.run_all(&mut [monitor], refreshes, &mut sink)?;
+        Ok(sink.into_frames())
+    }
+
+    /// Like [`Session::run`] but stops early when `until` says so (given
+    /// the latest frame). Returns the frames recorded so far.
+    pub fn run_until(
+        &mut self,
+        monitor: &mut dyn Monitor,
+        max_refreshes: usize,
+        until: impl Fn(&Frame) -> bool,
+    ) -> Result<Vec<Frame>, SessionError> {
+        self.check_and_prime(&mut [&mut *monitor])?;
+        let mut frames = Vec::new();
+        for _ in 0..max_refreshes {
+            let frame = self.observe_next(monitor)?;
+            let done = until(&frame);
+            frames.push(frame);
+            if done {
+                break;
+            }
+        }
+        Ok(frames)
+    }
+
+    /// Tear a monitor down (close its counter fds etc.) against this
+    /// session's kernel.
+    pub fn teardown(&mut self, monitor: &mut dyn Monitor) {
+        monitor.teardown(&mut self.kernel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Tiptop, TiptopOptions};
+    use crate::config::ScreenConfig;
+    use tiptop_kernel::program::Program;
+    use tiptop_machine::access::MemoryBehavior;
+    use tiptop_machine::exec::ExecProfile;
+
+    fn spin() -> Program {
+        Program::endless(
+            ExecProfile::builder("spin")
+                .base_cpi(0.8)
+                .branches(0.18, 0.0)
+                .memory(MemoryBehavior::uniform(16 * 1024))
+                .build(),
+        )
+    }
+
+    fn base() -> Scenario {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(9)
+            .user(Uid(1), "u1")
+    }
+
+    fn tool(delay_s: u64) -> Tiptop {
+        Tiptop::new(
+            TiptopOptions::default().delay(SimDuration::from_secs(delay_s)),
+            ScreenConfig::default_screen(),
+        )
+    }
+
+    #[test]
+    fn build_resolves_t0_spawns_immediately() {
+        let session = base()
+            .spawn("a", SpawnSpec::new("a", Uid(1), spin()))
+            .spawn_at(
+                SimTime::from_secs(2),
+                "late",
+                SpawnSpec::new("late", Uid(1), spin()),
+            )
+            .build()
+            .unwrap();
+        assert!(session.pid("a").is_some());
+        assert!(session.pid("late").is_none(), "not yet spawned");
+        assert_eq!(session.pending_events(), 1);
+    }
+
+    #[test]
+    fn duplicate_tags_rejected() {
+        let err = base()
+            .spawn("x", SpawnSpec::new("x", Uid(1), spin()))
+            .spawn("x", SpawnSpec::new("x2", Uid(1), spin()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::InvalidScenario(_)));
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_and_premature_events_rejected() {
+        let err = base()
+            .kill_at(SimTime::from_secs(1), "ghost")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown tag"));
+
+        let err = base()
+            .spawn_at(
+                SimTime::from_secs(5),
+                "late",
+                SpawnSpec::new("late", Uid(1), spin()),
+            )
+            .kill_at(SimTime::from_secs(1), "late")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("precedes its spawn"));
+
+        // Same instant, but the kill is declared before the spawn: the
+        // stable sort would apply it first, so build() must reject it too.
+        let err = base()
+            .kill_at(SimTime::from_secs(5), "x")
+            .spawn_at(
+                SimTime::from_secs(5),
+                "x",
+                SpawnSpec::new("x", Uid(1), spin()),
+            )
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("precedes its spawn"), "got {err}");
+
+        // Declared spawn-then-kill at the same instant is fine.
+        assert!(base()
+            .spawn_at(
+                SimTime::from_secs(5),
+                "y",
+                SpawnSpec::new("y", Uid(1), spin())
+            )
+            .kill_at(SimTime::from_secs(5), "y")
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn spawn_at_takes_effect_at_the_instant() {
+        let mut session = base()
+            .spawn_at(
+                SimTime::from_secs(3),
+                "late",
+                SpawnSpec::new("late", Uid(1), spin()),
+            )
+            .build()
+            .unwrap();
+        session.advance_to(SimTime::from_secs(2)).unwrap();
+        assert!(session.pid("late").is_none());
+        session.advance_to(SimTime::from_secs(3)).unwrap();
+        let pid = session.pid("late").expect("spawned exactly at t=3");
+        // It must not have run before t=3: lifetime CPU ≤ elapsed-since-3.
+        session.advance_to(SimTime::from_secs(4)).unwrap();
+        let st = session.kernel().stat(pid).unwrap();
+        assert_eq!(st.start_time, SimTime::from_secs(3));
+        assert!(st.cpu_time().as_secs_f64() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn kill_of_already_exited_task_is_typed_error() {
+        let mut session = base()
+            .spawn(
+                "short",
+                SpawnSpec::new(
+                    "short",
+                    Uid(1),
+                    Program::single(ExecProfile::builder("s").base_cpi(0.8).build(), 1_000_000),
+                ),
+            )
+            .kill_at(SimTime::from_secs(5), "short")
+            .build()
+            .unwrap();
+        // The program retires 1M instructions in well under a second; the
+        // kill at t=5 hits a tombstone.
+        let err = session.advance_to(SimTime::from_secs(6)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SessionError::Syscall {
+                    call: "kill",
+                    errno: Errno::ESRCH,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn run_matches_manual_loop_shape() {
+        let mut session = base()
+            .spawn("spin", SpawnSpec::new("spin", Uid(1), spin()))
+            .build()
+            .unwrap();
+        let mut t = tool(1);
+        let frames = session.run(&mut t, 3).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].time.as_secs_f64(), 1.0);
+        assert_eq!(frames[2].time.as_secs_f64(), 3.0);
+        session.teardown(&mut t);
+        assert_eq!(
+            session.kernel().open_fds(Uid::ROOT),
+            0,
+            "teardown closes fds"
+        );
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let mut session = base()
+            .spawn("spin", SpawnSpec::new("spin", Uid(1), spin()))
+            .build()
+            .unwrap();
+        let frames = session
+            .run_until(&mut tool(1), 100, |f| f.time.as_secs_f64() >= 2.0)
+            .unwrap();
+        assert_eq!(frames.len(), 2);
+    }
+
+    #[test]
+    fn monitors_with_different_intervals_interleave() {
+        let mut session = base()
+            .spawn("spin", SpawnSpec::new("spin", Uid(1), spin()))
+            .build()
+            .unwrap();
+        let mut fast = tool(1);
+        let mut slow = tool(3);
+        let mut times: Vec<(String, f64)> = Vec::new();
+        let mut sink = |source: &str, frame: Frame| {
+            times.push((source.to_string(), frame.time.as_secs_f64()));
+        };
+        session
+            .run_all(&mut [&mut fast, &mut slow], 3, &mut sink)
+            .unwrap();
+        // fast at 1,2,3; slow at 3,6,9 — same-instant order follows slices.
+        let expect = [
+            ("tiptop", 1.0),
+            ("tiptop", 2.0),
+            ("tiptop", 3.0),
+            ("tiptop", 3.0),
+            ("tiptop", 6.0),
+            ("tiptop", 9.0),
+        ];
+        assert_eq!(times.len(), expect.len());
+        for ((_, got), (_, want)) in times.iter().zip(expect.iter()) {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn zero_interval_monitor_rejected() {
+        let mut session = base()
+            .spawn("spin", SpawnSpec::new("spin", Uid(1), spin()))
+            .build()
+            .unwrap();
+        let err = session.run(&mut tool(0), 1).unwrap_err();
+        assert!(matches!(err, SessionError::InvalidScenario(_)));
+    }
+}

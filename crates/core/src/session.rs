@@ -1,42 +1,60 @@
-//! Session driver: run tiptop against a kernel for N refreshes and collect
-//! the frames, plus helpers to extract per-task time series — what every
-//! figure-regeneration experiment consumes.
+//! Legacy session helpers and per-task time-series extraction.
+//!
+//! The driver half of this module is superseded by the [`crate::monitor`] /
+//! [`crate::scenario`] subsystem: [`run_refreshes`] and [`run_until`] remain
+//! as thin shims over the [`Monitor`] contract for callers that already hold
+//! a `&mut Kernel`. New code should build a
+//! [`Scenario`](crate::scenario::Scenario) and use
+//! [`Session::run`](crate::scenario::Session::run), which also applies timed
+//! workload events and can drive several monitors at once.
+//!
+//! The series helpers ([`series_for_pid`], [`series_for_comm`], [`mean`])
+//! are what the figure-regeneration experiments consume and are not
+//! deprecated.
 
 use tiptop_kernel::kernel::Kernel;
 use tiptop_kernel::task::Pid;
 
-use crate::app::Tiptop;
+use crate::monitor::Monitor;
 use crate::render::Frame;
 
 /// Run `refreshes` refresh intervals: each iteration advances simulated
-/// time by the tool's delay, then takes a frame (so frame *i* covers
+/// time by the monitor's interval, then takes a frame (so frame *i* covers
 /// interval *i*). An initial priming refresh attaches counters at t=0
 /// without recording a frame — like starting the real tool.
-pub fn run_refreshes(k: &mut Kernel, tiptop: &mut Tiptop, refreshes: usize) -> Vec<Frame> {
-    let delay = tiptop.options().delay;
-    tiptop.refresh(k); // prime: attach at the current instant
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Scenario` and use `Session::run` (crate::scenario)"
+)]
+pub fn run_refreshes<M: Monitor>(k: &mut Kernel, monitor: &mut M, refreshes: usize) -> Vec<Frame> {
+    let delay = monitor.interval();
+    monitor.prime(k);
     let mut frames = Vec::with_capacity(refreshes);
     for _ in 0..refreshes {
         k.advance(delay);
-        frames.push(tiptop.refresh(k));
+        frames.push(monitor.observe(k));
     }
     frames
 }
 
 /// Like [`run_refreshes`] but stops early when `until` says so (given the
 /// latest frame). Returns the frames recorded so far.
-pub fn run_until(
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Scenario` and use `Session::run_until` (crate::scenario)"
+)]
+pub fn run_until<M: Monitor>(
     k: &mut Kernel,
-    tiptop: &mut Tiptop,
+    monitor: &mut M,
     max_refreshes: usize,
     until: impl Fn(&Frame) -> bool,
 ) -> Vec<Frame> {
-    let delay = tiptop.options().delay;
-    tiptop.refresh(k);
+    let delay = monitor.interval();
+    monitor.prime(k);
     let mut frames = Vec::new();
     for _ in 0..max_refreshes {
         k.advance(delay);
-        let f = tiptop.refresh(k);
+        let f = monitor.observe(k);
         let done = until(&f);
         frames.push(f);
         if done {
@@ -82,6 +100,7 @@ pub fn mean(series: &[(f64, f64)]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::app::{Tiptop, TiptopOptions};
@@ -95,9 +114,8 @@ mod tests {
     use tiptop_machine::time::SimDuration;
 
     fn world_with_spinner() -> (Kernel, Pid) {
-        let mut k = Kernel::new(
-            KernelConfig::new(MachineConfig::nehalem_w3550().noiseless()).seed(9),
-        );
+        let mut k =
+            Kernel::new(KernelConfig::new(MachineConfig::nehalem_w3550().noiseless()).seed(9));
         k.add_user(Uid(1), "user1");
         let pid = k.spawn(SpawnSpec::new(
             "spin",

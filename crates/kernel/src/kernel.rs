@@ -35,7 +35,11 @@ pub struct KernelConfig {
 
 impl KernelConfig {
     pub fn new(machine: MachineConfig) -> Self {
-        KernelConfig { machine, epoch: SimDuration::from_millis(20), seed: 0 }
+        KernelConfig {
+            machine,
+            epoch: SimDuration::from_millis(20),
+            seed: 0,
+        }
     }
 
     pub fn epoch(mut self, e: SimDuration) -> Self {
@@ -56,6 +60,7 @@ impl KernelConfig {
 pub struct ExitRecord {
     pub pid: Pid,
     pub comm: String,
+    pub uid: Uid,
     pub start_time: SimTime,
     pub end_time: SimTime,
     pub utime: SimDuration,
@@ -132,6 +137,12 @@ impl Kernel {
         self.exited.get(&pid)
     }
 
+    /// All tombstones, ascending by pid. Lets observers report tasks that
+    /// spawned *and* exited between two of their samples.
+    pub fn exit_records(&self) -> impl Iterator<Item = &ExitRecord> {
+        self.exited.values()
+    }
+
     // ------------------------------------------------------------------
     // User management
     // ------------------------------------------------------------------
@@ -143,7 +154,10 @@ impl Kernel {
 
     /// `/etc/passwd` lookup; unknown uids render as their number.
     pub fn username(&self, uid: Uid) -> String {
-        self.users.get(&uid).cloned().unwrap_or_else(|| uid.0.to_string())
+        self.users
+            .get(&uid)
+            .cloned()
+            .unwrap_or_else(|| uid.0.to_string())
     }
 
     // ------------------------------------------------------------------
@@ -175,6 +189,14 @@ impl Kernel {
         let task = self.tasks.get_mut(&pid).ok_or(Errno::ESRCH)?;
         task.state = TaskState::Zombie;
         task.end_time = Some(self.now);
+        Ok(())
+    }
+
+    /// Change a task's nice level (`renice`-style), clamped to the Linux
+    /// range. Takes effect from the next scheduler epoch.
+    pub fn renice(&mut self, pid: Pid, nice: i32) -> Result<(), Errno> {
+        let task = self.tasks.get_mut(&pid).ok_or(Errno::ESRCH)?;
+        task.nice = nice.clamp(-20, 19);
         Ok(())
     }
 
@@ -233,8 +255,11 @@ impl Kernel {
         if !observer.is_root() && observer != task.uid {
             return Err(Errno::EACCES);
         }
-        let open_by_observer =
-            self.counters.values().filter(|c| c.owner == observer).count();
+        let open_by_observer = self
+            .counters
+            .values()
+            .filter(|c| c.owner == observer)
+            .count();
         if open_by_observer >= MAX_FDS_PER_OBSERVER {
             return Err(Errno::EMFILE);
         }
@@ -283,7 +308,10 @@ impl Kernel {
 
     /// Open fds held by an observer (for leak assertions in tests).
     pub fn open_fds(&self, observer: Uid) -> usize {
-        self.counters.values().filter(|c| c.owner == observer).count()
+        self.counters
+            .values()
+            .filter(|c| c.owner == observer)
+            .count()
     }
 
     // ------------------------------------------------------------------
@@ -358,7 +386,9 @@ impl Kernel {
                 }
                 let task = self.tasks.get_mut(&pid).expect("planned task exists");
                 match task.cursor.step(&task.program) {
-                    NextWork::Compute { remaining: insns, .. } => {
+                    NextWork::Compute {
+                        remaining: insns, ..
+                    } => {
                         runnable_now.push((pid, insns));
                     }
                     NextWork::Sleep { duration } => {
@@ -396,13 +426,18 @@ impl Kernel {
                 .collect();
             {
                 let mut requests: Vec<SliceRequest<'_>> = Vec::with_capacity(borrowed.len());
-                for ((pid, task), (_, phase_insns)) in
-                    borrowed.iter_mut().zip(runnable_now.iter())
+                for ((pid, task), (_, phase_insns)) in borrowed.iter_mut().zip(runnable_now.iter())
                 {
                     // Destructure to borrow disjoint fields: the profile
                     // borrows `program` (via the cursor), the stream is a
                     // separate field.
-                    let Task { program, cursor, stream, cpi_hint, .. } = task;
+                    let Task {
+                        program,
+                        cursor,
+                        stream,
+                        cpi_hint,
+                        ..
+                    } = task;
                     let profile = match cursor.step(program) {
                         NextWork::Compute { profile, .. } => profile,
                         _ => unreachable!("filtered to compute work above"),
@@ -427,7 +462,10 @@ impl Kernel {
                     task.last_pu = Some(pu_of[&*pid]);
                     let rem = remaining.get_mut(pid).unwrap();
                     *rem = rem.saturating_sub(outcome.cycles.max(1));
-                    epoch_delta.entry(*pid).or_default().accumulate(&outcome.events);
+                    epoch_delta
+                        .entry(*pid)
+                        .or_default()
+                        .accumulate(&outcome.events);
                 }
             }
             for (pid, task) in borrowed {
@@ -465,6 +503,7 @@ impl Kernel {
                 ExitRecord {
                     pid,
                     comm: t.comm,
+                    uid: t.uid,
                     start_time: t.start_time,
                     end_time: t.end_time.unwrap_or(epoch_end),
                     utime: t.utime,
@@ -514,8 +553,7 @@ impl Kernel {
             }
         }
         programmable.sort_by_key(|e| e.index());
-        let active =
-            multiplex_active(&programmable, pmu.programmable_counters, self.epoch_index);
+        let active = multiplex_active(&programmable, pmu.programmable_counters, self.epoch_index);
 
         for c in self.counters.values_mut() {
             if c.task != pid || !c.enabled {

@@ -82,9 +82,7 @@ mod kernel_tests {
     use tiptop_machine::pmu::HwEvent;
 
     fn kernel() -> Kernel {
-        Kernel::new(
-            KernelConfig::new(MachineConfig::nehalem_w3550().noiseless()).seed(42),
-        )
+        Kernel::new(KernelConfig::new(MachineConfig::nehalem_w3550().noiseless()).seed(42))
     }
 
     fn spin_profile() -> ExecProfile {
@@ -98,11 +96,18 @@ mod kernel_tests {
     #[test]
     fn cpu_bound_task_accrues_full_utime() {
         let mut k = kernel();
-        let pid = k.spawn(SpawnSpec::new("spin", Uid(1), Program::endless(spin_profile())));
+        let pid = k.spawn(SpawnSpec::new(
+            "spin",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
         k.advance(SimDuration::from_secs(2));
         let st = k.stat(pid).unwrap();
         let frac = st.cpu_time().as_secs_f64() / 2.0;
-        assert!(frac > 0.99, "CPU-bound task should be ~100% CPU, got {frac}");
+        assert!(
+            frac > 0.99,
+            "CPU-bound task should be ~100% CPU, got {frac}"
+        );
     }
 
     #[test]
@@ -185,9 +190,18 @@ mod kernel_tests {
     #[test]
     fn perf_counts_cycles_and_instructions() {
         let mut k = kernel();
-        let pid = k.spawn(SpawnSpec::new("spin", Uid(1), Program::endless(spin_profile())));
+        let pid = k.spawn(SpawnSpec::new(
+            "spin",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
         let cy = k
-            .perf_event_open(&PerfEventAttr::generic(GenericEvent::CpuCycles), pid, -1, Uid(1))
+            .perf_event_open(
+                &PerfEventAttr::generic(GenericEvent::CpuCycles),
+                pid,
+                -1,
+                Uid(1),
+            )
             .unwrap();
         let insn = k
             .perf_event_open(
@@ -209,7 +223,10 @@ mod kernel_tests {
         );
         let ipc = insns.value as f64 / got;
         assert!((1.1..1.4).contains(&ipc), "IPC {ipc} should be ~1.25");
-        assert_eq!(cycles.time_enabled, cycles.time_running, "no multiplexing here");
+        assert_eq!(
+            cycles.time_enabled, cycles.time_running,
+            "no multiplexing here"
+        );
     }
 
     #[test]
@@ -217,7 +234,11 @@ mod kernel_tests {
         // Paper §2.2: "only events that occur after the start of tiptop are
         // observed".
         let mut k = kernel();
-        let pid = k.spawn(SpawnSpec::new("spin", Uid(1), Program::endless(spin_profile())));
+        let pid = k.spawn(SpawnSpec::new(
+            "spin",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
         k.advance(SimDuration::from_secs(1));
         let fd = k
             .perf_event_open(
@@ -234,25 +255,48 @@ mod kernel_tests {
             counted < truth * 6 / 10,
             "attached halfway: counted {counted} must be well below lifetime {truth}"
         );
-        assert!(counted > truth * 4 / 10, "but roughly half of it: {counted} vs {truth}");
+        assert!(
+            counted > truth * 4 / 10,
+            "but roughly half of it: {counted} vs {truth}"
+        );
     }
 
     #[test]
     fn permission_denied_for_other_users() {
         let mut k = kernel();
-        let pid = k.spawn(SpawnSpec::new("mine", Uid(1000), Program::endless(spin_profile())));
+        let pid = k.spawn(SpawnSpec::new(
+            "mine",
+            Uid(1000),
+            Program::endless(spin_profile()),
+        ));
         let attr = PerfEventAttr::generic(GenericEvent::CpuCycles);
-        assert_eq!(k.perf_event_open(&attr, pid, -1, Uid(2000)).unwrap_err(), Errno::EACCES);
-        assert!(k.perf_event_open(&attr, pid, -1, Uid(1000)).is_ok(), "owner may");
-        assert!(k.perf_event_open(&attr, pid, -1, Uid::ROOT).is_ok(), "root may");
+        assert_eq!(
+            k.perf_event_open(&attr, pid, -1, Uid(2000)).unwrap_err(),
+            Errno::EACCES
+        );
+        assert!(
+            k.perf_event_open(&attr, pid, -1, Uid(1000)).is_ok(),
+            "owner may"
+        );
+        assert!(
+            k.perf_event_open(&attr, pid, -1, Uid::ROOT).is_ok(),
+            "root may"
+        );
     }
 
     #[test]
     fn perf_error_paths() {
         let mut k = kernel();
         let attr = PerfEventAttr::generic(GenericEvent::CpuCycles);
-        assert_eq!(k.perf_event_open(&attr, Pid(9999), -1, Uid(1)).unwrap_err(), Errno::ESRCH);
-        let pid = k.spawn(SpawnSpec::new("t", Uid(1), Program::endless(spin_profile())));
+        assert_eq!(
+            k.perf_event_open(&attr, Pid(9999), -1, Uid(1)).unwrap_err(),
+            Errno::ESRCH
+        );
+        let pid = k.spawn(SpawnSpec::new(
+            "t",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
         assert_eq!(
             k.perf_event_open(&attr, pid, 0, Uid(1)).unwrap_err(),
             Errno::EINVAL,
@@ -292,7 +336,11 @@ mod kernel_tests {
     #[test]
     fn disabled_counter_counts_nothing_until_enabled() {
         let mut k = kernel();
-        let pid = k.spawn(SpawnSpec::new("spin", Uid(1), Program::endless(spin_profile())));
+        let pid = k.spawn(SpawnSpec::new(
+            "spin",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
         let mut attr = PerfEventAttr::generic(GenericEvent::CpuCycles);
         attr.disabled = true;
         let fd = k.perf_event_open(&attr, pid, -1, Uid(1)).unwrap();
@@ -327,7 +375,8 @@ mod kernel_tests {
         let fds: Vec<PerfFd> = events
             .iter()
             .map(|&e| {
-                k.perf_event_open(&PerfEventAttr::raw(e), pid, -1, Uid(1)).unwrap()
+                k.perf_event_open(&PerfEventAttr::raw(e), pid, -1, Uid(1))
+                    .unwrap()
             })
             .collect();
         k.advance(SimDuration::from_secs(5));
@@ -365,7 +414,10 @@ mod kernel_tests {
             .perf_event_open(&PerfEventAttr::raw(HwEvent::FpAssists), pid, -1, Uid(1))
             .unwrap();
         k.advance(SimDuration::from_secs(1));
-        assert!(k.perf_read(fd).unwrap().value > 0, "FP_ASSIST must fire for x87 Inf/NaN");
+        assert!(
+            k.perf_read(fd).unwrap().value > 0,
+            "FP_ASSIST must fire for x87 Inf/NaN"
+        );
     }
 
     #[test]
@@ -382,12 +434,33 @@ mod kernel_tests {
     #[test]
     fn kill_removes_task() {
         let mut k = kernel();
-        let pid = k.spawn(SpawnSpec::new("victim", Uid(1), Program::endless(spin_profile())));
+        let pid = k.spawn(SpawnSpec::new(
+            "victim",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
         k.advance(SimDuration::from_millis(100));
         k.kill(pid).unwrap();
         k.advance(SimDuration::from_millis(100));
         assert!(!k.is_alive(pid));
         assert_eq!(k.kill(pid).unwrap_err(), Errno::ESRCH);
+    }
+
+    #[test]
+    fn renice_clamps_and_rejects_dead_tasks() {
+        let mut k = kernel();
+        let pid = k.spawn(SpawnSpec::new(
+            "n",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
+        k.renice(pid, -7).unwrap();
+        assert_eq!(k.stat(pid).unwrap().nice, -7);
+        k.renice(pid, 99).unwrap();
+        assert_eq!(k.stat(pid).unwrap().nice, 19, "clamped to Linux range");
+        k.kill(pid).unwrap();
+        k.advance(SimDuration::from_millis(100));
+        assert_eq!(k.renice(pid, 0).unwrap_err(), Errno::ESRCH);
     }
 
     #[test]
@@ -405,15 +478,21 @@ mod kernel_tests {
     #[test]
     fn threads_share_tgid_and_run_concurrently() {
         let mut k = kernel();
-        let main = k.spawn(SpawnSpec::new("app", Uid(1), Program::endless(spin_profile())));
-        let thr = k.spawn(
-            SpawnSpec::new("app", Uid(1), Program::endless(spin_profile())).thread_of(main),
-        );
+        let main = k.spawn(SpawnSpec::new(
+            "app",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
+        let thr = k
+            .spawn(SpawnSpec::new("app", Uid(1), Program::endless(spin_profile())).thread_of(main));
         k.advance(SimDuration::from_secs(1));
         let st_main = k.stat(main).unwrap();
         let st_thr = k.stat(thr).unwrap();
         assert_eq!(st_thr.tgid, main);
         assert_eq!(st_main.tgid, main);
-        assert!(st_thr.cpu_time().as_secs_f64() > 0.9, "thread runs on its own PU");
+        assert!(
+            st_thr.cpu_time().as_secs_f64() > 0.9,
+            "thread runs on its own PU"
+        );
     }
 }

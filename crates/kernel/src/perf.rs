@@ -70,7 +70,10 @@ pub struct PerfEventAttr {
 
 impl PerfEventAttr {
     pub fn counting(event: EventSel) -> Self {
-        PerfEventAttr { event, disabled: false }
+        PerfEventAttr {
+            event,
+            disabled: false,
+        }
     }
 
     pub fn generic(g: GenericEvent) -> Self {

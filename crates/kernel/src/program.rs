@@ -15,7 +15,10 @@ use tiptop_machine::time::SimDuration;
 #[derive(Clone, Debug)]
 pub enum Phase {
     /// Execute `instructions` instructions behaving like `profile`.
-    Compute { profile: ExecProfile, instructions: u64 },
+    Compute {
+        profile: ExecProfile,
+        instructions: u64,
+    },
     /// Block for a fixed duration (I/O, timer, idle loop in the interpreter).
     Sleep { duration: SimDuration },
 }
@@ -23,7 +26,10 @@ pub enum Phase {
 impl Phase {
     pub fn compute(profile: ExecProfile, instructions: u64) -> Phase {
         assert!(instructions > 0, "empty compute phase");
-        Phase::Compute { profile, instructions }
+        Phase::Compute {
+            profile,
+            instructions,
+        }
     }
 
     pub fn sleep(duration: SimDuration) -> Phase {
@@ -60,13 +66,19 @@ impl Program {
     /// A program that runs its phases once and exits.
     pub fn run_once(phases: Vec<Phase>) -> Program {
         assert!(!phases.is_empty(), "a program needs at least one phase");
-        Program { phases, continuation: Continuation::Exit }
+        Program {
+            phases,
+            continuation: Continuation::Exit,
+        }
     }
 
     /// A program that repeats its phases forever.
     pub fn looping(phases: Vec<Phase>) -> Program {
         assert!(!phases.is_empty(), "a program needs at least one phase");
-        Program { phases, continuation: Continuation::Loop }
+        Program {
+            phases,
+            continuation: Continuation::Loop,
+        }
     }
 
     /// Single-profile convenience: run `profile` for `instructions`, then exit.
@@ -107,7 +119,10 @@ pub struct ProgramCursor {
 #[derive(Debug)]
 pub enum NextWork<'a> {
     /// Run this profile for at most `remaining` instructions.
-    Compute { profile: &'a ExecProfile, remaining: u64 },
+    Compute {
+        profile: &'a ExecProfile,
+        remaining: u64,
+    },
     /// Sleep for this long (the cursor has already advanced past the phase).
     Sleep { duration: SimDuration },
     /// Program finished.
@@ -131,7 +146,10 @@ impl ProgramCursor {
                 }
             }
             match &program.phases[self.phase_idx] {
-                Phase::Compute { profile, instructions } => {
+                Phase::Compute {
+                    profile,
+                    instructions,
+                } => {
                     let remaining = instructions.saturating_sub(self.done_in_phase);
                     if remaining == 0 {
                         self.phase_idx += 1;

@@ -102,7 +102,10 @@ pub fn plan_epoch(topo: &Topology, runnable: &[SchedEntity]) -> EpochPlan {
     // Lowest vruntime first; ties on pid for determinism.
     let mut order: Vec<&SchedEntity> = runnable.iter().collect();
     order.sort_by(|a, b| {
-        a.vruntime.partial_cmp(&b.vruntime).unwrap().then_with(|| a.pid.cmp(&b.pid))
+        a.vruntime
+            .partial_cmp(&b.vruntime)
+            .unwrap()
+            .then_with(|| a.pid.cmp(&b.pid))
     });
 
     for ent in order {
@@ -128,10 +131,7 @@ fn choose_pu(
     // 1. Warm PU, if free and its core is not already busy with someone else
     //    (don't volunteer for SMT sharing just for warmth).
     if let Some(last) = ent.last_pu {
-        if last.0 < assignment.len()
-            && free_allowed(last)
-            && core_busy[topo.core_of(last).0] == 0
-        {
+        if last.0 < assignment.len() && free_allowed(last) && core_busy[topo.core_of(last).0] == 0 {
             return Some(last);
         }
     }
@@ -248,7 +248,11 @@ mod tests {
         let mut b = ent(2, 1.0);
         b.affinity = CpuSet::single(PuId(3));
         let plan = plan_epoch(&t, &[a, b]);
-        assert_eq!(plan.assignment[3], Some(Pid(1)), "lower vruntime wins the pin");
+        assert_eq!(
+            plan.assignment[3],
+            Some(Pid(1)),
+            "lower vruntime wins the pin"
+        );
         assert_eq!(plan.num_running(), 1, "loser cannot run elsewhere");
     }
 

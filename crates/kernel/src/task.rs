@@ -186,10 +186,7 @@ mod tests {
 
     #[test]
     fn spawn_spec_builder() {
-        let prog = Program::run_once(vec![Phase::compute(
-            ExecProfile::builder("x").build(),
-            100,
-        )]);
+        let prog = Program::run_once(vec![Phase::compute(ExecProfile::builder("x").build(), 100)]);
         let spec = SpawnSpec::new("worker", Uid(1000), prog)
             .nice(5)
             .affinity(CpuSet::single(PuId(2)))

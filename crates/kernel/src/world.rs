@@ -23,11 +23,15 @@ pub struct World {
 
 impl World {
     pub fn new(cfg: KernelConfig) -> Self {
-        World { inner: Arc::new(RwLock::new(Kernel::new(cfg))) }
+        World {
+            inner: Arc::new(RwLock::new(Kernel::new(cfg))),
+        }
     }
 
     pub fn from_kernel(kernel: Kernel) -> Self {
-        World { inner: Arc::new(RwLock::new(kernel)) }
+        World {
+            inner: Arc::new(RwLock::new(kernel)),
+        }
     }
 
     /// Run `f` with exclusive access to the kernel.

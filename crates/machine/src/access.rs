@@ -39,7 +39,11 @@ impl WorkingSetTier {
     pub fn new(bytes: u64, weight: f64, pattern: AccessPattern) -> Self {
         assert!(bytes >= 64, "tier smaller than a cache line");
         assert!(weight > 0.0, "tier weight must be positive");
-        WorkingSetTier { bytes, weight, pattern }
+        WorkingSetTier {
+            bytes,
+            weight,
+            pattern,
+        }
     }
 }
 
@@ -89,7 +93,11 @@ impl MemoryBehavior {
 
     /// Pure streaming over `bytes`.
     pub fn streaming(bytes: u64) -> Self {
-        MemoryBehavior::new(vec![WorkingSetTier::new(bytes, 1.0, AccessPattern::Sequential)])
+        MemoryBehavior::new(vec![WorkingSetTier::new(
+            bytes,
+            1.0,
+            AccessPattern::Sequential,
+        )])
     }
 
     pub fn tiers(&self) -> &[WorkingSetTier] {
@@ -102,7 +110,10 @@ impl MemoryBehavior {
     }
 
     fn pick_tier(&self, u: f64) -> usize {
-        self.cdf.iter().position(|&c| u <= c).unwrap_or(self.tiers.len() - 1)
+        self.cdf
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(self.tiers.len() - 1)
     }
 }
 

@@ -27,7 +27,11 @@ pub struct CacheGeometry {
 impl CacheGeometry {
     /// Convenience constructor with sizes in KiB.
     pub fn kib(size_kib: u64, ways: u32, line_bytes: u32) -> Self {
-        CacheGeometry { size_bytes: size_kib * 1024, ways, line_bytes }
+        CacheGeometry {
+            size_bytes: size_kib * 1024,
+            ways,
+            line_bytes,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -39,11 +43,17 @@ impl CacheGeometry {
     /// Panics if the geometry is degenerate (zero ways/line, a non-power-of-
     /// two line size, or capacity not a multiple of `ways * line_bytes`).
     pub fn num_sets(&self) -> u64 {
-        assert!(self.ways > 0 && self.line_bytes > 0, "degenerate cache geometry");
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.ways > 0 && self.line_bytes > 0,
+            "degenerate cache geometry"
+        );
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let per_set = self.ways as u64 * self.line_bytes as u64;
         assert!(
-            self.size_bytes % per_set == 0,
+            self.size_bytes.is_multiple_of(per_set),
             "capacity {} not a multiple of ways*line {}",
             self.size_bytes,
             per_set
@@ -191,7 +201,11 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 4 sets × 2 ways × 64 B lines = 512 B.
-        SetAssocCache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 })
+        SetAssocCache::new(CacheGeometry {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -204,7 +218,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "not a multiple")]
     fn bad_geometry_panics() {
-        CacheGeometry { size_bytes: 1000, ways: 2, line_bytes: 64 }.num_sets();
+        CacheGeometry {
+            size_bytes: 1000,
+            ways: 2,
+            line_bytes: 64,
+        }
+        .num_sets();
     }
 
     #[test]
@@ -228,6 +247,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // 0 * 64 spells out the line-address arithmetic
     fn lru_evicts_least_recent() {
         let mut c = tiny();
         // Three lines mapping to set 0: line addresses 0, 4, 8 (set = line & 3).
@@ -273,6 +293,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // `asid | 0` spells out the tag composition
     fn distinct_address_spaces_conflict_not_alias() {
         let mut c = tiny();
         let asid0 = 0u64 << 40;

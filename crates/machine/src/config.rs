@@ -47,11 +47,19 @@ pub struct AssistTriggers {
 
 impl AssistTriggers {
     pub fn nehalem() -> Self {
-        AssistTriggers { x87_nonfinite: true, sse_nonfinite: false, denormal: true }
+        AssistTriggers {
+            x87_nonfinite: true,
+            sse_nonfinite: false,
+            denormal: true,
+        }
     }
 
     pub fn none() -> Self {
-        AssistTriggers { x87_nonfinite: false, sse_nonfinite: false, denormal: false }
+        AssistTriggers {
+            x87_nonfinite: false,
+            sse_nonfinite: false,
+            denormal: false,
+        }
     }
 }
 
@@ -154,7 +162,10 @@ impl UarchParams {
             fp_assist_cost: 200.0,
             assists: AssistTriggers::nehalem(),
             smt_share: 1.0,
-            pmu: PmuCapabilities { fixed_counters: 3, programmable_counters: 2 },
+            pmu: PmuCapabilities {
+                fixed_counters: 3,
+                programmable_counters: 2,
+            },
         }
     }
 
@@ -176,7 +187,10 @@ impl UarchParams {
             fp_assist_cost: 0.0,
             assists: AssistTriggers::none(),
             smt_share: 1.0,
-            pmu: PmuCapabilities { fixed_counters: 1, programmable_counters: 6 },
+            pmu: PmuCapabilities {
+                fixed_counters: 1,
+                programmable_counters: 6,
+            },
         }
     }
 
@@ -314,7 +328,10 @@ mod tests {
         let p = UarchParams::nehalem();
         let slow_ipc = 4.0 / (3.0 + p.fp_assist_cost);
         let slowdown = 1.33 / slow_ipc;
-        assert!((80.0..95.0).contains(&slowdown), "slowdown {slowdown} should be ≈87×");
+        assert!(
+            (80.0..95.0).contains(&slowdown),
+            "slowdown {slowdown} should be ≈87×"
+        );
     }
 
     #[test]

@@ -218,7 +218,11 @@ mod tests {
 
     #[test]
     fn outcome_ipc() {
-        let o = ExecOutcome { cycles: 200, instructions: 300, events: EventCounts::ZERO };
+        let o = ExecOutcome {
+            cycles: 200,
+            instructions: 300,
+            events: EventCounts::ZERO,
+        };
         assert!((o.ipc() - 1.5).abs() < 1e-12);
         let z = ExecOutcome::default();
         assert_eq!(z.ipc(), 0.0);

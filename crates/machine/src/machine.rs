@@ -38,7 +38,14 @@ pub struct SliceRequest<'a> {
 
 impl<'a> SliceRequest<'a> {
     pub fn new(pu: PuId, profile: &'a ExecProfile, stream: &'a mut TaskStream) -> Self {
-        SliceRequest { pu, profile, stream, cycles: 0, max_instructions: None, cpi_hint: 0.0 }
+        SliceRequest {
+            pu,
+            profile,
+            stream,
+            cycles: 0,
+            max_instructions: None,
+            cpi_hint: 0.0,
+        }
     }
 
     pub fn cycles(mut self, c: u64) -> Self {
@@ -82,9 +89,15 @@ impl Machine {
         let cores = cfg.topology.num_cores();
         let sockets = cfg.topology.sockets();
         Machine {
-            l1: (0..cores).map(|_| SetAssocCache::new(cfg.uarch.l1d)).collect(),
-            l2: (0..cores).map(|_| SetAssocCache::new(cfg.uarch.l2)).collect(),
-            l3: (0..sockets).map(|_| SetAssocCache::new(cfg.uarch.l3)).collect(),
+            l1: (0..cores)
+                .map(|_| SetAssocCache::new(cfg.uarch.l1d))
+                .collect(),
+            l2: (0..cores)
+                .map(|_| SetAssocCache::new(cfg.uarch.l2))
+                .collect(),
+            l3: (0..sockets)
+                .map(|_| SetAssocCache::new(cfg.uarch.l3))
+                .collect(),
             noise_rng: SmallRng::seed_from_u64(seed ^ 0x6d61_6368_696e_6531),
             cfg,
             epochs_executed: 0,
@@ -102,7 +115,9 @@ impl Machine {
     /// hwloc-style rendering (the paper's Fig 11 (c)).
     pub fn render_topology(&self) -> String {
         let u = &self.cfg.uarch;
-        self.cfg.topology.render(u.l1d.size_kib(), u.l2.size_kib(), u.l3.size_kib())
+        self.cfg
+            .topology
+            .render(u.l1d.size_kib(), u.l2.size_kib(), u.l3.size_kib())
     }
 
     pub fn epochs_executed(&self) -> u64 {
@@ -118,7 +133,12 @@ impl Machine {
     /// Drop all cache contents (used between independent experiments sharing
     /// one machine).
     pub fn flush_caches(&mut self) {
-        for c in self.l1.iter_mut().chain(self.l2.iter_mut()).chain(self.l3.iter_mut()) {
+        for c in self
+            .l1
+            .iter_mut()
+            .chain(self.l2.iter_mut())
+            .chain(self.l3.iter_mut())
+        {
             c.flush();
         }
     }
@@ -168,7 +188,11 @@ impl Machine {
             }
 
             let apc = p.accesses_per_insn();
-            let avg_penalty = if st.sampled > 0 { st.penalty_sum / st.sampled as f64 } else { 0.0 };
+            let avg_penalty = if st.sampled > 0 {
+                st.penalty_sum / st.sampled as f64
+            } else {
+                0.0
+            };
             let mem_cpi = apc * avg_penalty / p.mlp.max(0.25);
             let branch_cpi = p.branches_per_insn * p.branch_miss_rate * u.branch_penalty;
             let assist_frac = assist_fraction(p, &u.assists);
@@ -220,7 +244,11 @@ impl Machine {
         let weights: Vec<f64> = slices
             .iter()
             .map(|s| {
-                let cpi = if s.cpi_hint > 0.0 { s.cpi_hint } else { s.profile.base_cpi.max(0.1) };
+                let cpi = if s.cpi_hint > 0.0 {
+                    s.cpi_hint
+                } else {
+                    s.profile.base_cpi.max(0.1)
+                };
                 let apc = s.profile.accesses_per_insn();
                 (s.cycles as f64 / cpi * apc).max(0.0)
             })
@@ -330,8 +358,13 @@ fn build_outcome(
     mem_cpi: f64,
 ) -> ExecOutcome {
     let insn_f = instructions as f64;
-    let rate =
-        |num: u64| if st.sampled == 0 { 0.0 } else { num as f64 / st.sampled as f64 };
+    let rate = |num: u64| {
+        if st.sampled == 0 {
+            0.0
+        } else {
+            num as f64 / st.sampled as f64
+        }
+    };
     let accesses = p.accesses_per_insn() * insn_f;
 
     let mut ev = EventCounts::ZERO;
@@ -362,11 +395,21 @@ fn build_outcome(
 
     let fp = (p.fp_per_insn * insn_f).round() as u64;
     ev.set(HwEvent::FpOps, fp);
-    ev.set(HwEvent::FpAssists, ((assist_frac * fp as f64).round() as u64).min(fp));
+    ev.set(
+        HwEvent::FpAssists,
+        ((assist_frac * fp as f64).round() as u64).min(fp),
+    );
 
-    ev.set(HwEvent::StallCyclesMem, ((mem_cpi * insn_f).round() as u64).min(cycles));
+    ev.set(
+        HwEvent::StallCyclesMem,
+        ((mem_cpi * insn_f).round() as u64).min(cycles),
+    );
 
-    ExecOutcome { cycles, instructions, events: ev }
+    ExecOutcome {
+        cycles,
+        instructions,
+        events: ev,
+    }
 }
 
 #[cfg(test)]
@@ -397,8 +440,7 @@ mod tests {
     fn run_alone(m: &mut Machine, pu: usize, profile: &ExecProfile, cycles: u64) -> ExecOutcome {
         let mut stream = TaskStream::new(pu as u64 + 1, 1234 + pu as u64);
         for _ in 0..warm_epochs(m, profile.mem.footprint(), 1) {
-            let mut req =
-                [SliceRequest::new(PuId(pu), profile, &mut stream).cycles(cycles)];
+            let mut req = [SliceRequest::new(PuId(pu), profile, &mut stream).cycles(cycles)];
             m.execute_epoch(&mut req);
         }
         let mut req = [SliceRequest::new(PuId(pu), profile, &mut stream).cycles(cycles)];
@@ -437,9 +479,7 @@ mod tests {
             medium.ipc(),
             huge.ipc()
         );
-        assert!(
-            huge.events.get(HwEvent::CacheMisses) > medium.events.get(HwEvent::CacheMisses)
-        );
+        assert!(huge.events.get(HwEvent::CacheMisses) > medium.events.get(HwEvent::CacheMisses));
     }
 
     #[test]
@@ -447,12 +487,20 @@ mod tests {
         let mut m = machine();
         let p = small_profile("capped", 16 << 10);
         let mut stream = TaskStream::new(1, 5);
-        let mut req =
-            [SliceRequest::new(PuId(0), &p, &mut stream).cycles(1_000_000).max_instructions(1000)];
+        let mut req = [SliceRequest::new(PuId(0), &p, &mut stream)
+            .cycles(1_000_000)
+            .max_instructions(1000)];
         let o = m.execute_epoch(&mut req)[0];
         assert_eq!(o.instructions, 1000);
-        assert!(o.cycles < 1_000_000, "cycles {} should shrink with the cap", o.cycles);
-        assert!(o.cycles >= 500, "1000 insns can't take fewer than min_cpi cycles");
+        assert!(
+            o.cycles < 1_000_000,
+            "cycles {} should shrink with the cap",
+            o.cycles
+        );
+        assert!(
+            o.cycles >= 500,
+            "1000 insns can't take fewer than min_cpi cycles"
+        );
     }
 
     #[test]
@@ -505,7 +553,10 @@ mod tests {
         ];
         let both = m.execute_epoch(&mut reqs);
         let ratio = both[0].ipc() / alone.ipc();
-        assert!(ratio > 0.95, "no SMT penalty across cores, got ratio {ratio}");
+        assert!(
+            ratio > 0.95,
+            "no SMT penalty across cores, got ratio {ratio}"
+        );
     }
 
     #[test]
@@ -548,7 +599,10 @@ mod tests {
             pair_missrate > solo_missrate * 1.5,
             "shared-L3 thrash: pair LLC missrate {pair_missrate} vs solo {solo_missrate}"
         );
-        assert!(both[0].ipc() < alone.ipc() * 0.97, "co-runner must cost IPC");
+        assert!(
+            both[0].ipc() < alone.ipc() * 0.97,
+            "co-runner must cost IPC"
+        );
     }
 
     #[test]
@@ -590,7 +644,11 @@ mod tests {
             .build();
         let o = run_alone(&mut m, 0, &p, 10_000_000);
         assert_eq!(o.events.get(HwEvent::FpAssists), 0);
-        assert!(o.ipc() > 0.9, "PPC970 IPC should be unaffected, got {}", o.ipc());
+        assert!(
+            o.ipc() > 0.9,
+            "PPC970 IPC should be unaffected, got {}",
+            o.ipc()
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl HwEvent {
     /// multiplexed), mirroring the Intel fixed counters for instructions
     /// retired / core cycles / reference cycles.
     pub fn is_fixed(self) -> bool {
-        matches!(self, HwEvent::Cycles | HwEvent::Instructions | HwEvent::RefCycles)
+        matches!(
+            self,
+            HwEvent::Cycles | HwEvent::Instructions | HwEvent::RefCycles
+        )
     }
 }
 
@@ -211,18 +214,27 @@ pub struct PmuCapabilities {
 impl PmuCapabilities {
     /// Nehalem-style PMU: 3 fixed + 4 programmable.
     pub fn nehalem() -> Self {
-        PmuCapabilities { fixed_counters: 3, programmable_counters: 4 }
+        PmuCapabilities {
+            fixed_counters: 3,
+            programmable_counters: 4,
+        }
     }
 
     /// The paper reports the Xeon W3550 supports "up to sixteen simultaneous
     /// events"; modelled as 3 fixed + 13 programmable.
     pub fn nehalem_wide() -> Self {
-        PmuCapabilities { fixed_counters: 3, programmable_counters: 13 }
+        PmuCapabilities {
+            fixed_counters: 3,
+            programmable_counters: 13,
+        }
     }
 
     /// Older machines "used to have only a few counters" (§2.6).
     pub fn legacy(programmable: usize) -> Self {
-        PmuCapabilities { fixed_counters: 0, programmable_counters: programmable }
+        PmuCapabilities {
+            fixed_counters: 0,
+            programmable_counters: programmable,
+        }
     }
 }
 

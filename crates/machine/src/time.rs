@@ -209,7 +209,10 @@ mod tests {
     fn time_arithmetic_roundtrips() {
         let t = SimTime::from_secs(3) + SimDuration::from_millis(250);
         assert_eq!(t.as_nanos(), 3_250_000_000);
-        assert_eq!(t.since(SimTime::from_secs(3)), SimDuration::from_millis(250));
+        assert_eq!(
+            t.since(SimTime::from_secs(3)),
+            SimDuration::from_millis(250)
+        );
         assert_eq!(t - SimTime::from_secs(1), SimDuration(2_250_000_000));
     }
 

@@ -41,7 +41,12 @@ impl Topology {
     pub fn new(sockets: usize, cores_per_socket: usize, smt: usize, memory_mb: u64) -> Self {
         assert!(sockets > 0 && cores_per_socket > 0, "empty topology");
         assert!((1..=2).contains(&smt), "smt must be 1 or 2");
-        Topology { sockets, cores_per_socket, smt, memory_mb }
+        Topology {
+            sockets,
+            cores_per_socket,
+            smt,
+            memory_mb,
+        }
     }
 
     pub fn sockets(&self) -> usize {
@@ -94,7 +99,9 @@ impl Topology {
     /// All PUs hosted by `core`, in increasing order.
     pub fn pus_of_core(&self, core: CoreId) -> Vec<PuId> {
         assert!(core.0 < self.num_cores(), "core {} out of range", core.0);
-        (0..self.smt).map(|t| PuId(core.0 + t * self.num_cores())).collect()
+        (0..self.smt)
+            .map(|t| PuId(core.0 + t * self.num_cores()))
+            .collect()
     }
 
     /// The SMT sibling of `pu`, if the machine has SMT.
@@ -103,7 +110,11 @@ impl Topology {
             return None;
         }
         let n = self.num_cores();
-        Some(if pu.0 < n { PuId(pu.0 + n) } else { PuId(pu.0 - n) })
+        Some(if pu.0 < n {
+            PuId(pu.0 + n)
+        } else {
+            PuId(pu.0 - n)
+        })
     }
 
     /// Iterate over all PU ids.
@@ -129,8 +140,11 @@ impl Topology {
             let _ = writeln!(out, "    L3 ({l3_kb}KB)");
             for c in 0..self.cores_per_socket {
                 let core = CoreId(s * self.cores_per_socket + c);
-                let pus: Vec<String> =
-                    self.pus_of_core(core).iter().map(|p| format!("PU#{}", p.0)).collect();
+                let pus: Vec<String> = self
+                    .pus_of_core(core)
+                    .iter()
+                    .map(|p| format!("PU#{}", p.0))
+                    .collect();
                 let _ = writeln!(
                     out,
                     "    L2 ({l2_kb}KB)  L1 ({l1_kb}KB)  Core#{}  {}",

@@ -64,10 +64,12 @@ int main(int argc, char *argv[]) {
 }"#;
 
 /// The paper's Figure 5: the x87 loop body emitted by `gcc -mfpmath=387`.
-pub const FP_MICRO_ASM_X87: &str = ".L16:\n    addq  $1, %rax\n    fadd  %st, %st(1)\n    cmpq  %rbx, %rax\n    jne   .L16";
+pub const FP_MICRO_ASM_X87: &str =
+    ".L16:\n    addq  $1, %rax\n    fadd  %st, %st(1)\n    cmpq  %rbx, %rax\n    jne   .L16";
 
 /// The paper's Figure 5: the SSE loop body emitted by `gcc -mfpmath=sse`.
-pub const FP_MICRO_ASM_SSE: &str = ".L16:\n    addq  $1, %rax\n    addsd %xmm1, %xmm0\n    cmpq  %rbx, %rax\n    jne   .L16";
+pub const FP_MICRO_ASM_SSE: &str =
+    ".L16:\n    addq  $1, %rax\n    addsd %xmm1, %xmm0\n    cmpq  %rbx, %rax\n    jne   .L16";
 
 /// Instructions per loop iteration (see the assembly above).
 pub const FP_MICRO_INSNS_PER_ITER: u64 = 4;
@@ -103,7 +105,10 @@ pub fn fp_micro_profile(unit: FpUnit, init: FpInit) -> ExecProfile {
 
 /// A complete program executing `iterations` loop iterations.
 pub fn fp_micro_program(unit: FpUnit, init: FpInit, iterations: u64) -> Program {
-    Program::single(fp_micro_profile(unit, init), iterations * FP_MICRO_INSNS_PER_ITER)
+    Program::single(
+        fp_micro_profile(unit, init),
+        iterations * FP_MICRO_INSNS_PER_ITER,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -201,9 +206,16 @@ mod tests {
 
     #[test]
     fn native_semantics_match_ieee754() {
-        assert_eq!(run_native(FpInit::Finite, 1000), 0.0, "(-1 + 1) summed is 0");
+        assert_eq!(
+            run_native(FpInit::Finite, 1000),
+            0.0,
+            "(-1 + 1) summed is 0"
+        );
         assert_eq!(run_native(FpInit::Infinite, 10), f64::INFINITY);
-        assert!(run_native(FpInit::Nan, 10).is_nan(), "-inf + inf must be NaN");
+        assert!(
+            run_native(FpInit::Nan, 10).is_nan(),
+            "-inf + inf must be NaN"
+        );
     }
 
     #[test]

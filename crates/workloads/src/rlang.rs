@@ -127,7 +127,7 @@ impl EvolutionAlgorithm {
         // Brief "pulses" in the collapsed region (visible in Fig 3 (a)):
         // every so often a step does interpreter housekeeping (GC, I/O
         // bookkeeping) with little FP.
-        let housekeeping = step % 41 == 0;
+        let housekeeping = step.is_multiple_of(41);
         let fp = if housekeeping { 0.02 } else { 0.13 };
         ExecProfile::builder(format!("r-step{step}"))
             .base_cpi(0.86)
@@ -155,8 +155,7 @@ impl EvolutionAlgorithm {
             .enumerate()
             .map(|(step, &frac)| {
                 let shrink = (1.0 - frac) + frac / self.nan_work_factor;
-                let insns =
-                    ((self.instructions_per_step as f64 * shrink) as u64).max(1000);
+                let insns = ((self.instructions_per_step as f64 * shrink) as u64).max(1000);
                 Phase::compute(self.step_profile(step, frac), insns)
             })
             .collect();
@@ -197,7 +196,10 @@ mod tests {
         let a = small(false);
         let trace = a.nonfinite_trace();
         let last = *trace.last().unwrap();
-        assert!(last > 0.95, "matrix should end almost fully non-finite, got {last}");
+        assert!(
+            last > 0.95,
+            "matrix should end almost fully non-finite, got {last}"
+        );
         // Monotone-ish: once diverged, never recovers.
         let d = a.divergence_step().unwrap();
         assert!(trace[d + 50] > trace[d] * 0.9);

@@ -241,7 +241,10 @@ fn astar(s: f64) -> Program {
     let mut phases = Vec::new();
     for (i, len) in [30.0, 40.0, 55.0, 70.0].iter().enumerate() {
         phases.push(Phase::compute(build.clone(), gi(len * 0.45, s)));
-        phases.push(Phase::compute(search.clone(), gi(len * (0.55 + 0.05 * i as f64), s)));
+        phases.push(Phase::compute(
+            search.clone(),
+            gi(len * (0.55 + 0.05 * i as f64), s),
+        ));
     }
     Program::run_once(phases)
 }
@@ -336,8 +339,14 @@ fn h264ref(c: Compiler, s: f64) -> Program {
         Compiler::Icc => (1.60, 1.65, 270.0, 860.0),
     };
     Program::run_once(vec![
-        Phase::compute(cpu_profile(&format!("h264-enc1-{}", c.label()), ipc1, 0.05), gi(n1, s)),
-        Phase::compute(cpu_profile(&format!("h264-enc2-{}", c.label()), ipc2, 0.05), gi(n2, s)),
+        Phase::compute(
+            cpu_profile(&format!("h264-enc1-{}", c.label()), ipc1, 0.05),
+            gi(n1, s),
+        ),
+        Phase::compute(
+            cpu_profile(&format!("h264-enc2-{}", c.label()), ipc2, 0.05),
+            gi(n2, s),
+        ),
     ])
 }
 
@@ -406,10 +415,14 @@ mod tests {
         // The tier sizes are the load-bearing part of Fig 11 — pin them.
         let p = mcf_main_profile(0);
         let tiers = p.mem.tiers();
-        assert!(tiers[0].bytes > 128 * 1024 && tiers[0].bytes < 256 * 1024,
-            "hot tier must fit one L2 but not half of one");
-        assert!(tiers[1].bytes > 4 * 1024 * 1024 && tiers[1].bytes < 8 * 1024 * 1024,
-            "warm tier must fit one L3 but not two thirds of one");
+        assert!(
+            tiers[0].bytes > 128 * 1024 && tiers[0].bytes < 256 * 1024,
+            "hot tier must fit one L2 but not half of one"
+        );
+        assert!(
+            tiers[1].bytes > 4 * 1024 * 1024 && tiers[1].bytes < 8 * 1024 * 1024,
+            "warm tier must fit one L3 but not two thirds of one"
+        );
     }
 
     #[test]

@@ -9,11 +9,17 @@
 //! | [`machine`](tiptop_machine) | multicore CPU simulator: Nehalem/Core/PPC970 models, SMT topology, set-associative L1/L2/shared-L3 caches, per-hw-thread PMU events |
 //! | [`kernel`](tiptop_kernel) | OS layer: tasks, CFS-like scheduler with affinity, `/proc`, `perf_event_open`-style syscalls with multiplexing |
 //! | [`workloads`](tiptop_workloads) | SPEC CPU2006 stand-ins, the §3.1 diverging R program, micro-benchmarks, data-center job scripts |
-//! | [`core`](tiptop_core) | **tiptop itself**: collector, metric DSL, screens, live/batch rendering, baselines (`top`, Pin-style `inscount`) |
+//! | [`core`](tiptop_core) | **tiptop itself**: collector, metric DSL, screens, live/batch rendering, baselines (`top`, Pin-style `inscount`), and the `Scenario`/`Monitor` session API |
 //!
-//! See `examples/` for runnable walk-throughs of every use case in the
-//! paper, and the `tiptop-bench` crate for the harnesses that regenerate
-//! each table and figure.
+//! Experiments are declared with [`tiptop_core::scenario::Scenario`]
+//! (machine + users + timed spawn/kill/renice events) and driven through
+//! [`tiptop_core::scenario::Session`], which runs any set of
+//! [`tiptop_core::monitor::Monitor`]s — tiptop, `top`, and Pin-style
+//! `inscount` all implement it — over one live kernel.
+//!
+//! See `examples/quickstart.rs` for a runnable end-to-end tour, and the
+//! `tiptop-bench` crate for the harnesses that regenerate the paper's
+//! tables and figures.
 
 pub use tiptop_core as core;
 pub use tiptop_kernel as kernel;

@@ -1,0 +1,43 @@
+//! Offline stub for `parking_lot`: wraps `std::sync::RwLock` behind the
+//! poison-free `read()`/`write()` guard API. A poisoned lock (a panic while
+//! held) hands out the inner guard rather than an error, matching
+//! parking_lot's "no poisoning" semantics closely enough for the single
+//! consumer in this workspace (`tiptop_kernel::world::World`).
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RwLock;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let l = RwLock::new(5);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+}

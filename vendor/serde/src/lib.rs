@@ -1,0 +1,46 @@
+//! Offline stub for `serde`: just enough surface for this workspace.
+//!
+//! Types annotated `#[derive(Serialize, Deserialize)]` get marker impls
+//! whose methods panic if actually invoked — no code in this workspace
+//! serializes at runtime (the only serde-adjacent test formats via `Debug`).
+//! The manual `Freq` impls in `tiptop-machine` exercise `serialize_u64`
+//! and `u64::deserialize`, so those are real.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Output side of a serializer, reduced to what the workspace calls.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Input side of a deserializer, reduced to what the workspace calls.
+pub trait Deserializer<'de>: Sized {
+    type Error;
+
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+}
+
+/// Marker trait with a panicking default, so derived impls can be empty.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let _ = serializer;
+        unimplemented!("serde stub: runtime serialization is not available offline")
+    }
+}
+
+/// Marker trait with a panicking default, so derived impls can be empty.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let _ = deserializer;
+        unimplemented!("serde stub: runtime deserialization is not available offline")
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}

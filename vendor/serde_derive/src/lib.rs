@@ -1,0 +1,45 @@
+//! Offline stub for `serde_derive`: emits empty trait impls that lean on
+//! the default (panicking) methods of the stub `serde` traits. Supports
+//! non-generic structs and enums only — generic types fail loudly rather
+//! than silently mis-deriving.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("stub derive emits valid tokens")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("stub derive emits valid tokens")
+}
+
+/// Extract the type name following `struct`/`enum`, rejecting generics.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde stub derive: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.next() {
+                    if p.as_char() == '<' {
+                        panic!("serde stub derive: generic type {name} is unsupported");
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde stub derive: no struct/enum found in input")
+}
