@@ -1,0 +1,162 @@
+//! **Figure 3** — the §3.1 use case: a biologists' evolutionary algorithm
+//! in R whose matrices diverge to ±Inf/NaN. On Nehalem every x87 operation
+//! on a non-finite operand takes a ~264-cycle micro-code assist, so IPC
+//! collapses from ≈1 to ≈0.03 at the exact time step where the arithmetic
+//! diverges — while `%CPU` stays at 100. Clipping the matrices (the paper's
+//! fix) removes the collapse; on the PPC970, which has no assist behaviour,
+//! the same run never collapses (Fig 3 (d)).
+
+use tiptop_core::config::ScreenConfig;
+use tiptop_machine::config::MachineConfig;
+use tiptop_machine::time::SimDuration;
+use tiptop_workloads::rlang::EvolutionAlgorithm;
+
+use crate::experiments::drive_to_completion;
+use crate::report::{PanelSet, Series, TableReport};
+
+/// One monitored run of the evolutionary algorithm.
+pub struct EvolutionRun {
+    pub label: String,
+    pub clipped: bool,
+    /// Tiptop's IPC column over time.
+    pub ipc: Series,
+    /// Tiptop's `%ASS` column (FP assists per hundred instructions).
+    pub assists: Series,
+    /// First instant at which the tool sees assists firing (`None` when the
+    /// run never diverges — the clipped fix and the PPC970).
+    pub collapse_time: Option<f64>,
+    /// Total run time in simulated seconds.
+    pub wall: f64,
+}
+
+/// The three panels of the regenerated figure.
+pub struct Fig03Result {
+    pub runs: Vec<EvolutionRun>,
+    /// Time step at which the matrix first contains non-finite values
+    /// (property of the numerics, identical for both unclipped runs).
+    pub divergence_step: Option<usize>,
+    pub steps: usize,
+}
+
+/// Run the §3.1 scenario three ways: unclipped on Nehalem (the anomaly),
+/// clipped on Nehalem (the fix), unclipped on PPC970 (no assists, no
+/// collapse). `scale` compresses the per-step instruction budget (1.0 is
+/// the paper's ≈4.6 h run; tests use ~0.001).
+pub fn run(seed: u64, scale: f64) -> Fig03Result {
+    let unclipped = EvolutionAlgorithm::paper(false, scale);
+    let steps = unclipped.steps;
+    let divergence_step = unclipped.divergence_step();
+    let runs = vec![
+        run_one(
+            "Nehalem x87",
+            MachineConfig::nehalem_w3550(),
+            false,
+            scale,
+            seed,
+        ),
+        run_one(
+            "Nehalem x87 clipped",
+            MachineConfig::nehalem_w3550(),
+            true,
+            scale,
+            seed + 1,
+        ),
+        run_one(
+            "PPC970",
+            MachineConfig::ppc970_machine(),
+            false,
+            scale,
+            seed + 2,
+        ),
+    ];
+    Fig03Result {
+        runs,
+        divergence_step,
+        steps,
+    }
+}
+
+fn run_one(label: &str, machine: MachineConfig, clip: bool, scale: f64, seed: u64) -> EvolutionRun {
+    let algo = EvolutionAlgorithm::paper(clip, scale);
+    // The §3.1 screen: the author added the `%ASS` column to tiptop to trace
+    // IPC and FP assists simultaneously.
+    let r = drive_to_completion(
+        machine,
+        seed,
+        "R",
+        algo.program(),
+        ScreenConfig::fp_assist_screen(),
+        SimDuration::from_millis(500),
+    );
+    let ipc = r.series("IPC", format!("{label} IPC"));
+    let assists = r.series("%ASS", format!("{label} %ASS"));
+    let collapse_time = assists
+        .points
+        .iter()
+        .find(|(_, a)| *a > 1.0)
+        .map(|(t, _)| *t);
+    EvolutionRun {
+        label: label.to_string(),
+        clipped: clip,
+        ipc,
+        assists,
+        collapse_time,
+        wall: r.wall(),
+    }
+}
+
+impl Fig03Result {
+    pub fn run_for(&self, label: &str) -> &EvolutionRun {
+        self.runs
+            .iter()
+            .find(|r| r.label == label)
+            .expect("known run label")
+    }
+
+    /// The paper's headline: how much faster the whole run finishes once
+    /// the matrices are clipped (§3.1 reports 2.3×).
+    pub fn clip_speedup(&self) -> f64 {
+        self.run_for("Nehalem x87").wall / self.run_for("Nehalem x87 clipped").wall
+    }
+
+    pub fn report(&self) -> String {
+        let mut fig = PanelSet::new("Figure 3: R evolutionary algorithm, IPC over time");
+        for r in &self.runs {
+            fig.panel(&r.label, vec![r.ipc.clone(), r.assists.clone()]);
+        }
+        let mut out = fig.render(72, 12);
+        let mut t = TableReport::new(
+            format!(
+                "divergence at step {:?} of {} (paper: 953 of 3327 samples)",
+                self.divergence_step, self.steps
+            ),
+            &[
+                "run",
+                "collapse at (s)",
+                "mean IPC",
+                "final IPC",
+                "wall (s)",
+            ],
+        );
+        for r in &self.runs {
+            t.row(vec![
+                r.label.clone(),
+                r.collapse_time
+                    .map(|c| format!("{c:.1}"))
+                    .unwrap_or("-".into()),
+                format!("{:.2}", r.ipc.mean()),
+                format!(
+                    "{:.3}",
+                    r.ipc.points.last().map(|(_, y)| *y).unwrap_or(f64::NAN)
+                ),
+                format!("{:.1}", r.wall),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "clip speedup: {:.1}x (paper: 2.3x)\n",
+            self.clip_speedup()
+        ));
+        out
+    }
+}

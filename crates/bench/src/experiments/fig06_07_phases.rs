@@ -1,0 +1,100 @@
+//! **Figures 6 and 7** — SPEC CPU2006 phase behaviour as tiptop shows it,
+//! on the three evaluation machines: 429.mcf's gentle long-period wave and
+//! 473.astar's strong build/search alternation (Fig 6), 410.bwaves' steady
+//! FP streaming and 435.gromacs' small force/update wiggles (Fig 7). The
+//! same binary (in retired instructions) runs on every machine, so the
+//! phase *pattern* is machine-invariant while its time axis stretches with
+//! the machine's achieved IPC.
+
+use tiptop_workloads::spec::{Compiler, SpecBenchmark};
+
+use crate::experiments::{evaluation_machines, isa_for, run_spec_to_completion, spec_delay};
+use crate::report::{PanelSet, Series, TableReport};
+
+/// The four benchmarks the two figures show.
+pub const BENCHMARKS: [SpecBenchmark; 4] = [
+    SpecBenchmark::Mcf,
+    SpecBenchmark::Astar,
+    SpecBenchmark::Bwaves,
+    SpecBenchmark::Gromacs,
+];
+
+/// One benchmark on one machine.
+pub struct PhaseRun {
+    pub machine: String,
+    pub benchmark: SpecBenchmark,
+    /// Tiptop's IPC column over time (seconds).
+    pub ipc: Series,
+    /// Run time in simulated seconds.
+    pub wall: f64,
+}
+
+pub struct Fig0607Result {
+    pub runs: Vec<PhaseRun>,
+    pub scale: f64,
+}
+
+/// Run the four benchmarks on the three machines. `scale` multiplies
+/// instruction counts (1.0 ≈ reference inputs; tests use ~0.02); the
+/// tiptop refresh interval scales along (see `spec_delay`).
+pub fn run(seed: u64, scale: f64) -> Fig0607Result {
+    let delay = spec_delay(scale);
+    let mut runs = Vec::new();
+    for (mi, (mname, machine)) in evaluation_machines().into_iter().enumerate() {
+        let isa = isa_for(&machine);
+        for (bi, bench) in BENCHMARKS.into_iter().enumerate() {
+            let r = run_spec_to_completion(
+                machine.clone(),
+                bench,
+                Compiler::Gcc,
+                isa,
+                scale,
+                seed + (mi * BENCHMARKS.len() + bi) as u64,
+                delay,
+            );
+            runs.push(PhaseRun {
+                machine: mname.to_string(),
+                benchmark: bench,
+                ipc: r.series("IPC", format!("{} on {}", bench.name(), mname)),
+                wall: r.wall(),
+            });
+        }
+    }
+    Fig0607Result { runs, scale }
+}
+
+impl Fig0607Result {
+    pub fn run_for(&self, machine: &str, bench: SpecBenchmark) -> &PhaseRun {
+        self.runs
+            .iter()
+            .find(|r| r.machine == machine && r.benchmark == bench)
+            .expect("known machine/benchmark pair")
+    }
+
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for bench in BENCHMARKS {
+            let mut fig = PanelSet::new(format!("Figs 6/7: {} IPC over time", bench.name()));
+            for r in self.runs.iter().filter(|r| r.benchmark == bench) {
+                fig.panel(&r.machine, vec![r.ipc.clone()]);
+            }
+            out.push_str(&fig.render(72, 10));
+        }
+        let mut t = TableReport::new(
+            format!("phase summary (scale {})", self.scale),
+            &["benchmark", "machine", "mean IPC", "min", "max", "wall (s)"],
+        );
+        for r in &self.runs {
+            t.row(vec![
+                r.benchmark.name().to_string(),
+                r.machine.clone(),
+                format!("{:.2}", r.ipc.mean()),
+                format!("{:.2}", r.ipc.min_y()),
+                format!("{:.2}", r.ipc.max_y()),
+                format!("{:.1}", r.wall),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}

@@ -1,0 +1,108 @@
+//! **Figure 8** — the same benchmark plotted as IPC against *retired
+//! instructions* instead of time. On the instruction axis the phase
+//! boundaries of the two Intel machines align exactly (they execute the
+//! same binary), while the PowerPC build's curve is shifted right by the
+//! ~7% extra instructions its ISA retires. 473.astar is the phase-rich
+//! benchmark shown here.
+
+use tiptop_workloads::spec::{Compiler, SpecBenchmark};
+
+use crate::experiments::{evaluation_machines, isa_for, run_spec_to_completion, spec_delay};
+use crate::report::{PanelSet, Series, TableReport};
+
+/// One machine's IPC-vs-instructions curve.
+pub struct InsnCurve {
+    pub machine: String,
+    /// x = cumulative retired giga-instructions at the end of each refresh,
+    /// y = the interval's IPC.
+    pub ipc_vs_insns: Series,
+    /// Exact lifetime retired instructions (kernel ground truth).
+    pub total_instructions: u64,
+    /// Run time in simulated seconds (differs per machine; the instruction
+    /// axis is what lines up).
+    pub wall: f64,
+}
+
+pub struct Fig08Result {
+    pub benchmark: SpecBenchmark,
+    pub curves: Vec<InsnCurve>,
+}
+
+/// Run astar on the three machines and re-plot on the instruction axis.
+pub fn run(seed: u64, scale: f64) -> Fig08Result {
+    let bench = SpecBenchmark::Astar;
+    let delay = spec_delay(scale);
+    let mut curves = Vec::new();
+    for (mi, (mname, machine)) in evaluation_machines().into_iter().enumerate() {
+        let isa = isa_for(&machine);
+        let r = run_spec_to_completion(
+            machine,
+            bench,
+            Compiler::Gcc,
+            isa,
+            scale,
+            seed + mi as u64,
+            delay,
+        );
+        // Fold the per-interval instruction deltas (the typed value behind
+        // the `Minst` column) into a cumulative x axis, pairing each IPC
+        // sample with the cumulative count of its own frame (an interval
+        // with a non-finite IPC still advances the axis).
+        let mut cum = 0.0;
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for frame in &r.frames {
+            let Some(row) = frame.row_for(r.pid) else {
+                continue;
+            };
+            cum += row.value("Minst").unwrap_or(0.0);
+            if let Some(ipc) = row.value("IPC").filter(|v| v.is_finite()) {
+                points.push((cum / 1e9, ipc));
+            }
+        }
+        curves.push(InsnCurve {
+            machine: mname.to_string(),
+            ipc_vs_insns: Series::new(format!("{mname} IPC"), points),
+            total_instructions: r.exit.total_instructions,
+            wall: r.wall(),
+        });
+    }
+    Fig08Result {
+        benchmark: bench,
+        curves,
+    }
+}
+
+impl Fig08Result {
+    pub fn curve_for(&self, machine: &str) -> &InsnCurve {
+        self.curves
+            .iter()
+            .find(|c| c.machine == machine)
+            .expect("known machine label")
+    }
+
+    pub fn report(&self) -> String {
+        let mut fig = PanelSet::new(format!(
+            "Figure 8: {} IPC vs retired giga-instructions",
+            self.benchmark.name()
+        ));
+        for c in &self.curves {
+            fig.panel(&c.machine, vec![c.ipc_vs_insns.clone()]);
+        }
+        let mut out = fig.render(72, 10);
+        let mut t = TableReport::new(
+            "instruction-axis alignment",
+            &["machine", "retired insns", "vs Nehalem", "wall (s)"],
+        );
+        let nehalem = self.curve_for("Nehalem").total_instructions as f64;
+        for c in &self.curves {
+            t.row(vec![
+                c.machine.clone(),
+                c.total_instructions.to_string(),
+                format!("{:.3}", c.total_instructions as f64 / nehalem),
+                format!("{:.1}", c.wall),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}

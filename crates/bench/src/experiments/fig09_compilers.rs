@@ -1,0 +1,110 @@
+//! **Figure 9** — what IPC does and does not say about code quality
+//! (§3.3): the same four benchmarks compiled with gcc and icc, run on the
+//! Nehalem machine. The four panels are four different morals:
+//!
+//! * **456.hmmer** — icc's code has higher IPC *and* wins on time.
+//! * **482.sphinx3** — gcc's code has *lower* IPC yet finishes first: it
+//!   simply executes fewer instructions.
+//! * **464.h264ref** — an IPC *inversion* between the two phases; total
+//!   times are close.
+//! * **433.milc** — identical run time; gcc's constantly-higher IPC only
+//!   reflects ~22% more instructions.
+
+use tiptop_machine::config::MachineConfig;
+use tiptop_machine::pmu::HwEvent;
+use tiptop_workloads::spec::{Compiler, Isa, SpecBenchmark};
+
+use crate::experiments::{run_spec_to_completion, spec_delay};
+use crate::report::{PanelSet, Series, TableReport};
+
+/// The compiler-comparison benchmarks.
+pub const BENCHMARKS: [SpecBenchmark; 4] = [
+    SpecBenchmark::Hmmer,
+    SpecBenchmark::Sphinx3,
+    SpecBenchmark::H264ref,
+    SpecBenchmark::Milc,
+];
+
+/// One (benchmark, compiler) run.
+pub struct CompilerRun {
+    pub benchmark: SpecBenchmark,
+    pub compiler: Compiler,
+    /// Run time in simulated seconds.
+    pub wall: f64,
+    /// Lifetime IPC from kernel ground truth (exact, not sampled).
+    pub lifetime_ipc: f64,
+    pub instructions: u64,
+    /// Tiptop's IPC column over time, for the phase-inversion panel.
+    pub ipc: Series,
+}
+
+pub struct Fig09Result {
+    pub runs: Vec<CompilerRun>,
+}
+
+/// Run the four benchmarks under both compilers on the Nehalem machine
+/// (the paper compares compilers on one machine only).
+pub fn run(seed: u64, scale: f64) -> Fig09Result {
+    let delay = spec_delay(scale);
+    let mut runs = Vec::new();
+    for (bi, bench) in BENCHMARKS.into_iter().enumerate() {
+        for (ci, compiler) in [Compiler::Gcc, Compiler::Icc].into_iter().enumerate() {
+            let r = run_spec_to_completion(
+                MachineConfig::nehalem_w3550(),
+                bench,
+                compiler,
+                Isa::X86,
+                scale,
+                seed + (bi * 2 + ci) as u64,
+                delay,
+            );
+            let gt = &r.exit.ground_truth;
+            runs.push(CompilerRun {
+                benchmark: bench,
+                compiler,
+                wall: r.wall(),
+                lifetime_ipc: gt.get(HwEvent::Instructions) as f64
+                    / gt.get(HwEvent::Cycles).max(1) as f64,
+                instructions: r.exit.total_instructions,
+                ipc: r.series("IPC", format!("{} {}", bench.comm(), compiler.label())),
+            });
+        }
+    }
+    Fig09Result { runs }
+}
+
+impl Fig09Result {
+    pub fn cell(&self, bench: SpecBenchmark, compiler: Compiler) -> &CompilerRun {
+        self.runs
+            .iter()
+            .find(|r| r.benchmark == bench && r.compiler == compiler)
+            .expect("all cells measured")
+    }
+
+    pub fn report(&self) -> String {
+        let mut fig = PanelSet::new("Figure 9: gcc vs icc on Nehalem, IPC over time");
+        for bench in BENCHMARKS {
+            let series = [Compiler::Gcc, Compiler::Icc]
+                .into_iter()
+                .map(|c| self.cell(bench, c).ipc.clone())
+                .collect();
+            fig.panel(bench.name(), series);
+        }
+        let mut out = fig.render(72, 10);
+        let mut t = TableReport::new(
+            "compiler comparison (lifetime, from exact counts)",
+            &["benchmark", "compiler", "insns", "IPC", "wall (s)"],
+        );
+        for r in &self.runs {
+            t.row(vec![
+                r.benchmark.name().to_string(),
+                r.compiler.label().to_string(),
+                r.instructions.to_string(),
+                format!("{:.2}", r.lifetime_ipc),
+                format!("{:.1}", r.wall),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}

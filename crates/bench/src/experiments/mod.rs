@@ -1,26 +1,143 @@
 //! One module per paper artifact. Every module exposes `run(...)` returning
 //! structured data plus a `report()` rendering the same rows or series the
-//! paper shows.
+//! paper shows, and every one drives the stack through the
+//! [`Scenario`]/[`Session`](tiptop_core::scenario::Session) API.
 //!
-//! Implemented so far: Figure 1 (the data-center snapshot) and Table 1 (the
-//! x87/SSE FP micro-benchmark). The remaining figures (3, 6–11, and the
-//! §2.4 validation) are tracked as open items in `ROADMAP.md`.
+//! All nine artifacts of the evaluation are implemented: Figure 1 (the
+//! data-center snapshot), Figure 3 (the R evolutionary-algorithm collapse),
+//! Figures 6/7 (SPEC phase behaviour), Figure 8 (IPC against retired
+//! instructions), Figure 9 (gcc vs icc), Figure 10 (the data-center
+//! interference burst), Figure 11 (the SMT/shared-cache interference
+//! matrix), Table 1 (the x87/SSE FP micro-benchmark), and the §2.4
+//! tiptop-vs-Pin validation.
 
 pub mod fig01_snapshot;
+pub mod fig03_evolution;
+pub mod fig06_07_phases;
+pub mod fig08_ipc_vs_instructions;
+pub mod fig09_compilers;
+pub mod fig10_datacenter;
+pub mod fig11_interference;
 pub mod table1_fp_micro;
+pub mod validation;
 
-use tiptop_machine::config::MachineConfig;
+use tiptop_core::app::{Tiptop, TiptopOptions};
+use tiptop_core::config::ScreenConfig;
+use tiptop_core::render::Frame;
+use tiptop_core::scenario::Scenario;
+use tiptop_core::session::series_for_pid;
+use tiptop_kernel::kernel::ExitRecord;
+use tiptop_kernel::program::Program;
+use tiptop_kernel::task::{Pid, SpawnSpec, Uid};
+use tiptop_machine::config::{CpuModelKind, MachineConfig};
+use tiptop_machine::time::SimDuration;
+use tiptop_workloads::spec::{Compiler, Isa, SpecBenchmark};
+
+use crate::report::Series;
 
 /// The three evaluation machines of Figs 3/6/7/8, labelled as the paper
-/// labels them.
-///
-/// Currently unused: its consumers are the figure experiments still listed
-/// as ROADMAP open items; it is kept so those modules can come back against
-/// the same machine set.
+/// labels them. Consumed by [`fig03_evolution`], [`fig06_07_phases`] and
+/// [`fig08_ipc_vs_instructions`].
 pub fn evaluation_machines() -> Vec<(&'static str, MachineConfig)> {
     vec![
         ("Nehalem", MachineConfig::nehalem_w3550()),
         ("Core", MachineConfig::core2_machine()),
         ("PPC970", MachineConfig::ppc970_machine()),
     ]
+}
+
+/// Which binary flavour a machine executes: the Intel machines run the same
+/// x86 binary, the PowerPC build retires ~7% more instructions (the small
+/// rightward shift of the PPC970 curve in Fig 8).
+pub fn isa_for(machine: &MachineConfig) -> Isa {
+    match machine.uarch.kind {
+        CpuModelKind::Ppc970 => Isa::Ppc,
+        _ => Isa::X86,
+    }
+}
+
+/// One SPEC stand-in driven to completion on one machine, observed by
+/// tiptop at a fixed refresh interval.
+pub(crate) struct SpecRun {
+    pub frames: Vec<Frame>,
+    pub exit: ExitRecord,
+    pub pid: Pid,
+}
+
+impl SpecRun {
+    /// A column of the tiptop screen as a time series (seconds → value).
+    pub fn series(&self, column: &str, label: impl Into<String>) -> Series {
+        Series::new(label, series_for_pid(&self.frames, self.pid, column))
+    }
+
+    /// Wall-clock run time in simulated seconds.
+    pub fn wall(&self) -> f64 {
+        (self.exit.end_time - self.exit.start_time).as_secs_f64()
+    }
+}
+
+/// Drive one program to completion on `machine` through a `Session`,
+/// observed (as root) by a tiptop with the given screen every `delay`. The
+/// machine runs noiseless so regression tests see the calibrated shape,
+/// not jitter.
+pub(crate) fn drive_to_completion(
+    machine: MachineConfig,
+    seed: u64,
+    comm: &str,
+    program: Program,
+    screen: ScreenConfig,
+    delay: SimDuration,
+) -> SpecRun {
+    let mut session = Scenario::new(machine.noiseless())
+        .seed(seed)
+        .user(Uid(1), "user1")
+        .spawn(
+            comm,
+            SpawnSpec::new(comm, Uid(1), program).seed(seed ^ 0x5bec),
+        )
+        .build()
+        .expect("one unique tag");
+    let pid = session.pid(comm).expect("spawned at t=0");
+    let mut tool = Tiptop::new(
+        TiptopOptions::default().observer(Uid::ROOT).delay(delay),
+        screen,
+    );
+    let frames = session
+        .run_until(&mut tool, 1_000_000, |f| f.row_for(pid).is_none())
+        .expect("positive interval");
+    session.teardown(&mut tool);
+    let exit = session
+        .kernel()
+        .exit_record(pid)
+        .expect("program ran to completion")
+        .clone();
+    SpecRun { frames, exit, pid }
+}
+
+/// Tiptop refresh interval for a SPEC run at a given scale: the paper
+/// samples every ~5 s at reference run lengths, and the interval shrinks
+/// with the scale so every run yields a comparable number of samples. All
+/// SPEC-driving figures share this so their sampling stays comparable.
+pub(crate) fn spec_delay(scale: f64) -> SimDuration {
+    SimDuration::from_secs_f64((5.0 * scale).max(0.04))
+}
+
+/// [`drive_to_completion`] for a SPEC stand-in under the default screen.
+pub(crate) fn run_spec_to_completion(
+    machine: MachineConfig,
+    bench: SpecBenchmark,
+    compiler: Compiler,
+    isa: Isa,
+    scale: f64,
+    seed: u64,
+    delay: SimDuration,
+) -> SpecRun {
+    drive_to_completion(
+        machine,
+        seed,
+        bench.comm(),
+        bench.program(compiler, isa, scale),
+        ScreenConfig::default_screen(),
+        delay,
+    )
 }

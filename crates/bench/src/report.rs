@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// A labelled `(x, y)` series — one curve of a figure.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,6 +60,102 @@ impl Series {
     pub fn last_x(&self) -> f64 {
         self.points.last().map(|(x, _)| *x).unwrap_or(0.0)
     }
+
+    /// Population standard deviation of y (0 for empty).
+    pub fn stddev_y(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .points
+            .iter()
+            .map(|(_, y)| (y - m) * (y - m))
+            .sum::<f64>()
+            / self.points.len() as f64;
+        var.sqrt()
+    }
+}
+
+/// One figure panel: a labelled set of curves (e.g. one machine's view of a
+/// benchmark).
+#[derive(Clone, Debug)]
+pub struct Panel {
+    pub label: String,
+    pub series: Vec<Series>,
+}
+
+/// A multi-panel figure — the Figs 3/6–8 shape: the same curves regenerated
+/// once per machine (or per configuration), rendered and dumped together.
+#[derive(Clone, Debug, Default)]
+pub struct PanelSet {
+    pub title: String,
+    pub panels: Vec<Panel>,
+}
+
+impl PanelSet {
+    pub fn new(title: impl Into<String>) -> Self {
+        PanelSet {
+            title: title.into(),
+            panels: Vec::new(),
+        }
+    }
+
+    pub fn panel(&mut self, label: impl Into<String>, series: Vec<Series>) {
+        self.panels.push(Panel {
+            label: label.into(),
+            series,
+        });
+    }
+
+    pub fn panel_series(&self, label: &str) -> Option<&[Series]> {
+        self.panels
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.series.as_slice())
+    }
+
+    /// One ASCII plot per panel, under a common figure title.
+    pub fn render(&self, width: usize, height: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.title);
+        for p in &self.panels {
+            out.push_str(&ascii_plot(&p.label, &p.series, width, height));
+        }
+        out
+    }
+
+    /// Write one CSV per panel into `dir` (file-name-safe slug of
+    /// `title_label`, suffixed on collision so no panel overwrites
+    /// another); returns the paths.
+    pub fn write_csvs_in(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+        self.panels
+            .iter()
+            .map(|p| {
+                let base = slug(&format!("{}_{}", self.title, p.label));
+                let mut name = base.clone();
+                let mut i = 2;
+                while !used.insert(name.clone()) {
+                    name = format!("{base}-{i}");
+                    i += 1;
+                }
+                write_csv_in(dir, &name, &p.series)
+            })
+            .collect()
+    }
+}
+
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// Where experiment CSVs are written.
@@ -70,11 +166,17 @@ pub fn experiments_dir() -> PathBuf {
     base.join("experiments")
 }
 
-/// Write series as a CSV (`x,label1,label2,...` by x-merge of the union of
-/// x values; missing samples are blank).
+/// Write series as a CSV into the default [`experiments_dir`]. See
+/// [`write_csv_in`].
 pub fn write_csv(name: &str, series: &[Series]) -> io::Result<PathBuf> {
-    let dir = experiments_dir();
-    fs::create_dir_all(&dir)?;
+    write_csv_in(&experiments_dir(), name, series)
+}
+
+/// Write series as a CSV (`x,label1,label2,...` by x-merge of the union of
+/// x values; missing samples are blank) into `dir`, creating it if needed.
+/// Tests pass a temp dir so `cargo test` never leaves artifacts behind.
+pub fn write_csv_in(dir: &Path, name: &str, series: &[Series]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.csv"));
     let mut xs: Vec<f64> = series
         .iter()
@@ -221,17 +323,84 @@ mod tests {
         assert_eq!(s.last_x(), 2.0);
     }
 
+    /// A scratch dir under the OS temp dir, removed on drop — CSV tests must
+    /// never dirty the working tree (`git status` stays clean after tests).
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("tiptop-bench-{tag}-{}", std::process::id()));
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
     #[test]
     fn csv_merges_x_values() {
+        let tmp = TempDir::new("csv-merge");
         let a = Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]);
         let b = Series::new("b", vec![(1.0, 5.0), (2.0, 6.0)]);
-        let path = write_csv("test_csv_merge", &[a, b]).unwrap();
+        let path = write_csv_in(&tmp.0, "test_csv_merge", &[a, b]).unwrap();
         let text = std::fs::read_to_string(path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "x,a,b");
         assert_eq!(lines[1], "0,1,");
         assert_eq!(lines[2], "1,2,5");
         assert_eq!(lines[3], "2,,6");
+    }
+
+    #[test]
+    fn panel_set_renders_and_dumps_per_panel() {
+        let tmp = TempDir::new("panels");
+        let mut fig = PanelSet::new("Fig X");
+        fig.panel(
+            "Nehalem",
+            vec![Series::new("IPC", vec![(0.0, 1.0), (1.0, 2.0)])],
+        );
+        fig.panel(
+            "PPC970",
+            vec![Series::new("IPC", vec![(0.0, 0.5), (1.0, 0.6)])],
+        );
+        let text = fig.render(30, 8);
+        assert!(text.contains("=== Fig X ==="));
+        assert!(text.contains("Nehalem") && text.contains("PPC970"));
+        assert_eq!(fig.panel_series("PPC970").unwrap().len(), 1);
+
+        let paths = fig.write_csvs_in(&tmp.0).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("fig-x-nehalem"));
+        for p in &paths {
+            assert!(p.exists());
+        }
+
+        // Labels that differ only in punctuation slug identically — the
+        // second panel must not overwrite the first.
+        let mut fig = PanelSet::new("F");
+        fig.panel("mcf+mcf", vec![Series::new("a", vec![(0.0, 1.0)])]);
+        fig.panel("mcf-mcf", vec![Series::new("b", vec![(0.0, 2.0)])]);
+        let paths = fig.write_csvs_in(&tmp.0).unwrap();
+        assert_ne!(paths[0], paths[1], "colliding slugs must not overwrite");
+        assert!(paths[1].to_str().unwrap().contains("-2"));
+    }
+
+    #[test]
+    fn series_stddev() {
+        let flat = Series::new("flat", vec![(0.0, 2.0), (1.0, 2.0)]);
+        assert_eq!(flat.stddev_y(), 0.0);
+        let swing = Series::new("swing", vec![(0.0, 1.0), (1.0, 3.0)]);
+        assert_eq!(swing.stddev_y(), 1.0);
+        assert_eq!(Series::new("e", vec![]).stddev_y(), 0.0);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::fmt;
 
 use tiptop_kernel::errno::Errno;
 use tiptop_kernel::kernel::{Kernel, KernelConfig};
+use tiptop_kernel::sched::CpuSet;
 use tiptop_kernel::task::Uid;
 use tiptop_kernel::task::{Pid, SpawnSpec};
 use tiptop_machine::config::MachineConfig;
@@ -94,6 +95,10 @@ pub enum WorkloadEvent {
     Kill { tag: String },
     /// Change the tagged task's nice level.
     Renice { tag: String, nice: i32 },
+    /// Change the tagged task's CPU affinity (`taskset`-style pinning — the
+    /// §3.4 interference experiments move tasks between SMT siblings and
+    /// separate cores mid-run).
+    Pin { tag: String, cpus: CpuSet },
 }
 
 /// Declarative description of an experiment: machine, seed, users, and a
@@ -178,6 +183,18 @@ impl Scenario {
         self
     }
 
+    /// Re-pin the tagged task to a CPU set at an absolute instant.
+    pub fn pin_at(mut self, at: SimTime, tag: impl Into<String>, cpus: CpuSet) -> Self {
+        self.events.push((
+            at,
+            WorkloadEvent::Pin {
+                tag: tag.into(),
+                cpus,
+            },
+        ));
+        self
+    }
+
     /// Validate the schedule and build the live [`Session`]. Events at t=0
     /// are applied immediately, so their pids are resolvable right away.
     pub fn build(mut self) -> Result<Session, SessionError> {
@@ -195,16 +212,20 @@ impl Scenario {
             }
         }
         // Walk in final apply order (sorted is stable, so same-instant
-        // events keep declaration order): every kill/renice must see its
-        // tag already spawned, which also catches a kill declared *before*
-        // a same-instant spawn.
+        // events keep declaration order): every kill/renice/pin must see its
+        // tag already spawned and not yet killed — which also catches a kill
+        // declared *before* a same-instant spawn, and a renice scheduled
+        // after its target's kill.
         let mut defined: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let mut killed: BTreeMap<&str, SimTime> = BTreeMap::new();
         for (at, ev) in &self.events {
             match ev {
                 WorkloadEvent::Spawn { tag, .. } => {
                     defined.insert(tag);
                 }
-                WorkloadEvent::Kill { tag } | WorkloadEvent::Renice { tag, .. } => {
+                WorkloadEvent::Kill { tag }
+                | WorkloadEvent::Renice { tag, .. }
+                | WorkloadEvent::Pin { tag, .. } => {
                     if !defined.contains(tag.as_str()) {
                         return Err(match spawn_time.get(tag.as_str()) {
                             None => SessionError::InvalidScenario(format!(
@@ -215,6 +236,14 @@ impl Scenario {
                                  {spawned:?} (same-instant events apply in declaration order)"
                             )),
                         });
+                    }
+                    if let Some(kill_at) = killed.get(tag.as_str()) {
+                        return Err(SessionError::InvalidScenario(format!(
+                            "event against '{tag}' at {at:?} follows its kill at {kill_at:?}"
+                        )));
+                    }
+                    if let WorkloadEvent::Kill { tag } = ev {
+                        killed.insert(tag, *at);
                     }
                 }
             }
@@ -331,6 +360,16 @@ impl Session {
                     .renice(pid, nice)
                     .map_err(|errno| SessionError::Syscall {
                         call: "renice",
+                        pid,
+                        errno,
+                    })?;
+            }
+            WorkloadEvent::Pin { tag, cpus } => {
+                let pid = self.resolved(&tag)?;
+                self.kernel
+                    .set_affinity(pid, cpus)
+                    .map_err(|errno| SessionError::Syscall {
+                        call: "sched_setaffinity",
                         pid,
                         errno,
                     })?;

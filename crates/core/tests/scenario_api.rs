@@ -3,9 +3,11 @@
 //! 1. Tiptop and `top` driven side-by-side through one `Scenario` agree on
 //!    `%CPU` per pid (the Fig 1 cross-check — same scheduler deltas seen
 //!    through two different tools).
-//! 2. Timed kill/renice events take effect at the scheduled instant.
-//! 3. A `FrameSink` receives exactly the frames the legacy `run_refreshes`
-//!    helper would return for an identical world.
+//! 2. Timed kill/renice/pin events take effect at the scheduled instant.
+//! 3. A `FrameSink` receives exactly the frames a hand-driven
+//!    prime/advance/observe loop produces for an identical world.
+//! 4. Property-style edge cases of `Scenario::build` (events after a kill,
+//!    tag scoping across machines, zero-duration scenarios).
 
 use tiptop_core::prelude::*;
 use tiptop_kernel::prelude::*;
@@ -157,20 +159,21 @@ fn timed_renice_takes_effect_at_the_scheduled_instant() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn frame_sink_receives_exactly_what_run_refreshes_returns() {
-    // Identical worlds, one driven by the legacy free function on a bare
-    // kernel, one through a Session with a streaming sink.
-    let build_kernel = || {
-        let mut k =
-            Kernel::new(KernelConfig::new(MachineConfig::nehalem_w3550().noiseless()).seed(11));
-        k.add_user(Uid(1), "user1");
-        k.spawn(SpawnSpec::new("spin", Uid(1), spin("spin")).seed(2));
-        k
-    };
-    let mut legacy_kernel = build_kernel();
-    let mut legacy_tool = tiptop_1s();
-    let legacy = run_refreshes(&mut legacy_kernel, &mut legacy_tool, 5);
+fn frame_sink_receives_exactly_the_manually_driven_frames() {
+    // Identical worlds: one driven by hand on a bare kernel through the
+    // raw `Monitor` contract (prime, advance one interval, observe — the
+    // loop the session API promises to reproduce), one through a Session
+    // with a streaming sink. An independent oracle, not run_all vs itself.
+    let mut k = Kernel::new(KernelConfig::new(MachineConfig::nehalem_w3550().noiseless()).seed(11));
+    k.add_user(Uid(1), "user1");
+    k.spawn(SpawnSpec::new("spin", Uid(1), spin("spin")).seed(2));
+    let mut manual_tool = tiptop_1s();
+    manual_tool.prime(&mut k);
+    let mut manual: Vec<Frame> = Vec::new();
+    for _ in 0..5 {
+        k.advance(SimDuration::from_secs(1));
+        manual.push(manual_tool.observe(&mut k));
+    }
 
     let mut session = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
         .seed(11)
@@ -183,8 +186,9 @@ fn frame_sink_receives_exactly_what_run_refreshes_returns() {
     session.run_all(&mut [&mut tool], 5, &mut sink).unwrap();
     let streamed = sink.into_frames();
 
-    assert_eq!(legacy.len(), streamed.len());
-    for (l, s) in legacy.iter().zip(&streamed) {
+    assert_eq!(manual.len(), streamed.len());
+    for (i, (l, s)) in manual.iter().zip(&streamed).enumerate() {
+        assert_eq!(l.time, SimTime::from_secs(i as u64 + 1), "one per interval");
         assert_eq!(l.time, s.time);
         assert_eq!(l.headers, s.headers);
         assert_eq!(l.rows.len(), s.rows.len());
@@ -194,6 +198,163 @@ fn frame_sink_receives_exactly_what_run_refreshes_returns() {
             assert_eq!(lr.cpu_pct, sr.cpu_pct);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Property-style edge cases of `Scenario::build` and the event schedule.
+// ---------------------------------------------------------------------
+
+#[test]
+fn events_after_a_kill_are_rejected_at_build_time() {
+    // A renice scheduled after its target's scripted kill is statically
+    // contradictory — build() must reject it, whatever the declaration
+    // order of the events.
+    let declare_orders: [&dyn Fn(Scenario) -> Scenario; 2] = [
+        &|s: Scenario| {
+            s.kill_at(SimTime::from_secs(2), "x")
+                .renice_at(SimTime::from_secs(5), "x", 10)
+        },
+        &|s: Scenario| {
+            s.renice_at(SimTime::from_secs(5), "x", 10)
+                .kill_at(SimTime::from_secs(2), "x")
+        },
+    ];
+    for order in declare_orders {
+        let base = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .user(Uid(1), "u")
+            .spawn("x", SpawnSpec::new("x", Uid(1), spin("x")));
+        let err = order(base).build().unwrap_err();
+        assert!(matches!(err, SessionError::InvalidScenario(_)));
+        assert!(err.to_string().contains("follows its kill"), "got {err}");
+    }
+
+    // Same-instant kill-then-renice is rejected too (apply order would run
+    // the renice against a zombie)...
+    let err = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .user(Uid(1), "u")
+        .spawn("x", SpawnSpec::new("x", Uid(1), spin("x")))
+        .kill_at(SimTime::from_secs(2), "x")
+        .renice_at(SimTime::from_secs(2), "x", 10)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("follows its kill"), "got {err}");
+
+    // ...while renice-then-kill at the same instant is fine.
+    assert!(Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .user(Uid(1), "u")
+        .spawn("x", SpawnSpec::new("x", Uid(1), spin("x")))
+        .renice_at(SimTime::from_secs(2), "x", 10)
+        .kill_at(SimTime::from_secs(2), "x")
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn same_tags_on_different_machines_are_independent() {
+    // Tags are scoped to their scenario: two sessions on different machines
+    // may reuse the same tag and resolve it independently.
+    let build = |machine: MachineConfig, seed: u64| {
+        Scenario::new(machine.noiseless())
+            .seed(seed)
+            .user(Uid(1), "u")
+            .spawn("worker", SpawnSpec::new("worker", Uid(1), spin("worker")))
+            .kill_at(SimTime::from_secs(2), "worker")
+            .build()
+            .unwrap()
+    };
+    let mut a = build(MachineConfig::nehalem_w3550(), 1);
+    let mut b = build(MachineConfig::ppc970_machine(), 2);
+    let (pa, pb) = (a.pid("worker").unwrap(), b.pid("worker").unwrap());
+    a.advance_to(SimTime::from_secs(3)).unwrap();
+    assert!(!a.kernel().is_alive(pa), "killed in session a");
+    assert!(
+        b.kernel().is_alive(pb),
+        "session b's 'worker' is untouched by a's schedule"
+    );
+    b.advance_to(SimTime::from_secs(3)).unwrap();
+    assert!(!b.kernel().is_alive(pb));
+}
+
+#[test]
+fn zero_duration_scenarios_are_valid() {
+    // All events at t=0, never advanced: everything applies at build time.
+    let session = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .user(Uid(1), "u")
+        .spawn("a", SpawnSpec::new("a", Uid(1), spin("a")))
+        .renice_at(SimTime::ZERO, "a", 5)
+        .build()
+        .unwrap();
+    assert_eq!(session.now(), SimTime::ZERO);
+    assert_eq!(session.pending_events(), 0, "t=0 events applied at build");
+    let pid = session.pid("a").unwrap();
+    assert_eq!(session.kernel().stat(pid).unwrap().nice, 5);
+    let st = session.kernel().stat(pid).unwrap();
+    assert_eq!(st.cpu_time(), SimDuration::ZERO, "no time has passed");
+
+    // Advancing to the current instant is a no-op, and running a monitor
+    // for zero refreshes yields zero frames without advancing the clock.
+    let mut session = session;
+    session.advance_to(SimTime::ZERO).unwrap();
+    let frames = session.run(&mut tiptop_1s(), 0).unwrap();
+    assert!(frames.is_empty());
+    assert_eq!(session.now(), SimTime::ZERO);
+
+    // An empty scenario (no users, no events) builds too.
+    let empty = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .build()
+        .unwrap();
+    assert_eq!(empty.kernel().num_alive(), 0);
+}
+
+#[test]
+fn timed_pin_takes_effect_at_the_scheduled_instant() {
+    // Two tasks start as SMT siblings on core 0 (PU0/PU4); at t=4 one is
+    // re-pinned to core 1 and both speed up (no more pipeline sharing).
+    let mut session = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .seed(7)
+        .user(Uid(1), "user1")
+        .spawn(
+            "a",
+            SpawnSpec::new("a", Uid(1), spin("a")).affinity(CpuSet::single(PuId(0))),
+        )
+        .spawn(
+            "b",
+            SpawnSpec::new("b", Uid(1), spin("b")).affinity(CpuSet::single(PuId(4))),
+        )
+        .pin_at(SimTime::from_secs(4), "b", CpuSet::single(PuId(1)))
+        .build()
+        .unwrap();
+    let a = session.pid("a").unwrap();
+
+    let mut tool = tiptop_1s();
+    let frames = session.run(&mut tool, 8).unwrap();
+    let ipc = series_for_pid(&frames, a, "IPC");
+    let shared = mean(&ipc[1..3]);
+    let alone = mean(&ipc[5..8]);
+    assert!(
+        alone > shared * 1.3,
+        "losing the SMT sibling must raise IPC: {shared} -> {alone}"
+    );
+
+    // Pinning to a PU the machine does not have is a typed syscall error.
+    let mut session = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .user(Uid(1), "user1")
+        .spawn("a", SpawnSpec::new("a", Uid(1), spin("a")))
+        .pin_at(SimTime::from_secs(1), "a", CpuSet::single(PuId(63)))
+        .build()
+        .unwrap();
+    let err = session.advance_to(SimTime::from_secs(2)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SessionError::Syscall {
+                call: "sched_setaffinity",
+                errno: Errno::EINVAL,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
 }
 
 #[test]

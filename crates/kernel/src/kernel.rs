@@ -19,7 +19,7 @@ use crate::perf::{
 };
 use crate::procfs::ProcStat;
 use crate::program::NextWork;
-use crate::sched::{plan_epoch, weight_for_nice, SchedEntity};
+use crate::sched::{plan_epoch, weight_for_nice, CpuSet, SchedEntity};
 use crate::task::{Pid, SpawnSpec, Task, TaskState, Uid};
 
 /// Kernel construction parameters.
@@ -197,6 +197,19 @@ impl Kernel {
     pub fn renice(&mut self, pid: Pid, nice: i32) -> Result<(), Errno> {
         let task = self.tasks.get_mut(&pid).ok_or(Errno::ESRCH)?;
         task.nice = nice.clamp(-20, 19);
+        Ok(())
+    }
+
+    /// Change a task's CPU affinity mask (`sched_setaffinity`-style, the
+    /// paper's §3.4 `taskset` experiments). Takes effect from the next
+    /// scheduler epoch; `EINVAL` if the mask allows no PU of this machine.
+    pub fn set_affinity(&mut self, pid: Pid, cpus: CpuSet) -> Result<(), Errno> {
+        let num_pus = self.cfg.machine.topology.num_pus();
+        if !(0..num_pus).any(|p| cpus.allows(PuId(p))) {
+            return Err(Errno::EINVAL);
+        }
+        let task = self.tasks.get_mut(&pid).ok_or(Errno::ESRCH)?;
+        task.affinity = cpus;
         Ok(())
     }
 

@@ -267,6 +267,34 @@ impl MachineConfig {
         self
     }
 
+    /// The same silicon with hyper-threading disabled in the BIOS: every
+    /// physical core exposes a single PU. The §3.4 interference matrix uses
+    /// this to separate SMT pipeline sharing from shared-cache contention.
+    pub fn without_smt(mut self) -> Self {
+        self.topology = Topology::new(
+            self.topology.sockets(),
+            self.topology.cores_per_socket(),
+            1,
+            self.topology.memory_mb(),
+        );
+        self
+    }
+
+    /// Override the per-sibling SMT throughput share (ablation knob for the
+    /// interference experiments; the Nehalem default is 0.62).
+    pub fn with_smt_share(mut self, share: f64) -> Self {
+        assert!(share > 0.0 && share <= 1.0, "bad smt share {share}");
+        self.uarch.smt_share = share;
+        self
+    }
+
+    /// Override the shared-L3 capacity, keeping associativity and line size
+    /// (the shared-cache knob of the interference experiments).
+    pub fn with_l3_kib(mut self, kib: u64) -> Self {
+        self.uarch.l3 = CacheGeometry::kib(kib, self.uarch.l3.ways, self.uarch.l3.line_bytes);
+        self
+    }
+
     /// Override sampling fidelity.
     pub fn with_samples(mut self, n: u32) -> Self {
         self.cache_samples_per_slice = n;
@@ -332,6 +360,21 @@ mod tests {
             (80.0..95.0).contains(&slowdown),
             "slowdown {slowdown} should be ≈87×"
         );
+    }
+
+    #[test]
+    fn smt_and_cache_knobs() {
+        let cfg = MachineConfig::nehalem_w3550().without_smt();
+        assert_eq!(cfg.topology.num_pus(), 4, "HT off: one PU per core");
+        assert_eq!(cfg.topology.num_cores(), 4, "same silicon");
+
+        let cfg = MachineConfig::nehalem_w3550().with_smt_share(0.9);
+        assert_eq!(cfg.uarch.smt_share, 0.9);
+
+        let cfg = MachineConfig::nehalem_w3550().with_l3_kib(4096);
+        assert_eq!(cfg.uarch.l3.size_kib(), 4096);
+        assert_eq!(cfg.uarch.l3.ways, 16, "associativity preserved");
+        assert!(cfg.uarch.l3.num_sets() > 0, "geometry stays constructible");
     }
 
     #[test]

@@ -144,8 +144,9 @@ fn gi(n: f64, scale: f64) -> u64 {
 }
 
 /// A compute-bound profile calibrated so the Nehalem machine runs it at
-/// roughly `target_ipc`: the working set fits the L2, so
-/// `IPC ≈ 1 / (base_cpi + branch_cpi)` with Nehalem's 17-cycle penalty.
+/// roughly `target_ipc`: the working set is L1-resident (no load-to-use
+/// penalty beyond the base CPI), so `IPC ≈ 1 / (base_cpi + branch_cpi)`
+/// with Nehalem's 17-cycle penalty.
 fn cpu_profile(name: &str, target_ipc: f64, fp: f64) -> ExecProfile {
     let branches = 0.16;
     let miss_rate = 0.015;
@@ -157,7 +158,7 @@ fn cpu_profile(name: &str, target_ipc: f64, fp: f64) -> ExecProfile {
         .stores_per_insn(0.08)
         .branches(branches, miss_rate)
         .fp(fp, FpUnit::Sse)
-        .memory(MemoryBehavior::uniform(96 * 1024))
+        .memory(MemoryBehavior::uniform(24 * 1024))
         .mlp(4.0)
         .build()
 }
@@ -266,14 +267,19 @@ fn bwaves(s: f64) -> Program {
         ]))
         .mlp(10.0)
         .build();
+    // Boundary conditions sweep the same grid arrays (smaller share, lower
+    // MLP): a brief wiggle, not a spike — Fig 7 (a) shows bwaves steady.
     let bc = ExecProfile::builder("bwaves-boundary")
-        .base_cpi(0.75)
-        .loads_per_insn(0.28)
-        .stores_per_insn(0.10)
+        .base_cpi(0.70)
+        .loads_per_insn(0.30)
+        .stores_per_insn(0.11)
         .branches(0.10, 0.01)
         .fp(0.22, FpUnit::Sse)
-        .memory(MemoryBehavior::uniform(2 * 1024 * 1024))
-        .mlp(4.0)
+        .memory(MemoryBehavior::new(vec![
+            WorkingSetTier::new(1024 * 1024, 0.50, AccessPattern::Sequential),
+            WorkingSetTier::new(420 * 1024 * 1024, 0.50, AccessPattern::Strided(64)),
+        ]))
+        .mlp(8.0)
         .build();
     // Long solver sweeps with brief boundary-condition blips.
     let mut phases = Vec::new();
@@ -350,6 +356,42 @@ fn h264ref(c: Compiler, s: f64) -> Program {
     ])
 }
 
+// ---------------------------------------------------------------------
+// §3.4 interference co-run generators (Fig 11). Steady-state (endless)
+// programs so an interference experiment measures equilibria, not phases.
+// ---------------------------------------------------------------------
+
+/// Endless steady-state mcf main loop — what the paper co-runs in the
+/// Fig 11 placements. Give co-running copies different `variant`s (and
+/// spawn seeds) so they don't share address sequences.
+pub fn mcf_endless(variant: u32) -> Program {
+    Program::endless(mcf_main_profile(variant))
+}
+
+/// A cache-light compute-bound partner: its working set is L1-resident, so
+/// co-running it on an SMT sibling exposes the pure pipeline-sharing cost
+/// with no cache contention — the control column of the matrix.
+pub fn corun_partner_light() -> Program {
+    Program::endless(
+        ExecProfile::builder("light-partner")
+            .base_cpi(0.62)
+            .loads_per_insn(0.20)
+            .stores_per_insn(0.06)
+            .branches(0.16, 0.01)
+            .memory(MemoryBehavior::uniform(16 * 1024))
+            .mlp(4.0)
+            .build(),
+    )
+}
+
+/// The Fig 11 co-run pairs: a victim (always mcf) and its partner.
+pub fn fig11_pairs() -> Vec<(&'static str, Program, Program)> {
+    vec![
+        ("mcf+mcf", mcf_endless(0), mcf_endless(1)),
+        ("mcf+light", mcf_endless(0), corun_partner_light()),
+    ]
+}
+
 fn milc(c: Compiler, s: f64) -> Program {
     // Same wall-clock speed, gcc's IPC constantly higher: gcc simply
     // retires ~22% more instructions (Fig 9 (d)).
@@ -423,6 +465,26 @@ mod tests {
             tiers[1].bytes > 4 * 1024 * 1024 && tiers[1].bytes < 8 * 1024 * 1024,
             "warm tier must fit one L3 but not two thirds of one"
         );
+    }
+
+    #[test]
+    fn corun_generators_are_steady_state() {
+        use tiptop_kernel::program::Continuation;
+        for (label, a, b) in fig11_pairs() {
+            assert_eq!(a.continuation(), Continuation::Loop, "{label} victim");
+            assert_eq!(b.continuation(), Continuation::Loop, "{label} partner");
+        }
+        let profile_of = |p: &Program| match &p.phases()[0] {
+            Phase::Compute { profile, .. } => profile.clone(),
+            Phase::Sleep { .. } => panic!("corun programs start computing"),
+        };
+        // The light partner must not contend in any shared cache: its whole
+        // footprint fits the 32 KiB L1.
+        let fp = profile_of(&corun_partner_light()).mem.footprint();
+        assert!(fp <= 32 * 1024, "light partner footprint {fp} spills L1");
+        // Co-running mcf copies draw from distinct profile variants.
+        let (_, a, b) = fig11_pairs().remove(0);
+        assert_ne!(profile_of(&a).name, profile_of(&b).name);
     }
 
     #[test]
