@@ -1,0 +1,89 @@
+//! `cargo bench`-style timing harness for the experiment suite: runs every
+//! paper artifact at its regression-test scale, times each one, and writes
+//! `BENCH_experiments.json` so consecutive PRs accumulate a perf
+//! trajectory.
+//!
+//! ```sh
+//! cargo run --release -p tiptop-bench --bin bench_timing [-- out.json]
+//! ```
+//!
+//! The JSON is written by hand (the offline `serde` stub has no
+//! serializer): a flat object of per-experiment wall seconds plus totals —
+//! trivially diffable between commits.
+
+use std::time::Instant;
+
+use tiptop_bench::experiments::{
+    fig01_snapshot, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions, fig09_compilers,
+    fig10_datacenter, fig11_interference, fleet, table1_fp_micro, validation,
+};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_experiments.json".to_string());
+
+    let mut entries: Vec<(&'static str, f64)> = Vec::new();
+    let mut time = |name: &'static str, f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        eprintln!("{name:>24}  {dt:7.2}s");
+        entries.push((name, dt));
+    };
+
+    // Same seeds/scales as the regression tests, so these timings track
+    // exactly what CI pays for.
+    time("fig01_snapshot", &mut || {
+        fig01_snapshot::run(3, 30, 5);
+    });
+    time("table1_fp_micro", &mut || {
+        table1_fp_micro::run(5);
+    });
+    time("fig03_evolution", &mut || {
+        fig03_evolution::run(7, 0.001);
+    });
+    time("fig06_07_phases", &mut || {
+        fig06_07_phases::run(11, 0.02);
+    });
+    time("fig08_ipc_vs_insns", &mut || {
+        fig08_ipc_vs_instructions::run(13, 0.02);
+    });
+    time("fig09_compilers", &mut || {
+        fig09_compilers::run(17, 0.02);
+    });
+    time("fig10_datacenter", &mut || {
+        fig10_datacenter::run(19, 0.01);
+    });
+    time("fig11_interference", &mut || {
+        fig11_interference::run(23);
+    });
+    time("fleet", &mut || {
+        fleet::run(31, 0.02);
+    });
+    time("validation", &mut || {
+        validation::run(29);
+    });
+
+    let total: f64 = entries.iter().map(|(_, t)| t).sum();
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"schema\": \"tiptop-bench-timing/1\",\n  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    json.push_str("  \"experiments\": {\n");
+    for (i, (name, t)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {t:.3}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"total_seconds\": {total:.3}\n}}\n"));
+
+    std::fs::write(&out_path, &json).expect("write timing json");
+    eprintln!("{:>24}  {total:7.2}s", "total");
+    println!("wrote {out_path}");
+}

@@ -8,6 +8,7 @@
 //! scripted: it emerges from the cache model.
 
 use tiptop_core::app::{Tiptop, TiptopOptions};
+use tiptop_core::cluster::ClusterScenario;
 use tiptop_core::config::ScreenConfig;
 use tiptop_core::render::Frame;
 use tiptop_core::scenario::Scenario;
@@ -38,7 +39,16 @@ pub struct Fig10Result {
 
 /// Replay the Figure 10 script. `scale` compresses time (1.0 = the paper's
 /// ~1 h burst; tests use ~0.01 for a ~40 s one).
+///
+/// The node is driven as a one-machine [`ClusterSession`] — the same
+/// streaming/merge path the multi-machine experiments use, so the
+/// data-center scenario composes with any fleet (Fig 1's snapshot node and
+/// this burst node can co-run in one cluster).
 pub fn run(seed: u64, scale: f64) -> Fig10Result {
+    const DELAY_S: f64 = 2.0;
+    /// Recovery frames observed after the last batch job leaves.
+    const RECOVERY_FRAMES: usize = 8;
+
     let script = fig10_script(scale);
     let arrival = script.arrival.as_secs_f64();
 
@@ -59,29 +69,51 @@ pub fn run(seed: u64, scale: f64) -> Fig10Result {
             SpawnSpec::new(job.comm, job.uid, job.program).seed(job.seed),
         );
     }
-    let mut session = scenario.build().expect("job tags are unique");
+    let mut cluster = ClusterScenario::new()
+        .machine("dc-node", scenario)
+        .build()
+        .expect("job tags are unique");
 
-    let mut tool = Tiptop::new(
-        TiptopOptions::default()
-            .observer(Uid::ROOT)
-            .delay(SimDuration::from_secs(2)),
-        ScreenConfig::default_screen(),
-    );
-    // Run until the burst has come and gone...
-    let mut frames = session
-        .run_until(&mut tool, 1_000_000, |f| {
-            f.time.as_secs_f64() > arrival + 2.0 && !f.rows.iter().any(|r| r.user == "user2")
-        })
-        .expect("positive interval");
+    // Run until the burst has come and gone, then watch the victims recover
+    // for RECOVERY_FRAMES more refreshes — all in one streamed pass.
+    let mut frames: Vec<Frame> = Vec::new();
+    {
+        let mut sink = |cf: tiptop_core::cluster::ClusterFrame| frames.push(cf.frame);
+        cluster
+            .run_each(
+                1,
+                1_000_000,
+                |_| {
+                    Box::new(Tiptop::new(
+                        TiptopOptions::default()
+                            .observer(Uid::ROOT)
+                            .delay(SimDuration::from_secs_f64(DELAY_S)),
+                        ScreenConfig::default_screen(),
+                    ))
+                },
+                |_| {
+                    let mut stop_at: Option<f64> = None;
+                    Box::new(move |f: &Frame| {
+                        let t = f.time.as_secs_f64();
+                        if stop_at.is_none()
+                            && t > arrival + DELAY_S
+                            && !f.rows.iter().any(|r| r.user == "user2")
+                        {
+                            stop_at = Some(t + RECOVERY_FRAMES as f64 * DELAY_S);
+                        }
+                        stop_at.is_some_and(|end| t >= end)
+                    })
+                },
+                &mut sink,
+            )
+            .expect("cluster run");
+    }
     let burst_end = frames
         .iter()
         .rev()
         .find(|f| f.rows.iter().any(|r| r.user == "user2"))
         .map(|f| f.time.as_secs_f64())
         .unwrap_or(arrival);
-    // ...then watch the victims recover.
-    frames.extend(session.run(&mut tool, 8).expect("positive interval"));
-    session.teardown(&mut tool);
 
     let victims = ["sim-fluid", "sim-grid"]
         .into_iter()

@@ -8,9 +8,15 @@
 //! victim's steady-state IPC per placement, plus a single staircase
 //! session in which re-pinning and killing the partner mid-run steps the
 //! victim's IPC back up.
+//!
+//! Each placement cell is an independent physical box, so the five cells
+//! run as one [`ClusterSession`] — concurrently on the worker pool, with
+//! identical per-cell frames to the old serial loop.
 
 use tiptop_core::app::{Tiptop, TiptopOptions};
+use tiptop_core::cluster::ClusterScenario;
 use tiptop_core::config::ScreenConfig;
+use tiptop_core::render::Frame;
 use tiptop_core::scenario::Scenario;
 use tiptop_core::session::series_for_pid;
 use tiptop_kernel::program::Program;
@@ -21,6 +27,7 @@ use tiptop_machine::time::{SimDuration, SimTime};
 use tiptop_machine::topology::PuId;
 use tiptop_workloads::spec::{corun_partner_light, mcf_endless};
 
+use crate::experiments::default_threads;
 use crate::report::{ascii_plot, Series, TableReport};
 
 /// One row of the interference matrix.
@@ -47,8 +54,14 @@ pub struct Fig11Result {
 const WARMUP_S: u64 = 14;
 const MEASURE_S: u64 = 8;
 
-/// Build and run the matrix.
+/// Build and run the matrix: five placement cells, one cluster shard each.
 pub fn run(seed: u64) -> Fig11Result {
+    run_on(seed, default_threads())
+}
+
+/// [`run`] with an explicit worker-thread count (the cells' frames are
+/// byte-identical at any count).
+pub fn run_on(seed: u64, threads: usize) -> Fig11Result {
     // Oversample the caches so the ~4.5 MiB warm tier settles into the L3
     // within the warm-up, and run noiseless so the matrix is exact.
     let machine = || {
@@ -57,23 +70,30 @@ pub fn run(seed: u64) -> Fig11Result {
             .with_samples(2048)
     };
 
-    let cells = vec![
-        measure("alone", machine(), CpuSet::single(PuId(0)), None, seed),
-        measure(
+    type Placement = (
+        &'static str,
+        MachineConfig,
+        CpuSet,
+        Option<(CpuSet, Program)>,
+        u64,
+    );
+    let placements: Vec<Placement> = vec![
+        ("alone", machine(), CpuSet::single(PuId(0)), None, seed),
+        (
             "SMT siblings (mcf+mcf, PU0+PU4)",
             machine(),
             CpuSet::single(PuId(0)),
             Some((CpuSet::single(PuId(4)), mcf_endless(1))),
             seed + 1,
         ),
-        measure(
+        (
             "separate cores (mcf+mcf, PU0+PU1)",
             machine(),
             CpuSet::single(PuId(0)),
             Some((CpuSet::single(PuId(1)), mcf_endless(1))),
             seed + 2,
         ),
-        measure(
+        (
             "SMT siblings (mcf+light, PU0+PU4)",
             machine(),
             CpuSet::single(PuId(0)),
@@ -83,7 +103,7 @@ pub fn run(seed: u64) -> Fig11Result {
         // The SMT knob: the same silicon with hyper-threading disabled in
         // the BIOS exposes 4 PUs; pair on separate cores must match the
         // separate-cores row of the SMT machine.
-        measure(
+        (
             "separate cores, SMT off",
             machine().without_smt(),
             CpuSet::single(PuId(0)),
@@ -92,65 +112,80 @@ pub fn run(seed: u64) -> Fig11Result {
         ),
     ];
 
+    // Every placement is its own machine in one cluster.
+    let mut cluster = ClusterScenario::new();
+    let mut labels = Vec::new();
+    for (label, machine, victim_pus, partner, cell_seed) in placements {
+        let mut scenario = Scenario::new(machine)
+            .seed(cell_seed)
+            .user(Uid(1), "user1")
+            .spawn(
+                "mcf0",
+                SpawnSpec::new("mcf", Uid(1), mcf_endless(0))
+                    .affinity(victim_pus)
+                    .seed(cell_seed ^ 0xA),
+            );
+        if let Some((pus, program)) = partner {
+            scenario = scenario.spawn(
+                "partner",
+                SpawnSpec::new("partner", Uid(1), program)
+                    .affinity(pus)
+                    .seed(cell_seed ^ 0xB),
+            );
+        }
+        cluster = cluster.machine(label, scenario);
+        labels.push(label);
+    }
+    let mut session = cluster.build().expect("unique placement labels");
+
+    let mut per_cell: Vec<Vec<Frame>> = vec![Vec::new(); labels.len()];
+    {
+        let mut sink = |cf: tiptop_core::cluster::ClusterFrame| {
+            per_cell[cf.machine_index].push(cf.frame);
+        };
+        session
+            .run(
+                threads,
+                (WARMUP_S + MEASURE_S) as usize,
+                |_| {
+                    Box::new(Tiptop::new(
+                        TiptopOptions::default()
+                            .observer(Uid::ROOT)
+                            .delay(SimDuration::from_secs(1)),
+                        ScreenConfig::cache_screen(),
+                    ))
+                },
+                &mut sink,
+            )
+            .expect("cluster run");
+    }
+
+    let cells = labels
+        .iter()
+        .zip(per_cell)
+        .map(|(&label, frames)| {
+            let shard = session.session(label).expect("shard survived");
+            let victim = shard.pid("mcf0").expect("spawned at t=0");
+            let partner_pid = shard.pid("partner");
+            let steady = |pid, column| {
+                Series::new("s", series_for_pid(&frames, pid, column))
+                    .mean_in(WARMUP_S as f64, f64::INFINITY)
+            };
+            MatrixCell {
+                label: label.to_string(),
+                victim_ipc: steady(victim, "IPC"),
+                victim_l3_per100: steady(victim, "L3/100"),
+                partner_ipc: partner_pid.map(|p| steady(p, "IPC")),
+            }
+        })
+        .collect();
+
     let staircase = staircase_session(seed + 10, machine());
     let topology = tiptop_machine::machine::Machine::new(machine(), seed).render_topology();
     Fig11Result {
         cells,
         staircase,
         topology,
-    }
-}
-
-/// Pin a victim mcf (and optionally a partner) and measure steady-state
-/// IPC and LLC miss rate over the last `MEASURE_S` seconds.
-fn measure(
-    label: &str,
-    machine: MachineConfig,
-    victim_pus: CpuSet,
-    partner: Option<(CpuSet, Program)>,
-    seed: u64,
-) -> MatrixCell {
-    let mut scenario = Scenario::new(machine)
-        .seed(seed)
-        .user(Uid(1), "user1")
-        .spawn(
-            "mcf0",
-            SpawnSpec::new("mcf", Uid(1), mcf_endless(0))
-                .affinity(victim_pus)
-                .seed(seed ^ 0xA),
-        );
-    if let Some((pus, program)) = partner {
-        scenario = scenario.spawn(
-            "partner",
-            SpawnSpec::new("partner", Uid(1), program)
-                .affinity(pus)
-                .seed(seed ^ 0xB),
-        );
-    }
-    let mut session = scenario.build().expect("unique tags");
-    let victim = session.pid("mcf0").expect("spawned at t=0");
-    let partner_pid = session.pid("partner");
-
-    let mut tool = Tiptop::new(
-        TiptopOptions::default()
-            .observer(Uid::ROOT)
-            .delay(SimDuration::from_secs(1)),
-        ScreenConfig::cache_screen(),
-    );
-    let frames = session
-        .run(&mut tool, (WARMUP_S + MEASURE_S) as usize)
-        .expect("positive interval");
-    session.teardown(&mut tool);
-
-    let steady = |pid, column| {
-        Series::new("s", series_for_pid(&frames, pid, column))
-            .mean_in(WARMUP_S as f64, f64::INFINITY)
-    };
-    MatrixCell {
-        label: label.to_string(),
-        victim_ipc: steady(victim, "IPC"),
-        victim_l3_per100: steady(victim, "L3/100"),
-        partner_ipc: partner_pid.map(|p| steady(p, "IPC")),
     }
 }
 

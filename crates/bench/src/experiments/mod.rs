@@ -18,11 +18,14 @@ pub mod fig08_ipc_vs_instructions;
 pub mod fig09_compilers;
 pub mod fig10_datacenter;
 pub mod fig11_interference;
+pub mod fleet;
 pub mod table1_fp_micro;
 pub mod validation;
 
 use tiptop_core::app::{Tiptop, TiptopOptions};
+use tiptop_core::cluster::MachineRef;
 use tiptop_core::config::ScreenConfig;
+use tiptop_core::monitor::Monitor;
 use tiptop_core::render::Frame;
 use tiptop_core::scenario::Scenario;
 use tiptop_core::session::series_for_pid;
@@ -34,6 +37,29 @@ use tiptop_machine::time::SimDuration;
 use tiptop_workloads::spec::{Compiler, Isa, SpecBenchmark};
 
 use crate::report::Series;
+
+/// Worker threads for cluster-driven experiments: one per hardware thread.
+/// The merged frame stream is byte-identical at any count, so this only
+/// affects wall clock.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The standard SPEC observer for cluster shards: a root tiptop with the
+/// default screen at the given refresh interval, one fresh instance per
+/// machine.
+pub(crate) fn spec_monitor_factory(
+    delay: SimDuration,
+) -> impl Fn(MachineRef<'_>) -> Box<dyn Monitor + Send> + Sync {
+    move |_| {
+        Box::new(Tiptop::new(
+            TiptopOptions::default().observer(Uid::ROOT).delay(delay),
+            ScreenConfig::default_screen(),
+        ))
+    }
+}
 
 /// The three evaluation machines of Figs 3/6/7/8, labelled as the paper
 /// labels them. Consumed by [`fig03_evolution`], [`fig06_07_phases`] and

@@ -8,7 +8,7 @@
 
 use tiptop_bench::experiments::{
     evaluation_machines, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions,
-    fig09_compilers, fig10_datacenter, fig11_interference, validation,
+    fig09_compilers, fig10_datacenter, fig11_interference, fleet, validation,
 };
 use tiptop_workloads::spec::{Compiler, SpecBenchmark};
 
@@ -326,6 +326,57 @@ fn fig11_interference_matrix_orders_the_placements() {
     let report = r.report();
     assert!(report.contains("PU#4"), "topology diagram renders");
     assert!(report.contains("staircase"), "report renders");
+}
+
+#[test]
+fn fleet_merges_all_machines_into_one_deterministic_timeline() {
+    let r = fleet::run_on(31, 0.02, 3);
+
+    // Every machine contributes to the one merged stream, which is ordered
+    // by (sim-time, machine-index) end to end.
+    assert_eq!(r.machines, vec!["Nehalem", "Core", "PPC970"]);
+    for m in &r.machines {
+        assert!(
+            r.merged.iter().any(|cf| &cf.machine == m),
+            "{m} missing from the merged stream"
+        );
+    }
+    for w in r.merged.windows(2) {
+        let a = (w[0].frame.time, w[0].machine_index);
+        let b = (w[1].frame.time, w[1].machine_index);
+        assert!(a <= b, "merge order violated: {a:?} then {b:?}");
+    }
+
+    // Same binary, shared wall clock: the faster machine finishes first and
+    // drops out of the timeline while the PPC970 is still running.
+    let nehalem = r.wall_for("Nehalem");
+    let core = r.wall_for("Core");
+    let ppc = r.wall_for("PPC970");
+    assert!(
+        nehalem < core && core < ppc,
+        "fleet completion must order Nehalem {nehalem} < Core {core} < PPC970 {ppc}"
+    );
+    let tail_machines: Vec<&str> = r
+        .merged
+        .iter()
+        .filter(|cf| cf.frame.time.as_secs_f64() > nehalem + 1.0)
+        .map(|cf| cf.machine.as_str())
+        .collect();
+    assert!(
+        !tail_machines.is_empty() && tail_machines.iter().all(|m| *m != "Nehalem"),
+        "after its completion the Nehalem leaves the timeline"
+    );
+
+    // The acceptance criterion: >1 worker thread produces frames
+    // byte-identical to the single-threaded run with the same seed.
+    let single = fleet::run_on(31, 0.02, 1);
+    assert_eq!(
+        r.rendered_stream(),
+        single.rendered_stream(),
+        "3 workers vs 1 worker must not change one byte"
+    );
+
+    assert!(r.report().contains("473.astar"), "report renders");
 }
 
 #[test]

@@ -1,0 +1,572 @@
+//! Multi-machine (cluster) sessions: N independent [`Session`]s — one per
+//! machine — sharded across a worker-thread pool behind one observer-facing
+//! API, with their frame streams merged **deterministically** by
+//! `(sim-time, machine)` into a streaming [`ClusterFrameSink`].
+//!
+//! The paper evaluates tiptop across *three* physical machines (Figs 3,
+//! 6–8) and a data-center co-run node (Fig 10); those machines are
+//! physically independent, so simulating them serially wastes every core
+//! but one. A [`ClusterScenario`] declares one [`Scenario`] per machine;
+//! building it yields a [`ClusterSession`] whose `run*` methods drive every
+//! machine concurrently. Because each shard owns its whole stack (machine,
+//! kernel, monitor) and the merge orders frames by `(time, machine-index)`
+//! with per-machine streams already time-ordered, **the merged stream is
+//! byte-identical at any worker-thread count** — `threads: 1` and
+//! `threads: 8` produce the same frames in the same order.
+//!
+//! Failure is contained per shard: a [`SessionError`] inside one machine
+//! surfaces as [`SessionError::Shard`], a panic as
+//! [`SessionError::ShardPanicked`]; the rest of the pool keeps running and
+//! their frames still reach the sink.
+//!
+//! ```
+//! use tiptop_core::prelude::*;
+//! use tiptop_kernel::prelude::*;
+//! use tiptop_machine::prelude::*;
+//!
+//! let spin = || Program::endless(ExecProfile::builder("spin").build());
+//! let node = |seed: u64| {
+//!     Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+//!         .seed(seed)
+//!         .user(Uid(1), "u1")
+//!         .spawn("spin", SpawnSpec::new("spin", Uid(1), spin()))
+//! };
+//! let mut cluster = ClusterScenario::new()
+//!     .machine("node-a", node(1))
+//!     .machine("node-b", node(2))
+//!     .build()
+//!     .unwrap();
+//! let frames = cluster
+//!     .run_collect(2, 3, |_m| {
+//!         Box::new(Tiptop::new(
+//!             TiptopOptions::default().delay(SimDuration::from_secs(1)),
+//!             ScreenConfig::default_screen(),
+//!         ))
+//!     })
+//!     .unwrap();
+//! // 2 machines x 3 refreshes, merged by (time, machine).
+//! assert_eq!(frames.len(), 6);
+//! assert_eq!(frames[0].machine, "node-a");
+//! assert_eq!(frames[1].machine, "node-b");
+//! assert!(frames[0].frame.time <= frames[1].frame.time);
+//! ```
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+
+use tiptop_machine::time::SimTime;
+
+use crate::monitor::Monitor;
+use crate::render::Frame;
+use crate::scenario::{Scenario, Session, SessionError};
+
+/// Identity of one machine of the cluster, handed to the per-machine
+/// factories (monitor, stop predicate).
+#[derive(Clone, Copy, Debug)]
+pub struct MachineRef<'a> {
+    pub id: &'a str,
+    /// Declaration index; the merge tie-breaker for same-instant frames.
+    pub index: usize,
+}
+
+/// One frame of the merged cluster stream, labelled with its origin.
+#[derive(Clone, Debug)]
+pub struct ClusterFrame {
+    /// Machine id as declared on the [`ClusterScenario`].
+    pub machine: String,
+    /// Machine declaration index (the merge tie-breaker).
+    pub machine_index: usize,
+    /// Producing monitor's [`Monitor::name`].
+    pub source: String,
+    /// Per-machine frame number (0-based).
+    pub seq: usize,
+    pub frame: Frame,
+}
+
+/// Streaming consumer of the merged cluster stream. Frames arrive in
+/// `(time, machine_index)` order regardless of the worker-thread count.
+pub trait ClusterFrameSink {
+    fn on_frame(&mut self, frame: ClusterFrame);
+}
+
+/// Any closure can be a sink.
+impl<F: FnMut(ClusterFrame)> ClusterFrameSink for F {
+    fn on_frame(&mut self, frame: ClusterFrame) {
+        self(frame)
+    }
+}
+
+/// The simplest sink: keep the whole merged stream.
+#[derive(Debug, Default)]
+pub struct ClusterCollectSink {
+    frames: Vec<ClusterFrame>,
+}
+
+impl ClusterCollectSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn frames(&self) -> &[ClusterFrame] {
+        &self.frames
+    }
+
+    pub fn into_frames(self) -> Vec<ClusterFrame> {
+        self.frames
+    }
+}
+
+impl ClusterFrameSink for ClusterCollectSink {
+    fn on_frame(&mut self, frame: ClusterFrame) {
+        self.frames.push(frame);
+    }
+}
+
+/// Declarative description of a multi-machine experiment: one [`Scenario`]
+/// per machine, each with its own machine config, seed, users, and timed
+/// workload events.
+#[derive(Debug, Default)]
+pub struct ClusterScenario {
+    machines: Vec<(String, Scenario)>,
+}
+
+impl ClusterScenario {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one machine. `id` labels its frames in the merged stream and
+    /// must be unique; declaration order fixes the merge tie-breaker.
+    pub fn machine(mut self, id: impl Into<String>, scenario: Scenario) -> Self {
+        self.machines.push((id.into(), scenario));
+        self
+    }
+
+    /// Validate every per-machine scenario and build the live
+    /// [`ClusterSession`]. A scenario error is labelled with its machine.
+    pub fn build(self) -> Result<ClusterSession, SessionError> {
+        if self.machines.is_empty() {
+            return Err(SessionError::InvalidScenario(
+                "cluster has no machines".into(),
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut shards = Vec::with_capacity(self.machines.len());
+        for (id, scenario) in self.machines {
+            if !seen.insert(id.clone()) {
+                return Err(SessionError::InvalidScenario(format!(
+                    "duplicate machine id '{id}'"
+                )));
+            }
+            let session = scenario.build().map_err(|e| SessionError::Shard {
+                machine: id.clone(),
+                error: Box::new(e),
+            })?;
+            shards.push(ShardSlot {
+                id,
+                session: Some(session),
+            });
+        }
+        Ok(ClusterSession { shards })
+    }
+}
+
+struct ShardSlot {
+    id: String,
+    /// `None` only while a run borrows it, or after a panic tore the shard
+    /// mid-epoch (the torn session is never handed back).
+    session: Option<Session>,
+}
+
+/// A live cluster: every machine's [`Session`], runnable on a worker pool.
+pub struct ClusterSession {
+    shards: Vec<ShardSlot>,
+}
+
+impl std::fmt::Debug for ClusterSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSession")
+            .field(
+                "machines",
+                &self.shards.iter().map(|s| &s.id).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl ClusterSession {
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Machine ids in declaration (= merge tie-break) order.
+    pub fn machines(&self) -> impl Iterator<Item = MachineRef<'_>> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, s)| MachineRef { id: &s.id, index })
+    }
+
+    /// One machine's session, for pid lookups and exit records after a run.
+    /// `None` for unknown ids — or for a shard whose session was lost to a
+    /// panic (a torn session is never handed back).
+    pub fn session(&self, id: &str) -> Option<&Session> {
+        self.shards
+            .iter()
+            .find(|s| s.id == id)
+            .and_then(|s| s.session.as_ref())
+    }
+
+    /// Drive every machine for up to `max_refreshes` frames of its own
+    /// monitor, stopping a machine early when its `until` predicate says so
+    /// (the stopping frame is still delivered). Work is sharded over
+    /// `threads` workers (clamped to `1..=machines`); frames stream into
+    /// `sink` merged by `(time, machine_index)` — deterministically, at any
+    /// thread count.
+    ///
+    /// On shard failure the other machines keep running; the first failure
+    /// (by machine index, for determinism) is returned after the pool
+    /// drains.
+    pub fn run_each(
+        &mut self,
+        threads: usize,
+        max_refreshes: usize,
+        mut monitor: impl FnMut(MachineRef<'_>) -> Box<dyn Monitor + Send>,
+        mut until: impl FnMut(MachineRef<'_>) -> Box<dyn FnMut(&Frame) -> bool + Send>,
+        sink: &mut dyn ClusterFrameSink,
+    ) -> Result<(), SessionError> {
+        let n = self.shards.len();
+        for slot in &self.shards {
+            if slot.session.is_none() {
+                return Err(SessionError::ShardPanicked {
+                    machine: slot.id.clone(),
+                    message: "session was lost to a panic in an earlier run".into(),
+                });
+            }
+        }
+        // Build and validate every machine's monitor and stop predicate
+        // *before* taking any session out of its slot, so an error here
+        // leaves the cluster untouched and re-runnable.
+        type Tools = (
+            Box<dyn Monitor + Send>,
+            Box<dyn FnMut(&Frame) -> bool + Send>,
+        );
+        let mut tools: Vec<Tools> = Vec::with_capacity(n);
+        for (index, slot) in self.shards.iter().enumerate() {
+            let mref = MachineRef {
+                id: &slot.id,
+                index,
+            };
+            let m = monitor(mref);
+            if m.interval().is_zero() {
+                return Err(SessionError::InvalidScenario(format!(
+                    "machine '{}': monitor '{}' has a zero refresh interval",
+                    slot.id,
+                    m.name()
+                )));
+            }
+            tools.push((m, until(mref)));
+        }
+        let mut units: Vec<WorkUnit> = Vec::with_capacity(n);
+        for ((index, slot), (m, u)) in self.shards.iter_mut().enumerate().zip(tools) {
+            units.push(WorkUnit {
+                index,
+                id: slot.id.clone(),
+                session: slot.session.take().expect("checked above"),
+                monitor: m,
+                until: u,
+            });
+        }
+
+        let threads = threads.clamp(1, n);
+        let mut parts: Vec<Vec<WorkUnit>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, u) in units.into_iter().enumerate() {
+            parts[i % threads].push(u);
+        }
+
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let mut queues: Vec<MergeQueue> = (0..n).map(|_| MergeQueue::default()).collect();
+        let mut first_err: Option<(usize, SessionError)> = None;
+        let mut returned: Vec<(usize, Option<Session>)> = Vec::with_capacity(n);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|part| {
+                    let tx = tx.clone();
+                    scope.spawn(move || run_worker(part, max_refreshes, tx))
+                })
+                .collect();
+            drop(tx);
+
+            // The deterministic k-way merge: emit the globally smallest
+            // (time, machine_index) head as soon as every still-producing
+            // machine has a frame buffered (per-machine streams are
+            // time-ordered, so nothing smaller can arrive later).
+            for msg in rx {
+                match msg {
+                    Msg::Frame { index, frame } => queues[index].buf.push_back(frame),
+                    Msg::Done { index } => queues[index].open = false,
+                    Msg::Failed { index, error } => {
+                        queues[index].open = false;
+                        if first_err.as_ref().is_none_or(|(i, _)| index < *i) {
+                            first_err = Some((index, error));
+                        }
+                    }
+                }
+                drain_merged(&mut queues, sink);
+            }
+            drain_merged(&mut queues, sink);
+
+            for h in handles {
+                // Workers never unwind (shard panics are caught inside);
+                // a join error here would be a bug in the pool itself.
+                returned.extend(h.join().expect("worker thread panicked"));
+            }
+        });
+
+        for (index, session) in returned {
+            self.shards[index].session = session;
+        }
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// [`ClusterSession::run_each`] without early stopping: every machine
+    /// produces exactly `refreshes` frames.
+    pub fn run(
+        &mut self,
+        threads: usize,
+        refreshes: usize,
+        monitor: impl FnMut(MachineRef<'_>) -> Box<dyn Monitor + Send>,
+        sink: &mut dyn ClusterFrameSink,
+    ) -> Result<(), SessionError> {
+        self.run_each(threads, refreshes, monitor, |_| Box::new(|_| false), sink)
+    }
+
+    /// [`ClusterSession::run`] into a [`ClusterCollectSink`], returning the
+    /// merged stream.
+    pub fn run_collect(
+        &mut self,
+        threads: usize,
+        refreshes: usize,
+        monitor: impl FnMut(MachineRef<'_>) -> Box<dyn Monitor + Send>,
+    ) -> Result<Vec<ClusterFrame>, SessionError> {
+        let mut sink = ClusterCollectSink::new();
+        self.run(threads, refreshes, monitor, &mut sink)?;
+        Ok(sink.into_frames())
+    }
+}
+
+struct WorkUnit {
+    index: usize,
+    id: String,
+    session: Session,
+    monitor: Box<dyn Monitor + Send>,
+    until: Box<dyn FnMut(&Frame) -> bool + Send>,
+}
+
+enum Msg {
+    Frame { index: usize, frame: ClusterFrame },
+    Done { index: usize },
+    Failed { index: usize, error: SessionError },
+}
+
+struct MergeQueue {
+    buf: VecDeque<ClusterFrame>,
+    /// Still producing: its head bounds what may still arrive.
+    open: bool,
+}
+
+impl Default for MergeQueue {
+    fn default() -> Self {
+        MergeQueue {
+            buf: VecDeque::new(),
+            open: true,
+        }
+    }
+}
+
+fn drain_merged(queues: &mut [MergeQueue], sink: &mut dyn ClusterFrameSink) {
+    loop {
+        // A still-producing machine with nothing buffered could still emit
+        // a frame earlier than every buffered head — wait for it.
+        if queues.iter().any(|q| q.open && q.buf.is_empty()) {
+            return;
+        }
+        let mut best: Option<(SimTime, usize)> = None;
+        for (i, q) in queues.iter().enumerate() {
+            if let Some(head) = q.buf.front() {
+                let key = (head.frame.time, i);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        match best {
+            Some((_, i)) => sink.on_frame(queues[i].buf.pop_front().expect("head exists")),
+            None => return,
+        }
+    }
+}
+
+/// One worker: owns a set of shards and always advances the one whose next
+/// observation is earliest (ties by machine index), so the global merge
+/// frontier keeps moving and the merger buffers as little as possible.
+fn run_worker(
+    units: Vec<WorkUnit>,
+    max_refreshes: usize,
+    tx: mpsc::Sender<Msg>,
+) -> Vec<(usize, Option<Session>)> {
+    struct Active {
+        unit: WorkUnit,
+        next_at: SimTime,
+        taken: usize,
+    }
+
+    let mut finished: Vec<(usize, Option<Session>)> = Vec::new();
+    let mut active: Vec<Active> = Vec::new();
+
+    for mut unit in units {
+        if max_refreshes == 0 {
+            let _ = tx.send(Msg::Done { index: unit.index });
+            finished.push((unit.index, Some(unit.session)));
+            continue;
+        }
+        let primed = guard(&unit.id, || {
+            unit.monitor.prime(unit.session.kernel_mut());
+            Ok(())
+        });
+        match primed {
+            Ok(()) => {
+                let next_at = unit.session.now() + unit.monitor.interval();
+                active.push(Active {
+                    unit,
+                    next_at,
+                    taken: 0,
+                });
+            }
+            Err(e) => {
+                let _ = tx.send(Msg::Failed {
+                    index: unit.index,
+                    error: e,
+                });
+                finished.push((unit.index, None));
+            }
+        }
+    }
+
+    while !active.is_empty() {
+        let pos = active
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, a)| (a.next_at, a.unit.index))
+            .map(|(p, _)| p)
+            .expect("non-empty");
+        let a = &mut active[pos];
+        let step = guard(&a.unit.id, || {
+            a.unit.session.advance_to(a.next_at)?;
+            let frame = a.unit.monitor.observe(a.unit.session.kernel_mut());
+            let stop = (a.unit.until)(&frame);
+            Ok((frame, stop))
+        });
+        match step {
+            Ok((frame, stop)) => {
+                a.taken += 1;
+                let _ = tx.send(Msg::Frame {
+                    index: a.unit.index,
+                    frame: ClusterFrame {
+                        machine: a.unit.id.clone(),
+                        machine_index: a.unit.index,
+                        source: a.unit.monitor.name().to_string(),
+                        seq: a.taken - 1,
+                        frame,
+                    },
+                });
+                if stop || a.taken >= max_refreshes {
+                    let mut done = active.swap_remove(pos);
+                    // A teardown panic tears the shard like an observe
+                    // panic would: surface it and withhold the session.
+                    let torn_down = guard(&done.unit.id, || {
+                        done.unit.monitor.teardown(done.unit.session.kernel_mut());
+                        Ok(())
+                    });
+                    match torn_down {
+                        Ok(()) => {
+                            let _ = tx.send(Msg::Done {
+                                index: done.unit.index,
+                            });
+                            finished.push((done.unit.index, Some(done.unit.session)));
+                        }
+                        Err(error) => {
+                            let _ = tx.send(Msg::Failed {
+                                index: done.unit.index,
+                                error,
+                            });
+                            finished.push((done.unit.index, None));
+                        }
+                    }
+                } else {
+                    a.next_at += a.unit.monitor.interval();
+                }
+            }
+            Err(e) => {
+                let failed = active.swap_remove(pos);
+                // A panic may have torn the shard mid-epoch; only a clean
+                // SessionError hands the session back.
+                let torn = matches!(e, SessionError::ShardPanicked { .. });
+                let error = match e {
+                    e @ SessionError::ShardPanicked { .. } => e,
+                    other => SessionError::Shard {
+                        machine: failed.unit.id.clone(),
+                        error: Box::new(other),
+                    },
+                };
+                let _ = tx.send(Msg::Failed {
+                    index: failed.unit.index,
+                    error,
+                });
+                finished.push((failed.unit.index, (!torn).then_some(failed.unit.session)));
+            }
+        }
+    }
+    finished
+}
+
+/// Run `f`, converting an unwind into a typed [`SessionError::ShardPanicked`]
+/// so one shard's panic never poisons the pool.
+fn guard<T>(machine: &str, f: impl FnOnce() -> Result<T, SessionError>) -> Result<T, SessionError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(SessionError::ShardPanicked {
+            machine: machine.to_string(),
+            message: panic_message(payload),
+        }),
+    }
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Compile-time proof that a whole shard (session + stack below it) can
+/// move to a worker thread.
+#[allow(dead_code)]
+fn assert_shard_is_send() {
+    fn is_send<T: Send>() {}
+    is_send::<Session>();
+}

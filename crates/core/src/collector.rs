@@ -74,26 +74,45 @@ impl Collector {
     /// observable task — including the *final* partial-interval delta of
     /// tasks that exited since the previous refresh (their fds remain valid
     /// after exit and hold the final counts, as on Linux).
+    ///
+    /// All counter reads go through [`Kernel::perf_read_batch`]: the
+    /// refresh snapshots *every* fd this observer holds in one pass over
+    /// the kernel's fd table instead of one lookup per fd — the batched
+    /// counter path of the cluster-scale engine.
     pub fn refresh(&mut self, k: &mut Kernel) -> HashMap<Pid, TaskDelta> {
         let live = k.pids();
         let mut out: HashMap<Pid, TaskDelta> = HashMap::with_capacity(self.tasks.len());
 
-        // Harvest final counts from vanished tasks, then release their fds.
-        let gone: Vec<Pid> = self
-            .tasks
-            .keys()
-            .copied()
-            .filter(|p| !live.contains(p))
-            .collect();
-        for pid in gone {
-            if let Some(tc) = self.tasks.remove(&pid) {
+        // Harvest final counts from vanished tasks (one batched read over
+        // all their fds), then release the fds.
+        let gone: Vec<(Pid, TaskCounters)> = {
+            let gone_pids: Vec<Pid> = self
+                .tasks
+                .keys()
+                .copied()
+                .filter(|p| !live.contains(p))
+                .collect();
+            gone_pids
+                .into_iter()
+                .filter_map(|p| self.tasks.remove(&p).map(|tc| (p, tc)))
+                .collect()
+        };
+        if !gone.is_empty() {
+            let fds: Vec<_> = gone
+                .iter()
+                .flat_map(|(_, tc)| tc.fds.iter().map(|&(_, fd)| fd))
+                .collect();
+            let vals = k.perf_read_batch(&fds);
+            let mut cursor = 0usize;
+            for (pid, tc) in gone {
                 let mut finals = EventCounts::ZERO;
                 let mut ok = true;
-                for &(ev, fd) in &tc.fds {
-                    match k.perf_read(fd) {
+                for &(ev, _) in &tc.fds {
+                    match vals[cursor] {
                         Ok(v) => finals.set(ev, v.scaled()),
                         Err(_) => ok = false,
                     }
+                    cursor += 1;
                 }
                 if ok {
                     out.insert(
@@ -127,18 +146,25 @@ impl Collector {
             }
         }
 
-        // Read deltas of live tasks.
-        for (&pid, tc) in self.tasks.iter_mut() {
+        // Read deltas of live tasks: snapshot every fd in one batched pass,
+        // then distribute the values per task.
+        let order: Vec<Pid> = self.tasks.keys().copied().collect();
+        let fds: Vec<_> = order
+            .iter()
+            .flat_map(|p| self.tasks[p].fds.iter().map(|&(_, fd)| fd))
+            .collect();
+        let vals = k.perf_read_batch(&fds);
+        let mut cursor = 0usize;
+        for pid in order {
+            let tc = self.tasks.get_mut(&pid).expect("just listed");
             let mut now = EventCounts::ZERO;
             let mut ok = true;
-            for &(ev, fd) in &tc.fds {
-                match k.perf_read(fd) {
+            for &(ev, _) in &tc.fds {
+                match vals[cursor] {
                     Ok(v) => now.set(ev, v.scaled()),
-                    Err(_) => {
-                        ok = false;
-                        break;
-                    }
+                    Err(_) => ok = false,
                 }
+                cursor += 1;
             }
             if !ok {
                 continue; // raced with exit; next refresh cleans up

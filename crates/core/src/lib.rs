@@ -30,8 +30,11 @@
 //! * [`scenario`] — the declarative [`Scenario`] builder (machine, users,
 //!   timed spawn/kill/renice events) and the [`Session`] loop that drives
 //!   any set of monitors over one live kernel;
-//! * [`session`] — per-task time-series helpers and the deprecated
-//!   free-function shims the subsystem replaced.
+//! * [`session`] — per-task time-series helpers over recorded frames;
+//! * [`cluster`] — the multi-machine layer: [`ClusterScenario`] builds N
+//!   independent sessions (one per machine), shards them across a worker
+//!   pool, and merges their frames deterministically by (time, machine)
+//!   into a streaming [`ClusterFrameSink`].
 //!
 //! ## Quickstart
 //!
@@ -68,6 +71,7 @@
 
 pub mod app;
 pub mod baseline;
+pub mod cluster;
 pub mod collector;
 pub mod config;
 pub mod events;
@@ -80,6 +84,9 @@ pub mod session;
 
 pub use app::{SortKey, Tiptop, TiptopOptions};
 pub use baseline::{PinInscount, PinReport, TopView};
+pub use cluster::{
+    ClusterCollectSink, ClusterFrame, ClusterFrameSink, ClusterScenario, ClusterSession, MachineRef,
+};
 pub use collector::{Collector, TaskDelta};
 pub use config::{ColumnKind, ColumnSpec, NumFormat, ScreenConfig};
 pub use expr::Expr;
@@ -88,18 +95,18 @@ pub use procinfo::CpuTracker;
 pub use render::{Frame, Row};
 pub use scenario::{Scenario, Session, SessionError, WorkloadEvent};
 pub use session::{mean, series_for_comm, series_for_pid};
-#[allow(deprecated)]
-pub use session::{run_refreshes, run_until};
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::app::{SortKey, Tiptop, TiptopOptions};
     pub use crate::baseline::{PinInscount, TopView};
+    pub use crate::cluster::{
+        ClusterCollectSink, ClusterFrame, ClusterFrameSink, ClusterScenario, ClusterSession,
+        MachineRef,
+    };
     pub use crate::config::ScreenConfig;
     pub use crate::monitor::{CollectSink, FrameSink, Monitor};
     pub use crate::render::Frame;
     pub use crate::scenario::{Scenario, Session, SessionError, WorkloadEvent};
     pub use crate::session::{mean, series_for_comm, series_for_pid};
-    #[allow(deprecated)]
-    pub use crate::session::{run_refreshes, run_until};
 }

@@ -71,8 +71,7 @@ impl<F: FnMut(&str, Frame)> FrameSink for F {
     }
 }
 
-/// The simplest sink: keep every frame (what the old `run_refreshes`
-/// returned).
+/// The simplest sink: keep every frame.
 #[derive(Debug, Default)]
 pub struct CollectSink {
     frames: Vec<Frame>,

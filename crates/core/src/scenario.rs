@@ -65,6 +65,16 @@ pub enum SessionError {
         limit: SimDuration,
         waiting_for: String,
     },
+    /// A cluster shard failed with a session error of its own; the error is
+    /// labelled with the machine it happened on and the rest of the pool
+    /// keeps running (see [`crate::cluster`]).
+    Shard {
+        machine: String,
+        error: Box<SessionError>,
+    },
+    /// A cluster shard panicked. The worker pool survives — the panic is
+    /// contained to the shard and surfaces here with its payload.
+    ShardPanicked { machine: String, message: String },
 }
 
 impl fmt::Display for SessionError {
@@ -79,6 +89,12 @@ impl fmt::Display for SessionError {
                     f,
                     "did not finish within {limit:?} (waiting for {waiting_for})"
                 )
+            }
+            SessionError::Shard { machine, error } => {
+                write!(f, "machine '{machine}': {error}")
+            }
+            SessionError::ShardPanicked { machine, message } => {
+                write!(f, "machine '{machine}' panicked: {message}")
             }
         }
     }
@@ -466,8 +482,35 @@ impl Session {
         Ok(())
     }
 
-    /// Drive one monitor for `refreshes` intervals and collect its frames —
-    /// the successor of the old `run_refreshes` free function.
+    /// Drive one monitor for `refreshes` intervals and collect its frames.
+    ///
+    /// Each iteration advances simulated time by the monitor's interval,
+    /// then takes a frame — so frame *i* covers interval *i*. An initial
+    /// priming refresh attaches counters at the current instant without
+    /// recording a frame, like starting the real tool:
+    ///
+    /// ```
+    /// use tiptop_core::prelude::*;
+    /// use tiptop_kernel::prelude::*;
+    /// use tiptop_machine::prelude::*;
+    ///
+    /// let mut session = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+    ///     .user(Uid(1), "u1")
+    ///     .spawn(
+    ///         "spin",
+    ///         SpawnSpec::new("spin", Uid(1), Program::endless(ExecProfile::builder("spin").build())),
+    ///     )
+    ///     .build()
+    ///     .unwrap();
+    /// let mut tool = Tiptop::new(
+    ///     TiptopOptions::default().delay(SimDuration::from_secs(1)),
+    ///     ScreenConfig::default_screen(),
+    /// );
+    /// let frames = session.run(&mut tool, 3).unwrap();
+    /// assert_eq!(frames.len(), 3);
+    /// assert_eq!(frames[0].time.as_secs_f64(), 1.0, "frame 0 covers interval 0");
+    /// assert_eq!(frames[2].time.as_secs_f64(), 3.0);
+    /// ```
     pub fn run(
         &mut self,
         monitor: &mut dyn Monitor,

@@ -1,68 +1,20 @@
-//! Legacy session helpers and per-task time-series extraction.
+//! Per-task time-series extraction from recorded frames.
 //!
-//! The driver half of this module is superseded by the [`crate::monitor`] /
-//! [`crate::scenario`] subsystem: [`run_refreshes`] and [`run_until`] remain
-//! as thin shims over the [`Monitor`] contract for callers that already hold
-//! a `&mut Kernel`. New code should build a
+//! The experiment driver itself is the [`crate::monitor`] /
+//! [`crate::scenario`] subsystem: build a
 //! [`Scenario`](crate::scenario::Scenario) and use
-//! [`Session::run`](crate::scenario::Session::run), which also applies timed
-//! workload events and can drive several monitors at once.
+//! [`Session::run`](crate::scenario::Session::run), which owns the clock,
+//! applies timed workload events, and can drive several monitors at once.
+//! (The deprecated `run_refreshes`/`run_until` free-function shims that used
+//! to live here are gone; their semantics live on in `Session::run`.)
 //!
-//! The series helpers ([`series_for_pid`], [`series_for_comm`], [`mean`])
-//! are what the figure-regeneration experiments consume and are not
-//! deprecated.
+//! What remains are the series helpers ([`series_for_pid`],
+//! [`series_for_comm`], [`mean`]) that the figure-regeneration experiments
+//! consume to turn frame streams into `(time, value)` curves.
 
-use tiptop_kernel::kernel::Kernel;
 use tiptop_kernel::task::Pid;
 
-use crate::monitor::Monitor;
 use crate::render::Frame;
-
-/// Run `refreshes` refresh intervals: each iteration advances simulated
-/// time by the monitor's interval, then takes a frame (so frame *i* covers
-/// interval *i*). An initial priming refresh attaches counters at t=0
-/// without recording a frame — like starting the real tool.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `Scenario` and use `Session::run` (crate::scenario)"
-)]
-pub fn run_refreshes<M: Monitor>(k: &mut Kernel, monitor: &mut M, refreshes: usize) -> Vec<Frame> {
-    let delay = monitor.interval();
-    monitor.prime(k);
-    let mut frames = Vec::with_capacity(refreshes);
-    for _ in 0..refreshes {
-        k.advance(delay);
-        frames.push(monitor.observe(k));
-    }
-    frames
-}
-
-/// Like [`run_refreshes`] but stops early when `until` says so (given the
-/// latest frame). Returns the frames recorded so far.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `Scenario` and use `Session::run_until` (crate::scenario)"
-)]
-pub fn run_until<M: Monitor>(
-    k: &mut Kernel,
-    monitor: &mut M,
-    max_refreshes: usize,
-    until: impl Fn(&Frame) -> bool,
-) -> Vec<Frame> {
-    let delay = monitor.interval();
-    monitor.prime(k);
-    let mut frames = Vec::new();
-    for _ in 0..max_refreshes {
-        k.advance(delay);
-        let f = monitor.observe(k);
-        let done = until(&f);
-        frames.push(f);
-        if done {
-            break;
-        }
-    }
-    frames
-}
 
 /// Extract `(time_s, value)` samples of one column for one pid across
 /// frames; frames where the task is absent are skipped.
@@ -100,12 +52,11 @@ pub fn mean(series: &[(f64, f64)]) -> f64 {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::app::{Tiptop, TiptopOptions};
     use crate::config::ScreenConfig;
-    use tiptop_kernel::kernel::KernelConfig;
+    use crate::scenario::Scenario;
     use tiptop_kernel::program::Program;
     use tiptop_kernel::task::{SpawnSpec, Uid};
     use tiptop_machine::access::MemoryBehavior;
@@ -113,32 +64,38 @@ mod tests {
     use tiptop_machine::exec::ExecProfile;
     use tiptop_machine::time::SimDuration;
 
-    fn world_with_spinner() -> (Kernel, Pid) {
-        let mut k =
-            Kernel::new(KernelConfig::new(MachineConfig::nehalem_w3550().noiseless()).seed(9));
-        k.add_user(Uid(1), "user1");
-        let pid = k.spawn(SpawnSpec::new(
-            "spin",
-            Uid(1),
-            Program::endless(
-                ExecProfile::builder("spin")
-                    .base_cpi(0.8)
-                    .branches(0.18, 0.0)
-                    .memory(MemoryBehavior::uniform(16 * 1024))
-                    .build(),
-            ),
-        ));
-        (k, pid)
-    }
-
-    #[test]
-    fn frames_cover_consecutive_intervals() {
-        let (mut k, pid) = world_with_spinner();
+    fn frames_and_pid() -> (Vec<Frame>, Pid) {
+        let mut session = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(9)
+            .user(Uid(1), "user1")
+            .spawn(
+                "spin",
+                SpawnSpec::new(
+                    "spin",
+                    Uid(1),
+                    Program::endless(
+                        ExecProfile::builder("spin")
+                            .base_cpi(0.8)
+                            .branches(0.18, 0.0)
+                            .memory(MemoryBehavior::uniform(16 * 1024))
+                            .build(),
+                    ),
+                ),
+            )
+            .build()
+            .unwrap();
+        let pid = session.pid("spin").unwrap();
         let mut t = Tiptop::new(
             TiptopOptions::default().delay(SimDuration::from_secs(1)),
             ScreenConfig::default_screen(),
         );
-        let frames = run_refreshes(&mut k, &mut t, 3);
+        let frames = session.run(&mut t, 3).unwrap();
+        (frames, pid)
+    }
+
+    #[test]
+    fn series_covers_consecutive_intervals() {
+        let (frames, pid) = frames_and_pid();
         assert_eq!(frames.len(), 3);
         assert_eq!(frames[0].time.as_secs_f64(), 1.0);
         assert_eq!(frames[2].time.as_secs_f64(), 3.0);
@@ -151,27 +108,16 @@ mod tests {
     }
 
     #[test]
-    fn run_until_stops_on_predicate() {
-        let (mut k, _) = world_with_spinner();
-        let mut t = Tiptop::new(
-            TiptopOptions::default().delay(SimDuration::from_secs(1)),
-            ScreenConfig::default_screen(),
-        );
-        let frames = run_until(&mut k, &mut t, 100, |f| f.time.as_secs_f64() >= 2.0);
-        assert_eq!(frames.len(), 2);
-    }
-
-    #[test]
     fn series_for_comm_matches_series_for_pid() {
-        let (mut k, pid) = world_with_spinner();
-        let mut t = Tiptop::new(
-            TiptopOptions::default().delay(SimDuration::from_secs(1)),
-            ScreenConfig::default_screen(),
-        );
-        let frames = run_refreshes(&mut k, &mut t, 2);
+        let (frames, pid) = frames_and_pid();
         assert_eq!(
             series_for_pid(&frames, pid, "IPC"),
             series_for_comm(&frames, "spin", "IPC")
         );
+    }
+
+    #[test]
+    fn mean_of_empty_series_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
     }
 }

@@ -1,0 +1,319 @@
+//! Cluster-session contract tests: the merged frame stream is
+//! deterministic at any worker-thread count, shard failures surface as
+//! typed errors without poisoning the pool, and per-machine stop
+//! predicates behave like `Session::run_until`.
+
+use tiptop_core::app::{Tiptop, TiptopOptions};
+use tiptop_core::cluster::{ClusterCollectSink, ClusterFrame, ClusterScenario, MachineRef};
+use tiptop_core::config::ScreenConfig;
+use tiptop_core::monitor::Monitor;
+use tiptop_core::render::Frame;
+use tiptop_core::scenario::{Scenario, SessionError};
+use tiptop_kernel::kernel::Kernel;
+use tiptop_kernel::program::Program;
+use tiptop_kernel::task::{SpawnSpec, Uid};
+use tiptop_machine::access::MemoryBehavior;
+use tiptop_machine::config::MachineConfig;
+use tiptop_machine::exec::ExecProfile;
+use tiptop_machine::time::{SimDuration, SimTime};
+
+fn spin(cpi: f64) -> Program {
+    Program::endless(
+        ExecProfile::builder("spin")
+            .base_cpi(cpi)
+            .branches(0.18, 0.0)
+            .memory(MemoryBehavior::uniform(16 * 1024))
+            .build(),
+    )
+}
+
+/// A small heterogeneous cluster: three Nehalem nodes with different seeds
+/// and workloads, plus one PPC970 node.
+fn cluster() -> ClusterScenario {
+    let nehalem = |seed: u64, cpi: f64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+            .spawn("spin", SpawnSpec::new("spin", Uid(1), spin(cpi)).seed(seed))
+    };
+    let ppc = Scenario::new(MachineConfig::ppc970_machine().noiseless())
+        .seed(77)
+        .user(Uid(1), "u1")
+        .spawn("spin", SpawnSpec::new("spin", Uid(1), spin(1.1)).seed(77));
+    ClusterScenario::new()
+        .machine("node-0", nehalem(1, 0.8))
+        .machine("node-1", nehalem(2, 0.9))
+        .machine("node-2", nehalem(3, 1.0))
+        .machine("ppc", ppc)
+}
+
+fn tool(delay_s: u64) -> Box<Tiptop> {
+    Box::new(Tiptop::new(
+        TiptopOptions::default()
+            .observer(Uid::ROOT)
+            .delay(SimDuration::from_secs(delay_s)),
+        ScreenConfig::default_screen(),
+    ))
+}
+
+/// Render the merged stream to bytes: the byte-identity artifact.
+fn rendered(frames: &[ClusterFrame]) -> String {
+    frames
+        .iter()
+        .map(|cf| {
+            format!(
+                "[{} #{} {}]\n{}",
+                cf.machine,
+                cf.seq,
+                cf.source,
+                cf.frame.render()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn merged_stream_is_byte_identical_at_1_2_and_8_threads() {
+    let run_at = |threads: usize| {
+        let mut session = cluster().build().unwrap();
+        let frames = session
+            .run_collect(threads, 5, |m: MachineRef<'_>| {
+                // Different refresh rates per machine exercise the merge.
+                tool(if m.index.is_multiple_of(2) { 1 } else { 2 })
+            })
+            .unwrap();
+        rendered(&frames)
+    };
+    let single = run_at(1);
+    assert_eq!(single, run_at(2), "2 workers must not change one byte");
+    assert_eq!(single, run_at(8), "8 workers must not change one byte");
+    assert!(single.contains("[ppc #4 tiptop]"), "every machine finished");
+}
+
+#[test]
+fn merge_orders_frames_by_time_then_machine_index() {
+    let mut session = cluster().build().unwrap();
+    let frames = session.run_collect(3, 4, |_| tool(1)).unwrap();
+    assert_eq!(frames.len(), 16);
+    for w in frames.windows(2) {
+        let a = (w[0].frame.time, w[0].machine_index);
+        let b = (w[1].frame.time, w[1].machine_index);
+        assert!(a <= b, "merge key must be non-decreasing: {a:?} vs {b:?}");
+    }
+    // Same-instant frames (all monitors tick at 1 s) follow machine order.
+    let first_second: Vec<usize> = frames
+        .iter()
+        .filter(|f| f.frame.time == SimTime::from_secs(1))
+        .map(|f| f.machine_index)
+        .collect();
+    assert_eq!(first_second, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn per_machine_until_stops_that_machine_only() {
+    let mut session = cluster().build().unwrap();
+    let mut sink = ClusterCollectSink::new();
+    session
+        .run_each(
+            2,
+            6,
+            |_| tool(1),
+            |m: MachineRef<'_>| {
+                // node-1 stops after its second frame; everyone else runs out
+                // the refresh budget.
+                let stop_early = m.id == "node-1";
+                let mut seen = 0usize;
+                Box::new(move |_f: &Frame| {
+                    seen += 1;
+                    stop_early && seen >= 2
+                })
+            },
+            &mut sink,
+        )
+        .unwrap();
+    let count = |id: &str| sink.frames().iter().filter(|f| f.machine == id).count();
+    assert_eq!(count("node-1"), 2, "stopping frame is still delivered");
+    assert_eq!(count("node-0"), 6);
+    assert_eq!(count("ppc"), 6);
+}
+
+/// A monitor that panics on its n-th observation.
+struct PanicMonitor {
+    inner: Tiptop,
+    observations: usize,
+    panic_on: usize,
+}
+
+impl Monitor for PanicMonitor {
+    fn name(&self) -> &str {
+        "panic-monitor"
+    }
+
+    fn interval(&self) -> SimDuration {
+        Monitor::interval(&self.inner)
+    }
+
+    fn prime(&mut self, k: &mut Kernel) {
+        self.inner.prime(k);
+    }
+
+    fn observe(&mut self, k: &mut Kernel) -> Frame {
+        self.observations += 1;
+        if self.observations == self.panic_on {
+            panic!("injected shard failure");
+        }
+        Monitor::observe(&mut self.inner, k)
+    }
+}
+
+#[test]
+fn panicking_shard_surfaces_as_typed_error_without_poisoning_the_pool() {
+    let mut session = cluster().build().unwrap();
+    let mut sink = ClusterCollectSink::new();
+    let err = session
+        .run_each(
+            2,
+            4,
+            |m: MachineRef<'_>| {
+                if m.id == "node-1" {
+                    Box::new(PanicMonitor {
+                        inner: *tool(1),
+                        observations: 0,
+                        panic_on: 2,
+                    })
+                } else {
+                    tool(1)
+                }
+            },
+            |_| Box::new(|_| false),
+            &mut sink,
+        )
+        .unwrap_err();
+    match &err {
+        SessionError::ShardPanicked { machine, message } => {
+            assert_eq!(machine, "node-1");
+            assert!(message.contains("injected shard failure"), "{message}");
+        }
+        other => panic!("expected ShardPanicked, got {other:?}"),
+    }
+    // The pool survived: every other machine delivered all four frames, and
+    // node-1's pre-panic frame still reached the sink.
+    let count = |id: &str| sink.frames().iter().filter(|f| f.machine == id).count();
+    assert_eq!(count("node-0"), 4);
+    assert_eq!(count("node-2"), 4);
+    assert_eq!(count("ppc"), 4);
+    assert_eq!(
+        count("node-1"),
+        1,
+        "frames observed before the panic stream"
+    );
+    // The torn shard's session is withheld; the healthy ones are back.
+    assert!(session.session("node-1").is_none());
+    assert!(session.session("node-0").is_some());
+}
+
+#[test]
+fn shard_session_error_is_labelled_with_its_machine() {
+    // node-1 schedules a kill of a task that exits on its own first: the
+    // ESRCH surfaces as Shard{machine: node-1, Syscall}.
+    let healthy = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .seed(1)
+        .user(Uid(1), "u1")
+        .spawn("spin", SpawnSpec::new("spin", Uid(1), spin(0.8)));
+    let doomed = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .seed(2)
+        .user(Uid(1), "u1")
+        .spawn(
+            "short",
+            SpawnSpec::new(
+                "short",
+                Uid(1),
+                Program::single(ExecProfile::builder("s").base_cpi(0.8).build(), 1_000_000),
+            ),
+        )
+        .kill_at(SimTime::from_secs(2), "short");
+    let mut session = ClusterScenario::new()
+        .machine("ok", healthy)
+        .machine("doomed", doomed)
+        .build()
+        .unwrap();
+    let mut sink = ClusterCollectSink::new();
+    let err = session.run(2, 4, |_| tool(1), &mut sink).unwrap_err();
+    match &err {
+        SessionError::Shard { machine, error } => {
+            assert_eq!(machine, "doomed");
+            assert!(
+                matches!(**error, SessionError::Syscall { call: "kill", .. }),
+                "{error:?}"
+            );
+        }
+        other => panic!("expected Shard, got {other:?}"),
+    }
+    // A clean SessionError (no panic) hands the session back.
+    assert!(session.session("doomed").is_some());
+    assert_eq!(
+        sink.frames().iter().filter(|f| f.machine == "ok").count(),
+        4,
+        "healthy machine unaffected"
+    );
+}
+
+#[test]
+fn zero_interval_monitor_is_rejected_without_losing_any_shard() {
+    let mut session = cluster().build().unwrap();
+    let mut sink = ClusterCollectSink::new();
+    // node-2's monitor has a zero refresh interval; the error must leave
+    // every shard in place (nothing taken, nothing lost).
+    let err = session
+        .run(
+            2,
+            3,
+            |m: MachineRef<'_>| tool(if m.id == "node-2" { 0 } else { 1 }),
+            &mut sink,
+        )
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("zero refresh interval"),
+        "got {err}"
+    );
+    assert!(sink.frames().is_empty(), "nothing ran");
+    for id in ["node-0", "node-1", "node-2", "ppc"] {
+        assert!(session.session(id).is_some(), "{id} must survive the error");
+    }
+    // And the cluster is still fully runnable afterwards.
+    let frames = session.run_collect(2, 2, |_| tool(1)).unwrap();
+    assert_eq!(frames.len(), 8);
+}
+
+#[test]
+fn build_rejects_duplicate_ids_and_labels_scenario_errors() {
+    let sc = || {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .user(Uid(1), "u1")
+            .spawn("a", SpawnSpec::new("a", Uid(1), spin(0.8)))
+    };
+    let err = ClusterScenario::new()
+        .machine("x", sc())
+        .machine("x", sc())
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("duplicate machine id"));
+
+    let bad = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .kill_at(SimTime::from_secs(1), "ghost");
+    let err = ClusterScenario::new()
+        .machine("ok", sc())
+        .machine("broken", bad)
+        .build()
+        .unwrap_err();
+    match err {
+        SessionError::Shard { machine, error } => {
+            assert_eq!(machine, "broken");
+            assert!(error.to_string().contains("unknown tag"));
+        }
+        other => panic!("expected Shard, got {other:?}"),
+    }
+
+    assert!(ClusterScenario::new().build().is_err(), "empty cluster");
+}

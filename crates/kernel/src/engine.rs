@@ -1,0 +1,402 @@
+//! The epoch engine: the scheduler + execution loop that advances simulated
+//! time, extracted from [`Kernel`](crate::kernel::Kernel) so that it is a
+//! self-contained unit of work.
+//!
+//! The kernel keeps the syscall surface (`/proc`, `perf_event`, signals);
+//! the engine owns the machine, the clock, and the epoch loop: wake
+//! sleepers, plan placement, execute all concurrent slices jointly on the
+//! machine, charge CPU time and fairness, and reap exited tasks. Each epoch
+//! reports per-task [`PerfCharge`]s back to the caller, which folds them
+//! into whatever counter bookkeeping it maintains — this split is what lets
+//! a cluster driver run many independent engines on worker threads while
+//! every kernel keeps its own fd table.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tiptop_machine::machine::{Machine, SliceRequest};
+use tiptop_machine::pmu::EventCounts;
+use tiptop_machine::time::{SimDuration, SimTime};
+use tiptop_machine::topology::PuId;
+
+use crate::kernel::ExitRecord;
+use crate::program::NextWork;
+use crate::sched::{plan_epoch, weight_for_nice, SchedEntity};
+use crate::task::{Pid, Task, TaskState};
+
+/// What one task was charged for one epoch: how long it ran and what the
+/// hardware observed while it did. The kernel folds these into its perf
+/// counters (multiplexing included) after every epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfCharge {
+    pub pid: Pid,
+    pub run_dur: SimDuration,
+    pub delta: EventCounts,
+}
+
+/// The time-advancement core: machine + clock + epoch loop, independent of
+/// any syscall bookkeeping.
+pub struct EpochEngine {
+    machine: Machine,
+    epoch: SimDuration,
+    now: SimTime,
+    epoch_index: u64,
+}
+
+impl EpochEngine {
+    pub fn new(machine: Machine, epoch: SimDuration) -> Self {
+        assert!(!epoch.is_zero(), "epoch must be positive");
+        EpochEngine {
+            machine,
+            epoch,
+            now: SimTime::ZERO,
+            epoch_index: 0,
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of whole epochs executed since boot (drives counter
+    /// multiplexing rotation in the kernel).
+    pub fn epoch_index(&self) -> u64 {
+        self.epoch_index
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Advance simulated time by `dur`, running whole epochs (the final
+    /// epoch is shortened to land exactly on `now + dur`). After each epoch
+    /// `on_epoch` receives the epoch's index (as it was *during* the epoch)
+    /// and the per-task charges, so the caller can update its counters with
+    /// the same rotation the hardware would have used.
+    pub fn advance(
+        &mut self,
+        dur: SimDuration,
+        tasks: &mut BTreeMap<Pid, Task>,
+        exited: &mut BTreeMap<Pid, ExitRecord>,
+        mut on_epoch: impl FnMut(u64, &[PerfCharge]),
+    ) {
+        let target = self.now + dur;
+        while self.now < target {
+            let e = self.epoch.min(target - self.now);
+            let index = self.epoch_index;
+            let charges = self.run_epoch(e, tasks, exited);
+            on_epoch(index, &charges);
+        }
+    }
+
+    /// One scheduler epoch: plan placement, execute slices in rounds so
+    /// phase boundaries inside the epoch are honored, charge CPU time and
+    /// fairness, and reap zombies (tombstones keep pids reserved).
+    fn run_epoch(
+        &mut self,
+        epoch_len: SimDuration,
+        tasks: &mut BTreeMap<Pid, Task>,
+        exited: &mut BTreeMap<Pid, ExitRecord>,
+    ) -> Vec<PerfCharge> {
+        let epoch_end = self.now + epoch_len;
+        let clock = self.machine.config().uarch.clock;
+        let budget_cycles = clock.cycles_in(epoch_len);
+
+        wake_and_settle(tasks, self.now);
+
+        // Plan placement for this epoch.
+        let entities: Vec<SchedEntity> = tasks
+            .values()
+            .filter(|t| t.state == TaskState::Runnable)
+            .map(|t| SchedEntity {
+                pid: t.pid,
+                vruntime: t.vruntime,
+                weight: weight_for_nice(t.nice),
+                affinity: t.affinity,
+                last_pu: t.last_pu,
+            })
+            .collect();
+        let plan = plan_epoch(self.machine.topology(), &entities);
+
+        // Per-task epoch bookkeeping. `remaining` tracks unspent cycle
+        // budget (used = budget - remaining); `blocked` marks tasks that
+        // slept or exited mid-epoch and must not run again this epoch.
+        let mut blocked: BTreeSet<Pid> = BTreeSet::new();
+        let mut remaining: BTreeMap<Pid, u64> = BTreeMap::new();
+        let mut pu_of: BTreeMap<Pid, PuId> = BTreeMap::new();
+        let mut epoch_delta: BTreeMap<Pid, EventCounts> = BTreeMap::new();
+        for (pu, pid) in plan.running_pairs() {
+            remaining.insert(pid, budget_cycles);
+            pu_of.insert(pid, pu);
+        }
+
+        // Execute in rounds so phase boundaries inside the epoch are honored.
+        for _round in 0..8 {
+            // Collect (pid, remaining_phase_instructions) of tasks that still
+            // have cycles and compute work.
+            let mut runnable_now: Vec<(Pid, u64)> = Vec::new();
+            let mut to_sleep: Vec<(Pid, SimTime)> = Vec::new();
+            let mut to_exit: Vec<Pid> = Vec::new();
+            for (&pid, &rem) in remaining.iter() {
+                if rem == 0 || blocked.contains(&pid) {
+                    continue;
+                }
+                let task = tasks.get_mut(&pid).expect("planned task exists");
+                match task.cursor.step(&task.program) {
+                    NextWork::Compute {
+                        remaining: insns, ..
+                    } => {
+                        runnable_now.push((pid, insns));
+                    }
+                    NextWork::Sleep { duration } => {
+                        // Sleep begins at the point in the epoch where the
+                        // task stopped computing.
+                        let used = budget_cycles - rem;
+                        let start = self.now + clock.duration_of(used);
+                        to_sleep.push((pid, start + duration));
+                    }
+                    NextWork::Exit => to_exit.push(pid),
+                }
+            }
+            for (pid, until) in to_sleep {
+                let t = tasks.get_mut(&pid).unwrap();
+                t.state = TaskState::Sleeping;
+                t.sleep_until = Some(until);
+                blocked.insert(pid);
+            }
+            for pid in to_exit {
+                let t = tasks.get_mut(&pid).unwrap();
+                t.state = TaskState::Zombie;
+                let used = budget_cycles - remaining[&pid];
+                t.end_time = Some(self.now + clock.duration_of(used));
+                blocked.insert(pid);
+            }
+            if runnable_now.is_empty() {
+                break;
+            }
+
+            // Build joint slice requests. Split borrows: take tasks out of
+            // the map temporarily.
+            let mut borrowed: Vec<(Pid, Task)> = runnable_now
+                .iter()
+                .map(|(pid, _)| (*pid, tasks.remove(pid).unwrap()))
+                .collect();
+            {
+                let mut requests: Vec<SliceRequest<'_>> = Vec::with_capacity(borrowed.len());
+                for ((pid, task), (_, phase_insns)) in borrowed.iter_mut().zip(runnable_now.iter())
+                {
+                    // Destructure to borrow disjoint fields: the profile
+                    // borrows `program` (via the cursor), the stream is a
+                    // separate field.
+                    let Task {
+                        program,
+                        cursor,
+                        stream,
+                        cpi_hint,
+                        ..
+                    } = task;
+                    let profile = match cursor.step(program) {
+                        NextWork::Compute { profile, .. } => profile,
+                        _ => unreachable!("filtered to compute work above"),
+                    };
+                    let mut req = SliceRequest::new(pu_of[&*pid], profile, stream)
+                        .cycles(remaining[&*pid])
+                        .max_instructions(*phase_insns);
+                    if *cpi_hint > 0.0 {
+                        req = req.cpi_hint(*cpi_hint);
+                    }
+                    requests.push(req);
+                }
+                let outcomes = self.machine.execute_epoch(&mut requests);
+
+                for ((pid, task), outcome) in borrowed.iter_mut().zip(outcomes) {
+                    task.cursor.retire(outcome.instructions);
+                    task.total_instructions += outcome.instructions;
+                    task.ground_truth.accumulate(&outcome.events);
+                    if outcome.instructions > 0 {
+                        task.cpi_hint = outcome.cycles as f64 / outcome.instructions as f64;
+                    }
+                    task.last_pu = Some(pu_of[&*pid]);
+                    let rem = remaining.get_mut(pid).unwrap();
+                    *rem = rem.saturating_sub(outcome.cycles.max(1));
+                    epoch_delta
+                        .entry(*pid)
+                        .or_default()
+                        .accumulate(&outcome.events);
+                }
+            }
+            for (pid, task) in borrowed {
+                tasks.insert(pid, task);
+            }
+        }
+
+        // Charge CPU time, fairness, and collect the perf charges.
+        let mut charges: Vec<PerfCharge> = Vec::with_capacity(pu_of.len());
+        for (&pid, &pu) in pu_of.iter() {
+            let used_cycles = budget_cycles - remaining.get(&pid).copied().unwrap_or(0);
+            if used_cycles == 0 {
+                continue;
+            }
+            let run_dur = clock.duration_of(used_cycles);
+            let delta = epoch_delta.get(&pid).copied().unwrap_or(EventCounts::ZERO);
+            if let Some(task) = tasks.get_mut(&pid) {
+                task.utime += run_dur;
+                task.vruntime += run_dur.as_nanos() as f64 / weight_for_nice(task.nice);
+                task.last_pu = Some(pu);
+            }
+            charges.push(PerfCharge {
+                pid,
+                run_dur,
+                delta,
+            });
+        }
+
+        // Reap zombies (tombstones keep the pid reserved).
+        let dead: Vec<Pid> = tasks
+            .iter()
+            .filter(|(_, t)| t.state == TaskState::Zombie)
+            .map(|(&p, _)| p)
+            .collect();
+        for pid in dead {
+            let t = tasks.remove(&pid).unwrap();
+            exited.insert(
+                pid,
+                ExitRecord {
+                    pid,
+                    comm: t.comm,
+                    uid: t.uid,
+                    start_time: t.start_time,
+                    end_time: t.end_time.unwrap_or(epoch_end),
+                    utime: t.utime,
+                    total_instructions: t.total_instructions,
+                    ground_truth: t.ground_truth,
+                },
+            );
+        }
+
+        self.now = epoch_end;
+        self.epoch_index += 1;
+        charges
+    }
+}
+
+/// Wake expired sleepers.
+fn wake_and_settle(tasks: &mut BTreeMap<Pid, Task>, now: SimTime) {
+    for t in tasks.values_mut() {
+        if t.state == TaskState::Sleeping {
+            if let Some(until) = t.sleep_until {
+                if until <= now {
+                    t.state = TaskState::Runnable;
+                    t.sleep_until = None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptop_machine::access::MemoryBehavior;
+    use tiptop_machine::config::MachineConfig;
+    use tiptop_machine::exec::ExecProfile;
+    use tiptop_machine::pmu::HwEvent;
+
+    use crate::program::Program;
+    use crate::task::{SpawnSpec, Uid};
+
+    fn engine() -> EpochEngine {
+        let cfg = MachineConfig::nehalem_w3550().noiseless();
+        EpochEngine::new(Machine::new(cfg, 5), SimDuration::from_millis(20))
+    }
+
+    fn spin_task(pid: u32) -> (Pid, Task) {
+        let spec = SpawnSpec::new(
+            "spin",
+            Uid(1),
+            Program::endless(
+                ExecProfile::builder("spin")
+                    .base_cpi(0.8)
+                    .branches(0.18, 0.0)
+                    .memory(MemoryBehavior::uniform(16 * 1024))
+                    .build(),
+            ),
+        );
+        (Pid(pid), Task::new(Pid(pid), spec, SimTime::ZERO))
+    }
+
+    #[test]
+    fn advance_runs_whole_and_partial_epochs() {
+        let mut e = engine();
+        let mut tasks = BTreeMap::new();
+        let mut exited = BTreeMap::new();
+        let (pid, task) = spin_task(100);
+        tasks.insert(pid, task);
+
+        let mut epochs = 0u64;
+        e.advance(
+            SimDuration::from_millis(50),
+            &mut tasks,
+            &mut exited,
+            |_, _| epochs += 1,
+        );
+        // 20 + 20 + 10 ms.
+        assert_eq!(epochs, 3);
+        assert_eq!(e.now(), SimTime(50_000_000));
+        assert_eq!(e.epoch_index(), 3);
+    }
+
+    #[test]
+    fn charges_report_what_the_task_ran() {
+        let mut e = engine();
+        let mut tasks = BTreeMap::new();
+        let mut exited = BTreeMap::new();
+        let (pid, task) = spin_task(100);
+        tasks.insert(pid, task);
+
+        let mut total = EventCounts::ZERO;
+        let mut run = SimDuration::ZERO;
+        e.advance(
+            SimDuration::from_secs(1),
+            &mut tasks,
+            &mut exited,
+            |_, charges| {
+                for c in charges {
+                    assert_eq!(c.pid, pid);
+                    total.accumulate(&c.delta);
+                    run += c.run_dur;
+                }
+            },
+        );
+        // A CPU-bound task ran the whole second; the charges must match the
+        // task's own ground-truth accounting exactly.
+        assert!((run.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(total, tasks[&pid].ground_truth);
+        assert!(total.get(HwEvent::Cycles) > 3_000_000_000);
+    }
+
+    #[test]
+    fn exited_tasks_are_reaped_into_tombstones() {
+        let mut e = engine();
+        let mut tasks = BTreeMap::new();
+        let mut exited = BTreeMap::new();
+        let spec = SpawnSpec::new(
+            "short",
+            Uid(1),
+            Program::single(
+                ExecProfile::builder("short").base_cpi(0.8).build(),
+                1_000_000,
+            ),
+        );
+        tasks.insert(Pid(7), Task::new(Pid(7), spec, SimTime::ZERO));
+        e.advance(
+            SimDuration::from_secs(1),
+            &mut tasks,
+            &mut exited,
+            |_, _| {},
+        );
+        assert!(tasks.is_empty(), "task ran to completion and was reaped");
+        let rec = &exited[&Pid(7)];
+        assert_eq!(rec.total_instructions, 1_000_000);
+        assert!(rec.end_time < SimTime::from_secs(1));
+    }
+}

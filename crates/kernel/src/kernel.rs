@@ -1,25 +1,27 @@
-//! The kernel: owns the machine, the tasks, the scheduler, `/proc`, and the
-//! `perf_event` subsystem; advances simulated time in epochs.
+//! The kernel: owns the tasks, `/proc`, and the `perf_event` subsystem, and
+//! drives the [`EpochEngine`] that advances simulated time.
 //!
 //! This is the layer tiptop talks to. It exposes exactly the interfaces the
-//! real tool uses on Linux — `/proc` reads and the four perf syscalls — plus
-//! `spawn`/`advance` for driving experiments.
+//! real tool uses on Linux — `/proc` reads and the perf syscalls — plus
+//! `spawn`/`advance` for driving experiments. The scheduler + execution loop
+//! itself lives in [`crate::engine`]; the kernel folds the engine's per-epoch
+//! [`PerfCharge`](crate::engine::PerfCharge)s into its counter fd table.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use tiptop_machine::config::MachineConfig;
-use tiptop_machine::machine::{Machine, SliceRequest};
-use tiptop_machine::pmu::{EventCounts, HwEvent};
+use tiptop_machine::machine::Machine;
+use tiptop_machine::pmu::{EventCounts, HwEvent, PmuCapabilities};
 use tiptop_machine::time::{SimDuration, SimTime};
 use tiptop_machine::topology::PuId;
 
+use crate::engine::{EpochEngine, PerfCharge};
 use crate::errno::Errno;
 use crate::perf::{
     multiplex_active, PerfCounter, PerfEventAttr, PerfFd, PerfValue, MAX_FDS_PER_OBSERVER,
 };
 use crate::procfs::ProcStat;
-use crate::program::NextWork;
-use crate::sched::{plan_epoch, weight_for_nice, CpuSet, SchedEntity};
+use crate::sched::CpuSet;
 use crate::task::{Pid, SpawnSpec, Task, TaskState, Uid};
 
 /// Kernel construction parameters.
@@ -71,9 +73,7 @@ pub struct ExitRecord {
 /// The simulated operating system.
 pub struct Kernel {
     cfg: KernelConfig,
-    machine: Machine,
-    now: SimTime,
-    epoch_index: u64,
+    engine: EpochEngine,
     tasks: BTreeMap<Pid, Task>,
     /// Tombstones of exited tasks; pids are never reused.
     exited: BTreeMap<Pid, ExitRecord>,
@@ -86,12 +86,11 @@ pub struct Kernel {
 impl Kernel {
     pub fn new(cfg: KernelConfig) -> Self {
         let machine = Machine::new(cfg.machine.clone(), cfg.seed);
+        let engine = EpochEngine::new(machine, cfg.epoch);
         let mut users = BTreeMap::new();
         users.insert(Uid::ROOT, "root".to_string());
         Kernel {
-            machine,
-            now: SimTime::ZERO,
-            epoch_index: 0,
+            engine,
             tasks: BTreeMap::new(),
             exited: BTreeMap::new(),
             next_pid: 100,
@@ -107,7 +106,7 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     pub fn now(&self) -> SimTime {
-        self.now
+        self.engine.now()
     }
 
     pub fn config(&self) -> &KernelConfig {
@@ -115,7 +114,12 @@ impl Kernel {
     }
 
     pub fn machine(&self) -> &Machine {
-        &self.machine
+        self.engine.machine()
+    }
+
+    /// The time-advancement core (scheduler + machine + clock).
+    pub fn engine(&self) -> &EpochEngine {
+        &self.engine
     }
 
     pub fn num_alive(&self) -> usize {
@@ -168,7 +172,7 @@ impl Kernel {
     pub fn spawn(&mut self, spec: SpawnSpec) -> Pid {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
-        let mut task = Task::new(pid, spec, self.now);
+        let mut task = Task::new(pid, spec, self.engine.now());
         // CFS: a newcomer starts at the current minimum vruntime so it
         // neither starves others nor waits forever.
         let min_vr = self
@@ -186,9 +190,10 @@ impl Kernel {
 
     /// Terminate a task right now (SIGKILL-style).
     pub fn kill(&mut self, pid: Pid) -> Result<(), Errno> {
+        let now = self.engine.now();
         let task = self.tasks.get_mut(&pid).ok_or(Errno::ESRCH)?;
         task.state = TaskState::Zombie;
-        task.end_time = Some(self.now);
+        task.end_time = Some(now);
         Ok(())
     }
 
@@ -305,6 +310,33 @@ impl Kernel {
         })
     }
 
+    /// Read many counters in **one pass over the fd table** — the batched
+    /// counterpart of [`Kernel::perf_read`]. A monitor refresh reads every
+    /// fd it holds; doing that with per-fd `perf_read` calls costs a map
+    /// lookup per fd, while this walks the counter table once and fills the
+    /// results positionally. Unknown fds yield `Err(EBADF)` in their slot,
+    /// exactly as the per-fd call would.
+    pub fn perf_read_batch(&self, fds: &[PerfFd]) -> Vec<Result<PerfValue, Errno>> {
+        let mut want: HashMap<PerfFd, Vec<usize>> = HashMap::with_capacity(fds.len());
+        for (i, &fd) in fds.iter().enumerate() {
+            want.entry(fd).or_default().push(i);
+        }
+        let mut out: Vec<Result<PerfValue, Errno>> = vec![Err(Errno::EBADF); fds.len()];
+        for (fd, c) in &self.counters {
+            if let Some(slots) = want.get(fd) {
+                let v = PerfValue {
+                    value: c.count,
+                    time_enabled: c.time_enabled,
+                    time_running: c.time_running,
+                };
+                for &i in slots {
+                    out[i] = Ok(v);
+                }
+            }
+        }
+        out
+    }
+
     pub fn perf_enable(&mut self, fd: PerfFd) -> Result<(), Errno> {
         self.counters.get_mut(&fd).ok_or(Errno::EBADF)?.enabled = true;
         Ok(())
@@ -332,252 +364,73 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Advance simulated time by `dur`, running whole epochs (the final
-    /// epoch is shortened to land exactly on `now + dur`).
+    /// epoch is shortened to land exactly on `now + dur`). The
+    /// [`EpochEngine`] does the scheduling and execution; the kernel folds
+    /// each epoch's [`PerfCharge`]s into its counter fds.
     pub fn advance(&mut self, dur: SimDuration) {
-        let target = self.now + dur;
-        while self.now < target {
-            let e = self.cfg.epoch.min(target - self.now);
-            self.run_epoch(e);
-        }
+        let Kernel {
+            engine,
+            tasks,
+            exited,
+            counters,
+            cfg,
+            ..
+        } = self;
+        let pmu = cfg.machine.uarch.pmu;
+        engine.advance(dur, tasks, exited, |epoch_index, charges| {
+            for charge in charges {
+                apply_perf_charge(counters, pmu, epoch_index, charge);
+            }
+        });
     }
 
     /// Advance to an absolute instant (no-op if already past).
     pub fn advance_until(&mut self, t: SimTime) {
-        if t > self.now {
-            self.advance(t - self.now);
+        let now = self.engine.now();
+        if t > now {
+            self.advance(t - now);
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // The epoch engine
-    // ------------------------------------------------------------------
+/// Update all counters attached to `charge.pid` for an epoch in which the
+/// task ran for `charge.run_dur` and the hardware observed `charge.delta`.
+/// Multiplexing rotates with `epoch_index`, like the kernel's tick.
+fn apply_perf_charge(
+    counters: &mut BTreeMap<PerfFd, PerfCounter>,
+    pmu: PmuCapabilities,
+    epoch_index: u64,
+    charge: &PerfCharge,
+) {
+    let pid = charge.pid;
 
-    fn run_epoch(&mut self, epoch_len: SimDuration) {
-        let epoch_end = self.now + epoch_len;
-        let clock = self.cfg.machine.uarch.clock;
-        let budget_cycles = clock.cycles_in(epoch_len);
-
-        self.wake_and_settle();
-
-        // Plan placement for this epoch.
-        let entities: Vec<SchedEntity> = self
-            .tasks
-            .values()
-            .filter(|t| t.state == TaskState::Runnable)
-            .map(|t| SchedEntity {
-                pid: t.pid,
-                vruntime: t.vruntime,
-                weight: weight_for_nice(t.nice),
-                affinity: t.affinity,
-                last_pu: t.last_pu,
-            })
-            .collect();
-        let plan = plan_epoch(self.machine.topology(), &entities);
-
-        // Per-task epoch bookkeeping. `remaining` tracks unspent cycle
-        // budget (used = budget - remaining); `blocked` marks tasks that
-        // slept or exited mid-epoch and must not run again this epoch.
-        let mut blocked: std::collections::BTreeSet<Pid> = std::collections::BTreeSet::new();
-        let mut remaining: BTreeMap<Pid, u64> = BTreeMap::new();
-        let mut pu_of: BTreeMap<Pid, PuId> = BTreeMap::new();
-        let mut epoch_delta: BTreeMap<Pid, EventCounts> = BTreeMap::new();
-        for (pu, pid) in plan.running_pairs() {
-            remaining.insert(pid, budget_cycles);
-            pu_of.insert(pid, pu);
-        }
-
-        // Execute in rounds so phase boundaries inside the epoch are honored.
-        for _round in 0..8 {
-            // Collect (pid, remaining_phase_instructions) of tasks that still
-            // have cycles and compute work.
-            let mut runnable_now: Vec<(Pid, u64)> = Vec::new();
-            let mut to_sleep: Vec<(Pid, SimTime)> = Vec::new();
-            let mut to_exit: Vec<Pid> = Vec::new();
-            for (&pid, &rem) in remaining.iter() {
-                if rem == 0 || blocked.contains(&pid) {
-                    continue;
-                }
-                let task = self.tasks.get_mut(&pid).expect("planned task exists");
-                match task.cursor.step(&task.program) {
-                    NextWork::Compute {
-                        remaining: insns, ..
-                    } => {
-                        runnable_now.push((pid, insns));
-                    }
-                    NextWork::Sleep { duration } => {
-                        // Sleep begins at the point in the epoch where the
-                        // task stopped computing.
-                        let used = budget_cycles - rem;
-                        let start = self.now + clock.duration_of(used);
-                        to_sleep.push((pid, start + duration));
-                    }
-                    NextWork::Exit => to_exit.push(pid),
-                }
-            }
-            for (pid, until) in to_sleep {
-                let t = self.tasks.get_mut(&pid).unwrap();
-                t.state = TaskState::Sleeping;
-                t.sleep_until = Some(until);
-                blocked.insert(pid);
-            }
-            for pid in to_exit {
-                let t = self.tasks.get_mut(&pid).unwrap();
-                t.state = TaskState::Zombie;
-                let used = budget_cycles - remaining[&pid];
-                t.end_time = Some(self.now + clock.duration_of(used));
-                blocked.insert(pid);
-            }
-            if runnable_now.is_empty() {
-                break;
-            }
-
-            // Build joint slice requests. Split borrows: take tasks out of
-            // the map temporarily.
-            let mut borrowed: Vec<(Pid, Task)> = runnable_now
-                .iter()
-                .map(|(pid, _)| (*pid, self.tasks.remove(pid).unwrap()))
-                .collect();
-            {
-                let mut requests: Vec<SliceRequest<'_>> = Vec::with_capacity(borrowed.len());
-                for ((pid, task), (_, phase_insns)) in borrowed.iter_mut().zip(runnable_now.iter())
-                {
-                    // Destructure to borrow disjoint fields: the profile
-                    // borrows `program` (via the cursor), the stream is a
-                    // separate field.
-                    let Task {
-                        program,
-                        cursor,
-                        stream,
-                        cpi_hint,
-                        ..
-                    } = task;
-                    let profile = match cursor.step(program) {
-                        NextWork::Compute { profile, .. } => profile,
-                        _ => unreachable!("filtered to compute work above"),
-                    };
-                    let mut req = SliceRequest::new(pu_of[&*pid], profile, stream)
-                        .cycles(remaining[&*pid])
-                        .max_instructions(*phase_insns);
-                    if *cpi_hint > 0.0 {
-                        req = req.cpi_hint(*cpi_hint);
-                    }
-                    requests.push(req);
-                }
-                let outcomes = self.machine.execute_epoch(&mut requests);
-
-                for ((pid, task), outcome) in borrowed.iter_mut().zip(outcomes) {
-                    task.cursor.retire(outcome.instructions);
-                    task.total_instructions += outcome.instructions;
-                    task.ground_truth.accumulate(&outcome.events);
-                    if outcome.instructions > 0 {
-                        task.cpi_hint = outcome.cycles as f64 / outcome.instructions as f64;
-                    }
-                    task.last_pu = Some(pu_of[&*pid]);
-                    let rem = remaining.get_mut(pid).unwrap();
-                    *rem = rem.saturating_sub(outcome.cycles.max(1));
-                    epoch_delta
-                        .entry(*pid)
-                        .or_default()
-                        .accumulate(&outcome.events);
-                }
-            }
-            for (pid, task) in borrowed {
-                self.tasks.insert(pid, task);
-            }
-        }
-
-        // Charge CPU time, fairness, and perf counters.
-        for (&pid, &pu) in pu_of.iter() {
-            let used_cycles = budget_cycles - remaining.get(&pid).copied().unwrap_or(0);
-            if used_cycles == 0 {
-                continue;
-            }
-            let run_dur = clock.duration_of(used_cycles);
-            let delta = epoch_delta.get(&pid).copied().unwrap_or(EventCounts::ZERO);
-            if let Some(task) = self.tasks.get_mut(&pid) {
-                task.utime += run_dur;
-                task.vruntime += run_dur.as_nanos() as f64 / weight_for_nice(task.nice);
-                task.last_pu = Some(pu);
-            }
-            self.apply_perf_deltas(pid, run_dur, &delta);
-        }
-
-        // Reap zombies (tombstones keep the pid reserved).
-        let dead: Vec<Pid> = self
-            .tasks
-            .iter()
-            .filter(|(_, t)| t.state == TaskState::Zombie)
-            .map(|(&p, _)| p)
-            .collect();
-        for pid in dead {
-            let t = self.tasks.remove(&pid).unwrap();
-            self.exited.insert(
-                pid,
-                ExitRecord {
-                    pid,
-                    comm: t.comm,
-                    uid: t.uid,
-                    start_time: t.start_time,
-                    end_time: t.end_time.unwrap_or(epoch_end),
-                    utime: t.utime,
-                    total_instructions: t.total_instructions,
-                    ground_truth: t.ground_truth,
-                },
-            );
-        }
-
-        self.now = epoch_end;
-        self.epoch_index += 1;
-    }
-
-    /// Wake expired sleepers.
-    fn wake_and_settle(&mut self) {
-        let now = self.now;
-        for t in self.tasks.values_mut() {
-            if t.state == TaskState::Sleeping {
-                if let Some(until) = t.sleep_until {
-                    if until <= now {
-                        t.state = TaskState::Runnable;
-                        t.sleep_until = None;
-                    }
-                }
+    // Distinct requested events for this task, split fixed/programmable.
+    let mut fixed: Vec<HwEvent> = Vec::new();
+    let mut programmable: Vec<HwEvent> = Vec::new();
+    for c in counters.values() {
+        if c.task == pid && c.enabled {
+            let bucket = if c.hw.is_fixed() && fixed_slot(c.hw) < pmu.fixed_counters {
+                &mut fixed
+            } else {
+                &mut programmable
+            };
+            if !bucket.contains(&c.hw) {
+                bucket.push(c.hw);
             }
         }
     }
+    programmable.sort_by_key(|e| e.index());
+    let active = multiplex_active(&programmable, pmu.programmable_counters, epoch_index);
 
-    /// Update all counters attached to `pid` for an epoch in which the task
-    /// ran for `run_dur` and the hardware observed `delta`.
-    fn apply_perf_deltas(&mut self, pid: Pid, run_dur: SimDuration, delta: &EventCounts) {
-        let pmu = self.cfg.machine.uarch.pmu;
-
-        // Distinct requested events for this task, split fixed/programmable.
-        let mut fixed: Vec<HwEvent> = Vec::new();
-        let mut programmable: Vec<HwEvent> = Vec::new();
-        for c in self.counters.values() {
-            if c.task == pid && c.enabled {
-                let bucket = if c.hw.is_fixed() && fixed_slot(c.hw) < pmu.fixed_counters {
-                    &mut fixed
-                } else {
-                    &mut programmable
-                };
-                if !bucket.contains(&c.hw) {
-                    bucket.push(c.hw);
-                }
-            }
+    for c in counters.values_mut() {
+        if c.task != pid || !c.enabled {
+            continue;
         }
-        programmable.sort_by_key(|e| e.index());
-        let active = multiplex_active(&programmable, pmu.programmable_counters, self.epoch_index);
-
-        for c in self.counters.values_mut() {
-            if c.task != pid || !c.enabled {
-                continue;
-            }
-            c.time_enabled += run_dur;
-            let on_fixed = c.hw.is_fixed() && fixed_slot(c.hw) < pmu.fixed_counters;
-            if on_fixed || active.contains(&c.hw) {
-                c.count += delta.get(c.hw);
-                c.time_running += run_dur;
-            }
+        c.time_enabled += charge.run_dur;
+        let on_fixed = c.hw.is_fixed() && fixed_slot(c.hw) < pmu.fixed_counters;
+        if on_fixed || active.contains(&c.hw) {
+            c.count += charge.delta.get(c.hw);
+            c.time_running += charge.run_dur;
         }
     }
 }

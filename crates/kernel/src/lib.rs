@@ -40,6 +40,7 @@
 //! assert!(k.perf_read(fd).unwrap().value > 0);
 //! ```
 
+pub mod engine;
 pub mod errno;
 pub mod kernel;
 pub mod perf;
@@ -49,6 +50,7 @@ pub mod sched;
 pub mod task;
 pub mod world;
 
+pub use engine::{EpochEngine, PerfCharge};
 pub use errno::Errno;
 pub use kernel::{ExitRecord, Kernel, KernelConfig};
 pub use perf::{EventSel, GenericEvent, PerfEventAttr, PerfFd, PerfValue};
@@ -418,6 +420,46 @@ mod kernel_tests {
             k.perf_read(fd).unwrap().value > 0,
             "FP_ASSIST must fire for x87 Inf/NaN"
         );
+    }
+
+    #[test]
+    fn perf_read_batch_matches_per_fd_reads() {
+        let mut k = kernel();
+        let a = k.spawn(SpawnSpec::new(
+            "a",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
+        let b = k.spawn(SpawnSpec::new(
+            "b",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
+        let events = [HwEvent::Cycles, HwEvent::Instructions, HwEvent::CacheMisses];
+        let mut fds = Vec::new();
+        for pid in [a, b] {
+            for e in events {
+                fds.push(
+                    k.perf_event_open(&PerfEventAttr::raw(e), pid, -1, Uid(1))
+                        .unwrap(),
+                );
+            }
+        }
+        k.advance(SimDuration::from_secs(1));
+
+        // Positionally aligned with the request, including a bad fd and a
+        // duplicate.
+        let mut req = fds.clone();
+        req.push(PerfFd(9999));
+        req.push(fds[0]);
+        let batch = k.perf_read_batch(&req);
+        assert_eq!(batch.len(), req.len());
+        for (i, fd) in fds.iter().enumerate() {
+            assert_eq!(batch[i], Ok(k.perf_read(*fd).unwrap()));
+        }
+        assert_eq!(batch[fds.len()], Err(Errno::EBADF));
+        assert_eq!(batch[fds.len() + 1], batch[0], "duplicate fd repeats");
+        assert!(batch[0].unwrap().value > 1_000_000, "counted something");
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! End-to-end tour of the `Scenario`/`Monitor` session API: declare a
 //! machine and a timed workload, then drive tiptop and `top` side-by-side
 //! over the same live kernel — the paper's Figure 1 shape in miniature.
+//! Ends with the cluster layer: two independent machines driven
+//! concurrently on a worker pool, their frames merged into one
+//! deterministic timeline.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -72,4 +75,44 @@ fn main() {
         (rec.end_time - rec.start_time).as_secs_f64()
     );
     session.teardown(&mut tiptop_tool);
+
+    // --- The cluster layer: the same API across N machines ---
+    // Two independent nodes run concurrently on two worker threads; the
+    // merged stream is ordered by (sim-time, machine) and is byte-identical
+    // at any thread count.
+    let node = |seed: u64, cpi: f64| {
+        Scenario::new(MachineConfig::nehalem_w3550())
+            .seed(seed)
+            .user(Uid(1000), "alice")
+            .spawn(
+                "spin",
+                SpawnSpec::new("spin", Uid(1000), job("spin", cpi, 16 << 10)),
+            )
+    };
+    let mut cluster = ClusterScenario::new()
+        .machine("node-a", node(7, 0.6))
+        .machine("node-b", node(8, 1.2))
+        .build()
+        .expect("well-formed cluster");
+    let frames = cluster
+        .run_collect(2, 3, |_| {
+            Box::new(Tiptop::new(
+                TiptopOptions::default().delay(SimDuration::from_secs(2)),
+                ScreenConfig::default_screen(),
+            ))
+        })
+        .expect("healthy shards");
+    println!(
+        "--- cluster: {} merged frames from 2 machines on 2 workers ---",
+        frames.len()
+    );
+    for cf in &frames {
+        let row = cf.frame.row_for_comm("spin").expect("spin visible");
+        println!(
+            "t={:>2.0}s [{}] spin IPC {:.2}",
+            cf.frame.time.as_secs_f64(),
+            cf.machine,
+            row.value("IPC").unwrap_or(f64::NAN)
+        );
+    }
 }

@@ -9,13 +9,18 @@
 //! | [`machine`](tiptop_machine) | multicore CPU simulator: Nehalem/Core/PPC970 models, SMT topology, set-associative L1/L2/shared-L3 caches, per-hw-thread PMU events |
 //! | [`kernel`](tiptop_kernel) | OS layer: tasks, CFS-like scheduler with affinity, `/proc`, `perf_event_open`-style syscalls with multiplexing |
 //! | [`workloads`](tiptop_workloads) | SPEC CPU2006 stand-ins, the §3.1 diverging R program, micro-benchmarks, data-center job scripts |
-//! | [`core`](tiptop_core) | **tiptop itself**: collector, metric DSL, screens, live/batch rendering, baselines (`top`, Pin-style `inscount`), and the `Scenario`/`Monitor` session API |
+//! | [`core`](tiptop_core) | **tiptop itself**: collector, metric DSL, screens, live/batch rendering, baselines (`top`, Pin-style `inscount`), the `Scenario`/`Monitor` session API, and the multi-machine `ClusterScenario`/`ClusterSession` layer |
 //!
 //! Experiments are declared with [`tiptop_core::scenario::Scenario`]
 //! (machine + users + timed spawn/kill/renice events) and driven through
 //! [`tiptop_core::scenario::Session`], which runs any set of
 //! [`tiptop_core::monitor::Monitor`]s — tiptop, `top`, and Pin-style
-//! `inscount` all implement it — over one live kernel.
+//! `inscount` all implement it — over one live kernel. Multi-machine
+//! experiments declare one scenario per machine on a
+//! [`tiptop_core::cluster::ClusterScenario`]; the resulting
+//! [`tiptop_core::cluster::ClusterSession`] shards the machines across a
+//! worker-thread pool and merges their frames deterministically by
+//! (sim-time, machine) — byte-identical at any thread count.
 //!
 //! See `examples/quickstart.rs` for a runnable end-to-end tour, and the
 //! `tiptop-bench` crate for the harnesses that regenerate the paper's
