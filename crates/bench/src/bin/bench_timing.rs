@@ -4,8 +4,15 @@
 //! trajectory.
 //!
 //! ```sh
-//! cargo run --release -p tiptop-bench --bin bench_timing [-- out.json]
+//! cargo run --release -p tiptop-bench --bin bench_timing [-- [--check] [out.json]]
 //! ```
+//!
+//! With `--check` the harness also compares each experiment against its
+//! per-experiment wall-time budget (the release baseline recorded by the
+//! PR 3 trajectory, +30% regression allowance and a small absolute slack
+//! for sub-second experiments) and exits non-zero on any breach — the CI
+//! regression gate. Budgets are calibrated for the release profile; in a
+//! debug build `--check` only reports, it never fails.
 //!
 //! The JSON is written by hand (the offline `serde` stub has no
 //! serializer): a flat object of per-experiment wall seconds plus totals —
@@ -15,13 +22,49 @@ use std::time::Instant;
 
 use tiptop_bench::experiments::{
     fig01_snapshot, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions, fig09_compilers,
-    fig10_datacenter, fig11_interference, fleet, table1_fp_micro, validation,
+    fig10_datacenter, fig11_interference, fleet, grid, table1_fp_micro, validation,
 };
 
+/// Release-profile wall-second baselines, seeded from the PR 3 trajectory
+/// (`BENCH_experiments.json`; `grid` from the PR that introduced it). A
+/// budget breach means the experiment regressed by more than
+/// [`REGRESSION_ALLOWANCE`] against this trajectory.
+const BASELINE_SECONDS: [(&str, f64); 11] = [
+    ("fig01_snapshot", 0.400),
+    ("table1_fp_micro", 0.002),
+    ("fig03_evolution", 0.206),
+    ("fig06_07_phases", 0.288),
+    ("fig08_ipc_vs_insns", 0.069),
+    ("fig09_compilers", 0.049),
+    ("fig10_datacenter", 3.454),
+    ("fig11_interference", 2.088),
+    ("fleet", 0.078),
+    ("grid", 2.900),
+    ("validation", 0.009),
+];
+
+/// Budgeted relative regression before `--check` fails.
+const REGRESSION_ALLOWANCE: f64 = 0.30;
+/// Absolute slack so millisecond-scale experiments don't fail on noise.
+const ABSOLUTE_SLACK_SECONDS: f64 = 0.25;
+
+fn budget_for(name: &str) -> Option<f64> {
+    BASELINE_SECONDS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, base)| base * (1.0 + REGRESSION_ALLOWANCE) + ABSOLUTE_SLACK_SECONDS)
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_experiments.json".to_string());
+    let mut check = false;
+    let mut out_path = "BENCH_experiments.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
 
     let mut entries: Vec<(&'static str, f64)> = Vec::new();
     let mut time = |name: &'static str, f: &mut dyn FnMut()| {
@@ -61,6 +104,9 @@ fn main() {
     time("fleet", &mut || {
         fleet::run(31, 0.02);
     });
+    time("grid", &mut || {
+        grid::run(37, 0.01);
+    });
     time("validation", &mut || {
         validation::run(29);
     });
@@ -86,4 +132,33 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write timing json");
     eprintln!("{:>24}  {total:7.2}s", "total");
     println!("wrote {out_path}");
+
+    if check {
+        let enforce = !cfg!(debug_assertions);
+        if !enforce {
+            eprintln!("--check: budgets are calibrated for release; reporting only");
+        }
+        let mut breaches = 0usize;
+        for (name, measured) in &entries {
+            let Some(budget) = budget_for(name) else {
+                eprintln!("--check: no budget for '{name}' — add it to BASELINE_SECONDS");
+                breaches += 1;
+                continue;
+            };
+            if *measured > budget {
+                eprintln!(
+                    "--check: {name} took {measured:.3}s, budget {budget:.3}s \
+                     (baseline +{:.0}% +{ABSOLUTE_SLACK_SECONDS}s)",
+                    REGRESSION_ALLOWANCE * 100.0
+                );
+                breaches += 1;
+            }
+        }
+        if breaches == 0 {
+            eprintln!("--check: all {} experiments within budget", entries.len());
+        } else if enforce {
+            eprintln!("--check: {breaches} budget breach(es)");
+            std::process::exit(1);
+        }
+    }
 }

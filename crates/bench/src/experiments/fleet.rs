@@ -16,7 +16,7 @@
 use tiptop_core::cluster::{ClusterFrame, ClusterScenario, MachineRef};
 use tiptop_core::render::Frame;
 use tiptop_core::scenario::Scenario;
-use tiptop_core::session::series_for_comm;
+use tiptop_core::session::cluster_series_for_comm;
 use tiptop_kernel::task::{SpawnSpec, Uid};
 use tiptop_workloads::spec::{Compiler, SpecBenchmark};
 
@@ -86,19 +86,12 @@ pub fn run_on(seed: u64, scale: f64, threads: usize) -> FleetResult {
             .expect("fleet run");
     }
 
-    let per_machine = |id: &str| -> Vec<Frame> {
-        merged
-            .iter()
-            .filter(|cf| cf.machine == id)
-            .map(|cf| cf.frame.clone())
-            .collect()
-    };
     let ipc = machines
         .iter()
         .map(|m| {
             Series::new(
                 format!("{m} IPC"),
-                series_for_comm(&per_machine(m), comm, "IPC"),
+                cluster_series_for_comm(&merged, m, None, comm, "IPC"),
             )
         })
         .collect();

@@ -8,7 +8,7 @@
 
 use tiptop_bench::experiments::{
     evaluation_machines, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions,
-    fig09_compilers, fig10_datacenter, fig11_interference, fleet, validation,
+    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, validation,
 };
 use tiptop_workloads::spec::{Compiler, SpecBenchmark};
 
@@ -377,6 +377,103 @@ fn fleet_merges_all_machines_into_one_deterministic_timeline() {
     );
 
     assert!(r.report().contains("473.astar"), "report renders");
+}
+
+#[test]
+fn grid_migration_relieves_the_victims_mid_burst() {
+    let r = grid::run(37, 0.01);
+    let [before, during, after] = r.windows();
+    assert!(r.arrival < r.relief && r.relief < r.end);
+
+    for v in &r.victims {
+        let ipc_before = v.ipc.mean_in(before.0, before.1);
+        let ipc_during = v.ipc.mean_in(during.0, during.1);
+        let ipc_after = v.ipc.mean_in(after.0, after.1);
+        // The dwell depresses the victims (same L3 mechanism as Fig 10)...
+        assert!(
+            ipc_during < 0.95 * ipc_before,
+            "{}: IPC {ipc_before} -> {ipc_during} should dip during the dwell",
+            v.comm
+        );
+        // ...and the *migration* — not job completion; the aggressors are
+        // endless — is what ends it.
+        assert!(
+            ipc_after > 1.1 * ipc_during,
+            "{}: IPC must recover once the aggressors are migrated away \
+             ({ipc_during} -> {ipc_after})",
+            v.comm
+        );
+        // Which the co-running `top` monitor cannot see: %CPU stays pegged.
+        let cpu_during = v.cpu.mean_in(during.0, during.1);
+        assert!(
+            cpu_during > 99.0,
+            "{}: %CPU must stay ~100 through the dwell, got {cpu_during}",
+            v.comm
+        );
+    }
+
+    // The migration is observable in the merged stream: every aggressor
+    // runs on the victims' node during the dwell and on the spare after —
+    // never on the spare before the relief instant, never on the victims'
+    // node after the handover frame.
+    for h in &r.handovers {
+        assert_eq!(
+            h.exit_at, h.start_at,
+            "{}: exit on the source and spawn on the destination must \
+             carry the same sim-time",
+            h.comm
+        );
+        assert_eq!(h.exit_at, r.relief);
+        assert!(
+            r.frames_showing(grid::VICTIM_NODE, &h.comm, r.arrival, r.relief) > 0,
+            "{}: visible on the victims' node during the dwell",
+            h.comm
+        );
+        assert_eq!(
+            r.frames_showing(grid::SPARE_NODE, &h.comm, 0.0, r.relief - 0.1),
+            0,
+            "{}: never on the spare before the migration",
+            h.comm
+        );
+        assert_eq!(
+            r.frames_showing(grid::VICTIM_NODE, &h.comm, r.relief + 0.1, f64::INFINITY),
+            0,
+            "{}: gone from the victims' node after the handover frame",
+            h.comm
+        );
+        assert!(
+            r.frames_showing(grid::SPARE_NODE, &h.comm, r.relief - 0.1, f64::INFINITY) > 0,
+            "{}: visible on the spare from the handover frame on",
+            h.comm
+        );
+    }
+
+    // The fleet-scale run_all shape: two monitors on the contended node
+    // (tiptop + top), one on the spare, all in one merged stream.
+    let count = |m: &str, s: &str| {
+        r.merged
+            .iter()
+            .filter(|cf| cf.machine == m && cf.source == s)
+            .count()
+    };
+    assert!(count(grid::VICTIM_NODE, "tiptop") > 0);
+    assert_eq!(
+        count(grid::VICTIM_NODE, "tiptop"),
+        count(grid::VICTIM_NODE, "top"),
+        "both observers cover the whole run"
+    );
+    assert_eq!(
+        count(grid::VICTIM_NODE, "tiptop"),
+        count(grid::SPARE_NODE, "tiptop"),
+        "the spare node is observed for the whole run too"
+    );
+    for w in r.merged.windows(2) {
+        let a = (w[0].frame.time, w[0].machine_index);
+        let b = (w[1].frame.time, w[1].machine_index);
+        assert!(a <= b, "merge order violated: {a:?} then {b:?}");
+    }
+
+    assert!(r.report().contains("migrated away"), "report renders");
 }
 
 #[test]

@@ -1,7 +1,8 @@
-//! Multi-machine (cluster) sessions: N independent [`Session`]s — one per
-//! machine — sharded across a worker-thread pool behind one observer-facing
-//! API, with their frame streams merged **deterministically** by
-//! `(sim-time, machine)` into a streaming [`ClusterFrameSink`].
+//! Multi-machine (cluster) sessions and **distributed scenarios**: N
+//! [`Session`]s — one per machine — sharded across a worker-thread pool
+//! behind one observer-facing API, with their frame streams merged
+//! **deterministically** by `(sim-time, machine)` into a streaming
+//! [`ClusterFrameSink`].
 //!
 //! The paper evaluates tiptop across *three* physical machines (Figs 3,
 //! 6–8) and a data-center co-run node (Fig 10); those machines are
@@ -14,10 +15,28 @@
 //! byte-identical at any worker-thread count** — `threads: 1` and
 //! `threads: 8` produce the same frames in the same order.
 //!
+//! On top of the independent shards sit the *distributed* affordances:
+//!
+//! * [`ClusterScenario::migrate_at`] — a cross-machine workload event: the
+//!   grid scheduler moves a tagged job from one machine to another at an
+//!   exact instant. It is validated across machines at build time and lands
+//!   as a kill on the source plus a spawn of the same job spec on the
+//!   destination, both at the same sim-time — so the merged stream shows
+//!   the job leaving node A and appearing on node B in the same refresh.
+//! * [`ClusterSession::run_all`] — the fleet-scale version of
+//!   [`Session::run_all`]: every machine drives its own *set* of monitors
+//!   at distinct intervals (the §2.5 perturbation story on every node at
+//!   once), frames labelled `(machine, monitor)` in the merged stream.
+//! * [`ClusterWindowSink`] — bounded-memory consumption for long runs:
+//!   tumbling windows of the merged stream are folded into per
+//!   `(machine, monitor)` column aggregates, so a fleet observed for hours
+//!   never buffers more than one window of frames.
+//!
 //! Failure is contained per shard: a [`SessionError`] inside one machine
 //! surfaces as [`SessionError::Shard`], a panic as
 //! [`SessionError::ShardPanicked`]; the rest of the pool keeps running and
-//! their frames still reach the sink.
+//! their frames still reach the sink (the exact contract is documented on
+//! [`ClusterSession::run_each`]).
 //!
 //! ```
 //! use tiptop_core::prelude::*;
@@ -29,11 +48,12 @@
 //!     Scenario::new(MachineConfig::nehalem_w3550().noiseless())
 //!         .seed(seed)
 //!         .user(Uid(1), "u1")
-//!         .spawn("spin", SpawnSpec::new("spin", Uid(1), spin()))
 //! };
+//! // One busy job on node-a; at t=2s the grid scheduler moves it to node-b.
 //! let mut cluster = ClusterScenario::new()
-//!     .machine("node-a", node(1))
+//!     .machine("node-a", node(1).spawn("job", SpawnSpec::new("job", Uid(1), spin())))
 //!     .machine("node-b", node(2))
+//!     .migrate_at(SimTime::from_secs(2), "job", "node-a", "node-b")
 //!     .build()
 //!     .unwrap();
 //! let frames = cluster
@@ -46,13 +66,24 @@
 //!     .unwrap();
 //! // 2 machines x 3 refreshes, merged by (time, machine).
 //! assert_eq!(frames.len(), 6);
-//! assert_eq!(frames[0].machine, "node-a");
-//! assert_eq!(frames[1].machine, "node-b");
-//! assert!(frames[0].frame.time <= frames[1].frame.time);
+//! let on = |t: u64, machine: &str| {
+//!     frames
+//!         .iter()
+//!         .find(|cf| cf.machine == machine && cf.frame.time == SimTime::from_secs(t))
+//!         .is_some_and(|cf| cf.frame.row_for_comm("job").is_some())
+//! };
+//! assert!(on(1, "node-a") && !on(1, "node-b"), "before: job lives on node-a");
+//! // The handover refresh at t=2 shows the job twice: its final row on the
+//! // source (it ran right up to the kill instant) and its first row on the
+//! // destination. One refresh later it lives only on node-b.
+//! assert!(on(2, "node-a") && on(2, "node-b"), "t=2 is the handover frame");
+//! assert!(!on(3, "node-a") && on(3, "node-b"), "after: only node-b");
 //! ```
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
@@ -60,7 +91,7 @@ use tiptop_machine::time::SimTime;
 
 use crate::monitor::Monitor;
 use crate::render::Frame;
-use crate::scenario::{Scenario, Session, SessionError};
+use crate::scenario::{Scenario, Session, SessionError, WorkloadEvent};
 
 /// Identity of one machine of the cluster, handed to the per-machine
 /// factories (monitor, stop predicate).
@@ -80,13 +111,14 @@ pub struct ClusterFrame {
     pub machine_index: usize,
     /// Producing monitor's [`Monitor::name`].
     pub source: String,
-    /// Per-machine frame number (0-based).
+    /// Per-(machine, monitor) observation number (0-based).
     pub seq: usize,
     pub frame: Frame,
 }
 
 /// Streaming consumer of the merged cluster stream. Frames arrive in
-/// `(time, machine_index)` order regardless of the worker-thread count.
+/// `(time, machine_index)` order regardless of the worker-thread count;
+/// same-instant frames of one machine keep their monitor order.
 pub trait ClusterFrameSink {
     fn on_frame(&mut self, frame: ClusterFrame);
 }
@@ -98,7 +130,8 @@ impl<F: FnMut(ClusterFrame)> ClusterFrameSink for F {
     }
 }
 
-/// The simplest sink: keep the whole merged stream.
+/// The simplest sink: keep the whole merged stream. For runs long enough
+/// that this buffer matters, use [`ClusterWindowSink`] instead.
 #[derive(Debug, Default)]
 pub struct ClusterCollectSink {
     frames: Vec<ClusterFrame>,
@@ -124,12 +157,160 @@ impl ClusterFrameSink for ClusterCollectSink {
     }
 }
 
+/// Per-`(machine, monitor)` aggregates of one [`ClusterWindow`].
+#[derive(Clone, Debug, Default)]
+pub struct WindowStats {
+    /// Frames this source contributed to the window.
+    pub frames: usize,
+    /// Task rows across those frames.
+    pub rows: usize,
+    /// Per-column `(sum, samples)` over every finite row value.
+    sums: BTreeMap<String, (f64, usize)>,
+}
+
+impl WindowStats {
+    /// Mean of a typed column (e.g. `"IPC"`, `"%CPU"`) over every row of
+    /// every frame in the window; `None` if the column never appeared.
+    pub fn mean(&self, column: &str) -> Option<f64> {
+        self.sums
+            .get(column)
+            .filter(|(_, n)| *n > 0)
+            .map(|(sum, n)| sum / *n as f64)
+    }
+
+    /// Column names observed in this window.
+    pub fn columns(&self) -> impl Iterator<Item = &str> {
+        self.sums.keys().map(String::as_str)
+    }
+}
+
+/// One tumbling window of the merged stream, folded to aggregates.
+#[derive(Clone, Debug)]
+pub struct ClusterWindow {
+    /// 0-based window number.
+    pub index: usize,
+    /// Time of the first / last frame aggregated into the window.
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Total frames folded in (the window size, except for the final
+    /// partial window).
+    pub frames: usize,
+    /// Aggregates keyed by `(machine, monitor-name)`.
+    pub sources: BTreeMap<(String, String), WindowStats>,
+}
+
+/// Bounded-memory sink for long cluster runs: buffers at most `window`
+/// frames, folding each full window into per-source column aggregates
+/// ([`ClusterWindow`]) and dropping the raw frames. Peak memory is one
+/// window of frames plus `O(total / window)` small summaries — a fleet
+/// observed for hours never holds its whole stream, unlike
+/// [`ClusterCollectSink`].
+///
+/// Callers who need the raw frames spilled elsewhere (rendered to a file,
+/// forwarded downstream) can chain a closure sink in front; this sink's
+/// job is the bounded aggregate view.
+#[derive(Debug)]
+pub struct ClusterWindowSink {
+    window: usize,
+    buf: Vec<ClusterFrame>,
+    peak: usize,
+    windows: Vec<ClusterWindow>,
+}
+
+impl ClusterWindowSink {
+    /// `window` is the maximum number of frames buffered at any instant
+    /// (must be ≥ 1).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one frame");
+        ClusterWindowSink {
+            window,
+            buf: Vec::new(),
+            peak: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The most frames ever buffered at once (≤ the window size, by
+    /// construction — the memory-bound guarantee, asserted in tests).
+    pub fn peak_buffered(&self) -> usize {
+        self.peak
+    }
+
+    /// Windows folded so far (the still-buffered tail is not included
+    /// until [`ClusterWindowSink::finish`]).
+    pub fn windows(&self) -> &[ClusterWindow] {
+        &self.windows
+    }
+
+    /// Flush the partial final window and return every summary.
+    pub fn finish(mut self) -> Vec<ClusterWindow> {
+        self.flush();
+        self.windows
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let start = self.buf.first().expect("non-empty").frame.time;
+        let end = self.buf.last().expect("non-empty").frame.time;
+        let mut sources: BTreeMap<(String, String), WindowStats> = BTreeMap::new();
+        let frames = self.buf.len();
+        for cf in self.buf.drain(..) {
+            let stats = sources.entry((cf.machine, cf.source)).or_default();
+            stats.frames += 1;
+            stats.rows += cf.frame.rows.len();
+            for row in &cf.frame.rows {
+                for (col, v) in &row.values {
+                    if v.is_finite() {
+                        let (sum, n) = stats.sums.entry(col.clone()).or_insert((0.0, 0));
+                        *sum += *v;
+                        *n += 1;
+                    }
+                }
+            }
+        }
+        self.windows.push(ClusterWindow {
+            index: self.windows.len(),
+            start,
+            end,
+            frames,
+            sources,
+        });
+    }
+}
+
+impl ClusterFrameSink for ClusterWindowSink {
+    fn on_frame(&mut self, frame: ClusterFrame) {
+        self.buf.push(frame);
+        self.peak = self.peak.max(self.buf.len());
+        if self.buf.len() >= self.window {
+            self.flush();
+        }
+    }
+}
+
+/// A cross-machine workload event: the grid scheduler moves a tagged job
+/// between machines at an exact instant (see
+/// [`ClusterScenario::migrate_at`]).
+#[derive(Debug)]
+struct Migration {
+    at: SimTime,
+    tag: String,
+    from: String,
+    to: String,
+}
+
 /// Declarative description of a multi-machine experiment: one [`Scenario`]
-/// per machine, each with its own machine config, seed, users, and timed
-/// workload events.
+/// per machine — each with its own machine config, seed, users, and timed
+/// workload events — plus *cross-machine* events ([`migrate_at`]) that span
+/// two machines and are validated against both at build time.
+///
+/// [`migrate_at`]: ClusterScenario::migrate_at
 #[derive(Debug, Default)]
 pub struct ClusterScenario {
     machines: Vec<(String, Scenario)>,
+    migrations: Vec<Migration>,
 }
 
 impl ClusterScenario {
@@ -144,22 +325,147 @@ impl ClusterScenario {
         self
     }
 
-    /// Validate every per-machine scenario and build the live
-    /// [`ClusterSession`]. A scenario error is labelled with its machine.
-    pub fn build(self) -> Result<ClusterSession, SessionError> {
+    /// Move the job tagged `tag` from machine `from` to machine `to` at an
+    /// absolute instant — the §fig10 grid-scheduler story, where a workload
+    /// *moves* mid-run instead of merely co-running.
+    ///
+    /// The migration desugars into a kill of `tag` on `from` and a spawn of
+    /// the *same job spec* (fresh on the new machine, as a scheduler
+    /// re-submission restarts the binary) on `to`, both at exactly `at`:
+    /// the source's exit record and the destination's start time carry the
+    /// same sim-time. In the merged stream a refresh landing on `at` is the
+    /// *handover frame* — the source still shows the job's final row (it
+    /// ran right up to the kill instant; the kernel reaps the zombie at the
+    /// next epoch) while the destination already shows its first row; from
+    /// the next refresh the job lives only on the destination.
+    ///
+    /// Validated at build time across machines: both ids must exist and
+    /// differ, `tag` must live on `from` at `at` (spawned before, not yet
+    /// killed), and `to` must not already carry the tag. Migrations chain
+    /// *forward* — a later `migrate_at` may move the job onward from its
+    /// current home, but returning it to a machine it already ran on is
+    /// rejected (a tag resolves to one task per machine; see the ROADMAP's
+    /// checkpointing item).
+    pub fn migrate_at(
+        mut self,
+        at: SimTime,
+        tag: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+    ) -> Self {
+        self.migrations.push(Migration {
+            at,
+            tag: tag.into(),
+            from: from.into(),
+            to: to.into(),
+        });
+        self
+    }
+
+    /// Validate every per-machine scenario *and* every cross-machine
+    /// migration, then build the live [`ClusterSession`]. A scenario error
+    /// is labelled with its machine; a migration error names the migration.
+    pub fn build(mut self) -> Result<ClusterSession, SessionError> {
         if self.machines.is_empty() {
             return Err(SessionError::InvalidScenario(
                 "cluster has no machines".into(),
             ));
         }
-        let mut seen = std::collections::HashSet::new();
-        let mut shards = Vec::with_capacity(self.machines.len());
-        for (id, scenario) in self.machines {
-            if !seen.insert(id.clone()) {
+        {
+            let mut seen = std::collections::HashSet::new();
+            for (id, _) in &self.machines {
+                if !seen.insert(id.clone()) {
+                    return Err(SessionError::InvalidScenario(format!(
+                        "duplicate machine id '{id}'"
+                    )));
+                }
+            }
+        }
+
+        // Desugar migrations in chronological order (stable: same-instant
+        // migrations keep declaration order, so chained moves compose),
+        // validating each against the machines' evolving schedules.
+        self.migrations.sort_by_key(|m| m.at);
+        for m in &self.migrations {
+            let label = format!(
+                "migration of '{}' {}->{} at {:?}",
+                m.tag, m.from, m.to, m.at
+            );
+            if m.from == m.to {
                 return Err(SessionError::InvalidScenario(format!(
-                    "duplicate machine id '{id}'"
+                    "{label}: source and destination are the same machine"
                 )));
             }
+            let index_of = |id: &str| self.machines.iter().position(|(mid, _)| mid == id);
+            let (Some(fi), Some(ti)) = (index_of(&m.from), index_of(&m.to)) else {
+                let missing = if index_of(&m.from).is_none() {
+                    &m.from
+                } else {
+                    &m.to
+                };
+                return Err(SessionError::InvalidScenario(format!(
+                    "{label}: unknown machine '{missing}'"
+                )));
+            };
+            let Some((spawned, spec)) = self.machines[fi].1.spawn_event(&m.tag) else {
+                let home = self
+                    .machines
+                    .iter()
+                    .find(|(_, sc)| sc.spawn_event(&m.tag).is_some())
+                    .map(|(id, _)| id.clone());
+                return Err(SessionError::InvalidScenario(match home {
+                    Some(home) => format!("{label}: '{}' lives on machine '{home}'", m.tag),
+                    None => format!("{label}: no machine spawns '{}'", m.tag),
+                }));
+            };
+            if spawned > m.at {
+                return Err(SessionError::InvalidScenario(format!(
+                    "{label}: precedes the job's spawn at {spawned:?}"
+                )));
+            }
+            if let Some(killed) = self.machines[fi].1.kill_event(&m.tag) {
+                if killed <= m.at {
+                    return Err(SessionError::InvalidScenario(format!(
+                        "{label}: the job is already gone (killed at {killed:?})"
+                    )));
+                }
+            }
+            if self.machines[ti].1.spawn_event(&m.tag).is_some() {
+                // Distinguish a live collision from a round trip: a tag
+                // resolves to one task per machine, so returning a job to
+                // a machine it already ran on is not expressible yet.
+                let returning = self.machines[ti]
+                    .1
+                    .kill_event(&m.tag)
+                    .is_some_and(|killed| killed <= m.at);
+                return Err(SessionError::InvalidScenario(if returning {
+                    format!(
+                        "{label}: '{}' already ran on the destination earlier; round-trip \
+                         migrations are not supported (a tag resolves to one task per machine)",
+                        m.tag
+                    )
+                } else {
+                    format!(
+                        "{label}: destination already carries a task tagged '{}'",
+                        m.tag
+                    )
+                }));
+            }
+            let spec = spec.clone();
+            self.machines[fi]
+                .1
+                .schedule(m.at, WorkloadEvent::Kill { tag: m.tag.clone() });
+            self.machines[ti].1.schedule(
+                m.at,
+                WorkloadEvent::Spawn {
+                    tag: m.tag.clone(),
+                    spec,
+                },
+            );
+        }
+
+        let mut shards = Vec::with_capacity(self.machines.len());
+        for (id, scenario) in self.machines {
             let session = scenario.build().map_err(|e| SessionError::Shard {
                 machine: id.clone(),
                 error: Box::new(e),
@@ -185,8 +491,8 @@ pub struct ClusterSession {
     shards: Vec<ShardSlot>,
 }
 
-impl std::fmt::Debug for ClusterSession {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Debug for ClusterSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ClusterSession")
             .field(
                 "machines",
@@ -195,6 +501,37 @@ impl std::fmt::Debug for ClusterSession {
             .finish()
     }
 }
+
+/// The error of [`ClusterSession::run_collect`]: the failure *plus* every
+/// frame the merge delivered — per the deliver-then-error contract a
+/// two-hour fleet run is not lost to one bad shard.
+#[derive(Debug)]
+pub struct ClusterRunError {
+    pub error: SessionError,
+    /// The merged stream as streamed up to pool drain, in `(time,
+    /// machine)` order — the healthy machines' full runs and the failed
+    /// machines' pre-failure frames.
+    pub partial: Vec<ClusterFrame>,
+}
+
+impl fmt::Display for ClusterRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} merged frames preserved)",
+            self.error,
+            self.partial.len()
+        )
+    }
+}
+
+impl std::error::Error for ClusterRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+type Until = Box<dyn FnMut(&Frame) -> bool + Send>;
 
 impl ClusterSession {
     pub fn len(&self) -> usize {
@@ -230,15 +567,83 @@ impl ClusterSession {
     /// `sink` merged by `(time, machine_index)` — deterministically, at any
     /// thread count.
     ///
-    /// On shard failure the other machines keep running; the first failure
-    /// (by machine index, for determinism) is returned after the pool
-    /// drains.
+    /// # Failure contract: deliver-then-error
+    ///
+    /// A shard failure does **not** tear down the run. The contract, locked
+    /// by the multi-shard failure tests:
+    ///
+    /// * every healthy machine keeps running to completion and its frames
+    ///   keep streaming into `sink` — including frames with times *after*
+    ///   the failure instant (the sink sees the whole surviving fleet, then
+    ///   the caller sees the error);
+    /// * frames the failed machine produced *before* failing are still
+    ///   merged at their proper `(time, machine)` position relative to
+    ///   every other stream — never reordered around the failure;
+    /// * only after the pool has drained does `run_each` return the first
+    ///   failure **by machine index** (deterministic at any thread count);
+    ///   when several shards fail, the later-indexed errors are dropped but
+    ///   their pre-failure frames are not.
+    ///
+    /// Callers who need the stream on error should stream into their own
+    /// sink (it is fully populated before the error returns) or use
+    /// [`ClusterSession::run_collect`], whose error carries the partial
+    /// merged stream.
     pub fn run_each(
         &mut self,
         threads: usize,
         max_refreshes: usize,
         mut monitor: impl FnMut(MachineRef<'_>) -> Box<dyn Monitor + Send>,
-        mut until: impl FnMut(MachineRef<'_>) -> Box<dyn FnMut(&Frame) -> bool + Send>,
+        mut until: impl FnMut(MachineRef<'_>) -> Until,
+        sink: &mut dyn ClusterFrameSink,
+    ) -> Result<(), SessionError> {
+        self.run_units(
+            threads,
+            max_refreshes,
+            |mref| vec![(monitor(mref), until(mref))],
+            sink,
+        )
+    }
+
+    /// Drive every machine's own *set* of monitors — [`Session::run_all`]
+    /// lifted to the fleet. Each machine's `monitors(mref)` are primed
+    /// together and observed on their own intervals until every one has
+    /// produced `refreshes` frames; a machine with an empty set is done
+    /// immediately. Frames are labelled `(machine, monitor-name)` in the
+    /// merged stream; same-instant frames of one machine observe (and
+    /// merge) in set order, same-instant frames of different machines in
+    /// machine order — so the merged stream stays byte-identical at any
+    /// worker-thread count. The failure contract is that of
+    /// [`ClusterSession::run_each`].
+    pub fn run_all(
+        &mut self,
+        threads: usize,
+        refreshes: usize,
+        mut monitors: impl FnMut(MachineRef<'_>) -> Vec<Box<dyn Monitor + Send>>,
+        sink: &mut dyn ClusterFrameSink,
+    ) -> Result<(), SessionError> {
+        self.run_units(
+            threads,
+            refreshes,
+            |mref| {
+                monitors(mref)
+                    .into_iter()
+                    .map(|m| {
+                        let u: Until = Box::new(|_| false);
+                        (m, u)
+                    })
+                    .collect()
+            },
+            sink,
+        )
+    }
+
+    /// The shared driver behind [`run_each`](ClusterSession::run_each) and
+    /// [`run_all`](ClusterSession::run_all).
+    fn run_units(
+        &mut self,
+        threads: usize,
+        max_refreshes: usize,
+        mut tools: impl FnMut(MachineRef<'_>) -> Vec<(Box<dyn Monitor + Send>, Until)>,
         sink: &mut dyn ClusterFrameSink,
     ) -> Result<(), SessionError> {
         let n = self.shards.len();
@@ -250,37 +655,43 @@ impl ClusterSession {
                 });
             }
         }
-        // Build and validate every machine's monitor and stop predicate
+        // Build and validate every machine's monitors and stop predicates
         // *before* taking any session out of its slot, so an error here
         // leaves the cluster untouched and re-runnable.
-        type Tools = (
-            Box<dyn Monitor + Send>,
-            Box<dyn FnMut(&Frame) -> bool + Send>,
-        );
-        let mut tools: Vec<Tools> = Vec::with_capacity(n);
+        let mut per_machine: Vec<Vec<(Box<dyn Monitor + Send>, Until)>> = Vec::with_capacity(n);
         for (index, slot) in self.shards.iter().enumerate() {
             let mref = MachineRef {
                 id: &slot.id,
                 index,
             };
-            let m = monitor(mref);
-            if m.interval().is_zero() {
-                return Err(SessionError::InvalidScenario(format!(
-                    "machine '{}': monitor '{}' has a zero refresh interval",
-                    slot.id,
-                    m.name()
-                )));
+            let set = tools(mref);
+            for (m, _) in &set {
+                if m.interval().is_zero() {
+                    return Err(SessionError::InvalidScenario(format!(
+                        "machine '{}': monitor '{}' has a zero refresh interval",
+                        slot.id,
+                        m.name()
+                    )));
+                }
             }
-            tools.push((m, until(mref)));
+            per_machine.push(set);
         }
         let mut units: Vec<WorkUnit> = Vec::with_capacity(n);
-        for ((index, slot), (m, u)) in self.shards.iter_mut().enumerate().zip(tools) {
+        for ((index, slot), set) in self.shards.iter_mut().enumerate().zip(per_machine) {
             units.push(WorkUnit {
                 index,
                 id: slot.id.clone(),
                 session: slot.session.take().expect("checked above"),
-                monitor: m,
-                until: u,
+                slots: set
+                    .into_iter()
+                    .map(|(monitor, until)| MonitorSlot {
+                        monitor,
+                        until,
+                        next_at: SimTime::ZERO,
+                        taken: 0,
+                        done: false,
+                    })
+                    .collect(),
             });
         }
 
@@ -291,7 +702,7 @@ impl ClusterSession {
         }
 
         let (tx, rx) = mpsc::channel::<Msg>();
-        let mut queues: Vec<MergeQueue> = (0..n).map(|_| MergeQueue::default()).collect();
+        let mut merger = Merger::new(n);
         let mut first_err: Option<(usize, SessionError)> = None;
         let mut returned: Vec<(usize, Option<Session>)> = Vec::with_capacity(n);
 
@@ -305,24 +716,18 @@ impl ClusterSession {
                 .collect();
             drop(tx);
 
-            // The deterministic k-way merge: emit the globally smallest
-            // (time, machine_index) head as soon as every still-producing
-            // machine has a frame buffered (per-machine streams are
-            // time-ordered, so nothing smaller can arrive later).
             for msg in rx {
                 match msg {
-                    Msg::Frame { index, frame } => queues[index].buf.push_back(frame),
-                    Msg::Done { index } => queues[index].open = false,
+                    Msg::Frame { index, frame } => merger.push(index, frame, sink),
+                    Msg::Done { index } => merger.close(index, sink),
                     Msg::Failed { index, error } => {
-                        queues[index].open = false;
+                        merger.close(index, sink);
                         if first_err.as_ref().is_none_or(|(i, _)| index < *i) {
                             first_err = Some((index, error));
                         }
                     }
                 }
-                drain_merged(&mut queues, sink);
             }
-            drain_merged(&mut queues, sink);
 
             for h in handles {
                 // Workers never unwind (shard panics are caught inside);
@@ -353,25 +758,42 @@ impl ClusterSession {
     }
 
     /// [`ClusterSession::run`] into a [`ClusterCollectSink`], returning the
-    /// merged stream.
+    /// merged stream. On failure the error carries every frame merged
+    /// before the pool drained ([`ClusterRunError::partial`]) — the
+    /// deliver-then-error contract means a long run's healthy shards are
+    /// preserved, not discarded.
     pub fn run_collect(
         &mut self,
         threads: usize,
         refreshes: usize,
         monitor: impl FnMut(MachineRef<'_>) -> Box<dyn Monitor + Send>,
-    ) -> Result<Vec<ClusterFrame>, SessionError> {
+    ) -> Result<Vec<ClusterFrame>, ClusterRunError> {
         let mut sink = ClusterCollectSink::new();
-        self.run(threads, refreshes, monitor, &mut sink)?;
-        Ok(sink.into_frames())
+        match self.run(threads, refreshes, monitor, &mut sink) {
+            Ok(()) => Ok(sink.into_frames()),
+            Err(error) => Err(ClusterRunError {
+                error,
+                partial: sink.into_frames(),
+            }),
+        }
     }
+}
+
+/// One monitor of one machine: its own interval clock, stop predicate and
+/// observation count.
+struct MonitorSlot {
+    monitor: Box<dyn Monitor + Send>,
+    until: Until,
+    next_at: SimTime,
+    taken: usize,
+    done: bool,
 }
 
 struct WorkUnit {
     index: usize,
     id: String,
     session: Session,
-    monitor: Box<dyn Monitor + Send>,
-    until: Box<dyn FnMut(&Frame) -> bool + Send>,
+    slots: Vec<MonitorSlot>,
 }
 
 enum Msg {
@@ -395,64 +817,110 @@ impl Default for MergeQueue {
     }
 }
 
-fn drain_merged(queues: &mut [MergeQueue], sink: &mut dyn ClusterFrameSink) {
-    loop {
-        // A still-producing machine with nothing buffered could still emit
-        // a frame earlier than every buffered head — wait for it.
-        if queues.iter().any(|q| q.open && q.buf.is_empty()) {
-            return;
+/// The deterministic k-way merge, driven incrementally: a frontier heap
+/// holds the head `(time, machine)` key of every non-empty queue, so
+/// delivering a frame costs `O(log n)` instead of rescanning all `n`
+/// queues per delivered frame. Frames may be emitted only while no
+/// still-producing queue is empty — such a queue could still emit a frame
+/// earlier than every buffered head.
+struct Merger {
+    queues: Vec<MergeQueue>,
+    /// Min-heap over each non-empty queue's head key; every non-empty
+    /// queue appears exactly once.
+    frontier: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// How many queues are open with nothing buffered — while any exist,
+    /// the merge must wait on them.
+    blocked: usize,
+}
+
+impl Merger {
+    fn new(n: usize) -> Self {
+        Merger {
+            queues: (0..n).map(|_| MergeQueue::default()).collect(),
+            frontier: BinaryHeap::with_capacity(n),
+            blocked: n,
         }
-        let mut best: Option<(SimTime, usize)> = None;
-        for (i, q) in queues.iter().enumerate() {
-            if let Some(head) = q.buf.front() {
-                let key = (head.frame.time, i);
-                if best.is_none_or(|b| key < b) {
-                    best = Some(key);
-                }
+    }
+
+    fn push(&mut self, index: usize, frame: ClusterFrame, sink: &mut dyn ClusterFrameSink) {
+        let q = &mut self.queues[index];
+        if q.buf.is_empty() {
+            self.frontier.push(Reverse((frame.frame.time, index)));
+            // Per-machine messages are ordered (one worker owns the
+            // machine), so a frame never arrives after Done/Failed.
+            if q.open {
+                self.blocked -= 1;
             }
         }
-        match best {
-            Some((_, i)) => sink.on_frame(queues[i].buf.pop_front().expect("head exists")),
-            None => return,
+        q.buf.push_back(frame);
+        self.drain(sink);
+    }
+
+    fn close(&mut self, index: usize, sink: &mut dyn ClusterFrameSink) {
+        let q = &mut self.queues[index];
+        if q.open {
+            q.open = false;
+            if q.buf.is_empty() {
+                self.blocked -= 1;
+            }
+        }
+        self.drain(sink);
+    }
+
+    fn drain(&mut self, sink: &mut dyn ClusterFrameSink) {
+        while self.blocked == 0 {
+            let Some(Reverse((_, i))) = self.frontier.pop() else {
+                return;
+            };
+            let q = &mut self.queues[i];
+            let frame = q.buf.pop_front().expect("frontier tracks non-empty queues");
+            match q.buf.front() {
+                Some(head) => {
+                    let key = (head.frame.time, i);
+                    self.frontier.push(Reverse(key));
+                }
+                None => {
+                    if q.open {
+                        self.blocked += 1;
+                    }
+                }
+            }
+            sink.on_frame(frame);
         }
     }
 }
 
-/// One worker: owns a set of shards and always advances the one whose next
-/// observation is earliest (ties by machine index), so the global merge
-/// frontier keeps moving and the merger buffers as little as possible.
+/// One worker: owns a set of machines and always advances the (machine,
+/// monitor) whose next observation is earliest (ties by machine index,
+/// then monitor order), so the global merge frontier keeps moving and the
+/// merger buffers as little as possible.
 fn run_worker(
     units: Vec<WorkUnit>,
     max_refreshes: usize,
     tx: mpsc::Sender<Msg>,
 ) -> Vec<(usize, Option<Session>)> {
-    struct Active {
-        unit: WorkUnit,
-        next_at: SimTime,
-        taken: usize,
-    }
-
     let mut finished: Vec<(usize, Option<Session>)> = Vec::new();
-    let mut active: Vec<Active> = Vec::new();
+    let mut active: Vec<WorkUnit> = Vec::new();
 
     for mut unit in units {
-        if max_refreshes == 0 {
+        if max_refreshes == 0 || unit.slots.is_empty() {
             let _ = tx.send(Msg::Done { index: unit.index });
             finished.push((unit.index, Some(unit.session)));
             continue;
         }
         let primed = guard(&unit.id, || {
-            unit.monitor.prime(unit.session.kernel_mut());
+            for slot in &mut unit.slots {
+                slot.monitor.prime(unit.session.kernel_mut());
+            }
             Ok(())
         });
         match primed {
             Ok(()) => {
-                let next_at = unit.session.now() + unit.monitor.interval();
-                active.push(Active {
-                    unit,
-                    next_at,
-                    taken: 0,
-                });
+                let now = unit.session.now();
+                for slot in &mut unit.slots {
+                    slot.next_at = now + slot.monitor.interval();
+                }
+                active.push(unit);
             }
             Err(e) => {
                 let _ = tx.send(Msg::Failed {
@@ -465,57 +933,74 @@ fn run_worker(
     }
 
     while !active.is_empty() {
-        let pos = active
+        // The earliest pending observation across every owned machine:
+        // (time, machine index, monitor order) for determinism.
+        let (pos, spos) = active
             .iter()
             .enumerate()
-            .min_by_key(|(_, a)| (a.next_at, a.unit.index))
-            .map(|(p, _)| p)
-            .expect("non-empty");
-        let a = &mut active[pos];
-        let step = guard(&a.unit.id, || {
-            a.unit.session.advance_to(a.next_at)?;
-            let frame = a.unit.monitor.observe(a.unit.session.kernel_mut());
-            let stop = (a.unit.until)(&frame);
-            Ok((frame, stop))
-        });
+            .flat_map(|(p, u)| {
+                u.slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.done)
+                    .map(move |(sp, s)| ((s.next_at, u.index, sp), (p, sp)))
+            })
+            .min_by_key(|(key, _)| *key)
+            .map(|(_, at)| at)
+            .expect("active units have live slots");
+        let unit = &mut active[pos];
+        let step = {
+            let session = &mut unit.session;
+            let slot = &mut unit.slots[spos];
+            guard(&unit.id, || {
+                session.advance_to(slot.next_at)?;
+                let frame = slot.monitor.observe(session.kernel_mut());
+                let stop = (slot.until)(&frame);
+                Ok((frame, stop))
+            })
+        };
         match step {
             Ok((frame, stop)) => {
-                a.taken += 1;
+                let slot = &mut unit.slots[spos];
+                slot.taken += 1;
                 let _ = tx.send(Msg::Frame {
-                    index: a.unit.index,
+                    index: unit.index,
                     frame: ClusterFrame {
-                        machine: a.unit.id.clone(),
-                        machine_index: a.unit.index,
-                        source: a.unit.monitor.name().to_string(),
-                        seq: a.taken - 1,
+                        machine: unit.id.clone(),
+                        machine_index: unit.index,
+                        source: slot.monitor.name().to_string(),
+                        seq: slot.taken - 1,
                         frame,
                     },
                 });
-                if stop || a.taken >= max_refreshes {
+                if stop || slot.taken >= max_refreshes {
+                    slot.done = true;
+                } else {
+                    slot.next_at += slot.monitor.interval();
+                }
+                if unit.slots.iter().all(|s| s.done) {
                     let mut done = active.swap_remove(pos);
                     // A teardown panic tears the shard like an observe
                     // panic would: surface it and withhold the session.
-                    let torn_down = guard(&done.unit.id, || {
-                        done.unit.monitor.teardown(done.unit.session.kernel_mut());
+                    let torn_down = guard(&done.id, || {
+                        for slot in &mut done.slots {
+                            slot.monitor.teardown(done.session.kernel_mut());
+                        }
                         Ok(())
                     });
                     match torn_down {
                         Ok(()) => {
-                            let _ = tx.send(Msg::Done {
-                                index: done.unit.index,
-                            });
-                            finished.push((done.unit.index, Some(done.unit.session)));
+                            let _ = tx.send(Msg::Done { index: done.index });
+                            finished.push((done.index, Some(done.session)));
                         }
                         Err(error) => {
                             let _ = tx.send(Msg::Failed {
-                                index: done.unit.index,
+                                index: done.index,
                                 error,
                             });
-                            finished.push((done.unit.index, None));
+                            finished.push((done.index, None));
                         }
                     }
-                } else {
-                    a.next_at += a.unit.monitor.interval();
                 }
             }
             Err(e) => {
@@ -526,15 +1011,15 @@ fn run_worker(
                 let error = match e {
                     e @ SessionError::ShardPanicked { .. } => e,
                     other => SessionError::Shard {
-                        machine: failed.unit.id.clone(),
+                        machine: failed.id.clone(),
                         error: Box::new(other),
                     },
                 };
                 let _ = tx.send(Msg::Failed {
-                    index: failed.unit.index,
+                    index: failed.index,
                     error,
                 });
-                finished.push((failed.unit.index, (!torn).then_some(failed.unit.session)));
+                finished.push((failed.index, (!torn).then_some(failed.session)));
             }
         }
     }

@@ -85,7 +85,8 @@ pub mod session;
 pub use app::{SortKey, Tiptop, TiptopOptions};
 pub use baseline::{PinInscount, PinReport, TopView};
 pub use cluster::{
-    ClusterCollectSink, ClusterFrame, ClusterFrameSink, ClusterScenario, ClusterSession, MachineRef,
+    ClusterCollectSink, ClusterFrame, ClusterFrameSink, ClusterRunError, ClusterScenario,
+    ClusterSession, ClusterWindow, ClusterWindowSink, MachineRef, WindowStats,
 };
 pub use collector::{Collector, TaskDelta};
 pub use config::{ColumnKind, ColumnSpec, NumFormat, ScreenConfig};
@@ -94,19 +95,21 @@ pub use monitor::{CollectSink, FrameSink, Monitor};
 pub use procinfo::CpuTracker;
 pub use render::{Frame, Row};
 pub use scenario::{Scenario, Session, SessionError, WorkloadEvent};
-pub use session::{mean, series_for_comm, series_for_pid};
+pub use session::{cluster_series_for_comm, machine_frames, mean, series_for_comm, series_for_pid};
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::app::{SortKey, Tiptop, TiptopOptions};
     pub use crate::baseline::{PinInscount, TopView};
     pub use crate::cluster::{
-        ClusterCollectSink, ClusterFrame, ClusterFrameSink, ClusterScenario, ClusterSession,
-        MachineRef,
+        ClusterCollectSink, ClusterFrame, ClusterFrameSink, ClusterRunError, ClusterScenario,
+        ClusterSession, ClusterWindow, ClusterWindowSink, MachineRef, WindowStats,
     };
     pub use crate::config::ScreenConfig;
     pub use crate::monitor::{CollectSink, FrameSink, Monitor};
     pub use crate::render::Frame;
     pub use crate::scenario::{Scenario, Session, SessionError, WorkloadEvent};
-    pub use crate::session::{mean, series_for_comm, series_for_pid};
+    pub use crate::session::{
+        cluster_series_for_comm, machine_frames, mean, series_for_comm, series_for_pid,
+    };
 }

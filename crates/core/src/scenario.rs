@@ -211,6 +211,34 @@ impl Scenario {
         self
     }
 
+    /// The spawn event declared for `tag`, if any — the cluster layer reads
+    /// it to validate cross-machine migrations and to clone the job spec
+    /// onto the destination machine.
+    pub(crate) fn spawn_event(&self, tag: &str) -> Option<(SimTime, &SpawnSpec)> {
+        self.events.iter().find_map(|(at, ev)| match ev {
+            WorkloadEvent::Spawn { tag: t, spec } if t == tag => Some((*at, spec)),
+            _ => None,
+        })
+    }
+
+    /// The (first) kill event declared against `tag`, if any.
+    pub(crate) fn kill_event(&self, tag: &str) -> Option<SimTime> {
+        self.events
+            .iter()
+            .filter_map(|(at, ev)| match ev {
+                WorkloadEvent::Kill { tag: t } if t == tag => Some(*at),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Append an event in place (the by-value builder methods cover user
+    /// code; the cluster layer desugars migrations into per-machine events
+    /// through this).
+    pub(crate) fn schedule(&mut self, at: SimTime, ev: WorkloadEvent) {
+        self.events.push((at, ev));
+    }
+
     /// Validate the schedule and build the live [`Session`]. Events at t=0
     /// are applied immediately, so their pids are resolvable right away.
     pub fn build(mut self) -> Result<Session, SessionError> {

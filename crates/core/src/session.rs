@@ -12,8 +12,13 @@
 //! [`series_for_comm`], [`mean`]) that the figure-regeneration experiments
 //! consume to turn frame streams into `(time, value)` curves.
 
+//! The cluster-stream variants ([`machine_frames`],
+//! [`cluster_series_for_comm`]) slice one machine (and optionally one
+//! monitor) out of a merged [`ClusterFrame`] stream first.
+
 use tiptop_kernel::task::Pid;
 
+use crate::cluster::ClusterFrame;
 use crate::render::Frame;
 
 /// Extract `(time_s, value)` samples of one column for one pid across
@@ -41,6 +46,30 @@ pub fn series_for_comm(frames: &[Frame], comm: &str, column: &str) -> Vec<(f64, 
                 .map(|v| (f.time.as_secs_f64(), v))
         })
         .collect()
+}
+
+/// One machine's frames out of a merged cluster stream, in merge (= time)
+/// order; `source` further restricts to one monitor's frames when a
+/// [`ClusterSession::run_all`](crate::cluster::ClusterSession::run_all)
+/// run interleaved several monitors per machine.
+pub fn machine_frames(merged: &[ClusterFrame], machine: &str, source: Option<&str>) -> Vec<Frame> {
+    merged
+        .iter()
+        .filter(|cf| cf.machine == machine && source.is_none_or(|s| cf.source == s))
+        .map(|cf| cf.frame.clone())
+        .collect()
+}
+
+/// [`series_for_comm`] over one machine's slice of a merged cluster
+/// stream.
+pub fn cluster_series_for_comm(
+    merged: &[ClusterFrame],
+    machine: &str,
+    source: Option<&str>,
+    comm: &str,
+    column: &str,
+) -> Vec<(f64, f64)> {
+    series_for_comm(&machine_frames(merged, machine, source), comm, column)
 }
 
 /// Mean of a series' values (0 for empty).

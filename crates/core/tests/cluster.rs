@@ -1,10 +1,15 @@
 //! Cluster-session contract tests: the merged frame stream is
 //! deterministic at any worker-thread count, shard failures surface as
-//! typed errors without poisoning the pool, and per-machine stop
-//! predicates behave like `Session::run_until`.
+//! typed errors without poisoning the pool, per-machine stop predicates
+//! behave like `Session::run_until`, cross-machine migrations hand a job
+//! over at one exact instant, fleet-scale `run_all` interleaves monitor
+//! sets deterministically, and the window sink bounds buffered frames.
 
 use tiptop_core::app::{Tiptop, TiptopOptions};
-use tiptop_core::cluster::{ClusterCollectSink, ClusterFrame, ClusterScenario, MachineRef};
+use tiptop_core::baseline::TopView;
+use tiptop_core::cluster::{
+    ClusterCollectSink, ClusterFrame, ClusterScenario, ClusterWindowSink, MachineRef,
+};
 use tiptop_core::config::ScreenConfig;
 use tiptop_core::monitor::Monitor;
 use tiptop_core::render::Frame;
@@ -284,6 +289,409 @@ fn zero_interval_monitor_is_rejected_without_losing_any_shard() {
     // And the cluster is still fully runnable afterwards.
     let frames = session.run_collect(2, 2, |_| tool(1)).unwrap();
     assert_eq!(frames.len(), 8);
+}
+
+/// A three-node cluster with one migrating job: `job` starts on node-a,
+/// the grid scheduler moves it to node-b at t=3 and onward to node-c at
+/// t=6.
+fn migration_cluster() -> ClusterScenario {
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+    };
+    ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1).spawn("job", SpawnSpec::new("job", Uid(1), spin(0.8)).seed(5)),
+        )
+        .machine("node-b", node(2))
+        .machine("node-c", node(3))
+        .migrate_at(SimTime::from_secs(3), "job", "node-a", "node-b")
+        .migrate_at(SimTime::from_secs(6), "job", "node-b", "node-c")
+}
+
+#[test]
+fn migration_hands_over_at_one_instant_and_is_byte_identical_at_1_2_and_8_threads() {
+    let run_at = |threads: usize| {
+        let mut session = migration_cluster().build().unwrap();
+        let frames = session.run_collect(threads, 8, |_| tool(1)).unwrap();
+        (rendered(&frames), frames, session)
+    };
+    let (golden, frames, session) = run_at(1);
+
+    // Where the job is visible, refresh by refresh: on the source right up
+    // to the handover frame (its final row — it ran until the kill), on
+    // the destination from the handover frame on.
+    let on = |t: u64, machine: &str| {
+        frames
+            .iter()
+            .find(|cf| cf.machine == machine && cf.frame.time == SimTime::from_secs(t))
+            .expect("frame exists")
+            .frame
+            .row_for_comm("job")
+            .is_some()
+    };
+    for t in 1..=8 {
+        assert_eq!(on(t, "node-a"), t <= 3, "node-a at t={t}");
+        assert_eq!(on(t, "node-b"), (3..=6).contains(&t), "node-b at t={t}");
+        assert_eq!(on(t, "node-c"), t >= 6, "node-c at t={t}");
+    }
+
+    // Kernel-level: each hop's exit on the source and spawn on the
+    // destination carry the same sim-time.
+    let a = session.session("node-a").unwrap();
+    let b = session.session("node-b").unwrap();
+    let c = session.session("node-c").unwrap();
+    let exit_a = a
+        .kernel()
+        .exit_record(a.pid("job").expect("spawned on a"))
+        .expect("killed by the migration")
+        .clone();
+    let exit_b = b
+        .kernel()
+        .exit_record(b.pid("job").expect("respawned on b"))
+        .expect("killed by the second hop")
+        .clone();
+    let live_c = c
+        .kernel()
+        .stat(c.pid("job").expect("respawned on c"))
+        .expect("still running on c");
+    assert_eq!(exit_a.end_time, SimTime::from_secs(3));
+    assert_eq!(exit_b.start_time, SimTime::from_secs(3), "same instant");
+    assert_eq!(exit_b.end_time, SimTime::from_secs(6));
+    assert_eq!(live_c.start_time, SimTime::from_secs(6), "same instant");
+
+    // The golden artifact: byte-identical at any worker-thread count.
+    assert_eq!(golden, run_at(2).0, "2 workers must not change one byte");
+    assert_eq!(golden, run_at(8).0, "8 workers must not change one byte");
+}
+
+#[test]
+fn migrate_at_is_validated_across_machines_at_build_time() {
+    let err = |sc: ClusterScenario| sc.build().unwrap_err().to_string();
+
+    let base = || {
+        let node = |seed: u64| {
+            Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+                .seed(seed)
+                .user(Uid(1), "u1")
+        };
+        ClusterScenario::new()
+            .machine(
+                "a",
+                node(1).spawn("job", SpawnSpec::new("job", Uid(1), spin(0.8))),
+            )
+            .machine(
+                "b",
+                node(2).spawn("resident", SpawnSpec::new("resident", Uid(1), spin(0.9))),
+            )
+    };
+    let at = SimTime::from_secs(2);
+
+    let e = err(base().migrate_at(at, "job", "a", "a"));
+    assert!(e.contains("same machine"), "{e}");
+
+    let e = err(base().migrate_at(at, "job", "a", "ghost"));
+    assert!(e.contains("unknown machine 'ghost'"), "{e}");
+
+    let e = err(base().migrate_at(at, "nosuch", "a", "b"));
+    assert!(e.contains("no machine spawns 'nosuch'"), "{e}");
+
+    // The tag exists — on a different machine; the error says where.
+    let e = err(base().migrate_at(at, "job", "b", "a"));
+    assert!(e.contains("lives on machine 'a'"), "{e}");
+
+    // Migrating before the job exists, or after it was killed.
+    let early = base()
+        .machine(
+            "c",
+            Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+                .user(Uid(1), "u1")
+                .spawn_at(
+                    SimTime::from_secs(5),
+                    "late",
+                    SpawnSpec::new("late", Uid(1), spin(1.0)),
+                ),
+        )
+        .migrate_at(at, "late", "c", "b");
+    let e = err(early);
+    assert!(e.contains("precedes the job's spawn"), "{e}");
+
+    let killed = ClusterScenario::new()
+        .machine(
+            "a",
+            Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+                .user(Uid(1), "u1")
+                .spawn("job", SpawnSpec::new("job", Uid(1), spin(0.8)))
+                .kill_at(SimTime::from_secs(1), "job"),
+        )
+        .machine(
+            "b",
+            Scenario::new(MachineConfig::nehalem_w3550().noiseless()).user(Uid(1), "u1"),
+        )
+        .migrate_at(at, "job", "a", "b");
+    let e = err(killed);
+    assert!(e.contains("already gone"), "{e}");
+
+    // Destination already carries the tag (two machines legitimately run
+    // jobs under the same tag until a migration tries to collide them).
+    let onto_occupied = base()
+        .machine(
+            "c",
+            Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+                .user(Uid(1), "u1")
+                .spawn("job", SpawnSpec::new("job", Uid(1), spin(1.0))),
+        )
+        .migrate_at(at, "job", "a", "c");
+    let e = err(onto_occupied);
+    assert!(e.contains("destination already carries"), "{e}");
+
+    // Round trips are rejected with a dedicated message: after a->b, the
+    // job cannot come back to a (a tag resolves to one task per machine).
+    let e = err(base().migrate_at(at, "job", "a", "b").migrate_at(
+        SimTime::from_secs(4),
+        "job",
+        "b",
+        "a",
+    ));
+    assert!(e.contains("round-trip migrations are not supported"), "{e}");
+
+    // And a well-formed migration builds.
+    assert!(base().migrate_at(at, "job", "a", "b").build().is_ok());
+}
+
+#[test]
+fn cluster_run_all_interleaves_monitor_sets_deterministically() {
+    let run_at = |threads: usize| {
+        let mut session = cluster().build().unwrap();
+        let mut sink = ClusterCollectSink::new();
+        session
+            .run_all(
+                threads,
+                4,
+                |_: MachineRef<'_>| {
+                    vec![
+                        tool(1) as Box<dyn Monitor + Send>,
+                        Box::new(TopView::new().delay(SimDuration::from_secs(2))),
+                    ]
+                },
+                &mut sink,
+            )
+            .unwrap();
+        (rendered(sink.frames()), sink.into_frames())
+    };
+    let (golden, frames) = run_at(1);
+
+    // Every machine contributes both monitors' streams: 4 frames each.
+    for m in ["node-0", "node-1", "node-2", "ppc"] {
+        for source in ["tiptop", "top"] {
+            let n = frames
+                .iter()
+                .filter(|f| f.machine == m && f.source == source)
+                .count();
+            assert_eq!(n, 4, "{m}/{source} must deliver its 4 refreshes");
+        }
+    }
+    // Merge order: (time, machine_index), and within one machine's
+    // same-instant frames the monitor-set order (tiptop before top at t=2).
+    for w in frames.windows(2) {
+        let a = (w[0].frame.time, w[0].machine_index);
+        let b = (w[1].frame.time, w[1].machine_index);
+        assert!(a <= b, "merge key must be non-decreasing: {a:?} vs {b:?}");
+    }
+    let node0_at_2: Vec<&str> = frames
+        .iter()
+        .filter(|f| f.machine == "node-0" && f.frame.time == SimTime::from_secs(2))
+        .map(|f| f.source.as_str())
+        .collect();
+    assert_eq!(
+        node0_at_2,
+        vec!["tiptop", "top"],
+        "set order at one instant"
+    );
+
+    // Distinct intervals: tiptop observed t=1..=4, top t=2,4,6,8.
+    let times = |m: &str, source: &str| -> Vec<u64> {
+        frames
+            .iter()
+            .filter(|f| f.machine == m && f.source == source)
+            .map(|f| f.frame.time.as_secs_f64() as u64)
+            .collect()
+    };
+    assert_eq!(times("node-0", "tiptop"), vec![1, 2, 3, 4]);
+    assert_eq!(times("node-0", "top"), vec![2, 4, 6, 8]);
+
+    assert_eq!(golden, run_at(2).0, "2 workers must not change one byte");
+    assert_eq!(golden, run_at(8).0, "8 workers must not change one byte");
+}
+
+#[test]
+fn window_sink_bounds_buffered_frames_on_a_10k_frame_run() {
+    // Two machines x 5000 refreshes at 100 ms = 10_000 merged frames.
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+            .spawn("spin", SpawnSpec::new("spin", Uid(1), spin(0.8)).seed(seed))
+    };
+    let mut session = ClusterScenario::new()
+        .machine("m0", node(1))
+        .machine("m1", node(2))
+        .build()
+        .unwrap();
+    const WINDOW: usize = 64;
+    let mut sink = ClusterWindowSink::new(WINDOW);
+    session
+        .run(
+            2,
+            5000,
+            |_| {
+                Box::new(Tiptop::new(
+                    TiptopOptions::default()
+                        .observer(Uid::ROOT)
+                        .delay(SimDuration::from_millis(100)),
+                    ScreenConfig::default_screen(),
+                ))
+            },
+            &mut sink,
+        )
+        .unwrap();
+
+    // The memory bound: never more than one window of frames buffered.
+    assert!(
+        sink.peak_buffered() <= WINDOW,
+        "peak {} must stay within the window {WINDOW}",
+        sink.peak_buffered()
+    );
+    let windows = sink.finish();
+    assert_eq!(
+        windows.iter().map(|w| w.frames).sum::<usize>(),
+        10_000,
+        "every frame is aggregated exactly once"
+    );
+    assert_eq!(windows.len(), 10_000usize.div_ceil(WINDOW));
+    // Windows tile the run in time order and carry usable aggregates.
+    for w in windows.windows(2) {
+        assert!(w[0].end <= w[1].start, "windows must tile in time order");
+    }
+    for w in &windows {
+        for m in ["m0", "m1"] {
+            let stats = w
+                .sources
+                .get(&(m.to_string(), "tiptop".to_string()))
+                .expect("both machines in every window");
+            let ipc = stats.mean("IPC").expect("IPC aggregated");
+            assert!(ipc > 0.5, "healthy spin IPC, got {ipc}");
+        }
+    }
+}
+
+#[test]
+fn multi_shard_failure_delivers_healthy_frames_then_lowest_index_error() {
+    // node-1 panics on its 3rd observation, node-2 on its 1st: node-2
+    // fails *earlier in sim-time*, but the contract returns the first
+    // failure by machine index — node-1 — at any thread count.
+    let run_at = |threads: usize| {
+        let mut session = cluster().build().unwrap();
+        let mut sink = ClusterCollectSink::new();
+        let err = session
+            .run_each(
+                threads,
+                4,
+                |m: MachineRef<'_>| {
+                    let panic_on = match m.id {
+                        "node-1" => 3,
+                        "node-2" => 1,
+                        _ => usize::MAX,
+                    };
+                    Box::new(PanicMonitor {
+                        inner: *tool(1),
+                        observations: 0,
+                        panic_on,
+                    })
+                },
+                |_| Box::new(|_| false),
+                &mut sink,
+            )
+            .unwrap_err();
+        (err, sink.into_frames())
+    };
+    let (err, frames) = run_at(2);
+    match &err {
+        SessionError::ShardPanicked { machine, .. } => assert_eq!(machine, "node-1"),
+        other => panic!("expected ShardPanicked, got {other:?}"),
+    }
+
+    // Deliver-then-error: the healthy machines' *full* runs reached the
+    // sink — including frames after both failures' sim-times.
+    let count = |id: &str| frames.iter().filter(|f| f.machine == id).count();
+    assert_eq!(count("node-0"), 4);
+    assert_eq!(count("ppc"), 4);
+    // The failed shards' pre-failure frames are all there...
+    assert_eq!(count("node-1"), 2, "two frames before the 3rd observation");
+    assert_eq!(count("node-2"), 0, "panicked before its first frame");
+    // ...and merged at their proper (time, machine) position.
+    for w in frames.windows(2) {
+        let a = (w[0].frame.time, w[0].machine_index);
+        let b = (w[1].frame.time, w[1].machine_index);
+        assert!(a <= b, "failure must not reorder the stream: {a:?} {b:?}");
+    }
+
+    // The whole outcome — frames and error — is thread-count independent.
+    let (err1, frames1) = run_at(1);
+    let (err8, frames8) = run_at(8);
+    assert_eq!(rendered(&frames), rendered(&frames1));
+    assert_eq!(rendered(&frames), rendered(&frames8));
+    for e in [&err1, &err8] {
+        assert!(
+            matches!(e, SessionError::ShardPanicked { machine, .. } if machine == "node-1"),
+            "got {e:?}"
+        );
+    }
+}
+
+#[test]
+fn run_collect_preserves_the_partial_stream_on_shard_failure() {
+    let healthy = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .seed(1)
+        .user(Uid(1), "u1")
+        .spawn("spin", SpawnSpec::new("spin", Uid(1), spin(0.8)));
+    let doomed = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .seed(2)
+        .user(Uid(1), "u1")
+        .spawn(
+            "short",
+            SpawnSpec::new(
+                "short",
+                Uid(1),
+                Program::single(ExecProfile::builder("s").base_cpi(0.8).build(), 1_000_000),
+            ),
+        )
+        .kill_at(SimTime::from_secs(2), "short");
+    let mut session = ClusterScenario::new()
+        .machine("ok", healthy)
+        .machine("doomed", doomed)
+        .build()
+        .unwrap();
+    let e = session.run_collect(2, 4, |_| tool(1)).unwrap_err();
+    assert!(
+        matches!(&e.error, SessionError::Shard { machine, .. } if machine == "doomed"),
+        "got {:?}",
+        e.error
+    );
+    // The two-hour-run-not-lost guarantee: the healthy machine's full
+    // stream (and the failed one's pre-failure frames) survive the error.
+    assert_eq!(
+        e.partial.iter().filter(|f| f.machine == "ok").count(),
+        4,
+        "healthy machine's frames preserved"
+    );
+    assert!(
+        e.partial.iter().filter(|f| f.machine == "doomed").count() >= 1,
+        "pre-failure frames preserved"
+    );
+    assert!(e.to_string().contains("merged frames preserved"), "{e}");
 }
 
 #[test]

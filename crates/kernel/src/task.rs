@@ -93,8 +93,9 @@ pub struct Task {
     pub total_instructions: u64,
 }
 
-/// Everything needed to create a task.
-#[derive(Debug)]
+/// Everything needed to create a task. `Clone` so a grid scheduler can
+/// re-submit the same job description elsewhere (cluster migration).
+#[derive(Clone, Debug)]
 pub struct SpawnSpec {
     pub comm: String,
     pub uid: Uid,

@@ -172,24 +172,18 @@ pub struct Fig10Script {
     pub burst: SimDuration,
 }
 
-/// Build the Figure 10 script. `scale` compresses time (1.0 = the paper's
-/// ~1 h burst; 0.05 = a ~3 min burst with identical structure).
-pub fn fig10_script(scale: f64) -> Fig10Script {
-    assert!(scale > 0.0, "bad scale");
-    let arrival = SimDuration::from_secs_f64(600.0 * scale.max(0.02));
-    let burst = SimDuration::from_secs_f64(3600.0 * scale);
+/// When user2's jobs arrive, time-scaled (shared by [`fig10_script`] and
+/// [`grid_script`] so both stories play on the same timeline).
+fn burst_arrival(scale: f64) -> SimDuration {
+    SimDuration::from_secs_f64(600.0 * scale.max(0.02))
+}
 
-    // user1's jobs: moderate L3 appetite — healthy IPC 1.3 / 1.0 alone.
+/// user1's two victims — moderate L3 appetite, healthy IPC 1.3 / 1.0
+/// alone — the shared cast of Figure 10 and the grid-relief script.
+fn victim_jobs() -> Vec<Job> {
     let u1a = job_profile("sim-fluid", 1.40, Some((5 << 20, 0.06)));
     let u1b = job_profile("sim-grid", 1.06, Some((6 << 20, 0.08)));
-
-    // user2's burst jobs: each drags a ~4.5 MB warm tier through the L3.
-    let u2 = |i: usize| job_profile(&format!("batch{i}"), 1.2, Some((4 << 20, 0.10)));
-
-    let clock_ghz = 2.67e9;
-    let burst_insns = |ipc: f64| (burst.as_secs_f64() * clock_ghz * ipc * 0.8) as u64;
-
-    let mut jobs = vec![
+    vec![
         Job {
             comm: "sim-fluid".into(),
             uid: USER1,
@@ -204,16 +198,42 @@ pub fn fig10_script(scale: f64) -> Fig10Script {
             program: Program::endless(u1b),
             seed: 12,
         },
-    ];
-    for i in 0..5 {
-        jobs.push(Job {
+    ]
+}
+
+/// user2's five burst jobs, arriving together: each drags a ~4.5 MB warm
+/// tier through the L3. `program` decides how a job's profile becomes a
+/// program — instruction-bounded for Fig 10, endless for the grid script.
+fn aggressor_jobs(arrival: SimDuration, program: impl Fn(ExecProfile) -> Program) -> Vec<Job> {
+    (0..5)
+        .map(|i| Job {
             comm: format!("batch{i}"),
             uid: USER2,
             start: arrival,
-            program: Program::single(u2(i), burst_insns(1.2)),
+            program: program(job_profile(
+                &format!("batch{i}"),
+                1.2,
+                Some((4 << 20, 0.10)),
+            )),
             seed: 20 + i as u64,
-        });
-    }
+        })
+        .collect()
+}
+
+/// Build the Figure 10 script. `scale` compresses time (1.0 = the paper's
+/// ~1 h burst; 0.05 = a ~3 min burst with identical structure).
+pub fn fig10_script(scale: f64) -> Fig10Script {
+    assert!(scale > 0.0, "bad scale");
+    let arrival = burst_arrival(scale);
+    let burst = SimDuration::from_secs_f64(3600.0 * scale);
+
+    let clock_ghz = 2.67e9;
+    let burst_insns = (burst.as_secs_f64() * clock_ghz * 1.2 * 0.8) as u64;
+
+    let mut jobs = victim_jobs();
+    jobs.extend(aggressor_jobs(arrival, |profile| {
+        Program::single(profile, burst_insns)
+    }));
     Fig10Script {
         jobs,
         arrival,
@@ -221,9 +241,53 @@ pub fn fig10_script(scale: f64) -> Fig10Script {
     }
 }
 
+/// The grid-scheduler relief script (the step beyond Figure 10): the same
+/// victim/aggressor cast, but the aggressors are *endless* — left alone
+/// the burst never ends, so the only relief is the grid scheduler
+/// migrating them to a spare node at `relief`.
+pub struct GridScript {
+    /// user1's two long-running victims, on the contended node from t=0.
+    pub victims: Vec<Job>,
+    /// user2's endless batch jobs, arriving together at `arrival`.
+    pub aggressors: Vec<Job>,
+    /// When the aggressors arrive.
+    pub arrival: SimDuration,
+    /// When the scheduler migrates every aggressor to the spare node.
+    pub relief: SimDuration,
+}
+
+/// Build the grid-relief script. `scale` compresses time like
+/// [`fig10_script`]; the aggressors dwell on the victims' node for half a
+/// scaled burst before the scheduler reacts.
+pub fn grid_script(scale: f64) -> GridScript {
+    assert!(scale > 0.0, "bad scale");
+    let arrival = burst_arrival(scale);
+    let relief = arrival + SimDuration::from_secs_f64(1800.0 * scale);
+
+    GridScript {
+        victims: victim_jobs(),
+        aggressors: aggressor_jobs(arrival, Program::endless),
+        arrival,
+        relief,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn grid_script_structure() {
+        let s = grid_script(0.01);
+        assert_eq!(s.victims.len(), 2);
+        assert_eq!(s.aggressors.len(), 5);
+        assert!(s.arrival < s.relief);
+        assert!(s.victims.iter().all(|j| j.uid == USER1));
+        assert!(s
+            .aggressors
+            .iter()
+            .all(|j| j.uid == USER2 && j.start == s.arrival));
+    }
 
     #[test]
     fn fig1_has_eleven_jobs_three_users() {

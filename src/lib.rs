@@ -20,7 +20,15 @@
 //! [`tiptop_core::cluster::ClusterScenario`]; the resulting
 //! [`tiptop_core::cluster::ClusterSession`] shards the machines across a
 //! worker-thread pool and merges their frames deterministically by
-//! (sim-time, machine) — byte-identical at any thread count.
+//! (sim-time, machine) — byte-identical at any thread count. On top of
+//! the shards sit the distributed affordances: cross-machine
+//! [`migrate_at`](tiptop_core::cluster::ClusterScenario::migrate_at)
+//! events move a job between machines at one exact instant,
+//! [`run_all`](tiptop_core::cluster::ClusterSession::run_all) drives a
+//! *set* of monitors per machine, and
+//! [`ClusterWindowSink`](tiptop_core::cluster::ClusterWindowSink) bounds
+//! memory on long runs by folding the stream into tumbling-window
+//! aggregates.
 //!
 //! See `examples/quickstart.rs` for a runnable end-to-end tour, and the
 //! `tiptop-bench` crate for the harnesses that regenerate the paper's
