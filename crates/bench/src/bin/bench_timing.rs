@@ -22,14 +22,15 @@ use std::time::Instant;
 
 use tiptop_bench::experiments::{
     fig01_snapshot, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions, fig09_compilers,
-    fig10_datacenter, fig11_interference, fleet, grid, table1_fp_micro, validation,
+    fig10_datacenter, fig11_interference, fleet, grid, reactive, table1_fp_micro, validation,
 };
 
 /// Release-profile wall-second baselines, seeded from the PR 3 trajectory
-/// (`BENCH_experiments.json`; `grid` from the PR that introduced it). A
-/// budget breach means the experiment regressed by more than
-/// [`REGRESSION_ALLOWANCE`] against this trajectory.
-const BASELINE_SECONDS: [(&str, f64); 11] = [
+/// (`BENCH_experiments.json`; `grid` and `reactive` from the PRs that
+/// introduced them — `reactive` pays for its run *plus* the scripted grid
+/// baseline it compares against). A budget breach means the experiment
+/// regressed by more than [`REGRESSION_ALLOWANCE`] against this trajectory.
+const BASELINE_SECONDS: [(&str, f64); 12] = [
     ("fig01_snapshot", 0.400),
     ("table1_fp_micro", 0.002),
     ("fig03_evolution", 0.206),
@@ -40,6 +41,7 @@ const BASELINE_SECONDS: [(&str, f64); 11] = [
     ("fig11_interference", 2.088),
     ("fleet", 0.078),
     ("grid", 2.900),
+    ("reactive", 5.800),
     ("validation", 0.009),
 ];
 
@@ -106,6 +108,9 @@ fn main() {
     });
     time("grid", &mut || {
         grid::run(37, 0.01);
+    });
+    time("reactive", &mut || {
+        reactive::run(41, 0.01);
     });
     time("validation", &mut || {
         validation::run(29);

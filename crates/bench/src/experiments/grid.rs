@@ -23,7 +23,7 @@ use tiptop_core::session::cluster_series_for_comm;
 use tiptop_kernel::task::{SpawnSpec, Uid};
 use tiptop_machine::config::MachineConfig;
 use tiptop_machine::time::{SimDuration, SimTime};
-use tiptop_workloads::datacenter::{grid_script, users, Job};
+use tiptop_workloads::datacenter::{grid_script, users, GridScript, Job};
 
 use crate::experiments::default_threads;
 use crate::report::{ascii_plot, Series, TableReport};
@@ -33,10 +33,70 @@ pub const VICTIM_NODE: &str = "node-victim";
 /// The idle node the scheduler migrates the aggressors to.
 pub const SPARE_NODE: &str = "node-spare";
 
-/// Tiptop/top refresh interval (simulated seconds).
-const DELAY_S: f64 = 2.0;
+/// Tiptop/top refresh interval (simulated seconds). Shared with the
+/// `reactive` experiment so its "within one refresh" comparison against
+/// this scripted baseline is apples to apples.
+pub(crate) const DELAY_S: f64 = 2.0;
 /// Frames observed after the migration to watch the victims recover.
-const RECOVERY_FRAMES: usize = 8;
+pub(crate) const RECOVERY_FRAMES: usize = 8;
+
+/// The two-node cast shared by `grid` (scripted relief) and `reactive`
+/// (policy-decided relief): the contended node carrying the victims and
+/// the endless aggressors, the idle spare, and the aggressor tags.
+pub(crate) fn nodes(seed: u64, script: &GridScript) -> (Scenario, Scenario, Vec<String>) {
+    // The warm working sets are large; oversample the cache hierarchy so
+    // the victims' tiers settle into the L3 well before the burst arrives
+    // (same knob as fig10).
+    let machine = || {
+        MachineConfig::datacenter_e5640()
+            .noiseless()
+            .with_samples(4096)
+    };
+    let node = |seed: u64| {
+        let mut sc = Scenario::new(machine()).seed(seed);
+        for (uid, name) in users() {
+            sc = sc.user(uid, name);
+        }
+        sc
+    };
+    let spawn = |mut sc: Scenario, job: Job| {
+        let tag = job.comm.clone();
+        sc = sc.spawn_at(
+            SimTime::ZERO + job.start,
+            tag,
+            SpawnSpec::new(job.comm, job.uid, job.program).seed(job.seed),
+        );
+        sc
+    };
+    let mut victim_node = node(seed);
+    for job in script.victims.iter().cloned() {
+        victim_node = spawn(victim_node, job);
+    }
+    let aggressor_tags: Vec<String> = script.aggressors.iter().map(|j| j.comm.clone()).collect();
+    for job in script.aggressors.iter().cloned() {
+        victim_node = spawn(victim_node, job);
+    }
+    (victim_node, node(seed + 1), aggressor_tags)
+}
+
+/// The fleet observer set shared by `grid` and `reactive`: tiptop on every
+/// node, plus a co-running `top` on the contended node — the §2.5 shape at
+/// cluster scale.
+pub(crate) fn fleet_monitors(
+    delay: SimDuration,
+) -> impl FnMut(MachineRef<'_>) -> Vec<Box<dyn Monitor + Send>> {
+    move |m: MachineRef<'_>| {
+        let tip: Box<dyn Monitor + Send> = Box::new(Tiptop::new(
+            TiptopOptions::default().observer(Uid::ROOT).delay(delay),
+            ScreenConfig::default_screen(),
+        ));
+        if m.id == VICTIM_NODE {
+            vec![tip, Box::new(TopView::new().delay(delay))]
+        } else {
+            vec![tip]
+        }
+    }
+}
 
 /// One victim's view of the dwell and the relief.
 pub struct VictimSeries {
@@ -45,6 +105,60 @@ pub struct VictimSeries {
     pub ipc: Series,
     /// `%CPU` as the co-running `top` monitor sees it (nothing).
     pub cpu: Series,
+}
+
+/// Both victims' tiptop-IPC and top-%CPU series out of a merged fleet
+/// stream; `ipc_label` names the IPC curve per victim (the `reactive`
+/// experiment labels its curves distinctly for the side-by-side plot).
+pub(crate) fn victim_views(
+    merged: &[ClusterFrame],
+    ipc_label: impl Fn(&str) -> String,
+) -> Vec<VictimSeries> {
+    ["sim-fluid", "sim-grid"]
+        .into_iter()
+        .map(|comm| VictimSeries {
+            comm: comm.to_string(),
+            ipc: Series::new(
+                ipc_label(comm),
+                cluster_series_for_comm(merged, VICTIM_NODE, Some("tiptop"), comm, "IPC"),
+            ),
+            cpu: Series::new(
+                format!("{comm} %CPU (top)"),
+                cluster_series_for_comm(merged, VICTIM_NODE, Some("top"), comm, "%CPU"),
+            ),
+        })
+        .collect()
+}
+
+/// The victim series labelled `comm` (panics on unknown names).
+pub(crate) fn victim_in<'a>(victims: &'a [VictimSeries], comm: &str) -> &'a VictimSeries {
+    victims
+        .iter()
+        .find(|v| v.comm == comm)
+        .expect("known victim")
+}
+
+/// Frames of one machine carrying a tiptop row for `comm` inside `(lo, hi]`
+/// — shared by the `grid` and `reactive` results so their placement
+/// assertions filter the stream identically.
+pub(crate) fn frames_showing_in(
+    merged: &[ClusterFrame],
+    machine: &str,
+    comm: &str,
+    lo: f64,
+    hi: f64,
+) -> usize {
+    merged
+        .iter()
+        .filter(|cf| {
+            let t = cf.frame.time.as_secs_f64();
+            cf.machine == machine
+                && cf.source == "tiptop"
+                && t > lo
+                && t <= hi
+                && cf.frame.row_for_comm(comm).is_some()
+        })
+        .count()
 }
 
 /// One migrated aggressor's handover instants (simulated seconds).
@@ -81,43 +195,11 @@ pub fn run_on(seed: u64, scale: f64, threads: usize) -> GridResult {
     let script = grid_script(scale);
     let arrival = script.arrival.as_secs_f64();
     let relief = script.relief.as_secs_f64();
-
-    // The warm working sets are large; oversample the cache hierarchy so
-    // the victims' tiers settle into the L3 well before the burst arrives
-    // (same knob as fig10).
-    let machine = || {
-        MachineConfig::datacenter_e5640()
-            .noiseless()
-            .with_samples(4096)
-    };
-    let node = |seed: u64| {
-        let mut sc = Scenario::new(machine()).seed(seed);
-        for (uid, name) in users() {
-            sc = sc.user(uid, name);
-        }
-        sc
-    };
-    let spawn = |mut sc: Scenario, job: Job| {
-        let tag = job.comm.clone();
-        sc = sc.spawn_at(
-            SimTime::ZERO + job.start,
-            tag,
-            SpawnSpec::new(job.comm, job.uid, job.program).seed(job.seed),
-        );
-        sc
-    };
-    let mut victim_node = node(seed);
-    for job in script.victims {
-        victim_node = spawn(victim_node, job);
-    }
-    let aggressor_tags: Vec<String> = script.aggressors.iter().map(|j| j.comm.clone()).collect();
-    for job in script.aggressors {
-        victim_node = spawn(victim_node, job);
-    }
+    let (victim_node, spare_node, aggressor_tags) = nodes(seed, &script);
 
     let mut cluster = ClusterScenario::new()
         .machine(VICTIM_NODE, victim_node)
-        .machine(SPARE_NODE, node(seed + 1));
+        .machine(SPARE_NODE, spare_node);
     for tag in &aggressor_tags {
         cluster = cluster.migrate_at(
             SimTime::ZERO + script.relief,
@@ -134,39 +216,11 @@ pub fn run_on(seed: u64, scale: f64, threads: usize) -> GridResult {
     let delay = SimDuration::from_secs_f64(DELAY_S);
     let mut sink = ClusterCollectSink::new();
     session
-        .run_all(
-            threads,
-            refreshes,
-            |m: MachineRef<'_>| {
-                let tip: Box<dyn Monitor + Send> = Box::new(Tiptop::new(
-                    TiptopOptions::default().observer(Uid::ROOT).delay(delay),
-                    ScreenConfig::default_screen(),
-                ));
-                if m.id == VICTIM_NODE {
-                    vec![tip, Box::new(TopView::new().delay(delay))]
-                } else {
-                    vec![tip]
-                }
-            },
-            &mut sink,
-        )
+        .run_all(threads, refreshes, fleet_monitors(delay), &mut sink)
         .expect("grid run");
     let merged = sink.into_frames();
 
-    let victims = ["sim-fluid", "sim-grid"]
-        .into_iter()
-        .map(|comm| VictimSeries {
-            comm: comm.to_string(),
-            ipc: Series::new(
-                format!("{comm} IPC"),
-                cluster_series_for_comm(&merged, VICTIM_NODE, Some("tiptop"), comm, "IPC"),
-            ),
-            cpu: Series::new(
-                format!("{comm} %CPU (top)"),
-                cluster_series_for_comm(&merged, VICTIM_NODE, Some("top"), comm, "%CPU"),
-            ),
-        })
-        .collect();
+    let victims = victim_views(&merged, |comm| format!("{comm} IPC"));
 
     let victim_shard = session.session(VICTIM_NODE).expect("shard survived");
     let spare_shard = session.session(SPARE_NODE).expect("shard survived");
@@ -206,10 +260,7 @@ pub fn run_on(seed: u64, scale: f64, threads: usize) -> GridResult {
 
 impl GridResult {
     pub fn victim(&self, comm: &str) -> &VictimSeries {
-        self.victims
-            .iter()
-            .find(|v| v.comm == comm)
-            .expect("known victim")
+        victim_in(&self.victims, comm)
     }
 
     /// The three measurement windows, each placed where its phase is fully
@@ -228,17 +279,7 @@ impl GridResult {
 
     /// Frames of one machine carrying a row for `comm` inside `(lo, hi]`.
     pub fn frames_showing(&self, machine: &str, comm: &str, lo: f64, hi: f64) -> usize {
-        self.merged
-            .iter()
-            .filter(|cf| {
-                let t = cf.frame.time.as_secs_f64();
-                cf.machine == machine
-                    && cf.source == "tiptop"
-                    && t > lo
-                    && t <= hi
-                    && cf.frame.row_for_comm(comm).is_some()
-            })
-            .count()
+        frames_showing_in(&self.merged, machine, comm, lo, hi)
     }
 
     pub fn report(&self) -> String {

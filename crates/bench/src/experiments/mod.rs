@@ -9,10 +9,12 @@
 //! instructions), Figure 9 (gcc vs icc), Figure 10 (the data-center
 //! interference burst), Figure 11 (the SMT/shared-cache interference
 //! matrix), Table 1 (the x87/SSE FP micro-benchmark), and the §2.4
-//! tiptop-vs-Pin validation — plus two beyond-the-paper cluster
+//! tiptop-vs-Pin validation — plus three beyond-the-paper cluster
 //! experiments: [`fleet`] (one workload on every machine, one merged
-//! timeline) and [`grid`] (a Fig 10-style burst relieved by migrating the
-//! aggressors off the victims' node).
+//! timeline), [`grid`] (a Fig 10-style burst relieved by migrating the
+//! aggressors off the victims' node at a scripted instant) and
+//! [`reactive`] (the same relief *decided live* by an IPC-floor policy
+//! watching the merged stream, compared against the scripted baseline).
 
 pub mod fig01_snapshot;
 pub mod fig03_evolution;
@@ -23,6 +25,7 @@ pub mod fig10_datacenter;
 pub mod fig11_interference;
 pub mod fleet;
 pub mod grid;
+pub mod reactive;
 pub mod table1_fp_micro;
 pub mod validation;
 

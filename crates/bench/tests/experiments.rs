@@ -8,7 +8,7 @@
 
 use tiptop_bench::experiments::{
     evaluation_machines, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions,
-    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, validation,
+    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, reactive, validation,
 };
 use tiptop_workloads::spec::{Compiler, SpecBenchmark};
 
@@ -474,6 +474,122 @@ fn grid_migration_relieves_the_victims_mid_burst() {
     }
 
     assert!(r.report().contains("migrated away"), "report renders");
+}
+
+#[test]
+fn reactive_policy_fires_within_one_refresh_of_the_scripted_relief() {
+    // Run the reactive experiment single-threaded; the worker-thread
+    // determinism is asserted against this run's stream below.
+    let r = reactive::run_on(41, 0.01, 1);
+    assert!(r.arrival < r.trigger() && r.trigger() < r.end);
+
+    // The headline: the relief is *decided from the stream*, and the
+    // trigger lands within one refresh interval of the instant the
+    // scripted grid baseline migrates at.
+    assert_eq!(r.scripted_relief, r.baseline.relief);
+    assert!(
+        (r.trigger() - r.scripted_relief).abs() <= r.refresh + 1e-9,
+        "reactive trigger {} vs scripted relief {} must agree within one \
+         refresh ({}s)",
+        r.trigger(),
+        r.scripted_relief,
+        r.refresh
+    );
+
+    // One firing moved every aggressor; the decisions applied at the first
+    // epoch boundary after the deciding frame — same instant for all five,
+    // kill on the source == spawn on the destination.
+    assert_eq!(r.decisions.len(), 5, "all five aggressors evicted");
+    for d in &r.decisions {
+        assert_eq!(d.policy, "ipc-floor");
+        assert_eq!(d.decided_at.as_secs_f64(), r.trigger());
+        assert_eq!(d.applied_at.as_secs_f64(), r.applied());
+    }
+    let boundary_lag = r.applied() - r.trigger();
+    assert!(
+        boundary_lag > 0.0 && boundary_lag <= 0.02 + 1e-9,
+        "applied at the next 20 ms epoch boundary, got +{boundary_lag}s"
+    );
+    assert_eq!(r.handovers.len(), 5);
+    for h in &r.handovers {
+        assert_eq!(
+            h.exit_at, h.start_at,
+            "{}: exit on the source and spawn on the destination must \
+             carry the same sim-time",
+            h.comm
+        );
+        assert_eq!(h.exit_at, r.applied());
+        // Stream-level: on the victims' node during the dwell, never on
+        // the spare before the migration, gone from the victims' node (and
+        // on the spare) after it.
+        assert!(r.frames_showing(grid::VICTIM_NODE, &h.comm, r.arrival, r.trigger()) > 0);
+        assert_eq!(
+            r.frames_showing(grid::SPARE_NODE, &h.comm, 0.0, r.applied()),
+            0
+        );
+        assert_eq!(
+            r.frames_showing(grid::VICTIM_NODE, &h.comm, r.applied(), f64::INFINITY),
+            0
+        );
+        assert!(r.frames_showing(grid::SPARE_NODE, &h.comm, r.applied(), f64::INFINITY) > 0);
+    }
+
+    // The Fig 10 shape, with the dwell ended by the *policy*: IPC dips
+    // through the dwell, recovers once the migration applies — while the
+    // co-running `top` still shows every %CPU pegged.
+    for v in &r.victims {
+        let [before, during, after] = r.windows();
+        let ipc_before = v.ipc.mean_in(before.0, before.1);
+        let ipc_during = v.ipc.mean_in(during.0, during.1);
+        let ipc_after = v.ipc.mean_in(after.0, after.1);
+        assert!(
+            ipc_during < 0.95 * ipc_before,
+            "{}: IPC {ipc_before} -> {ipc_during} should dip during the dwell",
+            v.comm
+        );
+        assert!(
+            ipc_after > 1.1 * ipc_during,
+            "{}: IPC must recover once the policy's migration applies \
+             ({ipc_during} -> {ipc_after})",
+            v.comm
+        );
+        let cpu_during = v.cpu.mean_in(during.0, during.1);
+        assert!(
+            cpu_during > 99.0,
+            "{}: %CPU must stay ~100 through the dwell, got {cpu_during}",
+            v.comm
+        );
+        // Side-by-side: after its relief the reactive run recovers to the
+        // same place the scripted baseline does (the migration instants
+        // differ by at most one refresh + one epoch).
+        let scripted_after = r
+            .baseline
+            .victim(&v.comm)
+            .ipc
+            .mean_in(r.end - 6.0, r.end + 1.0);
+        assert!(
+            (ipc_after - scripted_after).abs() < 0.05 * scripted_after,
+            "{}: reactive recovery {ipc_after} vs scripted {scripted_after}",
+            v.comm
+        );
+    }
+
+    // Determinism: stream AND decisions byte-identical at 1, 2, 8 workers
+    // (the main run above was single-threaded — it is the golden).
+    let golden = r.rendered_stream();
+    assert!(golden.contains("[decision ipc-floor 'batch0'"));
+    assert_eq!(
+        golden,
+        reactive::run_stream(41, 0.01, 2),
+        "2 workers must not change one byte"
+    );
+    assert_eq!(
+        golden,
+        reactive::run_stream(41, 0.01, 8),
+        "8 workers must not change one byte"
+    );
+
+    assert!(r.report().contains("policy fired"), "report renders");
 }
 
 #[test]

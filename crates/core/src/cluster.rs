@@ -31,6 +31,10 @@
 //!   tumbling windows of the merged stream are folded into per
 //!   `(machine, monitor)` column aggregates, so a fleet observed for hours
 //!   never buffers more than one window of frames.
+//! * [`ClusterSession::run_reactive`] — the monitor→migration loop
+//!   *closed*: [`SchedulerPolicy`]s observe the merged stream during the
+//!   run and issue live migrations, validated at run time and applied at
+//!   the next epoch boundary (see [`crate::reactive`]).
 //!
 //! Failure is contained per shard: a [`SessionError`] inside one machine
 //! surfaces as [`SessionError::Shard`], a panic as
@@ -87,9 +91,11 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
+use tiptop_kernel::task::TaskState;
 use tiptop_machine::time::SimTime;
 
 use crate::monitor::Monitor;
+use crate::reactive::{AppliedDecision, MigrationDecision, SchedulerPolicy};
 use crate::render::Frame;
 use crate::scenario::{Scenario, Session, SessionError, WorkloadEvent};
 
@@ -162,8 +168,12 @@ impl ClusterFrameSink for ClusterCollectSink {
 pub struct WindowStats {
     /// Frames this source contributed to the window.
     pub frames: usize,
-    /// Task rows across those frames.
+    /// Task rows across those frames that entered the aggregates.
     pub rows: usize,
+    /// Rows *excluded* from the aggregates because they are the
+    /// destination side of a registered migration handover (see
+    /// [`ClusterWindowSink::dedupe_handovers`]); 0 unless deduping.
+    pub handover_rows: usize,
     /// Per-column `(sum, samples)` over every finite row value.
     sums: BTreeMap<String, (f64, usize)>,
 }
@@ -209,12 +219,27 @@ pub struct ClusterWindow {
 /// Callers who need the raw frames spilled elsewhere (rendered to a file,
 /// forwarded downstream) can chain a closure sink in front; this sink's
 /// job is the bounded aggregate view.
+///
+/// # Migration handovers
+///
+/// At a migration's handover frame the job is visible on *both* machines —
+/// its final row on the source and its first (zero-elapsed) row on the
+/// destination — so a fleet-wide aggregate naively counts it twice at that
+/// one instant. The raw stream deliberately keeps both rows (the handover
+/// is the observable artifact); register the run's handovers with
+/// [`ClusterWindowSink::dedupe_handovers`] and the *aggregates* count the
+/// job once, attributing the instant to the source (where it actually ran)
+/// and reporting the skipped destination rows in
+/// [`WindowStats::handover_rows`].
 #[derive(Debug)]
 pub struct ClusterWindowSink {
     window: usize,
     buf: Vec<ClusterFrame>,
     peak: usize,
     windows: Vec<ClusterWindow>,
+    /// Destination-side rows to exclude from aggregates, keyed by handover
+    /// instant: `(destination machine, command)`.
+    dedupe: BTreeMap<SimTime, Vec<(String, String)>>,
 }
 
 impl ClusterWindowSink {
@@ -227,7 +252,33 @@ impl ClusterWindowSink {
             buf: Vec::new(),
             peak: 0,
             windows: Vec::new(),
+            dedupe: BTreeMap::new(),
         }
+    }
+
+    /// Register migration handovers so fleet-wide aggregates count each
+    /// migrating job **once** at its handover instant: the destination-side
+    /// row (the zero-elapsed first observation) is excluded from the
+    /// column sums and counted in [`WindowStats::handover_rows`] instead.
+    /// Feed it [`ClusterSession::handovers`] — for scripted migrations the
+    /// records exist right after `build()`; a reactive run's records only
+    /// exist after the run, so reactive consumers dedupe in post.
+    ///
+    /// Exclusion is keyed by `(instant, destination machine, command)`:
+    /// keep commands unique per machine at a handover instant (the
+    /// repository-wide tag == comm convention does this) or unrelated
+    /// same-named rows on the destination would be skipped too. It also
+    /// assumes the *source* machine observes at the handover instant —
+    /// true whenever both machines' monitor intervals divide the scripted
+    /// migration time (the common shared-interval fleet). If only the
+    /// destination happens to observe then, there is no double-count and
+    /// its row is still excluded, leaving the job unaggregated for that
+    /// one instant.
+    pub fn dedupe_handovers(mut self, handovers: impl IntoIterator<Item = HandoverRecord>) -> Self {
+        for h in handovers {
+            self.dedupe.entry(h.at).or_default().push((h.to, h.comm));
+        }
+        self
     }
 
     /// The most frames ever buffered at once (≤ the window size, by
@@ -257,10 +308,31 @@ impl ClusterWindowSink {
         let mut sources: BTreeMap<(String, String), WindowStats> = BTreeMap::new();
         let frames = self.buf.len();
         for cf in self.buf.drain(..) {
-            let stats = sources.entry((cf.machine, cf.source)).or_default();
+            let ClusterFrame {
+                machine,
+                source,
+                frame,
+                ..
+            } = cf;
+            // Destination-side handover rows (if registered) are excluded
+            // from the aggregates; decide before `machine` moves into the
+            // source key.
+            let handover: Vec<bool> = match self.dedupe.get(&frame.time) {
+                None => Vec::new(),
+                Some(d) => frame
+                    .rows
+                    .iter()
+                    .map(|r| d.iter().any(|(to, comm)| *to == machine && *comm == r.comm))
+                    .collect(),
+            };
+            let stats = sources.entry((machine, source)).or_default();
             stats.frames += 1;
-            stats.rows += cf.frame.rows.len();
-            for row in &cf.frame.rows {
+            for (i, row) in frame.rows.iter().enumerate() {
+                if handover.get(i).copied().unwrap_or(false) {
+                    stats.handover_rows += 1;
+                    continue;
+                }
+                stats.rows += 1;
                 for (col, v) in &row.values {
                     if v.is_finite() {
                         let (sum, n) = stats.sums.entry(col.clone()).or_insert((0.0, 0));
@@ -288,6 +360,23 @@ impl ClusterFrameSink for ClusterWindowSink {
             self.flush();
         }
     }
+}
+
+/// One migration's handover, as the merged stream can observe it: at `at`
+/// the job (command `comm`, scenario tag `tag`) exits on `from` and starts
+/// on `to` — the same sim-time on both machines. Scripted migrations
+/// ([`ClusterScenario::migrate_at`]) record theirs at build time, reactive
+/// runs ([`ClusterSession::run_reactive`]) append as decisions apply; read
+/// them back with [`ClusterSession::handovers`], e.g. to feed
+/// [`ClusterWindowSink::dedupe_handovers`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HandoverRecord {
+    pub at: SimTime,
+    pub tag: String,
+    /// The job's command name — what frame rows show.
+    pub comm: String,
+    pub from: String,
+    pub to: String,
 }
 
 /// A cross-machine workload event: the grid scheduler moves a tagged job
@@ -386,6 +475,7 @@ impl ClusterScenario {
         // migrations keep declaration order, so chained moves compose),
         // validating each against the machines' evolving schedules.
         self.migrations.sort_by_key(|m| m.at);
+        let mut handovers: Vec<HandoverRecord> = Vec::with_capacity(self.migrations.len());
         for m in &self.migrations {
             let label = format!(
                 "migration of '{}' {}->{} at {:?}",
@@ -452,6 +542,13 @@ impl ClusterScenario {
                 }));
             }
             let spec = spec.clone();
+            handovers.push(HandoverRecord {
+                at: m.at,
+                tag: m.tag.clone(),
+                comm: spec.comm.clone(),
+                from: m.from.clone(),
+                to: m.to.clone(),
+            });
             self.machines[fi]
                 .1
                 .schedule(m.at, WorkloadEvent::Kill { tag: m.tag.clone() });
@@ -475,7 +572,7 @@ impl ClusterScenario {
                 session: Some(session),
             });
         }
-        Ok(ClusterSession { shards })
+        Ok(ClusterSession { shards, handovers })
     }
 }
 
@@ -489,6 +586,10 @@ struct ShardSlot {
 /// A live cluster: every machine's [`Session`], runnable on a worker pool.
 pub struct ClusterSession {
     shards: Vec<ShardSlot>,
+    /// Every migration handover of this cluster, in application order:
+    /// scripted ones from build time, reactive ones appended as their
+    /// decisions apply.
+    handovers: Vec<HandoverRecord>,
 }
 
 impl fmt::Debug for ClusterSession {
@@ -550,6 +651,16 @@ impl ClusterSession {
             .map(|(index, s)| MachineRef { id: &s.id, index })
     }
 
+    /// Every migration handover of this cluster so far, in application
+    /// order: the scripted [`ClusterScenario::migrate_at`]s from build
+    /// time, plus — after a [`ClusterSession::run_reactive`] — the
+    /// handovers of every applied live decision. Feed these to
+    /// [`ClusterWindowSink::dedupe_handovers`] so fleet-wide aggregates
+    /// count a migrating job once at its handover instant.
+    pub fn handovers(&self) -> &[HandoverRecord] {
+        &self.handovers
+    }
+
     /// One machine's session, for pid lookups and exit records after a run.
     /// `None` for unknown ids — or for a shard whose session was lost to a
     /// panic (a torn session is never handed back).
@@ -607,8 +718,14 @@ impl ClusterSession {
     /// Drive every machine's own *set* of monitors — [`Session::run_all`]
     /// lifted to the fleet. Each machine's `monitors(mref)` are primed
     /// together and observed on their own intervals until every one has
-    /// produced `refreshes` frames; a machine with an empty set is done
-    /// immediately. Frames are labelled `(machine, monitor-name)` in the
+    /// produced `refreshes` frames. An **empty monitor set is rejected**
+    /// with a typed [`SessionError::InvalidScenario`] before anything runs:
+    /// a machine only advances through its observations, so an unobserved
+    /// machine would silently stay frozen at its current sim-time (its
+    /// events — including migrations landing on it — never applying)
+    /// rather than "run unobserved". The error leaves every shard intact
+    /// and the cluster re-runnable. Frames are labelled
+    /// `(machine, monitor-name)` in the
     /// merged stream; same-instant frames of one machine observe (and
     /// merge) in set order, same-instant frames of different machines in
     /// machine order — so the merged stream stays byte-identical at any
@@ -665,15 +782,10 @@ impl ClusterSession {
                 index,
             };
             let set = tools(mref);
-            for (m, _) in &set {
-                if m.interval().is_zero() {
-                    return Err(SessionError::InvalidScenario(format!(
-                        "machine '{}': monitor '{}' has a zero refresh interval",
-                        slot.id,
-                        m.name()
-                    )));
-                }
-            }
+            validate_monitor_set(
+                &slot.id,
+                set.iter().map(|(m, _)| m.as_ref() as &dyn Monitor),
+            )?;
             per_machine.push(set);
         }
         let mut units: Vec<WorkUnit> = Vec::with_capacity(n);
@@ -777,6 +889,127 @@ impl ClusterSession {
             }),
         }
     }
+
+    /// Drive the fleet like [`ClusterSession::run_all`] — per-machine
+    /// monitor sets, `refreshes` frames each, frames merged by
+    /// `(time, machine)` into `sink` — while [`SchedulerPolicy`]s watch the
+    /// merged stream **live** and issue migrations, closing the paper's
+    /// monitor→decision loop. Returns the decisions that were applied.
+    ///
+    /// # How the loop stays deterministic
+    ///
+    /// Runtime decisions break the free-running worker model: a shard that
+    /// has raced ahead of the merge frontier could already be *past* the
+    /// instant a decision must land on. `run_reactive` therefore advances
+    /// the fleet in **observation rounds**: each round takes the globally
+    /// earliest pending observation instant `t*`, advances every machine
+    /// due at `t*` concurrently on the worker pool, merges the round's
+    /// frames (machine order, then set order — the same order `run_all`
+    /// produces), shows each frame to every policy, and delivers it to the
+    /// sink. Decisions fired on a frame at `t*` are validated and injected
+    /// as pending events at the **next scheduler-epoch boundary after
+    /// `t*`** ([`Kernel::epoch_boundary_after`]) — strictly ahead of every
+    /// machine's clock, since no machine is ever past `t*` between rounds.
+    /// Everything is keyed to sim-time, so the merged stream, the decisions
+    /// and their application instants are **byte-identical at any
+    /// worker-thread count**; `threads` only changes wall-clock.
+    ///
+    /// A decision is a kill on the source plus a spawn of the retained job
+    /// spec ([`Session::job_spec`]) on the destination at the same instant,
+    /// exactly like a scripted [`ClusterScenario::migrate_at`]. When the
+    /// refresh interval exceeds the scheduler epoch (the usual shape —
+    /// seconds-scale refreshes over a 20 ms epoch) the boundary falls
+    /// strictly between observation instants and the reactive stream has
+    /// no double-visibility handover frame; if an observation lands
+    /// exactly on the application instant, the handover frame appears just
+    /// as in scripted runs — [`ClusterSession::handovers`] (every applied
+    /// decision is appended to it) identifies those instants for post-hoc
+    /// dedupe of aggregates.
+    ///
+    /// # Run-time validation
+    ///
+    /// Scripted schedules are fully validated at build time; a live
+    /// decision gets the run-time half, with infeasible requests surfacing
+    /// as typed [`SessionError::InvalidDecision`]s: unknown machines,
+    /// source == destination, no task with the tag on the source, a tag
+    /// that already exited, or a destination that already carries (or ever
+    /// carried) the tag.
+    ///
+    /// # Failure contract
+    ///
+    /// Unlike [`ClusterSession::run_each`]'s deliver-then-error, a reactive
+    /// run **halts at the round barrier**: on a shard error (or an
+    /// infeasible decision) the current round's healthy frames are still
+    /// delivered, then the run stops — continuing without the full fleet
+    /// would feed the policies a partial view and silently change their
+    /// decisions. The first error by machine index is returned; healthy
+    /// shards' sessions are handed back (a panicked shard's is withheld,
+    /// as everywhere else).
+    ///
+    /// [`Kernel::epoch_boundary_after`]: tiptop_kernel::kernel::Kernel::epoch_boundary_after
+    pub fn run_reactive(
+        &mut self,
+        threads: usize,
+        refreshes: usize,
+        mut monitors: impl FnMut(MachineRef<'_>) -> Vec<Box<dyn Monitor + Send>>,
+        policies: &mut [Box<dyn SchedulerPolicy>],
+        sink: &mut dyn ClusterFrameSink,
+    ) -> Result<Vec<AppliedDecision>, SessionError> {
+        let n = self.shards.len();
+        for slot in &self.shards {
+            if slot.session.is_none() {
+                return Err(SessionError::ShardPanicked {
+                    machine: slot.id.clone(),
+                    message: "session was lost to a panic in an earlier run".into(),
+                });
+            }
+        }
+        // Build and validate every machine's monitor set before taking any
+        // session out of its slot (same guarantees as `run_all`).
+        let mut per_machine: Vec<Vec<Box<dyn Monitor + Send>>> = Vec::with_capacity(n);
+        for (index, slot) in self.shards.iter().enumerate() {
+            let set = monitors(MachineRef {
+                id: &slot.id,
+                index,
+            });
+            validate_monitor_set(&slot.id, set.iter().map(|m| m.as_ref() as &dyn Monitor))?;
+            per_machine.push(set);
+        }
+        let mut units: Vec<ReactiveUnit> = Vec::with_capacity(n);
+        for ((index, slot), set) in self.shards.iter_mut().enumerate().zip(per_machine) {
+            units.push(ReactiveUnit {
+                index,
+                id: slot.id.clone(),
+                session: slot.session.take().expect("checked above"),
+                slots: set
+                    .into_iter()
+                    .map(|monitor| ReactiveSlot {
+                        monitor,
+                        next_at: SimTime::ZERO,
+                        taken: 0,
+                    })
+                    .collect(),
+                torn: false,
+            });
+        }
+
+        let mut applied: Vec<AppliedDecision> = Vec::new();
+        let result = reactive_loop(
+            &mut units,
+            threads,
+            refreshes,
+            policies,
+            sink,
+            &mut self.handovers,
+            &mut applied,
+        );
+        for unit in units {
+            if !unit.torn {
+                self.shards[unit.index].session = Some(unit.session);
+            }
+        }
+        result.map(|()| applied)
+    }
 }
 
 /// One monitor of one machine: its own interval clock, stop predicate and
@@ -794,6 +1027,478 @@ struct WorkUnit {
     id: String,
     session: Session,
     slots: Vec<MonitorSlot>,
+}
+
+/// One monitor of one machine in a reactive run: its own interval clock
+/// and observation count (stop predicates don't apply — the policies are
+/// the control surface).
+struct ReactiveSlot {
+    monitor: Box<dyn Monitor + Send>,
+    next_at: SimTime,
+    taken: usize,
+}
+
+struct ReactiveUnit {
+    index: usize,
+    id: String,
+    session: Session,
+    slots: Vec<ReactiveSlot>,
+    /// A panic tore this shard mid-epoch; its session is never handed back.
+    torn: bool,
+}
+
+/// The round-barrier driver behind [`ClusterSession::run_reactive`]: run
+/// the observation rounds, then tear every surviving shard's monitors down
+/// — on the error path too, since healthy sessions are handed back and
+/// must not keep leaked counter fds attached.
+fn reactive_loop(
+    units: &mut [ReactiveUnit],
+    threads: usize,
+    refreshes: usize,
+    policies: &mut [Box<dyn SchedulerPolicy>],
+    sink: &mut dyn ClusterFrameSink,
+    handovers: &mut Vec<HandoverRecord>,
+    applied: &mut Vec<AppliedDecision>,
+) -> Result<(), SessionError> {
+    let mut run_handovers: Vec<HandoverRecord> = Vec::new();
+    let mut injected: Vec<InjectedDecision> = Vec::new();
+    let mut result = reactive_rounds(
+        units,
+        threads,
+        refreshes,
+        policies,
+        sink,
+        &mut run_handovers,
+        applied,
+        &mut injected,
+    );
+    // Teardown, machine by machine; a panic tears the shard like an
+    // observe panic would, but never masks the rounds' own error.
+    for unit in units.iter_mut().filter(|u| !u.torn) {
+        let torn_down = guard(&unit.id, || {
+            for slot in &mut unit.slots {
+                slot.monitor.teardown(unit.session.kernel_mut());
+            }
+            Ok(())
+        });
+        if let Err(e) = torn_down {
+            unit.torn = true;
+            if result.is_ok() {
+                result = Err(e);
+            }
+        }
+    }
+    if result.is_err() {
+        // The run halted before some decisions' kill/spawn could apply.
+        // Keep the fleet consistent: a decision that applied on *neither*
+        // side is rolled back (both events cancelled), one that applied on
+        // one side is *completed* on the other — the lagging machine is
+        // advanced past the instant, producing no frames — so after any
+        // run every decision either fully happened (and is recorded in
+        // `handovers()`) or never did; a handed-back cluster can never
+        // perform a silent, unrecorded migration on a later run.
+        for inj in &injected {
+            let src_applied = units[inj.src].session.now() >= inj.at;
+            let dst_applied = units[inj.dst].session.now() >= inj.at;
+            match (src_applied, dst_applied) {
+                (false, false) => {
+                    units[inj.src].session.cancel_scheduled(inj.at, &inj.tag);
+                    units[inj.dst].session.cancel_scheduled(inj.at, &inj.tag);
+                }
+                (true, true) => {}
+                _ => {
+                    // Advance both sides one epoch past the instant: the
+                    // lagging side applies its event, the other side reaps
+                    // its zombie into the exit record.
+                    for index in [inj.src, inj.dst] {
+                        let unit = &mut units[index];
+                        if unit.torn {
+                            continue;
+                        }
+                        let target = unit.session.kernel().epoch_boundary_after(inj.at);
+                        if unit.session.now() >= target {
+                            continue;
+                        }
+                        let r = guard(&unit.id, || unit.session.advance_to(target));
+                        if matches!(r, Err(SessionError::ShardPanicked { .. })) {
+                            unit.torn = true;
+                        }
+                        // A clean completion failure (e.g. the kill racing
+                        // a natural exit) is swallowed: the original error
+                        // stands, and the ground-truth prune below keeps
+                        // only records of migrations that really happened.
+                    }
+                }
+            }
+            // If the source's kill mis-fired — the job retired its last
+            // instruction inside the decision-to-boundary window and the
+            // kill hit a tombstone — the decision did not happen: revert
+            // the destination (cancel a still-pending spawn, kill an
+            // already-started clone) so the handed-back fleet carries no
+            // unrecorded restarted copy of a job that finished on its own.
+            let killed_at_boundary = units[inj.src].session.pid(&inj.tag).is_some_and(|pid| {
+                let k = units[inj.src].session.kernel();
+                match k.exit_record(pid) {
+                    Some(rec) => rec.end_time == inj.at,
+                    None => {
+                        units[inj.src].session.now() < inj.at
+                            || k.stat(pid).is_some_and(|st| st.state == TaskState::Zombie)
+                    }
+                }
+            });
+            if !killed_at_boundary {
+                let dst = &mut units[inj.dst];
+                dst.session.cancel_scheduled(inj.at, &inj.tag);
+                if let Some(pid) = dst.session.pid(&inj.tag) {
+                    if dst.session.kernel().is_alive(pid) {
+                        let _ = dst.session.kernel_mut().kill(pid);
+                    }
+                }
+            }
+        }
+    }
+    // [`ClusterSession::handovers`] promises *applied* migrations. A run
+    // that errors mid-flight may have scheduled decisions whose kill/spawn
+    // never executed (or only half did); keep a record only when the
+    // destination resolved the spawned tag AND the source's task ended at
+    // exactly the handover instant (an earlier end time means the job
+    // exited on its own and the migration's kill mis-fired). On success
+    // the final flush guarantees both, so this prunes nothing.
+    run_handovers.retain(|h| {
+        let unit = |id: &str| units.iter().find(|u| u.id == *id);
+        let spawned = unit(&h.to).is_some_and(|u| u.session.pid(&h.tag).is_some());
+        let killed = unit(&h.from).is_some_and(|u| {
+            u.session.pid(&h.tag).is_some_and(|pid| {
+                match u.session.kernel().exit_record(pid) {
+                    Some(rec) => rec.end_time == h.at,
+                    // Applied but not yet reaped: the clock stopped on the
+                    // application instant itself.
+                    None => {
+                        u.session.now() >= h.at
+                            && u.session
+                                .kernel()
+                                .stat(pid)
+                                .is_some_and(|st| st.state == TaskState::Zombie)
+                    }
+                }
+            })
+        });
+        spawned && killed
+    });
+    handovers.extend(run_handovers);
+    result
+}
+
+/// One live decision's injected event pair, for the end-of-run flush and
+/// the error-path rollback.
+struct InjectedDecision {
+    at: SimTime,
+    tag: String,
+    /// Source / destination positions in the units slice.
+    src: usize,
+    dst: usize,
+}
+
+/// Prime, then repeat: advance the machines due at the globally earliest
+/// pending observation instant concurrently, merge the round's frames, let
+/// the policies watch, apply their decisions at the next epoch boundary —
+/// and, once the rounds are done, flush decision events scheduled past the
+/// final observation so every reported [`AppliedDecision`] really applied.
+#[allow(clippy::too_many_arguments)]
+fn reactive_rounds(
+    units: &mut [ReactiveUnit],
+    threads: usize,
+    refreshes: usize,
+    policies: &mut [Box<dyn SchedulerPolicy>],
+    sink: &mut dyn ClusterFrameSink,
+    handovers: &mut Vec<HandoverRecord>,
+    applied: &mut Vec<AppliedDecision>,
+    injected: &mut Vec<InjectedDecision>,
+) -> Result<(), SessionError> {
+    // Prime every machine's monitors (serially — priming advances no time).
+    for unit in units.iter_mut() {
+        let primed = guard(&unit.id, || {
+            for slot in &mut unit.slots {
+                slot.monitor.prime(unit.session.kernel_mut());
+            }
+            Ok(())
+        });
+        if let Err(e) = primed {
+            unit.torn = true;
+            return Err(e);
+        }
+        let now = unit.session.now();
+        for slot in &mut unit.slots {
+            slot.next_at = now + slot.monitor.interval();
+        }
+    }
+
+    loop {
+        // The globally earliest pending observation instant.
+        let t_star = units
+            .iter()
+            .flat_map(|u| {
+                u.slots
+                    .iter()
+                    .filter(|s| s.taken < refreshes)
+                    .map(|s| s.next_at)
+            })
+            .min();
+        let Some(t_star) = t_star else { break };
+
+        // Advance every machine due at t* concurrently. Each worker owns a
+        // disjoint set of units; results are re-ordered by machine index
+        // afterwards, so the partition never shows in the output.
+        let due: Vec<&mut ReactiveUnit> = units
+            .iter_mut()
+            .filter(|u| {
+                u.slots
+                    .iter()
+                    .any(|s| s.taken < refreshes && s.next_at == t_star)
+            })
+            .collect();
+        let mut round: Vec<(usize, String, Result<Vec<ClusterFrame>, SessionError>)> = Vec::new();
+        if due.len() == 1 {
+            // A single due machine gains nothing from the pool; advance it
+            // inline instead of paying a thread spawn + join per round.
+            let unit = due.into_iter().next().expect("one due machine");
+            round.push(advance_due_unit(unit, t_star, refreshes));
+        } else {
+            let workers = threads.clamp(1, due.len());
+            let mut parts: Vec<Vec<&mut ReactiveUnit>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, u) in due.into_iter().enumerate() {
+                parts[i % workers].push(u);
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.into_iter()
+                                .map(|unit| advance_due_unit(unit, t_star, refreshes))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    round.extend(h.join().expect("worker thread panicked"));
+                }
+            });
+        }
+        round.sort_by_key(|(index, _, _)| *index);
+
+        // Merge the round (all frames share t*, so machine order then set
+        // order is exactly the (time, machine) merge), let every policy
+        // watch each frame, then deliver it.
+        let mut first_err: Option<SessionError> = None;
+        let mut decisions: Vec<(String, MigrationDecision)> = Vec::new();
+        for (_, id, r) in round {
+            match r {
+                Ok(frames) => {
+                    for frame in frames {
+                        for p in policies.iter_mut() {
+                            for d in p.observe(&frame) {
+                                decisions.push((p.name().to_string(), d));
+                            }
+                        }
+                        sink.on_frame(frame);
+                    }
+                }
+                Err(e) if first_err.is_none() => {
+                    first_err = Some(match e {
+                        e @ SessionError::ShardPanicked { .. } => e,
+                        other => SessionError::Shard {
+                            machine: id,
+                            error: Box::new(other),
+                        },
+                    });
+                }
+                Err(_) => {}
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        for (policy, decision) in decisions {
+            let record = apply_decision(units, policy, decision, t_star, injected)?;
+            handovers.push(record.1);
+            applied.push(record.0);
+        }
+    }
+
+    // A decision fired on the final round scheduled its kill/spawn past
+    // the last observation; advance the involved machines one epoch past
+    // the application instant so every reported AppliedDecision (and
+    // handover record) really happened — the spawn lands and the source's
+    // zombie is reaped into its exit record. No frames are produced and
+    // the instants are keyed to sim-time, so determinism is unaffected.
+    let mut flush_to: BTreeMap<usize, SimTime> = BTreeMap::new();
+    for inj in injected.iter() {
+        for index in [inj.src, inj.dst] {
+            let latest = flush_to.entry(index).or_insert(inj.at);
+            *latest = (*latest).max(inj.at);
+        }
+    }
+    for (&index, &at) in &flush_to {
+        let unit = &mut units[index];
+        if unit.session.now() >= at {
+            continue;
+        }
+        let target = unit.session.kernel().epoch_boundary_after(at);
+        let r = guard(&unit.id, || unit.session.advance_to(target));
+        if let Err(e) = r {
+            let torn = matches!(e, SessionError::ShardPanicked { .. });
+            unit.torn = torn;
+            return Err(if torn {
+                e
+            } else {
+                SessionError::Shard {
+                    machine: unit.id.clone(),
+                    error: Box::new(e),
+                }
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Advance one due machine to the round instant and take every due slot's
+/// observation, panics contained; the shared per-unit step of a round.
+fn advance_due_unit(
+    unit: &mut ReactiveUnit,
+    t_star: SimTime,
+    refreshes: usize,
+) -> (usize, String, Result<Vec<ClusterFrame>, SessionError>) {
+    let r = guard(&unit.id, || {
+        unit.session.advance_to(t_star)?;
+        let mut frames = Vec::new();
+        for slot in unit
+            .slots
+            .iter_mut()
+            .filter(|s| s.taken < refreshes && s.next_at == t_star)
+        {
+            let frame = slot.monitor.observe(unit.session.kernel_mut());
+            slot.taken += 1;
+            slot.next_at = t_star + slot.monitor.interval();
+            frames.push(ClusterFrame {
+                machine: unit.id.clone(),
+                machine_index: unit.index,
+                source: slot.monitor.name().to_string(),
+                seq: slot.taken - 1,
+                frame,
+            });
+        }
+        Ok(frames)
+    });
+    if matches!(r, Err(SessionError::ShardPanicked { .. })) {
+        unit.torn = true;
+    }
+    (unit.index, unit.id.clone(), r)
+}
+
+/// Validate one live decision against the live sessions (the run-time half
+/// of migration validation) and inject its kill + spawn at the next epoch
+/// boundary after the deciding frame.
+fn apply_decision(
+    units: &mut [ReactiveUnit],
+    policy: String,
+    d: MigrationDecision,
+    decided_at: SimTime,
+    injected: &mut Vec<InjectedDecision>,
+) -> Result<(AppliedDecision, HandoverRecord), SessionError> {
+    let label = format!(
+        "{policy}: migrate '{}' {}->{} decided at {decided_at:?}",
+        d.tag, d.from, d.to
+    );
+    let infeasible = |msg: String| SessionError::InvalidDecision(format!("{label}: {msg}"));
+    if d.from == d.to {
+        return Err(infeasible(
+            "source and destination are the same machine".into(),
+        ));
+    }
+    let position = |id: &str| units.iter().position(|u| u.id == id);
+    let (Some(fi), Some(ti)) = (position(&d.from), position(&d.to)) else {
+        let missing = if position(&d.from).is_none() {
+            &d.from
+        } else {
+            &d.to
+        };
+        return Err(infeasible(format!("unknown machine '{missing}'")));
+    };
+    let src = &units[fi].session;
+    let Some(pid) = src.pid(&d.tag) else {
+        return Err(infeasible(format!(
+            "no task tagged '{}' on '{}'",
+            d.tag, d.from
+        )));
+    };
+    if !src.kernel().is_alive(pid) {
+        return Err(infeasible(format!("'{}' already exited", d.tag)));
+    }
+    // Checked *before* touching the destination, so a rejected duplicate
+    // claim (two same-round decisions fighting over one job) leaves no
+    // stray spawn behind.
+    if let Some(kill_at) = src.pending_kill(&d.tag) {
+        return Err(infeasible(format!(
+            "'{}' is already claimed by another decision (kill pending at {kill_at:?})",
+            d.tag
+        )));
+    }
+    let spec = src
+        .job_spec(&d.tag)
+        .cloned()
+        .expect("a resolved tag retains its spec");
+    // Between rounds no machine's clock is past the deciding frame, so the
+    // next epoch boundary after it is strictly ahead of both sessions.
+    let at = src.kernel().epoch_boundary_after(decided_at);
+    let comm = spec.comm.clone();
+    // Re-label the sessions' own InvalidDecision messages with the
+    // decision context before surfacing them.
+    fn relabel(label: &str, e: SessionError) -> SessionError {
+        match e {
+            SessionError::InvalidDecision(msg) => {
+                SessionError::InvalidDecision(format!("{label}: {msg}"))
+            }
+            other => other,
+        }
+    }
+    units[ti]
+        .session
+        .schedule_at(
+            at,
+            WorkloadEvent::Spawn {
+                tag: d.tag.clone(),
+                spec,
+            },
+        )
+        .map_err(|e| relabel(&label, e))?;
+    units[fi]
+        .session
+        .schedule_at(at, WorkloadEvent::Kill { tag: d.tag.clone() })
+        .map_err(|e| relabel(&label, e))?;
+    injected.push(InjectedDecision {
+        at,
+        tag: d.tag.clone(),
+        src: fi,
+        dst: ti,
+    });
+    Ok((
+        AppliedDecision {
+            policy,
+            tag: d.tag.clone(),
+            from: d.from.clone(),
+            to: d.to.clone(),
+            decided_at,
+            applied_at: at,
+        },
+        HandoverRecord {
+            at,
+            tag: d.tag,
+            comm,
+            from: d.from,
+            to: d.to,
+        },
+    ))
 }
 
 enum Msg {
@@ -1024,6 +1729,36 @@ fn run_worker(
         }
     }
     finished
+}
+
+/// Reject monitor sets that cannot drive a machine — shared by
+/// [`ClusterSession::run_all`]/[`ClusterSession::run_each`] and
+/// [`ClusterSession::run_reactive`]: an empty set (the machine would stay
+/// frozen at its current sim-time, since machines only advance through
+/// their observations) and zero-interval monitors (which would never let
+/// time advance).
+fn validate_monitor_set<'a>(
+    machine: &str,
+    monitors: impl Iterator<Item = &'a (dyn Monitor + 'a)>,
+) -> Result<(), SessionError> {
+    let mut any = false;
+    for m in monitors {
+        any = true;
+        if m.interval().is_zero() {
+            return Err(SessionError::InvalidScenario(format!(
+                "machine '{machine}': monitor '{}' has a zero refresh interval",
+                m.name()
+            )));
+        }
+    }
+    if !any {
+        return Err(SessionError::InvalidScenario(format!(
+            "machine '{machine}': empty monitor set — a machine only advances through \
+             its observations, so it would stay frozen at its current sim-time; \
+             give every machine at least one monitor"
+        )));
+    }
+    Ok(())
 }
 
 /// Run `f`, converting an unwind into a typed [`SessionError::ShardPanicked`]

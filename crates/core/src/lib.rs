@@ -34,7 +34,12 @@
 //! * [`cluster`] — the multi-machine layer: [`ClusterScenario`] builds N
 //!   independent sessions (one per machine), shards them across a worker
 //!   pool, and merges their frames deterministically by (time, machine)
-//!   into a streaming [`ClusterFrameSink`].
+//!   into a streaming [`ClusterFrameSink`];
+//! * [`reactive`] — reactive fleet scheduling: [`SchedulerPolicy`]s (e.g.
+//!   [`IpcFloor`]) watch the merged stream during a
+//!   [`ClusterSession::run_reactive`](cluster::ClusterSession::run_reactive)
+//!   and issue live migrations, applied deterministically at the next
+//!   epoch boundary.
 //!
 //! ## Quickstart
 //!
@@ -78,6 +83,7 @@ pub mod events;
 pub mod expr;
 pub mod monitor;
 pub mod procinfo;
+pub mod reactive;
 pub mod render;
 pub mod scenario;
 pub mod session;
@@ -86,13 +92,14 @@ pub use app::{SortKey, Tiptop, TiptopOptions};
 pub use baseline::{PinInscount, PinReport, TopView};
 pub use cluster::{
     ClusterCollectSink, ClusterFrame, ClusterFrameSink, ClusterRunError, ClusterScenario,
-    ClusterSession, ClusterWindow, ClusterWindowSink, MachineRef, WindowStats,
+    ClusterSession, ClusterWindow, ClusterWindowSink, HandoverRecord, MachineRef, WindowStats,
 };
 pub use collector::{Collector, TaskDelta};
 pub use config::{ColumnKind, ColumnSpec, NumFormat, ScreenConfig};
 pub use expr::Expr;
 pub use monitor::{CollectSink, FrameSink, Monitor};
 pub use procinfo::CpuTracker;
+pub use reactive::{AppliedDecision, IpcFloor, MigrationDecision, SchedulerPolicy};
 pub use render::{Frame, Row};
 pub use scenario::{Scenario, Session, SessionError, WorkloadEvent};
 pub use session::{cluster_series_for_comm, machine_frames, mean, series_for_comm, series_for_pid};
@@ -103,10 +110,11 @@ pub mod prelude {
     pub use crate::baseline::{PinInscount, TopView};
     pub use crate::cluster::{
         ClusterCollectSink, ClusterFrame, ClusterFrameSink, ClusterRunError, ClusterScenario,
-        ClusterSession, ClusterWindow, ClusterWindowSink, MachineRef, WindowStats,
+        ClusterSession, ClusterWindow, ClusterWindowSink, HandoverRecord, MachineRef, WindowStats,
     };
     pub use crate::config::ScreenConfig;
     pub use crate::monitor::{CollectSink, FrameSink, Monitor};
+    pub use crate::reactive::{AppliedDecision, IpcFloor, MigrationDecision, SchedulerPolicy};
     pub use crate::render::Frame;
     pub use crate::scenario::{Scenario, Session, SessionError, WorkloadEvent};
     pub use crate::session::{

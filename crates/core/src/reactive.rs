@@ -1,0 +1,324 @@
+//! Reactive fleet scheduling: policies that watch the merged cluster
+//! stream and issue migrations **live**.
+//!
+//! The paper's thesis is that live performance monitoring should *inform
+//! decisions*. The scripted
+//! [`ClusterScenario::migrate_at`](crate::cluster::ClusterScenario::migrate_at)
+//! replays a grid scheduler's decision; this module lets the decision be
+//! *made* during the run: a [`SchedulerPolicy`] observes every frame of the
+//! merged stream (the same frames the sink sees) and returns
+//! [`MigrationDecision`]s, which
+//! [`ClusterSession::run_reactive`](crate::cluster::ClusterSession::run_reactive)
+//! validates at run time and injects into the affected machines' event
+//! queues at the next scheduler-epoch boundary after the deciding frame.
+//! Decisions are keyed to sim-time, so a reactive run is byte-identical at
+//! any worker-thread count.
+//!
+//! The built-in policy is [`IpcFloor`] — threshold detection on a monitored
+//! IPC series (the simplest online change-point detector): when a watched
+//! job's IPC stays below a floor for a sustained breach window, every
+//! co-running job matching an eviction rule is migrated to a relief
+//! machine.
+
+use std::collections::HashSet;
+
+use tiptop_machine::time::{SimDuration, SimTime};
+
+use crate::cluster::ClusterFrame;
+use crate::render::Row;
+
+/// One live scheduling decision: move the job tagged `tag` from machine
+/// `from` to machine `to`. The run-time counterpart of
+/// [`ClusterScenario::migrate_at`](crate::cluster::ClusterScenario::migrate_at);
+/// the driver validates it against the live sessions (typed
+/// [`SessionError::InvalidDecision`](crate::scenario::SessionError) on an
+/// infeasible request) and applies it at the next epoch boundary.
+///
+/// By the convention every workload script in this repository follows, a
+/// job's scenario *tag* equals its command name — which is what a policy
+/// reads off a frame row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationDecision {
+    pub tag: String,
+    pub from: String,
+    pub to: String,
+}
+
+/// A decision that was validated and injected during a reactive run:
+/// what moved, who decided, and the two instants that matter — the merged
+/// frame that triggered it and the epoch boundary where it applied.
+#[derive(Clone, Debug)]
+pub struct AppliedDecision {
+    /// [`SchedulerPolicy::name`] of the deciding policy.
+    pub policy: String,
+    pub tag: String,
+    pub from: String,
+    pub to: String,
+    /// Sim-time of the frame the policy fired on.
+    pub decided_at: SimTime,
+    /// The next epoch boundary after `decided_at`: where the kill lands on
+    /// the source and the spawn on the destination (same instant on both).
+    pub applied_at: SimTime,
+}
+
+/// A scheduler that closes the monitor→migration loop: it observes the
+/// merged cluster stream frame by frame — in merge order, exactly as a
+/// [`ClusterFrameSink`](crate::cluster::ClusterFrameSink) would — and
+/// returns migration decisions.
+///
+/// Policies run on the driving thread between observation rounds, so they
+/// need no `Send`; their state may be arbitrary, but `observe` must be a
+/// deterministic function of the frames seen so far — that is what keeps
+/// reactive runs byte-identical at any worker-thread count.
+pub trait SchedulerPolicy {
+    /// Short identifier, used to label applied decisions and errors.
+    fn name(&self) -> &str;
+
+    /// Observe one frame of the merged stream; return any migrations this
+    /// frame triggers (usually none).
+    fn observe(&mut self, frame: &ClusterFrame) -> Vec<MigrationDecision>;
+}
+
+/// A custom eviction rule over a triggering frame's rows.
+type EvictRule = Box<dyn FnMut(&Row) -> bool>;
+
+/// Threshold detection on a monitored IPC series: watch one job (`comm`)
+/// on one machine; once its IPC has been seen healthy (at or above
+/// `threshold`) and then stays below the floor for a sustained breach of
+/// at least `cooldown`, evict co-running jobs to the relief machine `to`.
+///
+/// * **Arming** — the policy only reacts to a *drop*: it must first see
+///   the watched IPC at or above the floor (so a cold-start ramp below the
+///   floor never fires it).
+/// * **`cooldown`** — the breach must persist this long before the policy
+///   pays a migration: a debounce against transient dips, and, because the
+///   breach clock resets on firing, a refire throttle too. Zero means
+///   "fire on the first breached frame".
+/// * **Eviction rule** — which rows of the triggering frame to move. The
+///   default evicts every job owned by a different **non-root** user than
+///   the watched victim (the grid-scheduler story: protect the interactive
+///   user, move the batch arrivals — root-owned rows are monitoring/system
+///   plumbing such as tiptop's own modelled self-load task, not grid
+///   jobs); [`IpcFloor::evicting`] installs a custom rule. Each tag is
+///   evicted at most once.
+pub struct IpcFloor {
+    machine: String,
+    comm: String,
+    threshold: f64,
+    cooldown: SimDuration,
+    to: String,
+    /// Only frames of this monitor are considered (`None`: any frame whose
+    /// watched row carries a finite IPC).
+    source: Option<String>,
+    evict: Option<EvictRule>,
+    armed: bool,
+    breach_since: Option<SimTime>,
+    moved: HashSet<String>,
+}
+
+impl IpcFloor {
+    pub fn new(
+        machine: impl Into<String>,
+        comm: impl Into<String>,
+        threshold: f64,
+        cooldown: SimDuration,
+        to: impl Into<String>,
+    ) -> Self {
+        IpcFloor {
+            machine: machine.into(),
+            comm: comm.into(),
+            threshold,
+            cooldown,
+            to: to.into(),
+            source: None,
+            evict: None,
+            armed: false,
+            breach_since: None,
+            moved: HashSet::new(),
+        }
+    }
+
+    /// Restrict the watched frames to one monitor's (e.g. `"tiptop"` when
+    /// a `top` runs alongside it on the same machine).
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Install a custom eviction rule over the triggering frame's rows
+    /// (the watched victim itself is never evicted).
+    pub fn evicting(mut self, rule: impl FnMut(&Row) -> bool + 'static) -> Self {
+        self.evict = Some(Box::new(rule));
+        self
+    }
+}
+
+impl SchedulerPolicy for IpcFloor {
+    fn name(&self) -> &str {
+        "ipc-floor"
+    }
+
+    fn observe(&mut self, cf: &ClusterFrame) -> Vec<MigrationDecision> {
+        if cf.machine != self.machine || self.source.as_ref().is_some_and(|s| *s != cf.source) {
+            return Vec::new();
+        }
+        let Some(victim) = cf.frame.row_for_comm(&self.comm) else {
+            return Vec::new();
+        };
+        let Some(ipc) = victim.value("IPC").filter(|v| v.is_finite()) else {
+            return Vec::new();
+        };
+        if ipc >= self.threshold {
+            self.armed = true;
+            self.breach_since = None;
+            return Vec::new();
+        }
+        if !self.armed {
+            return Vec::new();
+        }
+        let t = cf.frame.time;
+        let since = *self.breach_since.get_or_insert(t);
+        if t - since < self.cooldown {
+            return Vec::new();
+        }
+        // Fire: evict matching co-runners (each tag at most once) and reset
+        // the breach clock so a continued breach must re-accumulate a full
+        // cooldown before firing again.
+        self.breach_since = None;
+        let victim_pid = victim.pid;
+        let victim_user = victim.user.clone();
+        let mut out = Vec::new();
+        for row in &cf.frame.rows {
+            if row.pid == victim_pid {
+                continue;
+            }
+            let evict = match &mut self.evict {
+                Some(rule) => rule(row),
+                None => row.user != victim_user && row.user != "root",
+            };
+            if evict && self.moved.insert(row.comm.clone()) {
+                out.push(MigrationDecision {
+                    tag: row.comm.clone(),
+                    from: self.machine.clone(),
+                    to: self.to.clone(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::Frame;
+    use tiptop_kernel::task::Pid;
+
+    fn frame_at(t: u64, rows: Vec<(&str, &str, f64)>) -> ClusterFrame {
+        let rows = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (comm, user, ipc))| Row {
+                pid: Pid(100 + i as u32),
+                user: user.to_string(),
+                comm: comm.to_string(),
+                cpu_pct: 100.0,
+                cells: Vec::new(),
+                values: [("IPC".to_string(), ipc)].into(),
+            })
+            .collect();
+        ClusterFrame {
+            machine: "node".to_string(),
+            machine_index: 0,
+            source: "tiptop".to_string(),
+            seq: t as usize,
+            frame: Frame {
+                time: SimTime::from_secs(t),
+                headers: Vec::new(),
+                rows,
+                unobservable: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn fires_only_after_arming_and_a_sustained_breach() {
+        let mut p = IpcFloor::new("node", "victim", 1.0, SimDuration::from_secs(2), "spare");
+        // Cold start below the floor: not armed, never fires.
+        assert!(p
+            .observe(&frame_at(1, vec![("victim", "u1", 0.5)]))
+            .is_empty());
+        // Healthy sample arms it.
+        assert!(p
+            .observe(&frame_at(2, vec![("victim", "u1", 1.4)]))
+            .is_empty());
+        // Breach starts at t=3; cooldown 2 s means t=5 is the first firing
+        // instant — and a recovery in between resets the clock.
+        assert!(p
+            .observe(&frame_at(
+                3,
+                vec![("victim", "u1", 0.8), ("batch", "u2", 1.2)]
+            ))
+            .is_empty());
+        assert!(p
+            .observe(&frame_at(
+                4,
+                vec![("victim", "u1", 0.8), ("batch", "u2", 1.2)]
+            ))
+            .is_empty());
+        let fired = p.observe(&frame_at(
+            5,
+            vec![
+                ("victim", "u1", 0.8),
+                ("batch", "u2", 1.2),
+                ("peer", "u1", 1.0),
+            ],
+        ));
+        // Default rule: evict other users' jobs, never the victim's user's.
+        assert_eq!(
+            fired,
+            vec![MigrationDecision {
+                tag: "batch".to_string(),
+                from: "node".to_string(),
+                to: "spare".to_string(),
+            }]
+        );
+        // A continued breach must re-accumulate the cooldown, and an
+        // already-moved tag is never re-evicted.
+        assert!(p
+            .observe(&frame_at(
+                6,
+                vec![("victim", "u1", 0.8), ("batch", "u2", 1.2)]
+            ))
+            .is_empty());
+        assert!(p
+            .observe(&frame_at(
+                8,
+                vec![("victim", "u1", 0.8), ("batch", "u2", 1.2)]
+            ))
+            .is_empty());
+    }
+
+    #[test]
+    fn custom_eviction_rule_and_source_filter() {
+        let mut p = IpcFloor::new("node", "victim", 1.0, SimDuration::ZERO, "spare")
+            .source("tiptop")
+            .evicting(|row: &Row| row.comm.starts_with("batch"));
+        let mut other = frame_at(1, vec![("victim", "u1", 1.4)]);
+        other.source = "top".to_string();
+        assert!(p.observe(&other).is_empty(), "wrong monitor is ignored");
+        assert!(p
+            .observe(&frame_at(1, vec![("victim", "u1", 1.4)]))
+            .is_empty());
+        let fired = p.observe(&frame_at(
+            2,
+            vec![
+                ("victim", "u1", 0.5),
+                ("batch0", "u1", 1.0),
+                ("other", "u2", 1.0),
+            ],
+        ));
+        assert_eq!(fired.len(), 1, "only the rule's matches are evicted");
+        assert_eq!(fired[0].tag, "batch0");
+    }
+}

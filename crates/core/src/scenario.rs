@@ -75,6 +75,14 @@ pub enum SessionError {
     /// A cluster shard panicked. The worker pool survives — the panic is
     /// contained to the shard and surfaces here with its payload.
     ShardPanicked { machine: String, message: String },
+    /// A *run-time* scheduled event or live scheduling decision is
+    /// infeasible — the run-time half of the validation that
+    /// [`Scenario::build`] performs up front for scripted schedules:
+    /// scheduling into the past, migrating a tag that just exited, spawning
+    /// a tag the machine already carries, ... Raised by
+    /// [`Session::schedule_at`] and by reactive policies' decisions
+    /// (see `ClusterSession::run_reactive` in [`crate::cluster`]).
+    InvalidDecision(String),
 }
 
 impl fmt::Display for SessionError {
@@ -95,6 +103,9 @@ impl fmt::Display for SessionError {
             }
             SessionError::ShardPanicked { machine, message } => {
                 write!(f, "machine '{machine}' panicked: {message}")
+            }
+            SessionError::InvalidDecision(msg) => {
+                write!(f, "infeasible live decision: {msg}")
             }
         }
     }
@@ -301,10 +312,22 @@ impl Scenario {
         for (uid, name) in self.users {
             kernel.add_user(uid, name);
         }
+        // Retain every job spec by tag: a live migration decided mid-run
+        // (see `ClusterSession::run_reactive`) re-spawns the job on its
+        // destination machine from this copy.
+        let specs: BTreeMap<String, SpawnSpec> = self
+            .events
+            .iter()
+            .filter_map(|(_, ev)| match ev {
+                WorkloadEvent::Spawn { tag, spec } => Some((tag.clone(), spec.clone())),
+                _ => None,
+            })
+            .collect();
         let mut session = Session {
             kernel,
             pending: self.events.into(),
             pids: BTreeMap::new(),
+            specs,
         };
         session.apply_due()?;
         Ok(session)
@@ -319,6 +342,9 @@ pub struct Session {
     /// Sorted by time (stable); front is next due.
     pending: VecDeque<(SimTime, WorkloadEvent)>,
     pids: BTreeMap<String, Pid>,
+    /// Every tag's job spec (scripted and runtime-scheduled spawns alike),
+    /// kept so a live migration can clone the job onto another machine.
+    specs: BTreeMap<String, SpawnSpec>,
 }
 
 impl fmt::Debug for Session {
@@ -360,6 +386,141 @@ impl Session {
     /// Workload events not yet applied.
     pub fn pending_events(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The job spec a tag was (or will be) spawned from — scripted spawns
+    /// and runtime-scheduled ones alike. The reactive scheduling layer
+    /// clones this onto a migration's destination machine.
+    pub fn job_spec(&self, tag: &str) -> Option<&SpawnSpec> {
+        self.specs.get(tag)
+    }
+
+    /// Time of the earliest not-yet-applied spawn of `tag`, if any.
+    fn pending_spawn(&self, tag: &str) -> Option<SimTime> {
+        self.pending.iter().find_map(|(at, ev)| match ev {
+            WorkloadEvent::Spawn { tag: t, .. } if t == tag => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Time of the earliest not-yet-applied kill of `tag`, if any — the
+    /// reactive layer checks this so two live decisions cannot both claim
+    /// the same job.
+    pub(crate) fn pending_kill(&self, tag: &str) -> Option<SimTime> {
+        self.pending.iter().find_map(|(at, ev)| match ev {
+            WorkloadEvent::Kill { tag: t } if t == tag => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Remove every not-yet-applied event targeting `tag` at exactly `at`
+    /// — the reactive layer rolls a decision's kill/spawn back when the
+    /// run errors before they could apply, so a handed-back session never
+    /// performs an unrecorded migration on a later run. A cancelled spawn
+    /// frees its tag (and retained spec) again.
+    pub(crate) fn cancel_scheduled(&mut self, at: SimTime, tag: &str) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let (at_i, ev) = &self.pending[i];
+            let target = match ev {
+                WorkloadEvent::Spawn { tag: t, .. }
+                | WorkloadEvent::Kill { tag: t }
+                | WorkloadEvent::Renice { tag: t, .. }
+                | WorkloadEvent::Pin { tag: t, .. } => t,
+            };
+            if *at_i == at && target == tag {
+                if matches!(ev, WorkloadEvent::Spawn { .. }) && !self.pids.contains_key(tag) {
+                    self.specs.remove(tag);
+                }
+                self.pending.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Schedule a workload event **at run time** — the per-run event queue
+    /// behind live scheduling decisions. Scripted schedules are fully
+    /// validated by [`Scenario::build`]; an event injected mid-run gets the
+    /// *run-time half* of that validation here, with infeasible requests
+    /// surfacing as typed [`SessionError::InvalidDecision`]s:
+    ///
+    /// * `at` must not lie in the past (an event at exactly the current
+    ///   instant is applied before this returns);
+    /// * a `Spawn` tag must be fresh — a tag resolves to one task per
+    ///   machine, ever, so a tag that already ran here cannot be reused;
+    /// * a `Kill`/`Renice`/`Pin` must target a tag that is spawned (or has
+    ///   a pending spawn no later than `at`) and has not already exited;
+    /// * a `Kill` is rejected while another kill of the same tag is still
+    ///   pending (two live decisions cannot both claim one job).
+    ///
+    /// A task can still exit *between* scheduling and `at`; that surfaces
+    /// as [`SessionError::Syscall`] when the event applies, exactly like a
+    /// scripted kill racing a natural exit.
+    pub fn schedule_at(&mut self, at: SimTime, ev: WorkloadEvent) -> Result<(), SessionError> {
+        let now = self.kernel.now();
+        if at < now {
+            return Err(SessionError::InvalidDecision(format!(
+                "event scheduled at {at:?} lies in the past (now {now:?})"
+            )));
+        }
+        match &ev {
+            WorkloadEvent::Spawn { tag, .. } => {
+                if self.pids.contains_key(tag.as_str()) || self.pending_spawn(tag).is_some() {
+                    return Err(SessionError::InvalidDecision(format!(
+                        "tag '{tag}' already names a task on this machine \
+                         (a tag resolves to one task per machine)"
+                    )));
+                }
+            }
+            WorkloadEvent::Kill { tag }
+            | WorkloadEvent::Renice { tag, .. }
+            | WorkloadEvent::Pin { tag, .. } => {
+                if let (WorkloadEvent::Kill { .. }, Some(kill_at)) = (&ev, self.pending_kill(tag)) {
+                    return Err(SessionError::InvalidDecision(format!(
+                        "'{tag}' already has a kill pending at {kill_at:?}"
+                    )));
+                }
+                match self.pids.get(tag.as_str()) {
+                    Some(pid) => {
+                        if !self.kernel.is_alive(*pid) {
+                            return Err(SessionError::InvalidDecision(format!(
+                                "'{tag}' already exited"
+                            )));
+                        }
+                    }
+                    None => match self.pending_spawn(tag) {
+                        Some(spawn_at) if spawn_at <= at => {}
+                        Some(spawn_at) => {
+                            return Err(SessionError::InvalidDecision(format!(
+                                "event against '{tag}' at {at:?} precedes its spawn at \
+                                 {spawn_at:?}"
+                            )));
+                        }
+                        None => {
+                            return Err(SessionError::InvalidDecision(format!(
+                                "no task tagged '{tag}' on this machine"
+                            )));
+                        }
+                    },
+                }
+            }
+        }
+        if let WorkloadEvent::Spawn { tag, spec } = &ev {
+            self.specs.insert(tag.clone(), spec.clone());
+        }
+        // Keep `pending` sorted by time, stable: an event lands after every
+        // already-queued event of the same instant.
+        let pos = self
+            .pending
+            .iter()
+            .position(|(t, _)| *t > at)
+            .unwrap_or(self.pending.len());
+        self.pending.insert(pos, (at, ev));
+        if at == now {
+            self.apply_due()?;
+        }
+        Ok(())
     }
 
     fn apply_due(&mut self) -> Result<(), SessionError> {

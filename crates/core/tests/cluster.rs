@@ -12,6 +12,7 @@ use tiptop_core::cluster::{
 };
 use tiptop_core::config::ScreenConfig;
 use tiptop_core::monitor::Monitor;
+use tiptop_core::reactive::{MigrationDecision, SchedulerPolicy};
 use tiptop_core::render::Frame;
 use tiptop_core::scenario::{Scenario, SessionError};
 use tiptop_kernel::kernel::Kernel;
@@ -692,6 +693,716 @@ fn run_collect_preserves_the_partial_stream_on_shard_failure() {
         "pre-failure frames preserved"
     );
     assert!(e.to_string().contains("merged frames preserved"), "{e}");
+}
+
+#[test]
+fn run_all_rejects_an_empty_monitor_set() {
+    // An unobserved machine would stay frozen at its current sim-time (its
+    // events never applying), so an empty set is a typed error — and the
+    // error leaves every shard intact and the cluster re-runnable.
+    let mut session = cluster().build().unwrap();
+    let mut sink = ClusterCollectSink::new();
+    let err = session
+        .run_all(
+            2,
+            3,
+            |m: MachineRef<'_>| {
+                if m.id == "node-2" {
+                    Vec::new()
+                } else {
+                    vec![tool(1) as Box<dyn Monitor + Send>]
+                }
+            },
+            &mut sink,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(&err, SessionError::InvalidScenario(msg) if msg.contains("empty monitor set")),
+        "got {err:?}"
+    );
+    assert!(sink.frames().is_empty(), "nothing ran");
+    for id in ["node-0", "node-1", "node-2", "ppc"] {
+        assert!(session.session(id).is_some(), "{id} must survive the error");
+    }
+    let frames = session.run_collect(2, 2, |_| tool(1)).unwrap();
+    assert_eq!(frames.len(), 8, "cluster still fully runnable");
+}
+
+#[test]
+fn window_sink_dedupes_registered_handover_rows_from_the_aggregates() {
+    // The raw stream keeps both handover rows (source's final row,
+    // destination's first) — that is the observable migration artifact. A
+    // fleet-wide aggregate must not double-count the job at those instants:
+    // registering the session's handovers excludes the destination-side
+    // row and reports it in WindowStats::handover_rows instead.
+    let raw = {
+        let mut session = migration_cluster().build().unwrap();
+        session.run_collect(2, 8, |_| tool(1)).unwrap()
+    };
+    let job_rows_at = |t: u64| {
+        raw.iter()
+            .filter(|cf| cf.frame.time == SimTime::from_secs(t))
+            .filter(|cf| cf.frame.row_for_comm("job").is_some())
+            .count()
+    };
+    assert_eq!(job_rows_at(3), 2, "handover frame shows the job twice");
+    assert_eq!(job_rows_at(6), 2, "second hop too");
+    let raw_rows: usize = raw.iter().map(|cf| cf.frame.rows.len()).sum();
+
+    let mut session = migration_cluster().build().unwrap();
+    let handovers: Vec<_> = session.handovers().to_vec();
+    assert_eq!(handovers.len(), 2);
+    assert_eq!(handovers[0].at, SimTime::from_secs(3));
+    assert_eq!(handovers[0].comm, "job");
+    assert_eq!(handovers[1].to, "node-c");
+    let mut sink = ClusterWindowSink::new(1000).dedupe_handovers(handovers);
+    session.run(2, 8, |_| tool(1), &mut sink).unwrap();
+    let windows = sink.finish();
+    let aggregated: usize = windows
+        .iter()
+        .flat_map(|w| w.sources.values())
+        .map(|s| s.rows)
+        .sum();
+    let deduped: usize = windows
+        .iter()
+        .flat_map(|w| w.sources.values())
+        .map(|s| s.handover_rows)
+        .sum();
+    assert_eq!(deduped, 2, "one destination row per hop is excluded");
+    assert_eq!(
+        aggregated,
+        raw_rows - 2,
+        "aggregates count the migrating job once per instant"
+    );
+    // The excluded rows are attributed to the destinations.
+    let stats_for = |machine: &str| {
+        windows
+            .iter()
+            .flat_map(|w| w.sources.iter())
+            .filter(|((m, _), _)| m == machine)
+            .map(|(_, s)| s.handover_rows)
+            .sum::<usize>()
+    };
+    assert_eq!(stats_for("node-a"), 0);
+    assert_eq!(stats_for("node-b"), 1);
+    assert_eq!(stats_for("node-c"), 1);
+}
+
+#[test]
+fn window_sink_keeps_the_final_partial_window_on_the_deliver_then_error_path() {
+    // One shard fails mid-run; the deliver-then-error contract still
+    // streams the healthy machine's whole run into the sink, and finish()
+    // must fold the buffered tail — including post-failure frames — into a
+    // final partial window instead of dropping it.
+    let build = || {
+        let healthy = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(1)
+            .user(Uid(1), "u1")
+            .spawn("spin", SpawnSpec::new("spin", Uid(1), spin(0.8)));
+        let doomed = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(2)
+            .user(Uid(1), "u1")
+            .spawn(
+                "short",
+                SpawnSpec::new(
+                    "short",
+                    Uid(1),
+                    Program::single(ExecProfile::builder("s").base_cpi(0.8).build(), 1_000_000),
+                ),
+            )
+            .kill_at(SimTime::from_secs(2), "short");
+        ClusterScenario::new()
+            .machine("ok", healthy)
+            .machine("doomed", doomed)
+            .build()
+            .unwrap()
+    };
+
+    // Reference: how many frames does the deliver-then-error path stream?
+    let mut reference = build();
+    let e = reference.run_collect(2, 4, |_| tool(1)).unwrap_err();
+    let delivered = e.partial.len();
+    assert!(
+        matches!(&e.error, SessionError::Shard { machine, .. } if machine == "doomed"),
+        "got {:?}",
+        e.error
+    );
+    assert_eq!(
+        delivered, 5,
+        "healthy 4 frames + doomed's pre-failure frame"
+    );
+
+    // Same run into a window sink whose window does not divide the stream:
+    // the tail must survive as a partial window.
+    let mut session = build();
+    let mut sink = ClusterWindowSink::new(3);
+    let err = session.run(2, 4, |_| tool(1), &mut sink).unwrap_err();
+    assert!(matches!(err, SessionError::Shard { .. }));
+    let windows = sink.finish();
+    assert_eq!(
+        windows.iter().map(|w| w.frames).sum::<usize>(),
+        delivered,
+        "every delivered frame is aggregated exactly once"
+    );
+    let tail = windows.last().expect("at least one window");
+    assert_eq!(
+        tail.frames,
+        delivered % 3,
+        "final window is the partial one"
+    );
+    assert_eq!(
+        tail.end,
+        SimTime::from_secs(4),
+        "the tail window covers the healthy machine's post-failure frames"
+    );
+}
+
+/// A test policy: on the `on_seq`-th tiptop frame of one machine, migrate
+/// a fixed tag — the minimal deterministic closed loop.
+struct MigrateOnSeq {
+    machine: &'static str,
+    on_seq: usize,
+    decision: MigrationDecision,
+    fired: bool,
+}
+
+impl SchedulerPolicy for MigrateOnSeq {
+    fn name(&self) -> &str {
+        "migrate-on-seq"
+    }
+
+    fn observe(&mut self, cf: &ClusterFrame) -> Vec<MigrationDecision> {
+        if !self.fired && cf.machine == self.machine && cf.seq == self.on_seq {
+            self.fired = true;
+            vec![self.decision.clone()]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+fn reactive_pair() -> ClusterScenario {
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+    };
+    ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1).spawn("job", SpawnSpec::new("job", Uid(1), spin(0.8)).seed(5)),
+        )
+        .machine("node-b", node(2))
+}
+
+#[test]
+fn reactive_migration_is_byte_identical_at_1_2_and_8_threads() {
+    let run_at = |threads: usize| {
+        let mut session = reactive_pair().build().unwrap();
+        let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![Box::new(MigrateOnSeq {
+            machine: "node-a",
+            on_seq: 2,
+            decision: MigrationDecision {
+                tag: "job".to_string(),
+                from: "node-a".to_string(),
+                to: "node-b".to_string(),
+            },
+            fired: false,
+        })];
+        let mut sink = ClusterCollectSink::new();
+        let applied = session
+            .run_reactive(threads, 8, |_| vec![tool(1)], &mut policies, &mut sink)
+            .unwrap();
+        (
+            rendered(sink.frames()),
+            sink.into_frames(),
+            applied,
+            session,
+        )
+    };
+    let (golden, frames, applied, session) = run_at(1);
+
+    // The decision fired on node-a's third frame (t=3) and applied at the
+    // next 20 ms epoch boundary — strictly between observation instants,
+    // so reactive streams have no double-visibility handover frame.
+    assert_eq!(applied.len(), 1);
+    let d = &applied[0];
+    assert_eq!(
+        (d.policy.as_str(), d.tag.as_str()),
+        ("migrate-on-seq", "job")
+    );
+    assert_eq!(d.decided_at, SimTime::from_secs(3));
+    assert_eq!(
+        d.applied_at.as_nanos(),
+        3_020_000_000,
+        "next epoch boundary"
+    );
+    // The session records the live handover like a scripted one.
+    assert_eq!(session.handovers().len(), 1);
+    assert_eq!(session.handovers()[0].at, d.applied_at);
+    assert_eq!(session.handovers()[0].comm, "job");
+
+    let on = |t: u64, machine: &str| {
+        frames
+            .iter()
+            .find(|cf| cf.machine == machine && cf.frame.time == SimTime::from_secs(t))
+            .expect("frame exists")
+            .frame
+            .row_for_comm("job")
+            .is_some()
+    };
+    for t in 1..=8 {
+        assert_eq!(on(t, "node-a"), t <= 3, "node-a at t={t}");
+        assert_eq!(on(t, "node-b"), t >= 4, "node-b at t={t}");
+    }
+
+    // Kernel-level handover: the exit on the source and the spawn on the
+    // destination carry the same sim-time, the applied instant.
+    let a = session.session("node-a").unwrap();
+    let b = session.session("node-b").unwrap();
+    let exit_a = a
+        .kernel()
+        .exit_record(a.pid("job").expect("spawned on a"))
+        .expect("killed by the live migration");
+    let live_b = b
+        .kernel()
+        .stat(b.pid("job").expect("respawned on b"))
+        .expect("still running on b");
+    assert_eq!(exit_a.end_time, d.applied_at);
+    assert_eq!(live_b.start_time, d.applied_at, "same instant");
+
+    // The whole outcome — stream, decisions, instants — is thread-count
+    // independent.
+    for threads in [2, 8] {
+        let (stream, _, applied_n, _) = run_at(threads);
+        assert_eq!(golden, stream, "{threads} workers must not change one byte");
+        assert_eq!(applied_n.len(), 1);
+        assert_eq!(applied_n[0].decided_at, d.decided_at);
+        assert_eq!(applied_n[0].applied_at, d.applied_at);
+    }
+}
+
+#[test]
+fn infeasible_live_decisions_are_typed_errors_and_leave_the_cluster_runnable() {
+    let attempt = |decision: MigrationDecision| {
+        let node = |seed: u64| {
+            Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+                .seed(seed)
+                .user(Uid(1), "u1")
+        };
+        // "short" retires 1M instructions in well under the first refresh:
+        // by the time any policy can see a frame, it has already exited.
+        let mut session = ClusterScenario::new()
+            .machine(
+                "node-a",
+                node(1)
+                    .spawn("job", SpawnSpec::new("job", Uid(1), spin(0.8)))
+                    .spawn(
+                        "short",
+                        SpawnSpec::new(
+                            "short",
+                            Uid(1),
+                            Program::single(
+                                ExecProfile::builder("s").base_cpi(0.8).build(),
+                                1_000_000,
+                            ),
+                        ),
+                    ),
+            )
+            .machine("node-b", node(2))
+            .build()
+            .unwrap();
+        let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![Box::new(MigrateOnSeq {
+            machine: "node-a",
+            on_seq: 0,
+            decision,
+            fired: false,
+        })];
+        let mut sink = ClusterCollectSink::new();
+        let err = session
+            .run_reactive(2, 4, |_| vec![tool(1)], &mut policies, &mut sink)
+            .unwrap_err();
+        // The halt is clean: every session is handed back and runnable.
+        assert!(session.session("node-a").is_some());
+        assert!(session.session("node-b").is_some());
+        assert!(session.run_collect(2, 1, |_| tool(1)).is_ok());
+        err
+    };
+    let migrate = |tag: &str, from: &str, to: &str| MigrationDecision {
+        tag: tag.to_string(),
+        from: from.to_string(),
+        to: to.to_string(),
+    };
+
+    // The headline case: migrating a tag that just exited.
+    let err = attempt(migrate("short", "node-a", "node-b"));
+    assert!(
+        matches!(&err, SessionError::InvalidDecision(msg) if msg.contains("already exited")),
+        "got {err:?}"
+    );
+    assert!(err.to_string().contains("migrate-on-seq"), "{err}");
+
+    // Even on the halt-with-error path the monitors were torn down: the
+    // handed-back sessions carry no leaked counter fds.
+    {
+        let node = |seed: u64| {
+            Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+                .seed(seed)
+                .user(Uid(1), "u1")
+        };
+        let mut session = ClusterScenario::new()
+            .machine(
+                "node-a",
+                node(1).spawn("job", SpawnSpec::new("job", Uid(1), spin(0.8))),
+            )
+            .machine("node-b", node(2))
+            .build()
+            .unwrap();
+        let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![Box::new(MigrateOnSeq {
+            machine: "node-a",
+            on_seq: 0,
+            decision: migrate("ghost", "node-a", "node-b"),
+            fired: false,
+        })];
+        let mut sink = ClusterCollectSink::new();
+        session
+            .run_reactive(2, 4, |_| vec![tool(1)], &mut policies, &mut sink)
+            .unwrap_err();
+        for id in ["node-a", "node-b"] {
+            assert_eq!(
+                session.session(id).unwrap().kernel().open_fds(Uid::ROOT),
+                0,
+                "{id}: teardown must close counter fds on the error path too"
+            );
+        }
+    }
+
+    let err = attempt(migrate("ghost", "node-a", "node-b"));
+    assert!(
+        matches!(&err, SessionError::InvalidDecision(msg) if msg.contains("no task tagged")),
+        "got {err:?}"
+    );
+
+    let err = attempt(migrate("job", "node-a", "nowhere"));
+    assert!(
+        matches!(&err, SessionError::InvalidDecision(msg) if msg.contains("unknown machine")),
+        "got {err:?}"
+    );
+
+    let err = attempt(migrate("job", "node-a", "node-a"));
+    assert!(
+        matches!(&err, SessionError::InvalidDecision(msg) if msg.contains("same machine")),
+        "got {err:?}"
+    );
+
+    // A feasible decision on the same cast goes through: migrating the
+    // live job works and its frames land on node-b.
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+    };
+    let mut session = ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1).spawn("job", SpawnSpec::new("job", Uid(1), spin(0.8))),
+        )
+        .machine("node-b", node(2))
+        .build()
+        .unwrap();
+    let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![Box::new(MigrateOnSeq {
+        machine: "node-a",
+        on_seq: 0,
+        decision: migrate("job", "node-a", "node-b"),
+        fired: false,
+    })];
+    let mut sink = ClusterCollectSink::new();
+    let applied = session
+        .run_reactive(2, 3, |_| vec![tool(1)], &mut policies, &mut sink)
+        .unwrap();
+    assert_eq!(applied.len(), 1);
+    assert!(sink
+        .frames()
+        .iter()
+        .any(|cf| cf.machine == "node-b" && cf.frame.row_for_comm("job").is_some()));
+}
+
+#[test]
+fn conflicting_same_round_decisions_cannot_both_claim_one_job() {
+    // Two policies fire on the same frame, migrating the same tag to two
+    // different destinations. The first claim wins; the second must be a
+    // typed error — otherwise the job would be cloned onto both machines.
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+    };
+    let mut session = ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1).spawn("job", SpawnSpec::new("job", Uid(1), spin(0.8))),
+        )
+        .machine("node-b", node(2))
+        .machine("node-c", node(3))
+        .build()
+        .unwrap();
+    let claim = |to: &str| {
+        Box::new(MigrateOnSeq {
+            machine: "node-a",
+            on_seq: 0,
+            decision: MigrationDecision {
+                tag: "job".to_string(),
+                from: "node-a".to_string(),
+                to: to.to_string(),
+            },
+            fired: false,
+        }) as Box<dyn SchedulerPolicy>
+    };
+    let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![claim("node-b"), claim("node-c")];
+    let mut sink = ClusterCollectSink::new();
+    let err = session
+        .run_reactive(2, 4, |_| vec![tool(1)], &mut policies, &mut sink)
+        .unwrap_err();
+    assert!(
+        matches!(&err, SessionError::InvalidDecision(msg) if msg.contains("already claimed")),
+        "got {err:?}"
+    );
+    // The rejected claim left no stray spawn behind on its destination —
+    // and the *accepted* claim, whose kill/spawn never got to apply before
+    // the halt, was rolled back too: no handed-back session carries a
+    // pending event that would silently migrate the job on a later run.
+    for id in ["node-a", "node-b", "node-c"] {
+        assert_eq!(
+            session.session(id).unwrap().pending_events(),
+            0,
+            "{id}: no stray decision events after the halt"
+        );
+    }
+    assert!(session.session("node-b").unwrap().pid("job").is_none());
+    assert!(session.handovers().is_empty(), "nothing migrated");
+    // The job still runs, untouched, on its original machine...
+    let a = session.session("node-a").unwrap();
+    let pid = a.pid("job").unwrap();
+    assert!(a.kernel().is_alive(pid));
+    // ...and a re-run does not resurrect the cancelled migration.
+    let frames = session.run_collect(2, 2, |_| tool(1)).unwrap();
+    assert!(frames
+        .iter()
+        .all(|cf| cf.machine != "node-b" || cf.frame.row_for_comm("job").is_none()));
+}
+
+#[test]
+fn decision_on_the_final_round_still_applies() {
+    // The policy fires on the very last frame; the kill/spawn land past
+    // the final observation, so the driver must flush them before
+    // returning — every reported AppliedDecision really happened.
+    let mut session = reactive_pair().build().unwrap();
+    let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![Box::new(MigrateOnSeq {
+        machine: "node-a",
+        on_seq: 3,
+        decision: MigrationDecision {
+            tag: "job".to_string(),
+            from: "node-a".to_string(),
+            to: "node-b".to_string(),
+        },
+        fired: false,
+    })];
+    let mut sink = ClusterCollectSink::new();
+    let applied = session
+        .run_reactive(2, 4, |_| vec![tool(1)], &mut policies, &mut sink)
+        .unwrap();
+    assert_eq!(applied.len(), 1);
+    let d = &applied[0];
+    assert_eq!(
+        d.decided_at,
+        SimTime::from_secs(4),
+        "fired on the last frame"
+    );
+    assert_eq!(d.applied_at.as_nanos(), 4_020_000_000);
+    // No frame ever observed the handover — but it happened: the job
+    // exited on the source and lives on the destination, both at the
+    // applied instant.
+    let a = session.session("node-a").unwrap();
+    let b = session.session("node-b").unwrap();
+    let exit_a = a
+        .kernel()
+        .exit_record(a.pid("job").expect("spawned on a"))
+        .expect("killed by the flushed migration");
+    assert_eq!(exit_a.end_time, d.applied_at);
+    let live_b = b
+        .kernel()
+        .stat(b.pid("job").expect("respawned on b"))
+        .expect("alive on b after the run");
+    assert_eq!(live_b.start_time, d.applied_at);
+    assert_eq!(session.handovers().len(), 1);
+    assert!(
+        sink.frames()
+            .iter()
+            .all(|cf| cf.machine != "node-b" || cf.frame.row_for_comm("job").is_none()),
+        "the stream ended before the handover could be observed"
+    );
+}
+
+#[test]
+fn half_applied_decision_on_error_is_completed_and_recorded() {
+    // node-a observes every 10 ms and node-b every second; the policy
+    // fires on node-a's first frame (t=10ms), scheduling the kill/spawn at
+    // the 20 ms epoch boundary. node-c's monitor panics in the t=20ms
+    // round — node-a applies its kill that round while node-b (still at
+    // t=0) has not applied the spawn yet. The driver must not leave that
+    // half-migration dangling: the lagging side is completed before the
+    // error returns, so the fleet is consistent, the handover is recorded,
+    // and no pending event can fire silently on a later run.
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+    };
+    let mut session = ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1).spawn("job", SpawnSpec::new("job", Uid(1), spin(0.8))),
+        )
+        .machine("node-b", node(2))
+        .machine("node-c", node(3))
+        .build()
+        .unwrap();
+    let fast = || {
+        Tiptop::new(
+            TiptopOptions::default()
+                .observer(Uid::ROOT)
+                .delay(SimDuration::from_millis(10)),
+            ScreenConfig::default_screen(),
+        )
+    };
+    let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![Box::new(MigrateOnSeq {
+        machine: "node-a",
+        on_seq: 0,
+        decision: MigrationDecision {
+            tag: "job".to_string(),
+            from: "node-a".to_string(),
+            to: "node-b".to_string(),
+        },
+        fired: false,
+    })];
+    let mut sink = ClusterCollectSink::new();
+    let err = session
+        .run_reactive(
+            2,
+            5,
+            |m: MachineRef<'_>| match m.id {
+                "node-b" => vec![tool(1)],
+                "node-c" => vec![Box::new(PanicMonitor {
+                    inner: fast(),
+                    observations: 0,
+                    panic_on: 2,
+                })],
+                _ => vec![Box::new(fast())],
+            },
+            &mut policies,
+            &mut sink,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(&err, SessionError::ShardPanicked { machine, .. } if machine == "node-c"),
+        "got {err:?}"
+    );
+    // The half-applied migration was completed: the job really moved, at
+    // the decision's application instant, and the handover is recorded.
+    let at = SimTime(20_000_000);
+    assert_eq!(session.handovers().len(), 1);
+    assert_eq!(session.handovers()[0].at, at);
+    let a = session.session("node-a").unwrap();
+    let b = session.session("node-b").unwrap();
+    let exited = a
+        .kernel()
+        .exit_record(a.pid("job").unwrap())
+        .expect("kill applied and reaped");
+    assert_eq!(exited.end_time, at);
+    let live = b
+        .kernel()
+        .stat(b.pid("job").expect("spawn completed on the lagging side"))
+        .expect("job lives on node-b");
+    assert_eq!(live.start_time, at);
+    // Nothing is left pending: a later run performs no silent migration.
+    assert_eq!(a.pending_events(), 0);
+    assert_eq!(b.pending_events(), 0);
+}
+
+#[test]
+fn misfired_kill_racing_a_natural_exit_reverts_the_destination_clone() {
+    // A 500 ms scheduler epoch widens the decision-to-boundary window: the
+    // policy fires at t=1s (the job is alive), scheduling kill+spawn at
+    // the 1.5s boundary — but the job retires its last instruction at
+    // ~1.14s and is reaped, so the kill hits a tombstone (Syscall/ESRCH)
+    // and the run errors. The spawn on node-b applies regardless; the
+    // driver must revert that clone: a job that finished on its own must
+    // not be silently restarted elsewhere, and no handover recorded.
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .epoch(SimDuration::from_millis(500))
+            .user(Uid(1), "u1")
+    };
+    // 1e9 instructions retire at ≈ 1.14 s on the W3550 — inside the
+    // decision→boundary window.
+    let near_done = Program::single(
+        ExecProfile::builder("spin")
+            .base_cpi(0.8)
+            .branches(0.18, 0.0)
+            .memory(MemoryBehavior::uniform(16 * 1024))
+            .build(),
+        1_000_000_000,
+    );
+    let mut session = ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1).spawn("job", SpawnSpec::new("job", Uid(1), near_done)),
+        )
+        .machine("node-b", node(2))
+        .build()
+        .unwrap();
+    let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![Box::new(MigrateOnSeq {
+        machine: "node-a",
+        on_seq: 0,
+        decision: MigrationDecision {
+            tag: "job".to_string(),
+            from: "node-a".to_string(),
+            to: "node-b".to_string(),
+        },
+        fired: false,
+    })];
+    let mut sink = ClusterCollectSink::new();
+    let err = session
+        .run_reactive(2, 4, |_| vec![tool(1)], &mut policies, &mut sink)
+        .unwrap_err();
+    assert!(
+        matches!(&err, SessionError::Shard { machine, error }
+            if machine == "node-a" && matches!(**error, SessionError::Syscall { call: "kill", .. })),
+        "got {err:?}"
+    );
+    // The job finished on its own, before the boundary.
+    let a = session.session("node-a").unwrap();
+    let exited = a.kernel().exit_record(a.pid("job").unwrap()).unwrap();
+    assert!(exited.end_time < SimTime(1_500_000_000), "natural exit");
+    // The decision did not happen: no record, and the destination carries
+    // no running clone of the finished job.
+    assert!(session.handovers().is_empty());
+    let b = session.session("node-b").unwrap();
+    if let Some(pid) = b.pid("job") {
+        assert!(
+            !b.kernel().is_alive(pid)
+                || b.kernel()
+                    .stat(pid)
+                    .is_some_and(|st| st.state.code() == 'Z'),
+            "the restarted clone must be reverted"
+        );
+    }
+    // A later run shows no resurrected job anywhere.
+    let frames = session.run_collect(2, 2, |_| tool(1)).unwrap();
+    assert!(frames
+        .iter()
+        .all(|cf| cf.frame.row_for_comm("job").is_none()));
 }
 
 #[test]

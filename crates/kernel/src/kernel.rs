@@ -391,6 +391,20 @@ impl Kernel {
             self.advance(t - now);
         }
     }
+
+    /// The first nominal scheduler-epoch boundary *strictly after* `t`
+    /// (boundaries sit at whole multiples of the configured epoch).
+    ///
+    /// This is the natural instant for injecting run-time workload events
+    /// — [`Kernel::spawn`] and [`Kernel::kill`] work at any instant without
+    /// a prebuilt schedule, but a decision made *while observing* `t`
+    /// should land at the next boundary so the epoch that produced the
+    /// observation is never retroactively changed (the reactive scheduling
+    /// layer in tiptop-core keys its live migrations to this).
+    pub fn epoch_boundary_after(&self, t: SimTime) -> SimTime {
+        let e = self.cfg.epoch.as_nanos();
+        SimTime((t.as_nanos() / e + 1) * e)
+    }
 }
 
 /// Update all counters attached to `charge.pid` for an epoch in which the

@@ -28,7 +28,12 @@
 //! *set* of monitors per machine, and
 //! [`ClusterWindowSink`](tiptop_core::cluster::ClusterWindowSink) bounds
 //! memory on long runs by folding the stream into tumbling-window
-//! aggregates.
+//! aggregates (migration handovers deduped on request). The loop closes
+//! with [`run_reactive`](tiptop_core::cluster::ClusterSession::run_reactive):
+//! [`SchedulerPolicy`](tiptop_core::reactive::SchedulerPolicy)s — e.g. the
+//! [`IpcFloor`](tiptop_core::reactive::IpcFloor) threshold detector —
+//! watch the merged stream *during* the run and issue live migrations,
+//! applied deterministically at the next scheduler-epoch boundary.
 //!
 //! See `examples/quickstart.rs` for a runnable end-to-end tour, and the
 //! `tiptop-bench` crate for the harnesses that regenerate the paper's
