@@ -22,15 +22,17 @@ use std::time::Instant;
 
 use tiptop_bench::experiments::{
     fig01_snapshot, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions, fig09_compilers,
-    fig10_datacenter, fig11_interference, fleet, grid, reactive, table1_fp_micro, validation,
+    fig10_datacenter, fig11_interference, fleet, grid, reactive, table1_fp_micro, tournament,
+    validation,
 };
 
 /// Release-profile wall-second baselines, seeded from the PR 3 trajectory
-/// (`BENCH_experiments.json`; `grid` and `reactive` from the PRs that
-/// introduced them — `reactive` pays for its run *plus* the scripted grid
-/// baseline it compares against). A budget breach means the experiment
+/// (`BENCH_experiments.json`; `grid`, `reactive` and `tournament` from the
+/// PRs that introduced them — `reactive` pays for its run *plus* the
+/// scripted grid baseline it compares against, `tournament` for its four
+/// detector×mode cells). A budget breach means the experiment
 /// regressed by more than [`REGRESSION_ALLOWANCE`] against this trajectory.
-const BASELINE_SECONDS: [(&str, f64); 12] = [
+const BASELINE_SECONDS: [(&str, f64); 13] = [
     ("fig01_snapshot", 0.400),
     ("table1_fp_micro", 0.002),
     ("fig03_evolution", 0.206),
@@ -42,6 +44,7 @@ const BASELINE_SECONDS: [(&str, f64); 12] = [
     ("fleet", 0.078),
     ("grid", 2.900),
     ("reactive", 5.800),
+    ("tournament", 10.500),
     ("validation", 0.009),
 ];
 
@@ -111,6 +114,9 @@ fn main() {
     });
     time("reactive", &mut || {
         reactive::run(41, 0.01);
+    });
+    time("tournament", &mut || {
+        tournament::run(43, 0.01);
     });
     time("validation", &mut || {
         validation::run(29);

@@ -12,9 +12,12 @@
 //! tiptop-vs-Pin validation — plus three beyond-the-paper cluster
 //! experiments: [`fleet`] (one workload on every machine, one merged
 //! timeline), [`grid`] (a Fig 10-style burst relieved by migrating the
-//! aggressors off the victims' node at a scripted instant) and
-//! [`reactive`] (the same relief *decided live* by an IPC-floor policy
-//! watching the merged stream, compared against the scripted baseline).
+//! aggressors off the victims' node at a scripted instant), [`reactive`]
+//! (the same relief *decided live* by an IPC-floor policy watching the
+//! merged stream, compared against the scripted baseline) and
+//! [`tournament`] (restart-vs-resume relocation crossed with the
+//! IPC-floor and CUSUM detectors — the checkpoint/restore subsystem
+//! measured as a 2×2 of wall-clock and recovered IPC).
 
 pub mod fig01_snapshot;
 pub mod fig03_evolution;
@@ -27,6 +30,7 @@ pub mod fleet;
 pub mod grid;
 pub mod reactive;
 pub mod table1_fp_micro;
+pub mod tournament;
 pub mod validation;
 
 use tiptop_core::app::{Tiptop, TiptopOptions};

@@ -6,10 +6,13 @@
 //! the §2.4 validation; Figure 1 and Table 1 are covered by their module
 //! tests.
 
+use tiptop_bench::experiments::tournament::Detector;
 use tiptop_bench::experiments::{
     evaluation_machines, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions,
-    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, reactive, validation,
+    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, reactive, tournament,
+    validation,
 };
+use tiptop_core::reactive::MigrationMode;
 use tiptop_workloads::spec::{Compiler, SpecBenchmark};
 
 #[test]
@@ -632,4 +635,96 @@ fn validation_pin_counts_are_exact_and_tiptop_agrees() {
     assert!(rel < 0.005, "branch count off by {rel}");
 
     assert!(r.report().contains("pin"), "report renders");
+}
+
+#[test]
+fn tournament_resume_beats_restart_under_both_detectors() {
+    let r = tournament::run_on(43, 0.01, 1);
+    assert_eq!(r.cells.len(), 4, "the full 2x2 ran");
+
+    for detector in [Detector::IpcFloor, Detector::Cusum] {
+        let restart = r.cell(detector, MigrationMode::Restart);
+        let resume = r.cell(detector, MigrationMode::Resume);
+
+        // Within a detector the trigger is identical across modes: the
+        // decision is made from the same merged stream before any
+        // migration lands, so the wall-clock gap below is pure mode.
+        assert_eq!(restart.trigger, resume.trigger, "{detector:?}");
+        assert_eq!(restart.applied, resume.applied, "{detector:?}");
+        assert!(
+            r.arrival < restart.trigger,
+            "{detector:?} fired during the burst, not the warmup"
+        );
+        assert!(
+            restart.canary_dwell_ipc < 1.15,
+            "{detector:?} fired on a genuinely depressed canary, got {}",
+            restart.canary_dwell_ipc
+        );
+
+        // The headline pin: resume carries the payload's progress across
+        // the hop and completes in strictly less wall-clock than restart,
+        // which redoes every instruction the contended node had retired.
+        assert!(
+            resume.payload_wall < restart.payload_wall,
+            "{detector:?}: resume {} must beat restart {}",
+            resume.payload_wall,
+            restart.payload_wall
+        );
+        assert!(
+            r.saving(detector) > 0.5 * r.dwell,
+            "{detector:?}: the saving should be of dwell magnitude, got {}s",
+            r.saving(detector)
+        );
+
+        // Conservation: both modes end with the whole job retired — the
+        // resumed incarnation reports the whole job's totals — but only
+        // restart paid for instructions twice.
+        assert_eq!(resume.payload_total_insns, r.payload_insns, "{detector:?}");
+        assert_eq!(restart.payload_total_insns, r.payload_insns, "{detector:?}");
+        assert_eq!(resume.wasted_insns, 0, "{detector:?}");
+        assert!(
+            restart.wasted_insns > r.payload_insns / 2,
+            "{detector:?}: restart redid most of the dwell's work, got {}",
+            restart.wasted_insns
+        );
+
+        // The relocated payload recovers on the spare node: the restart
+        // clone runs long enough there for its mean IPC to approach the
+        // healthy level (the resumed one may exit within a frame or two of
+        // landing, so its spare-side mean is reported, not pinned).
+        assert!(
+            restart.recovered_ipc > 0.8,
+            "{detector:?}: payload IPC on the spare stayed at {}",
+            restart.recovered_ipc
+        );
+        assert_eq!(resume.decisions.len(), 1, "exactly one job relocated");
+        assert_eq!(resume.decisions[0].tag, "sim-batch");
+        assert_eq!(resume.decisions[0].policy, detector.label());
+        assert_eq!(resume.decisions[0].mode, MigrationMode::Resume);
+    }
+
+    // The two families legitimately disagree on when to act — that is what
+    // makes it a tournament, not one detector measured twice.
+    assert_ne!(
+        r.cell(Detector::IpcFloor, MigrationMode::Resume).trigger,
+        r.cell(Detector::Cusum, MigrationMode::Resume).trigger,
+        "detectors should differ on the trigger instant"
+    );
+
+    // Determinism: a cell that exercises both new pieces (CUSUM + resume)
+    // is byte-identical at 1, 2 and 8 worker threads.
+    let golden = tournament::run_cell_stream(43, 0.01, 1, Detector::Cusum, MigrationMode::Resume);
+    assert!(golden.contains("[decision cusum resume 'sim-batch'"));
+    assert_eq!(
+        golden,
+        tournament::run_cell_stream(43, 0.01, 2, Detector::Cusum, MigrationMode::Resume),
+        "2 workers must not change one byte"
+    );
+    assert_eq!(
+        golden,
+        tournament::run_cell_stream(43, 0.01, 8, Detector::Cusum, MigrationMode::Resume),
+        "8 workers must not change one byte"
+    );
+
+    assert!(r.report().contains("resume saves"), "report renders");
 }

@@ -20,9 +20,15 @@
 //! * [`ClusterScenario::migrate_at`] — a cross-machine workload event: the
 //!   grid scheduler moves a tagged job from one machine to another at an
 //!   exact instant. It is validated across machines at build time and lands
-//!   as a kill on the source plus a spawn of the same job spec on the
-//!   destination, both at the same sim-time — so the merged stream shows
-//!   the job leaving node A and appearing on node B in the same refresh.
+//!   as a kill on the source plus a spawn on the destination, both at the
+//!   same sim-time — so the merged stream shows the job leaving node A and
+//!   appearing on node B in the same refresh. Each hop creates a fresh
+//!   *incarnation* of the tag on its destination, so migrations chain
+//!   freely — onward (`A→B→C`) and round trips (`A→B→A`) alike. In
+//!   [`MigrationMode::Restart`] the job restarts from zero (a scheduler
+//!   re-submission); [`ClusterScenario::resume_at`] instead checkpoints the
+//!   task at the kill instant and resumes it mid-program on the
+//!   destination, conserving its total retired-instruction count.
 //! * [`ClusterSession::run_all`] — the fleet-scale version of
 //!   [`Session::run_all`]: every machine drives its own *set* of monitors
 //!   at distinct intervals (the §2.5 perturbation story on every node at
@@ -33,7 +39,8 @@
 //!   never buffers more than one window of frames.
 //! * [`ClusterSession::run_reactive`] — the monitor→migration loop
 //!   *closed*: [`SchedulerPolicy`]s observe the merged stream during the
-//!   run and issue live migrations, validated at run time and applied at
+//!   run and issue live migrations — restart or checkpoint/resume, per the
+//!   decision's [`MigrationMode`] — validated at run time and applied at
 //!   the next epoch boundary (see [`crate::reactive`]).
 //!
 //! Failure is contained per shard: a [`SessionError`] inside one machine
@@ -89,15 +96,15 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 use tiptop_kernel::task::TaskState;
 use tiptop_machine::time::SimTime;
 
 use crate::monitor::Monitor;
-use crate::reactive::{AppliedDecision, MigrationDecision, SchedulerPolicy};
+use crate::reactive::{AppliedDecision, MigrationDecision, MigrationMode, SchedulerPolicy};
 use crate::render::Frame;
-use crate::scenario::{Scenario, Session, SessionError, WorkloadEvent};
+use crate::scenario::{HandoffBoard, Scenario, Session, SessionError, WorkloadEvent};
 
 /// Identity of one machine of the cluster, handed to the per-machine
 /// factories (monitor, stop predicate).
@@ -377,6 +384,8 @@ pub struct HandoverRecord {
     pub comm: String,
     pub from: String,
     pub to: String,
+    /// Restart-from-zero or checkpoint/resume.
+    pub mode: MigrationMode,
 }
 
 /// A cross-machine workload event: the grid scheduler moves a tagged job
@@ -388,6 +397,7 @@ struct Migration {
     tag: String,
     from: String,
     to: String,
+    mode: MigrationMode,
 }
 
 /// Declarative description of a multi-machine experiment: one [`Scenario`]
@@ -416,7 +426,8 @@ impl ClusterScenario {
 
     /// Move the job tagged `tag` from machine `from` to machine `to` at an
     /// absolute instant — the §fig10 grid-scheduler story, where a workload
-    /// *moves* mid-run instead of merely co-running.
+    /// *moves* mid-run instead of merely co-running. Restart semantics; see
+    /// [`ClusterScenario::migrate_at_mode`].
     ///
     /// The migration desugars into a kill of `tag` on `from` and a spawn of
     /// the *same job spec* (fresh on the new machine, as a scheduler
@@ -430,25 +441,67 @@ impl ClusterScenario {
     ///
     /// Validated at build time across machines: both ids must exist and
     /// differ, `tag` must live on `from` at `at` (spawned before, not yet
-    /// killed), and `to` must not already carry the tag. Migrations chain
-    /// *forward* — a later `migrate_at` may move the job onward from its
-    /// current home, but returning it to a machine it already ran on is
-    /// rejected (a tag resolves to one task per machine; see the ROADMAP's
-    /// checkpointing item).
+    /// killed), and `to` must not carry a live task with the tag at `at`.
+    /// A tag resolves to a `(machine, incarnation)` pair — each hop spawns
+    /// a fresh incarnation on its destination — so migrations chain freely:
+    /// onward hops (`A→B→C`) and round trips (`A→B→A`) both validate, and a
+    /// machine a job already ran on can receive it again.
     pub fn migrate_at(
+        self,
+        at: SimTime,
+        tag: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+    ) -> Self {
+        self.migrate_at_mode(at, tag, from, to, MigrationMode::Restart)
+    }
+
+    /// [`ClusterScenario::migrate_at`] with an explicit [`MigrationMode`].
+    ///
+    /// In [`MigrationMode::Resume`] the kill becomes a
+    /// [`WorkloadEvent::CheckpointKill`] — the source captures the task's
+    /// program cursor, accumulated counters, nice and pin state at the kill
+    /// instant and publishes the checkpoint on the cluster's
+    /// [`HandoffBoard`] — and the spawn becomes a
+    /// [`WorkloadEvent::ResumeSpawn`] that takes the checkpoint and
+    /// continues the task mid-program: the resumed incarnation's exit
+    /// record reports the *whole job's* totals, conserving the retired
+    /// instruction count across any chain of hops.
+    ///
+    /// Two resume-mode hops of one tag cannot share an instant (the second
+    /// would consume a checkpoint published at the same sim-time — give
+    /// each hop its own instant), and same-instant resume hops must not
+    /// form a machine cycle (each side would wait on the other's
+    /// checkpoint); both are rejected at build time.
+    pub fn migrate_at_mode(
         mut self,
         at: SimTime,
         tag: impl Into<String>,
         from: impl Into<String>,
         to: impl Into<String>,
+        mode: MigrationMode,
     ) -> Self {
         self.migrations.push(Migration {
             at,
             tag: tag.into(),
             from: from.into(),
             to: to.into(),
+            mode,
         });
         self
+    }
+
+    /// Sugar for [`ClusterScenario::migrate_at_mode`] with
+    /// [`MigrationMode::Resume`]: checkpoint `tag` on `from` at `at` and
+    /// resume it mid-program on `to` at the same instant.
+    pub fn resume_at(
+        self,
+        at: SimTime,
+        tag: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+    ) -> Self {
+        self.migrate_at_mode(at, tag, from, to, MigrationMode::Resume)
     }
 
     /// Validate every per-machine scenario *and* every cross-machine
@@ -473,9 +526,17 @@ impl ClusterScenario {
 
         // Desugar migrations in chronological order (stable: same-instant
         // migrations keep declaration order, so chained moves compose),
-        // validating each against the machines' evolving schedules.
+        // validating each against the machines' evolving schedules. A tag
+        // resolves to a (machine, incarnation) pair, so the walk asks the
+        // incarnation-aware question — "is the tag live on the source at
+        // `at`?" — rather than "did the source ever spawn it?": onward
+        // chains and round trips both validate.
         self.migrations.sort_by_key(|m| m.at);
         let mut handovers: Vec<HandoverRecord> = Vec::with_capacity(self.migrations.len());
+        let mut consumes: Vec<Vec<(SimTime, String, usize)>> =
+            (0..self.machines.len()).map(|_| Vec::new()).collect();
+        let mut resume_hops: std::collections::HashSet<(String, SimTime)> =
+            std::collections::HashSet::new();
         for m in &self.migrations {
             let label = format!(
                 "migration of '{}' {}->{} at {:?}",
@@ -497,82 +558,150 @@ impl ClusterScenario {
                     "{label}: unknown machine '{missing}'"
                 )));
             };
-            let Some((spawned, spec)) = self.machines[fi].1.spawn_event(&m.tag) else {
-                let home = self
-                    .machines
-                    .iter()
-                    .find(|(_, sc)| sc.spawn_event(&m.tag).is_some())
-                    .map(|(id, _)| id.clone());
-                return Err(SessionError::InvalidScenario(match home {
-                    Some(home) => format!("{label}: '{}' lives on machine '{home}'", m.tag),
-                    None => format!("{label}: no machine spawns '{}'", m.tag),
-                }));
-            };
-            if spawned > m.at {
+            if !self.machines[fi].1.tag_live_at(&m.tag, m.at) {
+                let spawns = self.machines[fi].1.spawn_events(&m.tag);
+                let msg = match spawns.first() {
+                    Some(&(spawned, _)) if spawned > m.at => {
+                        format!("{label}: precedes the job's spawn at {spawned:?}")
+                    }
+                    Some(_) => {
+                        let killed = self.machines[fi]
+                            .1
+                            .kill_events(&m.tag)
+                            .into_iter()
+                            .filter(|k| *k <= m.at)
+                            .max()
+                            .expect("spawned but not live implies an earlier kill");
+                        format!("{label}: the job is already gone (killed at {killed:?})")
+                    }
+                    None => {
+                        // The source never hosts the tag at all; point at
+                        // whichever machine does (live at `at` if any,
+                        // otherwise any machine that ever spawns it).
+                        let home = self
+                            .machines
+                            .iter()
+                            .find(|(_, sc)| sc.tag_live_at(&m.tag, m.at))
+                            .or_else(|| {
+                                self.machines
+                                    .iter()
+                                    .find(|(_, sc)| !sc.spawn_events(&m.tag).is_empty())
+                            })
+                            .map(|(id, _)| id.clone());
+                        match home {
+                            Some(home) => {
+                                format!("{label}: '{}' lives on machine '{home}'", m.tag)
+                            }
+                            None => format!("{label}: no machine spawns '{}'", m.tag),
+                        }
+                    }
+                };
+                return Err(SessionError::InvalidScenario(msg));
+            }
+            if self.machines[ti].1.tag_live_at(&m.tag, m.at) {
                 return Err(SessionError::InvalidScenario(format!(
-                    "{label}: precedes the job's spawn at {spawned:?}"
+                    "{label}: destination already carries a task tagged '{}'",
+                    m.tag
                 )));
             }
-            if let Some(killed) = self.machines[fi].1.kill_event(&m.tag) {
-                if killed <= m.at {
-                    return Err(SessionError::InvalidScenario(format!(
-                        "{label}: the job is already gone (killed at {killed:?})"
-                    )));
-                }
+            if m.mode == MigrationMode::Resume && !resume_hops.insert((m.tag.clone(), m.at)) {
+                return Err(SessionError::InvalidScenario(format!(
+                    "{label}: another resume-mode hop of '{}' shares this instant; \
+                     checkpoints are keyed by (tag, instant), so give each hop \
+                     its own instant",
+                    m.tag
+                )));
             }
-            if self.machines[ti].1.spawn_event(&m.tag).is_some() {
-                // Distinguish a live collision from a round trip: a tag
-                // resolves to one task per machine, so returning a job to
-                // a machine it already ran on is not expressible yet.
-                let returning = self.machines[ti]
-                    .1
-                    .kill_event(&m.tag)
-                    .is_some_and(|killed| killed <= m.at);
-                return Err(SessionError::InvalidScenario(if returning {
-                    format!(
-                        "{label}: '{}' already ran on the destination earlier; round-trip \
-                         migrations are not supported (a tag resolves to one task per machine)",
-                        m.tag
-                    )
-                } else {
-                    format!(
-                        "{label}: destination already carries a task tagged '{}'",
-                        m.tag
-                    )
-                }));
-            }
-            let spec = spec.clone();
+            let spec = self.machines[fi]
+                .1
+                .spawn_events(&m.tag)
+                .into_iter()
+                .rev()
+                .find(|(s, _)| *s <= m.at)
+                .map(|(_, spec)| spec.clone())
+                .expect("a live tag has a spawn at or before the instant");
             handovers.push(HandoverRecord {
                 at: m.at,
                 tag: m.tag.clone(),
                 comm: spec.comm.clone(),
                 from: m.from.clone(),
                 to: m.to.clone(),
+                mode: m.mode,
             });
-            self.machines[fi]
-                .1
-                .schedule(m.at, WorkloadEvent::Kill { tag: m.tag.clone() });
-            self.machines[ti].1.schedule(
-                m.at,
-                WorkloadEvent::Spawn {
-                    tag: m.tag.clone(),
-                    spec,
-                },
-            );
+            match m.mode {
+                MigrationMode::Restart => {
+                    self.machines[fi]
+                        .1
+                        .schedule(m.at, WorkloadEvent::Kill { tag: m.tag.clone() });
+                    self.machines[ti].1.schedule(
+                        m.at,
+                        WorkloadEvent::Spawn {
+                            tag: m.tag.clone(),
+                            spec,
+                        },
+                    );
+                }
+                MigrationMode::Resume => {
+                    self.machines[fi]
+                        .1
+                        .schedule(m.at, WorkloadEvent::CheckpointKill { tag: m.tag.clone() });
+                    self.machines[ti].1.schedule(
+                        m.at,
+                        WorkloadEvent::ResumeSpawn {
+                            tag: m.tag.clone(),
+                            spec,
+                        },
+                    );
+                    consumes[ti].push((m.at, m.tag.clone(), fi));
+                }
+            }
         }
 
+        // Same-instant resume hops hand checkpoints across machines at one
+        // sim-time; the run-time gating orders producers before consumers,
+        // which only terminates if those edges are acyclic per instant.
+        {
+            let mut by_instant: BTreeMap<SimTime, Vec<(usize, usize)>> = BTreeMap::new();
+            for m in &self.migrations {
+                if m.mode == MigrationMode::Resume {
+                    let index_of = |id: &str| self.machines.iter().position(|(mid, _)| mid == id);
+                    let (fi, ti) = (
+                        index_of(&m.from).expect("validated above"),
+                        index_of(&m.to).expect("validated above"),
+                    );
+                    by_instant.entry(m.at).or_default().push((fi, ti));
+                }
+            }
+            for (at, edges) in by_instant {
+                if has_cycle(self.machines.len(), &edges) {
+                    return Err(SessionError::InvalidScenario(format!(
+                        "same-instant resume migrations at {at:?} form a machine cycle: \
+                         each side would wait forever for the other's checkpoint; \
+                         stagger the hops across instants"
+                    )));
+                }
+            }
+        }
+
+        let board = HandoffBoard::new(self.machines.len());
         let mut shards = Vec::with_capacity(self.machines.len());
         for (id, scenario) in self.machines {
-            let session = scenario.build().map_err(|e| SessionError::Shard {
+            let mut session = scenario.build().map_err(|e| SessionError::Shard {
                 machine: id.clone(),
                 error: Box::new(e),
             })?;
+            session.attach_handoff(board.clone());
             shards.push(ShardSlot {
                 id,
                 session: Some(session),
             });
         }
-        Ok(ClusterSession { shards, handovers })
+        Ok(ClusterSession {
+            shards,
+            handovers,
+            board,
+            consumes,
+        })
     }
 }
 
@@ -590,6 +719,13 @@ pub struct ClusterSession {
     /// scripted ones from build time, reactive ones appended as their
     /// decisions apply.
     handovers: Vec<HandoverRecord>,
+    /// The checkpoint transport shared by every shard's session (resume-mode
+    /// migrations publish and take through it).
+    board: Arc<HandoffBoard>,
+    /// Per machine index: the scripted resume handoffs it consumes, as
+    /// `(instant, tag, producer machine index)` in instant order — the
+    /// scripted runs' worker gating keys.
+    consumes: Vec<Vec<(SimTime, String, usize)>>,
 }
 
 impl fmt::Debug for ClusterSession {
@@ -804,6 +940,7 @@ impl ClusterSession {
                         done: false,
                     })
                     .collect(),
+                consumes: self.consumes[index].clone(),
             });
         }
 
@@ -823,7 +960,8 @@ impl ClusterSession {
                 .into_iter()
                 .map(|part| {
                     let tx = tx.clone();
-                    scope.spawn(move || run_worker(part, max_refreshes, tx))
+                    let board = self.board.clone();
+                    scope.spawn(move || run_worker(part, max_refreshes, tx, board))
                 })
                 .collect();
             drop(tx);
@@ -916,7 +1054,13 @@ impl ClusterSession {
     ///
     /// A decision is a kill on the source plus a spawn of the retained job
     /// spec ([`Session::job_spec`]) on the destination at the same instant,
-    /// exactly like a scripted [`ClusterScenario::migrate_at`]. When the
+    /// exactly like a scripted [`ClusterScenario::migrate_at`] — and, like
+    /// it, mode-aware: a [`MigrationMode::Resume`] decision checkpoints the
+    /// task at the kill instant and resumes it mid-program on the
+    /// destination (the sources are advanced to the handoff instant ahead
+    /// of the round's parallel phase, so the checkpoint is always published
+    /// before the destination takes it — sequencing that changes nothing
+    /// observable, since frames exist only at observation instants). When the
     /// refresh interval exceeds the scheduler epoch (the usual shape —
     /// seconds-scale refreshes over a 20 ms epoch) the boundary falls
     /// strictly between observation instants and the reactive stream has
@@ -932,8 +1076,9 @@ impl ClusterSession {
     /// decision gets the run-time half, with infeasible requests surfacing
     /// as typed [`SessionError::InvalidDecision`]s: unknown machines,
     /// source == destination, no task with the tag on the source, a tag
-    /// that already exited, or a destination that already carries (or ever
-    /// carried) the tag.
+    /// that already exited, a destination that currently carries a live
+    /// task with the tag, or a resume-mode kill of a program that already
+    /// ran to completion (nothing left to checkpoint).
     ///
     /// # Failure contract
     ///
@@ -1027,6 +1172,10 @@ struct WorkUnit {
     id: String,
     session: Session,
     slots: Vec<MonitorSlot>,
+    /// Scripted resume handoffs this machine consumes — `(instant, tag,
+    /// producer machine index)` in instant order. A step may not cross an
+    /// instant whose checkpoint is unpublished (see `run_worker`).
+    consumes: Vec<(SimTime, String, usize)>,
 }
 
 /// One monitor of one machine in a reactive run: its own interval clock
@@ -1189,14 +1338,16 @@ fn reactive_loop(
     result
 }
 
-/// One live decision's injected event pair, for the end-of-run flush and
-/// the error-path rollback.
+/// One live decision's injected event pair, for the resume-mode
+/// source-before-destination ordering, the end-of-run flush and the
+/// error-path rollback.
 struct InjectedDecision {
     at: SimTime,
     tag: String,
     /// Source / destination positions in the units slice.
     src: usize,
     dst: usize,
+    mode: MigrationMode,
 }
 
 /// Prime, then repeat: advance the machines due at the globally earliest
@@ -1233,6 +1384,7 @@ fn reactive_rounds(
         }
     }
 
+    let mut pre_advanced = 0usize;
     loop {
         // The globally earliest pending observation instant.
         let t_star = units
@@ -1245,6 +1397,44 @@ fn reactive_rounds(
             })
             .min();
         let Some(t_star) = t_star else { break };
+
+        // A resume-mode decision landing at or before this round's instant
+        // must publish its checkpoint before any machine crosses the
+        // handoff in the parallel phase: advance each source sequentially
+        // to the handoff instant first. `advance_to` stops at every event
+        // instant anyway, so splitting the source's advance changes
+        // nothing observable — frames only exist at observation instants —
+        // and the merged stream stays byte-identical at any thread count.
+        // Injection order is application order, so the cursor only moves
+        // forward. A checkpoint of a program that already ran to
+        // completion surfaces here as the session's typed
+        // [`SessionError::InvalidDecision`], passed through unwrapped.
+        while pre_advanced < injected.len() && injected[pre_advanced].at <= t_star {
+            let inj = &injected[pre_advanced];
+            pre_advanced += 1;
+            if inj.mode != MigrationMode::Resume {
+                continue;
+            }
+            let unit = &mut units[inj.src];
+            if unit.torn || unit.session.now() >= inj.at {
+                continue;
+            }
+            let r = guard(&unit.id, || unit.session.advance_to(inj.at));
+            match r {
+                Ok(()) => {}
+                Err(e @ SessionError::ShardPanicked { .. }) => {
+                    unit.torn = true;
+                    return Err(e);
+                }
+                Err(e @ SessionError::InvalidDecision(_)) => return Err(e),
+                Err(e) => {
+                    return Err(SessionError::Shard {
+                        machine: unit.id.clone(),
+                        error: Box::new(e),
+                    })
+                }
+            }
+        }
 
         // Advance every machine due at t* concurrently. Each worker owns a
         // disjoint set of units; results are re-ordered by machine index
@@ -1327,36 +1517,45 @@ fn reactive_rounds(
     }
 
     // A decision fired on the final round scheduled its kill/spawn past
-    // the last observation; advance the involved machines one epoch past
-    // the application instant so every reported AppliedDecision (and
-    // handover record) really happened — the spawn lands and the source's
-    // zombie is reaped into its exit record. No frames are produced and
-    // the instants are keyed to sim-time, so determinism is unaffected.
-    let mut flush_to: BTreeMap<usize, SimTime> = BTreeMap::new();
-    for inj in injected.iter() {
-        for index in [inj.src, inj.dst] {
-            let latest = flush_to.entry(index).or_insert(inj.at);
-            *latest = (*latest).max(inj.at);
-        }
-    }
-    for (&index, &at) in &flush_to {
-        let unit = &mut units[index];
-        if unit.session.now() >= at {
-            continue;
-        }
-        let target = unit.session.kernel().epoch_boundary_after(at);
-        let r = guard(&unit.id, || unit.session.advance_to(target));
-        if let Err(e) = r {
-            let torn = matches!(e, SessionError::ShardPanicked { .. });
-            unit.torn = torn;
-            return Err(if torn {
-                e
-            } else {
-                SessionError::Shard {
-                    machine: unit.id.clone(),
-                    error: Box::new(e),
+    // the last observation; land those events so every reported
+    // AppliedDecision (and handover record) really happened. Two phases,
+    // both keyed to sim-time (no frames are produced, so determinism is
+    // unaffected): first land every injection's events in injection order
+    // — the source reaches the handoff instant before its destination, so
+    // a resume checkpoint is always published before the ResumeSpawn takes
+    // it, and no machine moves *past* an instant while later handoffs are
+    // still pending — then advance every involved machine one epoch past
+    // its latest instant, reaping the source's zombie into its exit record.
+    for phase in 0..2 {
+        for inj in injected.iter() {
+            for index in [inj.src, inj.dst] {
+                let unit = &mut units[index];
+                let target = if phase == 0 {
+                    inj.at
+                } else {
+                    unit.session.kernel().epoch_boundary_after(inj.at)
+                };
+                if unit.session.now() >= target {
+                    continue;
                 }
-            });
+                let r = guard(&unit.id, || unit.session.advance_to(target));
+                if let Err(e) = r {
+                    let torn = matches!(e, SessionError::ShardPanicked { .. });
+                    unit.torn = torn;
+                    return Err(match e {
+                        e @ SessionError::ShardPanicked { .. } => e,
+                        // A resume-mode kill that found its program already
+                        // completed is the decision's fault, not the
+                        // shard's: surface the typed InvalidDecision
+                        // unwrapped.
+                        e @ SessionError::InvalidDecision(_) => e,
+                        other => SessionError::Shard {
+                            machine: unit.id.clone(),
+                            error: Box::new(other),
+                        },
+                    });
+                }
+            }
         }
     }
     Ok(())
@@ -1451,6 +1650,24 @@ fn apply_decision(
     // Between rounds no machine's clock is past the deciding frame, so the
     // next epoch boundary after it is strictly ahead of both sessions.
     let at = src.kernel().epoch_boundary_after(decided_at);
+    // The run loops publish a resume checkpoint by advancing its source to
+    // the handoff instant before anything else crosses it. That ordering
+    // breaks if this decision's destination is itself the *source* of
+    // another resume handoff at the same instant: advancing that machine
+    // (to publish) would also apply this decision's ResumeSpawn, before
+    // this source has published. Same-instant resume chains through one
+    // machine are therefore infeasible (this also catches cycles).
+    if d.mode == MigrationMode::Resume
+        && injected
+            .iter()
+            .any(|inj| inj.at == at && inj.mode == MigrationMode::Resume && inj.src == ti)
+    {
+        return Err(infeasible(format!(
+            "machine '{}' is already the source of a resume handoff applying at \
+             {at:?}; same-instant resume chains are not supported",
+            d.to
+        )));
+    }
     let comm = spec.comm.clone();
     // Re-label the sessions' own InvalidDecision messages with the
     // decision context before surfacing them.
@@ -1462,25 +1679,36 @@ fn apply_decision(
             other => other,
         }
     }
-    units[ti]
-        .session
-        .schedule_at(
-            at,
+    let (spawn_ev, kill_ev) = match d.mode {
+        MigrationMode::Restart => (
             WorkloadEvent::Spawn {
                 tag: d.tag.clone(),
                 spec,
             },
-        )
+            WorkloadEvent::Kill { tag: d.tag.clone() },
+        ),
+        MigrationMode::Resume => (
+            WorkloadEvent::ResumeSpawn {
+                tag: d.tag.clone(),
+                spec,
+            },
+            WorkloadEvent::CheckpointKill { tag: d.tag.clone() },
+        ),
+    };
+    units[ti]
+        .session
+        .schedule_at(at, spawn_ev)
         .map_err(|e| relabel(&label, e))?;
     units[fi]
         .session
-        .schedule_at(at, WorkloadEvent::Kill { tag: d.tag.clone() })
+        .schedule_at(at, kill_ev)
         .map_err(|e| relabel(&label, e))?;
     injected.push(InjectedDecision {
         at,
         tag: d.tag.clone(),
         src: fi,
         dst: ti,
+        mode: d.mode,
     });
     Ok((
         AppliedDecision {
@@ -1490,6 +1718,7 @@ fn apply_decision(
             to: d.to.clone(),
             decided_at,
             applied_at: at,
+            mode: d.mode,
         },
         HandoverRecord {
             at,
@@ -1497,6 +1726,7 @@ fn apply_decision(
             comm,
             from: d.from,
             to: d.to,
+            mode: d.mode,
         },
     ))
 }
@@ -1599,16 +1829,28 @@ impl Merger {
 /// monitor) whose next observation is earliest (ties by machine index,
 /// then monitor order), so the global merge frontier keeps moving and the
 /// merger buffers as little as possible.
+///
+/// Resume-mode handoffs add a gate: a step may not cross a consume instant
+/// whose checkpoint is not yet on the board (the destination's
+/// `ResumeSpawn` would find nothing to take). A gated worker first makes
+/// whatever progress *is* safe — gated units advance to just before their
+/// gate, applying every earlier event including their own publishes — and
+/// only blocks on [`HandoffBoard::wait_published`] when nothing can move.
+/// Build-time rejection of same-instant resume cycles makes this
+/// deadlock-free, and everything stays keyed to sim-time, so the merged
+/// stream is unchanged by the gating at any thread count.
 fn run_worker(
     units: Vec<WorkUnit>,
     max_refreshes: usize,
     tx: mpsc::Sender<Msg>,
+    board: Arc<HandoffBoard>,
 ) -> Vec<(usize, Option<Session>)> {
     let mut finished: Vec<(usize, Option<Session>)> = Vec::new();
     let mut active: Vec<WorkUnit> = Vec::new();
 
     for mut unit in units {
         if max_refreshes == 0 || unit.slots.is_empty() {
+            board.mark_done(unit.index);
             let _ = tx.send(Msg::Done { index: unit.index });
             finished.push((unit.index, Some(unit.session)));
             continue;
@@ -1628,6 +1870,7 @@ fn run_worker(
                 active.push(unit);
             }
             Err(e) => {
+                board.mark_done(unit.index);
                 let _ = tx.send(Msg::Failed {
                     index: unit.index,
                     error: e,
@@ -1638,9 +1881,10 @@ fn run_worker(
     }
 
     while !active.is_empty() {
-        // The earliest pending observation across every owned machine:
-        // (time, machine index, monitor order) for determinism.
-        let (pos, spos) = active
+        // The pending observations across every owned machine, earliest
+        // first: (time, machine index, monitor order) for determinism.
+        type StepKey = (SimTime, usize, usize);
+        let mut cands: Vec<(StepKey, (usize, usize))> = active
             .iter()
             .enumerate()
             .flat_map(|(p, u)| {
@@ -1650,9 +1894,108 @@ fn run_worker(
                     .filter(|(_, s)| !s.done)
                     .map(move |(sp, s)| ((s.next_at, u.index, sp), (p, sp)))
             })
-            .min_by_key(|(key, _)| *key)
-            .map(|(_, at)| at)
-            .expect("active units have live slots");
+            .collect();
+        cands.sort_by_key(|(key, _)| *key);
+
+        // The earliest step whose unit has no unpublished handoff to
+        // consume at or before the step target runs now.
+        let mut chosen: Option<(usize, usize)> = None;
+        let mut first_gate: Option<(usize, SimTime, String, usize)> = None;
+        for (key, (p, sp)) in &cands {
+            let gate = active[*p]
+                .consumes
+                .iter()
+                .filter(|(at, _, _)| *at <= key.0)
+                .find(|(at, tag, _)| !board.is_published(tag, *at))
+                .cloned();
+            match gate {
+                None => {
+                    chosen = Some((*p, *sp));
+                    break;
+                }
+                Some((at, tag, producer)) => {
+                    if first_gate.is_none() {
+                        first_gate = Some((*p, at, tag, producer));
+                    }
+                }
+            }
+        }
+
+        let Some((pos, spos)) = chosen else {
+            // Every owned step is gated. Park gated units just before
+            // their gate instant — events strictly earlier (including this
+            // worker's own checkpoint publishes) still apply and can
+            // unblock another worker or this one — then re-select; block
+            // on the earliest gate's producer only when nothing moved.
+            let mut progressed = false;
+            let mut failures: Vec<(usize, SessionError)> = Vec::new();
+            for (pos, unit) in active.iter_mut().enumerate() {
+                let gate_at = match unit
+                    .consumes
+                    .iter()
+                    .find(|(at, tag, _)| !board.is_published(tag, *at))
+                {
+                    Some((at, _, _)) => *at,
+                    // Published since the scan above: just re-select.
+                    None => {
+                        progressed = true;
+                        continue;
+                    }
+                };
+                let park = SimTime(gate_at.0.saturating_sub(1));
+                if unit.session.now() >= park {
+                    continue;
+                }
+                let r = guard(&unit.id, || unit.session.advance_to(park));
+                match r {
+                    Ok(()) => progressed = true,
+                    Err(e) => failures.push((pos, e)),
+                }
+            }
+            let any_failures = !failures.is_empty();
+            for (pos, e) in failures.into_iter().rev() {
+                let failed = active.swap_remove(pos);
+                let torn = matches!(e, SessionError::ShardPanicked { .. });
+                let error = match e {
+                    e @ SessionError::ShardPanicked { .. } => e,
+                    other => SessionError::Shard {
+                        machine: failed.id.clone(),
+                        error: Box::new(other),
+                    },
+                };
+                board.mark_done(failed.index);
+                let _ = tx.send(Msg::Failed {
+                    index: failed.index,
+                    error,
+                });
+                finished.push((failed.index, (!torn).then_some(failed.session)));
+            }
+            if !progressed && !any_failures {
+                let (pos, gate_at, tag, producer) =
+                    first_gate.expect("a fully gated worker has a first gate");
+                if !board.wait_published(&tag, gate_at, producer) {
+                    // The producer's run is over and the checkpoint never
+                    // appeared (it stopped early, or errored first): the
+                    // consumer cannot proceed — a typed failure, session
+                    // handed back.
+                    let failed = active.swap_remove(pos);
+                    let error = SessionError::Shard {
+                        machine: failed.id.clone(),
+                        error: Box::new(SessionError::InvalidDecision(format!(
+                            "resume handoff of '{tag}' at {gate_at:?}: the source \
+                             machine finished its run without publishing a checkpoint"
+                        ))),
+                    };
+                    board.mark_done(failed.index);
+                    let _ = tx.send(Msg::Failed {
+                        index: failed.index,
+                        error,
+                    });
+                    finished.push((failed.index, Some(failed.session)));
+                }
+            }
+            continue;
+        };
         let unit = &mut active[pos];
         let step = {
             let session = &mut unit.session;
@@ -1693,6 +2036,7 @@ fn run_worker(
                         }
                         Ok(())
                     });
+                    board.mark_done(done.index);
                     match torn_down {
                         Ok(()) => {
                             let _ = tx.send(Msg::Done { index: done.index });
@@ -1720,6 +2064,7 @@ fn run_worker(
                         error: Box::new(other),
                     },
                 };
+                board.mark_done(failed.index);
                 let _ = tx.send(Msg::Failed {
                     index: failed.index,
                     error,
@@ -1759,6 +2104,43 @@ fn validate_monitor_set<'a>(
         )));
     }
     Ok(())
+}
+
+/// Does the directed graph over `n` machine nodes with the given edges
+/// contain a cycle? (Iterative three-color DFS; `n` is a fleet size, the
+/// edge list a handful of same-instant migrations.)
+fn has_cycle(n: usize, edges: &[(usize, usize)]) -> bool {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(from, to) in edges {
+        adj[from].push(to);
+    }
+    // 0 = unvisited, 1 = on the current path, 2 = finished.
+    let mut color = vec![0u8; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < adj[node].len() {
+                let child = adj[node][*next];
+                *next += 1;
+                match color[child] {
+                    0 => {
+                        color[child] = 1;
+                        stack.push((child, 0));
+                    }
+                    1 => return true,
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    false
 }
 
 /// Run `f`, converting an unwind into a typed [`SessionError::ShardPanicked`]

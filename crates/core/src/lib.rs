@@ -35,11 +35,13 @@
 //!   independent sessions (one per machine), shards them across a worker
 //!   pool, and merges their frames deterministically by (time, machine)
 //!   into a streaming [`ClusterFrameSink`];
-//! * [`reactive`] — reactive fleet scheduling: [`SchedulerPolicy`]s (e.g.
-//!   [`IpcFloor`]) watch the merged stream during a
+//! * [`reactive`] — reactive fleet scheduling: [`SchedulerPolicy`]s
+//!   ([`IpcFloor`] threshold detection, [`Cusum`] change-point detection)
+//!   watch the merged stream during a
 //!   [`ClusterSession::run_reactive`](cluster::ClusterSession::run_reactive)
-//!   and issue live migrations, applied deterministically at the next
-//!   epoch boundary.
+//!   and issue live migrations — restart-from-zero or checkpoint/resume
+//!   per [`MigrationMode`] — applied deterministically at the next epoch
+//!   boundary.
 //!
 //! ## Quickstart
 //!
@@ -99,7 +101,9 @@ pub use config::{ColumnKind, ColumnSpec, NumFormat, ScreenConfig};
 pub use expr::Expr;
 pub use monitor::{CollectSink, FrameSink, Monitor};
 pub use procinfo::CpuTracker;
-pub use reactive::{AppliedDecision, IpcFloor, MigrationDecision, SchedulerPolicy};
+pub use reactive::{
+    AppliedDecision, Cusum, IpcFloor, MigrationDecision, MigrationMode, SchedulerPolicy,
+};
 pub use render::{Frame, Row};
 pub use scenario::{Scenario, Session, SessionError, WorkloadEvent};
 pub use session::{cluster_series_for_comm, machine_frames, mean, series_for_comm, series_for_pid};
@@ -114,7 +118,9 @@ pub mod prelude {
     };
     pub use crate::config::ScreenConfig;
     pub use crate::monitor::{CollectSink, FrameSink, Monitor};
-    pub use crate::reactive::{AppliedDecision, IpcFloor, MigrationDecision, SchedulerPolicy};
+    pub use crate::reactive::{
+        AppliedDecision, Cusum, IpcFloor, MigrationDecision, MigrationMode, SchedulerPolicy,
+    };
     pub use crate::render::Frame;
     pub use crate::scenario::{Scenario, Session, SessionError, WorkloadEvent};
     pub use crate::session::{

@@ -14,11 +14,22 @@
 //! Decisions are keyed to sim-time, so a reactive run is byte-identical at
 //! any worker-thread count.
 //!
-//! The built-in policy is [`IpcFloor`] — threshold detection on a monitored
-//! IPC series (the simplest online change-point detector): when a watched
-//! job's IPC stays below a floor for a sustained breach window, every
-//! co-running job matching an eviction rule is migrated to a relief
-//! machine.
+//! Two built-in policies cover the classic detector families:
+//!
+//! * [`IpcFloor`] — threshold detection on a monitored IPC series (the
+//!   simplest online change-point detector): when a watched job's IPC stays
+//!   below a floor for a sustained breach window, every co-running job
+//!   matching an eviction rule is migrated to a relief machine.
+//! * [`Cusum`] — a one-sided CUSUM change-point detector: it calibrates a
+//!   reference IPC over a warmup window, then accumulates downward
+//!   deviations beyond a drift allowance and fires when the cumulative sum
+//!   crosses a decision threshold.
+//!
+//! Either policy can issue its migrations in [`MigrationMode::Restart`]
+//! (the destination re-runs the job from instruction zero) or
+//! [`MigrationMode::Resume`] (the source checkpoints at kill time and the
+//! destination continues mid-program; see
+//! [`Kernel::checkpoint`](tiptop_kernel::kernel::Kernel::checkpoint)).
 
 use std::collections::HashSet;
 
@@ -27,8 +38,33 @@ use tiptop_machine::time::{SimDuration, SimTime};
 use crate::cluster::ClusterFrame;
 use crate::render::Row;
 
+/// How a migration moves a job's work to the destination machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MigrationMode {
+    /// Kill on the source, re-spawn from the original spec on the
+    /// destination: the job starts over from instruction zero (the only
+    /// behaviour before the checkpoint/restore subsystem existed).
+    #[default]
+    Restart,
+    /// Checkpoint at kill time and resume mid-program on the destination:
+    /// the new incarnation continues from the captured program cursor with
+    /// its accumulated counters and address-stream state intact.
+    Resume,
+}
+
+impl MigrationMode {
+    /// Lower-case label used in rendered decision/handover lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            MigrationMode::Restart => "restart",
+            MigrationMode::Resume => "resume",
+        }
+    }
+}
+
 /// One live scheduling decision: move the job tagged `tag` from machine
-/// `from` to machine `to`. The run-time counterpart of
+/// `from` to machine `to`, restarting or resuming it per `mode`. The
+/// run-time counterpart of
 /// [`ClusterScenario::migrate_at`](crate::cluster::ClusterScenario::migrate_at);
 /// the driver validates it against the live sessions (typed
 /// [`SessionError::InvalidDecision`](crate::scenario::SessionError) on an
@@ -42,6 +78,7 @@ pub struct MigrationDecision {
     pub tag: String,
     pub from: String,
     pub to: String,
+    pub mode: MigrationMode,
 }
 
 /// A decision that was validated and injected during a reactive run:
@@ -54,6 +91,7 @@ pub struct AppliedDecision {
     pub tag: String,
     pub from: String,
     pub to: String,
+    pub mode: MigrationMode,
     /// Sim-time of the frame the policy fired on.
     pub decided_at: SimTime,
     /// The next epoch boundary after `decided_at`: where the kill lands on
@@ -107,6 +145,7 @@ pub struct IpcFloor {
     threshold: f64,
     cooldown: SimDuration,
     to: String,
+    mode: MigrationMode,
     /// Only frames of this monitor are considered (`None`: any frame whose
     /// watched row carries a finite IPC).
     source: Option<String>,
@@ -130,6 +169,7 @@ impl IpcFloor {
             threshold,
             cooldown,
             to: to.into(),
+            mode: MigrationMode::Restart,
             source: None,
             evict: None,
             armed: false,
@@ -145,12 +185,54 @@ impl IpcFloor {
         self
     }
 
+    /// Issue migrations in this mode (default [`MigrationMode::Restart`]).
+    pub fn mode(mut self, mode: MigrationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Install a custom eviction rule over the triggering frame's rows
     /// (the watched victim itself is never evicted).
     pub fn evicting(mut self, rule: impl FnMut(&Row) -> bool + 'static) -> Self {
         self.evict = Some(Box::new(rule));
         self
     }
+}
+
+/// Shared firing logic: evict the triggering frame's co-runners matching
+/// the rule (default: jobs of a different non-root user than the victim),
+/// each tag at most once across the policy's lifetime.
+#[allow(clippy::too_many_arguments)]
+fn evict_corunners(
+    cf: &ClusterFrame,
+    victim: &Row,
+    machine: &str,
+    to: &str,
+    mode: MigrationMode,
+    evict: &mut Option<EvictRule>,
+    moved: &mut HashSet<String>,
+) -> Vec<MigrationDecision> {
+    let victim_pid = victim.pid;
+    let victim_user = victim.user.clone();
+    let mut out = Vec::new();
+    for row in &cf.frame.rows {
+        if row.pid == victim_pid {
+            continue;
+        }
+        let hit = match evict {
+            Some(rule) => rule(row),
+            None => row.user != victim_user && row.user != "root",
+        };
+        if hit && moved.insert(row.comm.clone()) {
+            out.push(MigrationDecision {
+                tag: row.comm.clone(),
+                from: machine.to_string(),
+                to: to.to_string(),
+                mode,
+            });
+        }
+    }
+    out
 }
 
 impl SchedulerPolicy for IpcFloor {
@@ -185,26 +267,162 @@ impl SchedulerPolicy for IpcFloor {
         // the breach clock so a continued breach must re-accumulate a full
         // cooldown before firing again.
         self.breach_since = None;
-        let victim_pid = victim.pid;
-        let victim_user = victim.user.clone();
-        let mut out = Vec::new();
-        for row in &cf.frame.rows {
-            if row.pid == victim_pid {
-                continue;
-            }
-            let evict = match &mut self.evict {
-                Some(rule) => rule(row),
-                None => row.user != victim_user && row.user != "root",
-            };
-            if evict && self.moved.insert(row.comm.clone()) {
-                out.push(MigrationDecision {
-                    tag: row.comm.clone(),
-                    from: self.machine.clone(),
-                    to: self.to.clone(),
-                });
-            }
+        evict_corunners(
+            cf,
+            victim,
+            &self.machine,
+            &self.to,
+            self.mode,
+            &mut self.evict,
+            &mut self.moved,
+        )
+    }
+}
+
+/// One-sided CUSUM change-point detection on a monitored IPC series: the
+/// classic sequential detector for a *sustained downward shift* in a noisy
+/// signal, dropped in beside [`IpcFloor`] so the `tournament` experiment
+/// can rank the two families.
+///
+/// The first `warmup` watched samples calibrate a reference level `μ` (their
+/// mean) without detecting anything — optionally after [`Cusum::skip`]ping
+/// some leading samples, so a monitor's cold-start ramp doesn't depress the
+/// calibrated baseline. After warmup the policy accumulates downward
+/// deviations beyond a drift allowance,
+///
+/// ```text
+/// S ← max(0, S + (μ − ipc − drift))
+/// ```
+///
+/// and fires when `S > threshold`, evicting co-running jobs matching the
+/// eviction rule (same defaults as [`IpcFloor`]) to the relief machine.
+/// Firing resets `S` to zero, so a persisting shift must re-accumulate the
+/// full threshold before firing again. Unlike a fixed floor, CUSUM needs no
+/// absolute "healthy" level up front — it reacts to a shift *relative to
+/// the job's own calibrated baseline*, and small dips below `μ − drift` are
+/// integrated over time instead of being ignored until a hard floor breaks.
+pub struct Cusum {
+    machine: String,
+    comm: String,
+    skip: usize,
+    warmup: usize,
+    drift: f64,
+    threshold: f64,
+    to: String,
+    mode: MigrationMode,
+    source: Option<String>,
+    evict: Option<EvictRule>,
+    seen: usize,
+    ref_sum: f64,
+    s: f64,
+    moved: HashSet<String>,
+}
+
+impl Cusum {
+    /// Watch `comm` on `machine`; calibrate over `warmup` samples, then
+    /// fire once the cumulative downward deviation (with `drift` slack per
+    /// sample) exceeds `threshold`, relieving onto `to`.
+    pub fn new(
+        machine: impl Into<String>,
+        comm: impl Into<String>,
+        warmup: usize,
+        drift: f64,
+        threshold: f64,
+        to: impl Into<String>,
+    ) -> Self {
+        assert!(warmup > 0, "CUSUM needs at least one calibration sample");
+        Cusum {
+            machine: machine.into(),
+            comm: comm.into(),
+            skip: 0,
+            warmup,
+            drift,
+            threshold,
+            to: to.into(),
+            mode: MigrationMode::Restart,
+            source: None,
+            evict: None,
+            seen: 0,
+            ref_sum: 0.0,
+            s: 0.0,
+            moved: HashSet::new(),
         }
-        out
+    }
+
+    /// Restrict the watched frames to one monitor's.
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Ignore the first `n` watched samples entirely — they neither
+    /// calibrate nor accumulate. A monitor observing a freshly-spawned job
+    /// reports a few ramping samples while caches and tiers warm; including
+    /// them in the calibration mean would depress `μ` below the true
+    /// healthy level and blind the detector to a later downward shift.
+    pub fn skip(mut self, n: usize) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Issue migrations in this mode (default [`MigrationMode::Restart`]).
+    pub fn mode(mut self, mode: MigrationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Install a custom eviction rule over the triggering frame's rows
+    /// (the watched victim itself is never evicted).
+    pub fn evicting(mut self, rule: impl FnMut(&Row) -> bool + 'static) -> Self {
+        self.evict = Some(Box::new(rule));
+        self
+    }
+
+    /// The cumulative sum's current value (test/diagnostic introspection).
+    pub fn statistic(&self) -> f64 {
+        self.s
+    }
+}
+
+impl SchedulerPolicy for Cusum {
+    fn name(&self) -> &str {
+        "cusum"
+    }
+
+    fn observe(&mut self, cf: &ClusterFrame) -> Vec<MigrationDecision> {
+        if cf.machine != self.machine || self.source.as_ref().is_some_and(|s| *s != cf.source) {
+            return Vec::new();
+        }
+        let Some(victim) = cf.frame.row_for_comm(&self.comm) else {
+            return Vec::new();
+        };
+        let Some(ipc) = victim.value("IPC").filter(|v| v.is_finite()) else {
+            return Vec::new();
+        };
+        if self.skip > 0 {
+            self.skip -= 1;
+            return Vec::new();
+        }
+        if self.seen < self.warmup {
+            self.seen += 1;
+            self.ref_sum += ipc;
+            return Vec::new();
+        }
+        let reference = self.ref_sum / self.warmup as f64;
+        self.s = (self.s + (reference - ipc - self.drift)).max(0.0);
+        if self.s <= self.threshold {
+            return Vec::new();
+        }
+        self.s = 0.0;
+        evict_corunners(
+            cf,
+            victim,
+            &self.machine,
+            &self.to,
+            self.mode,
+            &mut self.evict,
+            &mut self.moved,
+        )
     }
 }
 
@@ -281,6 +499,7 @@ mod tests {
                 tag: "batch".to_string(),
                 from: "node".to_string(),
                 to: "spare".to_string(),
+                mode: MigrationMode::Restart,
             }]
         );
         // A continued breach must re-accumulate the cooldown, and an
@@ -320,5 +539,97 @@ mod tests {
         ));
         assert_eq!(fired.len(), 1, "only the rule's matches are evicted");
         assert_eq!(fired[0].tag, "batch0");
+    }
+
+    #[test]
+    fn cusum_calibrates_then_fires_on_a_sustained_shift() {
+        // Warmup 3 samples at IPC ≈ 1.4 → reference 1.4. Drift 0.1,
+        // threshold 0.5: a drop to 1.0 deviates 0.4−0.1=0.3 per sample, so
+        // the second breached sample (S=0.6) crosses the threshold.
+        let mut p = Cusum::new("node", "victim", 3, 0.1, 0.5, "spare").mode(MigrationMode::Resume);
+        for t in 1..=3 {
+            assert!(p
+                .observe(&frame_at(t, vec![("victim", "u1", 1.4)]))
+                .is_empty());
+        }
+        // Small wobble within the drift allowance never accumulates.
+        assert!(p
+            .observe(&frame_at(4, vec![("victim", "u1", 1.35)]))
+            .is_empty());
+        assert_eq!(p.statistic(), 0.0, "wobble inside drift clamps to zero");
+        assert!(p
+            .observe(&frame_at(
+                5,
+                vec![("victim", "u1", 1.0), ("batch", "u2", 1.2)]
+            ))
+            .is_empty());
+        let fired = p.observe(&frame_at(
+            6,
+            vec![("victim", "u1", 1.0), ("batch", "u2", 1.2)],
+        ));
+        assert_eq!(
+            fired,
+            vec![MigrationDecision {
+                tag: "batch".to_string(),
+                from: "node".to_string(),
+                to: "spare".to_string(),
+                mode: MigrationMode::Resume,
+            }]
+        );
+        assert_eq!(p.statistic(), 0.0, "firing resets the statistic");
+        // The shift must re-accumulate before firing again, and the moved
+        // tag is never re-evicted.
+        assert!(p
+            .observe(&frame_at(
+                7,
+                vec![("victim", "u1", 1.0), ("batch", "u2", 1.2)]
+            ))
+            .is_empty());
+        assert!(p
+            .observe(&frame_at(
+                8,
+                vec![("victim", "u1", 1.0), ("batch", "u2", 1.2)]
+            ))
+            .is_empty());
+    }
+
+    #[test]
+    fn cusum_skip_discards_the_cold_start_ramp_from_calibration() {
+        // Without skip, the ramp samples (0.6, 0.9) would drag the
+        // reference mean to ~1.0 and a later dwell at 1.1 would never
+        // accumulate. Skipping them calibrates on the plateau (1.4).
+        let mut p = Cusum::new("node", "victim", 2, 0.05, 0.4, "spare").skip(2);
+        for (t, ipc) in [(1, 0.6), (2, 0.9), (3, 1.4), (4, 1.4)] {
+            assert!(p
+                .observe(&frame_at(t, vec![("victim", "u1", ipc)]))
+                .is_empty());
+        }
+        assert_eq!(p.statistic(), 0.0, "ramp and warmup never accumulate");
+        // Shift to 1.1: deviation 0.3−0.05=0.25 per sample; the second
+        // breached sample (S=0.5) crosses the 0.4 threshold.
+        assert!(p
+            .observe(&frame_at(
+                5,
+                vec![("victim", "u1", 1.1), ("batch", "u2", 1.2)]
+            ))
+            .is_empty());
+        let fired = p.observe(&frame_at(
+            6,
+            vec![("victim", "u1", 1.1), ("batch", "u2", 1.2)],
+        ));
+        assert_eq!(fired.len(), 1, "calibrated on the plateau, not the ramp");
+        assert_eq!(fired[0].tag, "batch");
+    }
+
+    #[test]
+    fn cusum_ignores_other_machines_and_unwatched_frames() {
+        let mut p = Cusum::new("node", "victim", 1, 0.0, 0.1, "spare").source("tiptop");
+        let mut elsewhere = frame_at(1, vec![("victim", "u1", 1.4)]);
+        elsewhere.machine = "other".to_string();
+        assert!(p.observe(&elsewhere).is_empty());
+        let mut wrong_source = frame_at(1, vec![("victim", "u1", 1.4)]);
+        wrong_source.source = "top".to_string();
+        assert!(p.observe(&wrong_source).is_empty());
+        assert_eq!(p.statistic(), 0.0, "ignored frames never calibrate");
     }
 }

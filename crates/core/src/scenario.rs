@@ -32,11 +32,12 @@
 //! assert!(frames[5].row_for_comm("hog").is_none(), "killed at t=5s");
 //! ```
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
 
 use tiptop_kernel::errno::Errno;
-use tiptop_kernel::kernel::{Kernel, KernelConfig};
+use tiptop_kernel::kernel::{Checkpoint, Kernel, KernelConfig};
 use tiptop_kernel::sched::CpuSet;
 use tiptop_kernel::task::Uid;
 use tiptop_kernel::task::{Pid, SpawnSpec};
@@ -126,6 +127,129 @@ pub enum WorkloadEvent {
     /// §3.4 interference experiments move tasks between SMT siblings and
     /// separate cores mid-run).
     Pin { tag: String, cpus: CpuSet },
+    /// Checkpoint the tagged task's progress, then SIGKILL it — the source
+    /// half of a resume-mode migration. The checkpoint is published on the
+    /// session's [`HandoffBoard`] under `(tag, instant)`. A tag whose
+    /// program already ran to completion has nothing to checkpoint; that
+    /// surfaces as a typed [`SessionError::InvalidDecision`].
+    CheckpointKill { tag: String },
+    /// Spawn a new incarnation of the tagged task from the checkpoint
+    /// published under `(tag, instant)` — the destination half of a
+    /// resume-mode migration. `spec` is the job's original spec, retained so
+    /// the tag stays re-migratable from here.
+    ResumeSpawn { tag: String, spec: SpawnSpec },
+}
+
+impl WorkloadEvent {
+    /// The tag this event targets.
+    pub(crate) fn tag(&self) -> &str {
+        match self {
+            WorkloadEvent::Spawn { tag, .. }
+            | WorkloadEvent::Kill { tag }
+            | WorkloadEvent::Renice { tag, .. }
+            | WorkloadEvent::Pin { tag, .. }
+            | WorkloadEvent::CheckpointKill { tag }
+            | WorkloadEvent::ResumeSpawn { tag, .. } => tag,
+        }
+    }
+
+    /// Does this event create a new incarnation of its tag?
+    fn is_spawn(&self) -> bool {
+        matches!(
+            self,
+            WorkloadEvent::Spawn { .. } | WorkloadEvent::ResumeSpawn { .. }
+        )
+    }
+
+    /// Does this event end its tag's current incarnation?
+    fn is_kill(&self) -> bool {
+        matches!(
+            self,
+            WorkloadEvent::Kill { .. } | WorkloadEvent::CheckpointKill { .. }
+        )
+    }
+}
+
+/// Cross-machine checkpoint transport for resume-mode migrations: the
+/// source machine's [`WorkloadEvent::CheckpointKill`] publishes the
+/// checkpoint under `(tag, instant)`, the destination's
+/// [`WorkloadEvent::ResumeSpawn`] takes it. Shared (via `Arc`) by every
+/// session of a cluster; the cluster's run loops order the two sides so a
+/// take never races its publish (see `crate::cluster`).
+///
+/// Keys stay registered after their checkpoint is taken, so the cluster's
+/// worker gating can distinguish "not yet produced" from "already consumed".
+#[derive(Debug, Default)]
+pub struct HandoffBoard {
+    inner: Mutex<BoardInner>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BoardInner {
+    /// `Some` until taken, then `None` (the key itself is never removed).
+    published: HashMap<(String, SimTime), Option<Checkpoint>>,
+    /// Shard indices whose run has finished (cleanly or not) — a consumer
+    /// waiting on a checkpoint its producer can no longer publish must fail
+    /// rather than wait forever.
+    done: Vec<bool>,
+}
+
+impl HandoffBoard {
+    pub(crate) fn new(shards: usize) -> Arc<Self> {
+        Arc::new(HandoffBoard {
+            inner: Mutex::new(BoardInner {
+                published: HashMap::new(),
+                done: vec![false; shards],
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn publish(&self, tag: &str, at: SimTime, cp: Checkpoint) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.published.insert((tag.to_string(), at), Some(cp));
+        self.cv.notify_all();
+    }
+
+    fn take(&self, tag: &str, at: SimTime) -> Option<Checkpoint> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .published
+            .get_mut(&(tag.to_string(), at))
+            .and_then(|slot| slot.take())
+    }
+
+    /// Has the checkpoint for `(tag, at)` ever been published?
+    pub(crate) fn is_published(&self, tag: &str, at: SimTime) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner.published.contains_key(&(tag.to_string(), at))
+    }
+
+    /// Record that shard `index`'s run is over; wakes every waiter.
+    pub(crate) fn mark_done(&self, index: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        if index < inner.done.len() {
+            inner.done[index] = true;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block until the checkpoint for `(tag, at)` is published, or until
+    /// shard `producer` finishes without publishing it (returns `false`).
+    pub(crate) fn wait_published(&self, tag: &str, at: SimTime, producer: usize) -> bool {
+        let key = (tag.to_string(), at);
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.published.contains_key(&key) {
+                return true;
+            }
+            if inner.done.get(producer).copied().unwrap_or(true) {
+                return false;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
 }
 
 /// Declarative description of an experiment: machine, seed, users, and a
@@ -222,25 +346,64 @@ impl Scenario {
         self
     }
 
-    /// The spawn event declared for `tag`, if any — the cluster layer reads
-    /// it to validate cross-machine migrations and to clone the job spec
-    /// onto the destination machine.
-    pub(crate) fn spawn_event(&self, tag: &str) -> Option<(SimTime, &SpawnSpec)> {
-        self.events.iter().find_map(|(at, ev)| match ev {
-            WorkloadEvent::Spawn { tag: t, spec } if t == tag => Some((*at, spec)),
-            _ => None,
-        })
-    }
-
-    /// The (first) kill event declared against `tag`, if any.
-    pub(crate) fn kill_event(&self, tag: &str) -> Option<SimTime> {
-        self.events
+    /// Every spawn-like event declared for `tag` (scripted spawns and
+    /// desugared resume-spawns alike), sorted by instant — the cluster layer
+    /// reads these to resolve which machine hosts a tag's *current*
+    /// incarnation when validating cross-machine migrations, and to clone
+    /// the job spec onto a migration's destination.
+    pub(crate) fn spawn_events(&self, tag: &str) -> Vec<(SimTime, &SpawnSpec)> {
+        let mut spawns: Vec<(SimTime, &SpawnSpec)> = self
+            .events
             .iter()
             .filter_map(|(at, ev)| match ev {
-                WorkloadEvent::Kill { tag: t } if t == tag => Some(*at),
+                WorkloadEvent::Spawn { tag: t, spec }
+                | WorkloadEvent::ResumeSpawn { tag: t, spec }
+                    if t == tag =>
+                {
+                    Some((*at, spec))
+                }
                 _ => None,
             })
-            .min()
+            .collect();
+        spawns.sort_by_key(|(at, _)| *at);
+        spawns
+    }
+
+    /// Every kill-like event declared against `tag`, sorted by instant.
+    pub(crate) fn kill_events(&self, tag: &str) -> Vec<SimTime> {
+        let mut kills: Vec<SimTime> = self
+            .events
+            .iter()
+            .filter_map(|(at, ev)| match ev {
+                WorkloadEvent::Kill { tag: t } | WorkloadEvent::CheckpointKill { tag: t }
+                    if t == tag =>
+                {
+                    Some(*at)
+                }
+                _ => None,
+            })
+            .collect();
+        kills.sort();
+        kills
+    }
+
+    /// Is some incarnation of `tag` live at instant `at`, per the declared
+    /// schedule? Each spawn is paired with the earliest following kill; an
+    /// incarnation killed at exactly `at` no longer counts as live.
+    pub(crate) fn tag_live_at(&self, tag: &str, at: SimTime) -> bool {
+        let spawns = self.spawn_events(tag);
+        let mut kills = self.kill_events(tag).into_iter().peekable();
+        for (s, _) in spawns {
+            // Consume kills that ended earlier incarnations.
+            while kills.peek().is_some_and(|k| *k < s) {
+                kills.next();
+            }
+            let end = kills.next();
+            if s <= at && end.is_none_or(|k| k > at) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Append an event in place (the by-value builder methods cover user
@@ -256,49 +419,58 @@ impl Scenario {
         // Stable by time: same-instant events keep their declaration order.
         self.events.sort_by_key(|(at, _)| *at);
 
-        let mut spawn_time: BTreeMap<&str, SimTime> = BTreeMap::new();
+        // First spawn instant per tag, for the "precedes its spawn" message.
+        let mut first_spawn: BTreeMap<&str, SimTime> = BTreeMap::new();
         for (at, ev) in &self.events {
-            if let WorkloadEvent::Spawn { tag, .. } = ev {
-                if spawn_time.insert(tag, *at).is_some() {
-                    return Err(SessionError::InvalidScenario(format!(
-                        "duplicate spawn tag '{tag}'"
-                    )));
-                }
+            if ev.is_spawn() {
+                first_spawn.entry(ev.tag()).or_insert(*at);
             }
         }
         // Walk in final apply order (sorted is stable, so same-instant
-        // events keep declaration order): every kill/renice/pin must see its
-        // tag already spawned and not yet killed — which also catches a kill
-        // declared *before* a same-instant spawn, and a renice scheduled
-        // after its target's kill.
-        let mut defined: std::collections::HashSet<&str> = std::collections::HashSet::new();
-        let mut killed: BTreeMap<&str, SimTime> = BTreeMap::new();
+        // events keep declaration order), tracking each tag's incarnation
+        // state. A tag may be spawned again once its previous incarnation
+        // is killed — that is what lets a migrated job return to a machine
+        // it already ran on — but two incarnations of one tag must never be
+        // live at once, and every kill/renice/pin must land inside a live
+        // incarnation.
+        #[derive(Clone, Copy)]
+        enum TagState {
+            Live,
+            Dead(SimTime),
+        }
+        let mut state: BTreeMap<&str, TagState> = BTreeMap::new();
         for (at, ev) in &self.events {
-            match ev {
-                WorkloadEvent::Spawn { tag, .. } => {
-                    defined.insert(tag);
+            let tag = ev.tag();
+            if ev.is_spawn() {
+                if matches!(state.get(tag), Some(TagState::Live)) {
+                    return Err(SessionError::InvalidScenario(format!(
+                        "duplicate spawn tag '{tag}': the previous incarnation is still \
+                         live at {at:?} (incarnations of one tag must not overlap)"
+                    )));
                 }
-                WorkloadEvent::Kill { tag }
-                | WorkloadEvent::Renice { tag, .. }
-                | WorkloadEvent::Pin { tag, .. } => {
-                    if !defined.contains(tag.as_str()) {
-                        return Err(match spawn_time.get(tag.as_str()) {
-                            None => SessionError::InvalidScenario(format!(
-                                "event against unknown tag '{tag}'"
-                            )),
-                            Some(spawned) => SessionError::InvalidScenario(format!(
-                                "event against '{tag}' at {at:?} precedes its spawn at \
-                                 {spawned:?} (same-instant events apply in declaration order)"
-                            )),
-                        });
-                    }
-                    if let Some(kill_at) = killed.get(tag.as_str()) {
-                        return Err(SessionError::InvalidScenario(format!(
-                            "event against '{tag}' at {at:?} follows its kill at {kill_at:?}"
-                        )));
-                    }
-                    if let WorkloadEvent::Kill { tag } = ev {
-                        killed.insert(tag, *at);
+                state.insert(tag, TagState::Live);
+                continue;
+            }
+            match state.get(tag) {
+                None => {
+                    return Err(match first_spawn.get(tag) {
+                        None => SessionError::InvalidScenario(format!(
+                            "event against unknown tag '{tag}'"
+                        )),
+                        Some(spawned) => SessionError::InvalidScenario(format!(
+                            "event against '{tag}' at {at:?} precedes its spawn at \
+                             {spawned:?} (same-instant events apply in declaration order)"
+                        )),
+                    });
+                }
+                Some(TagState::Dead(kill_at)) => {
+                    return Err(SessionError::InvalidScenario(format!(
+                        "event against '{tag}' at {at:?} follows its kill at {kill_at:?}"
+                    )));
+                }
+                Some(TagState::Live) => {
+                    if ev.is_kill() {
+                        state.insert(tag, TagState::Dead(*at));
                     }
                 }
             }
@@ -315,19 +487,21 @@ impl Scenario {
         // Retain every job spec by tag: a live migration decided mid-run
         // (see `ClusterSession::run_reactive`) re-spawns the job on its
         // destination machine from this copy.
-        let specs: BTreeMap<String, SpawnSpec> = self
-            .events
-            .iter()
-            .filter_map(|(_, ev)| match ev {
-                WorkloadEvent::Spawn { tag, spec } => Some((tag.clone(), spec.clone())),
-                _ => None,
-            })
-            .collect();
+        let specs: BTreeMap<String, SpawnSpec> =
+            self.events
+                .iter()
+                .filter_map(|(_, ev)| match ev {
+                    WorkloadEvent::Spawn { tag, spec }
+                    | WorkloadEvent::ResumeSpawn { tag, spec } => Some((tag.clone(), spec.clone())),
+                    _ => None,
+                })
+                .collect();
         let mut session = Session {
             kernel,
             pending: self.events.into(),
             pids: BTreeMap::new(),
             specs,
+            handoff: None,
         };
         session.apply_due()?;
         Ok(session)
@@ -341,10 +515,17 @@ pub struct Session {
     kernel: Kernel,
     /// Sorted by time (stable); front is next due.
     pending: VecDeque<(SimTime, WorkloadEvent)>,
-    pids: BTreeMap<String, Pid>,
+    /// Every incarnation a tag resolved to on this machine, in spawn order;
+    /// the last entry is the current one. A tag gets a new incarnation each
+    /// time it is (re-)spawned here — a job migrated away and back is the
+    /// same tag, a fresh pid.
+    pids: BTreeMap<String, Vec<Pid>>,
     /// Every tag's job spec (scripted and runtime-scheduled spawns alike),
     /// kept so a live migration can clone the job onto another machine.
     specs: BTreeMap<String, SpawnSpec>,
+    /// Checkpoint transport shared with the other sessions of a cluster;
+    /// `None` outside cluster runs (resume events then fail cleanly).
+    handoff: Option<Arc<HandoffBoard>>,
 }
 
 impl fmt::Debug for Session {
@@ -359,9 +540,23 @@ impl fmt::Debug for Session {
 }
 
 impl Session {
-    /// The pid a spawn tag resolved to (`None` until its spawn time).
+    /// The pid of the tag's *current* (latest) incarnation on this machine
+    /// (`None` until its first spawn time).
     pub fn pid(&self, tag: &str) -> Option<Pid> {
-        self.pids.get(tag).copied()
+        self.pids.get(tag).and_then(|v| v.last()).copied()
+    }
+
+    /// Every pid the tag has resolved to on this machine, in spawn order —
+    /// one entry per incarnation. A job that migrated away and came back
+    /// has two entries here.
+    pub fn incarnations(&self, tag: &str) -> &[Pid] {
+        self.pids.get(tag).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Attach the cluster's shared checkpoint transport (resume-mode
+    /// migrations publish/take through it).
+    pub(crate) fn attach_handoff(&mut self, board: Arc<HandoffBoard>) {
+        self.handoff = Some(board);
     }
 
     pub fn now(&self) -> SimTime {
@@ -395,22 +590,21 @@ impl Session {
         self.specs.get(tag)
     }
 
-    /// Time of the earliest not-yet-applied spawn of `tag`, if any.
+    /// Time of the earliest not-yet-applied spawn (or resume-spawn) of
+    /// `tag`, if any.
     fn pending_spawn(&self, tag: &str) -> Option<SimTime> {
-        self.pending.iter().find_map(|(at, ev)| match ev {
-            WorkloadEvent::Spawn { tag: t, .. } if t == tag => Some(*at),
-            _ => None,
-        })
+        self.pending
+            .iter()
+            .find_map(|(at, ev)| (ev.is_spawn() && ev.tag() == tag).then_some(*at))
     }
 
-    /// Time of the earliest not-yet-applied kill of `tag`, if any — the
-    /// reactive layer checks this so two live decisions cannot both claim
-    /// the same job.
+    /// Time of the earliest not-yet-applied kill (plain or checkpointing)
+    /// of `tag`, if any — the reactive layer checks this so two live
+    /// decisions cannot both claim the same job.
     pub(crate) fn pending_kill(&self, tag: &str) -> Option<SimTime> {
-        self.pending.iter().find_map(|(at, ev)| match ev {
-            WorkloadEvent::Kill { tag: t } if t == tag => Some(*at),
-            _ => None,
-        })
+        self.pending
+            .iter()
+            .find_map(|(at, ev)| (ev.is_kill() && ev.tag() == tag).then_some(*at))
     }
 
     /// Remove every not-yet-applied event targeting `tag` at exactly `at`
@@ -422,14 +616,8 @@ impl Session {
         let mut i = 0;
         while i < self.pending.len() {
             let (at_i, ev) = &self.pending[i];
-            let target = match ev {
-                WorkloadEvent::Spawn { tag: t, .. }
-                | WorkloadEvent::Kill { tag: t }
-                | WorkloadEvent::Renice { tag: t, .. }
-                | WorkloadEvent::Pin { tag: t, .. } => t,
-            };
-            if *at_i == at && target == tag {
-                if matches!(ev, WorkloadEvent::Spawn { .. }) && !self.pids.contains_key(tag) {
+            if *at_i == at && ev.tag() == tag {
+                if ev.is_spawn() && !self.pids.contains_key(tag) {
                     self.specs.remove(tag);
                 }
                 self.pending.remove(i);
@@ -447,10 +635,13 @@ impl Session {
     ///
     /// * `at` must not lie in the past (an event at exactly the current
     ///   instant is applied before this returns);
-    /// * a `Spawn` tag must be fresh — a tag resolves to one task per
-    ///   machine, ever, so a tag that already ran here cannot be reused;
-    /// * a `Kill`/`Renice`/`Pin` must target a tag that is spawned (or has
-    ///   a pending spawn no later than `at`) and has not already exited;
+    /// * a `Spawn` (or `ResumeSpawn`) starts a *new incarnation* of its
+    ///   tag — allowed once the previous incarnation is dead (or has a kill
+    ///   pending no later than `at`), rejected while it is live:
+    ///   incarnation addressing never aliases two live tasks;
+    /// * a `Kill`/`Renice`/`Pin` must target a tag whose current
+    ///   incarnation is spawned (or has a pending spawn no later than `at`)
+    ///   and has not already exited;
     /// * a `Kill` is rejected while another kill of the same tag is still
     ///   pending (two live decisions cannot both claim one job).
     ///
@@ -465,31 +656,40 @@ impl Session {
             )));
         }
         match &ev {
-            WorkloadEvent::Spawn { tag, .. } => {
-                if self.pids.contains_key(tag.as_str()) || self.pending_spawn(tag).is_some() {
+            WorkloadEvent::Spawn { tag, .. } | WorkloadEvent::ResumeSpawn { tag, .. } => {
+                if let Some(spawn_at) = self.pending_spawn(tag) {
                     return Err(SessionError::InvalidDecision(format!(
-                        "tag '{tag}' already names a task on this machine \
-                         (a tag resolves to one task per machine)"
+                        "tag '{tag}' already has a spawn pending at {spawn_at:?} \
+                         (incarnation addressing never aliases two live tasks)"
                     )));
+                }
+                if let Some(pid) = self.pid(tag) {
+                    let claimed = self.pending_kill(tag).is_some_and(|k| k <= at);
+                    if self.kernel.is_alive(pid) && !claimed {
+                        return Err(SessionError::InvalidDecision(format!(
+                            "tag '{tag}' already names a live task on this machine \
+                             (incarnation addressing never aliases two live tasks)"
+                        )));
+                    }
                 }
             }
             WorkloadEvent::Kill { tag }
+            | WorkloadEvent::CheckpointKill { tag }
             | WorkloadEvent::Renice { tag, .. }
             | WorkloadEvent::Pin { tag, .. } => {
-                if let (WorkloadEvent::Kill { .. }, Some(kill_at)) = (&ev, self.pending_kill(tag)) {
-                    return Err(SessionError::InvalidDecision(format!(
-                        "'{tag}' already has a kill pending at {kill_at:?}"
-                    )));
-                }
-                match self.pids.get(tag.as_str()) {
-                    Some(pid) => {
-                        if !self.kernel.is_alive(*pid) {
-                            return Err(SessionError::InvalidDecision(format!(
-                                "'{tag}' already exited"
-                            )));
-                        }
+                if ev.is_kill() {
+                    if let Some(kill_at) = self.pending_kill(tag) {
+                        return Err(SessionError::InvalidDecision(format!(
+                            "'{tag}' already has a kill pending at {kill_at:?}"
+                        )));
                     }
-                    None => match self.pending_spawn(tag) {
+                }
+                let live = self.pid(tag).is_some_and(|pid| self.kernel.is_alive(pid));
+                if !live {
+                    // The current incarnation is gone (or never spawned):
+                    // the event is only feasible against a pending respawn
+                    // that lands no later than `at`.
+                    match self.pending_spawn(tag) {
                         Some(spawn_at) if spawn_at <= at => {}
                         Some(spawn_at) => {
                             return Err(SessionError::InvalidDecision(format!(
@@ -497,16 +697,21 @@ impl Session {
                                  {spawn_at:?}"
                             )));
                         }
+                        None if self.pid(tag).is_some() => {
+                            return Err(SessionError::InvalidDecision(format!(
+                                "'{tag}' already exited"
+                            )));
+                        }
                         None => {
                             return Err(SessionError::InvalidDecision(format!(
                                 "no task tagged '{tag}' on this machine"
                             )));
                         }
-                    },
+                    }
                 }
             }
         }
-        if let WorkloadEvent::Spawn { tag, spec } = &ev {
+        if let WorkloadEvent::Spawn { tag, spec } | WorkloadEvent::ResumeSpawn { tag, spec } = &ev {
             self.specs.insert(tag.clone(), spec.clone());
         }
         // Keep `pending` sorted by time, stable: an event lands after every
@@ -535,7 +740,7 @@ impl Session {
     }
 
     fn resolved(&self, tag: &str) -> Result<Pid, SessionError> {
-        self.pids.get(tag).copied().ok_or_else(|| {
+        self.pid(tag).ok_or_else(|| {
             SessionError::InvalidScenario(format!(
                 "event against '{tag}' applied before its spawn (declare the spawn first \
                  when scheduling same-instant events)"
@@ -547,7 +752,53 @@ impl Session {
         match ev {
             WorkloadEvent::Spawn { tag, spec } => {
                 let pid = self.kernel.spawn(spec);
-                self.pids.insert(tag, pid);
+                self.pids.entry(tag).or_default().push(pid);
+            }
+            WorkloadEvent::CheckpointKill { tag } => {
+                let pid = self.resolved(&tag)?;
+                let now = self.kernel.now();
+                let cp = self.kernel.checkpoint(pid).map_err(|_| {
+                    // ESRCH from checkpoint() means the program already ran
+                    // to completion — there is nothing to resume, which a
+                    // resume-mode decision must surface as a typed error,
+                    // never as a zero-length resumed clone.
+                    SessionError::InvalidDecision(format!(
+                        "resume-mode kill of '{tag}' (pid {}) at {now:?}: the program \
+                         already ran to completion; nothing to checkpoint",
+                        pid.0
+                    ))
+                })?;
+                self.kernel
+                    .kill(pid)
+                    .map_err(|errno| SessionError::Syscall {
+                        call: "kill",
+                        pid,
+                        errno,
+                    })?;
+                match &self.handoff {
+                    Some(board) => board.publish(&tag, now, cp),
+                    None => {
+                        return Err(SessionError::InvalidDecision(format!(
+                            "checkpoint of '{tag}' has no handoff board to publish to \
+                             (resume migrations only run inside a cluster)"
+                        )))
+                    }
+                }
+            }
+            WorkloadEvent::ResumeSpawn { tag, spec: _ } => {
+                let now = self.kernel.now();
+                let cp = self
+                    .handoff
+                    .as_ref()
+                    .and_then(|board| board.take(&tag, now))
+                    .ok_or_else(|| {
+                        SessionError::InvalidDecision(format!(
+                            "no checkpoint published for '{tag}' at {now:?} (the source \
+                             machine did not produce one, or the handoff was misordered)"
+                        ))
+                    })?;
+                let pid = self.kernel.spawn_from_checkpoint(cp);
+                self.pids.entry(tag).or_default().push(pid);
             }
             WorkloadEvent::Kill { tag } => {
                 let pid = self.resolved(&tag)?;

@@ -1,0 +1,299 @@
+//! Checkpoint/restore contract tests: a resume-mode migration chain
+//! conserves the job's retired instruction count no matter how the hops
+//! are arranged — onward moves, round trips (`A→B→A`), random chains —
+//! and per-machine incarnation addressing never lets two live
+//! incarnations of one tag coexist.
+
+use tiptop_core::app::{Tiptop, TiptopOptions};
+use tiptop_core::cluster::{ClusterFrame, ClusterScenario, MachineRef};
+use tiptop_core::config::ScreenConfig;
+use tiptop_core::scenario::{Scenario, SessionError};
+use tiptop_kernel::program::Program;
+use tiptop_kernel::task::{SpawnSpec, Uid};
+use tiptop_machine::access::MemoryBehavior;
+use tiptop_machine::config::MachineConfig;
+use tiptop_machine::exec::ExecProfile;
+use tiptop_machine::time::{SimDuration, SimTime};
+
+/// Exactly 20e9 instructions: ~5.3s of work on the W3550, so hops at
+/// 1..=4s land while the job is still running.
+const JOB_INSNS: u64 = 20_000_000_000;
+
+fn job() -> Program {
+    Program::single(
+        ExecProfile::builder("job")
+            .base_cpi(0.8)
+            .branches(0.18, 0.0)
+            .memory(MemoryBehavior::uniform(16 * 1024))
+            .build(),
+        JOB_INSNS,
+    )
+}
+
+fn node(seed: u64) -> Scenario {
+    Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .seed(seed)
+        .user(Uid(1), "u1")
+}
+
+fn tool(delay_s: u64) -> Box<Tiptop> {
+    Box::new(Tiptop::new(
+        TiptopOptions::default()
+            .observer(Uid::ROOT)
+            .delay(SimDuration::from_secs(delay_s)),
+        ScreenConfig::default_screen(),
+    ))
+}
+
+fn rendered(frames: &[ClusterFrame]) -> String {
+    frames
+        .iter()
+        .map(|cf| {
+            format!(
+                "[{} #{} {}]\n{}",
+                cf.machine,
+                cf.seq,
+                cf.source,
+                cf.frame.render()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// What an unmigrated run retires: the whole program, by construction.
+fn baseline_total() -> u64 {
+    let mut session = node(1)
+        .spawn("job", SpawnSpec::new("job", Uid(1), job()).seed(5))
+        .build()
+        .unwrap();
+    let mut tool = Tiptop::new(
+        TiptopOptions::default()
+            .observer(Uid::ROOT)
+            .delay(SimDuration::from_secs(1)),
+        ScreenConfig::default_screen(),
+    );
+    let _ = session.run(&mut tool, 7).unwrap();
+    let rec = session
+        .kernel()
+        .exit_record(session.pid("job").unwrap())
+        .expect("unmigrated job finishes within 7s");
+    rec.total_instructions
+}
+
+#[test]
+fn resume_round_trip_conserves_instructions_and_is_byte_identical() {
+    // A→B→A: the job leaves home at 2s, comes back at 4s, and still
+    // finishes as one program — the second incarnation on node-a reports
+    // the whole job's totals.
+    let run_at = |threads: usize| {
+        let mut session = ClusterScenario::new()
+            .machine(
+                "node-a",
+                node(1).spawn("job", SpawnSpec::new("job", Uid(1), job()).seed(5)),
+            )
+            .machine("node-b", node(2))
+            .resume_at(SimTime::from_secs(2), "job", "node-a", "node-b")
+            .resume_at(SimTime::from_secs(4), "job", "node-b", "node-a")
+            .build()
+            .unwrap();
+        let frames = session
+            .run_collect(threads, 7, |_m: MachineRef<'_>| tool(1))
+            .unwrap();
+        (rendered(&frames), session)
+    };
+    let (golden, session) = run_at(1);
+
+    let a = session.session("node-a").unwrap();
+    let b = session.session("node-b").unwrap();
+    assert_eq!(
+        a.incarnations("job").len(),
+        2,
+        "home hosts two incarnations"
+    );
+    assert_eq!(b.incarnations("job").len(), 1);
+
+    // The first two incarnations end exactly at their hop instants; the
+    // last one retires the *whole job's* instruction count — conservation.
+    let first = a.kernel().exit_record(a.incarnations("job")[0]).unwrap();
+    assert_eq!(first.end_time, SimTime::from_secs(2));
+    let middle = b.kernel().exit_record(b.incarnations("job")[0]).unwrap();
+    assert_eq!(middle.start_time, SimTime::from_secs(2));
+    assert_eq!(middle.end_time, SimTime::from_secs(4));
+    let last = a.kernel().exit_record(a.incarnations("job")[1]).unwrap();
+    assert_eq!(last.start_time, SimTime::from_secs(4));
+    assert_eq!(last.total_instructions, JOB_INSNS);
+    assert_eq!(last.total_instructions, baseline_total());
+    assert!(last.end_time < SimTime::from_secs(7), "finished mid-run");
+
+    assert_eq!(session.handovers().len(), 2);
+
+    // Byte-identical merged streams at 1/2/8 worker threads.
+    for threads in [2, 8] {
+        let (stream, _) = run_at(threads);
+        assert_eq!(golden, stream, "{threads} workers must not change one byte");
+    }
+}
+
+#[test]
+fn random_resume_chains_conserve_instructions_and_never_alias_live_tasks() {
+    // Deterministic LCG: random chained-hop scripts over three machines,
+    // including round trips, all sharing one invariant pair — the final
+    // incarnation retires exactly the unmigrated total, and at no instant
+    // do two incarnations of the tag live at once.
+    let machines = ["node-a", "node-b", "node-c"];
+    let expected = baseline_total();
+    let mut state: u64 = 0x5eed_cafe_f00d_1234;
+    let mut next = |m: u64| -> u64 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+    for script in 0..5 {
+        let hops = 1 + next(4) as usize; // 1..=4 hops at 1s, 2s, ...
+        let mut cluster = ClusterScenario::new()
+            .machine(
+                machines[0],
+                node(1).spawn("job", SpawnSpec::new("job", Uid(1), job()).seed(5)),
+            )
+            .machine(machines[1], node(2))
+            .machine(machines[2], node(3));
+        let mut at_home = 0usize;
+        let mut path = vec![at_home];
+        for hop in 0..hops {
+            let to = {
+                let step = 1 + next(machines.len() as u64 - 1) as usize;
+                (at_home + step) % machines.len()
+            };
+            cluster = cluster.resume_at(
+                SimTime::from_secs(1 + hop as u64),
+                "job",
+                machines[at_home],
+                machines[to],
+            );
+            at_home = to;
+            path.push(to);
+        }
+        let mut session = cluster
+            .build()
+            .unwrap_or_else(|e| panic!("script {script} path {path:?}: {e:?}"));
+        session
+            .run_collect(2, 7, |_m: MachineRef<'_>| tool(1))
+            .unwrap_or_else(|e| panic!("script {script} path {path:?}: {e:?}"));
+
+        // Conservation: the final incarnation's exit record equals the
+        // unmigrated run's retired total.
+        let home = session.session(machines[at_home]).unwrap();
+        let pid = *home.incarnations("job").last().unwrap();
+        let exit = home
+            .kernel()
+            .exit_record(pid)
+            .unwrap_or_else(|| panic!("script {script} path {path:?}: job unfinished"));
+        assert_eq!(exit.total_instructions, expected, "path {path:?}");
+
+        // No aliasing: collect every incarnation's [start, end) lifetime
+        // across all machines; sorted, they must tile without overlap.
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for m in machines {
+            let s = session.session(m).unwrap();
+            for &pid in s.incarnations("job") {
+                let rec = s.kernel().exit_record(pid).unwrap();
+                spans.push((rec.start_time.as_nanos(), rec.end_time.as_nanos()));
+            }
+        }
+        assert_eq!(spans.len(), hops + 1, "one incarnation per hop + origin");
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            assert!(
+                pair[1].0 >= pair[0].1,
+                "path {path:?}: incarnations {pair:?} alias — two live at once"
+            );
+        }
+    }
+}
+
+#[test]
+fn incarnation_addressing_rejects_aliasing_and_dead_sources_at_build() {
+    let base = || {
+        ClusterScenario::new()
+            .machine(
+                "node-a",
+                node(1).spawn("job", SpawnSpec::new("job", Uid(1), job()).seed(5)),
+            )
+            .machine(
+                "node-b",
+                node(2).spawn("job", SpawnSpec::new("job", Uid(1), job()).seed(6)),
+            )
+    };
+
+    // Destination already carries a live incarnation of the tag: the hop
+    // would alias two live tasks under one address — rejected.
+    let err = base()
+        .resume_at(SimTime::from_secs(2), "job", "node-a", "node-b")
+        .build()
+        .unwrap_err();
+    match err {
+        SessionError::InvalidScenario(msg) => {
+            assert!(msg.contains("destination already carries"), "{msg}")
+        }
+        other => panic!("expected InvalidScenario, got {other:?}"),
+    }
+
+    // After node-b's own incarnation dies, the same hop validates: the
+    // address is free again.
+    ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1).spawn("job", SpawnSpec::new("job", Uid(1), job()).seed(5)),
+        )
+        .machine(
+            "node-b",
+            node(2)
+                .spawn("job", SpawnSpec::new("job", Uid(1), job()).seed(6))
+                .kill_at(SimTime::from_secs(1), "job"),
+        )
+        .resume_at(SimTime::from_secs(2), "job", "node-a", "node-b")
+        .build()
+        .expect("dead incarnation frees the address");
+
+    // A hop out of a machine whose incarnation is already gone names a
+    // dead source — rejected with the kill instant.
+    let err = ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1)
+                .spawn("job", SpawnSpec::new("job", Uid(1), job()).seed(5))
+                .kill_at(SimTime::from_secs(1), "job"),
+        )
+        .machine("node-b", node(2))
+        .resume_at(SimTime::from_secs(2), "job", "node-a", "node-b")
+        .build()
+        .unwrap_err();
+    match err {
+        SessionError::InvalidScenario(msg) => {
+            assert!(msg.contains("already gone"), "{msg}")
+        }
+        other => panic!("expected InvalidScenario, got {other:?}"),
+    }
+
+    // Two resume hops of one tag cannot share an instant: both would key
+    // the same checkpoint slot on the handoff board.
+    let err = ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1).spawn("job", SpawnSpec::new("job", Uid(1), job()).seed(5)),
+        )
+        .machine("node-b", node(2))
+        .machine("node-c", node(3))
+        .resume_at(SimTime::from_secs(2), "job", "node-a", "node-b")
+        .resume_at(SimTime::from_secs(2), "job", "node-b", "node-c")
+        .build()
+        .unwrap_err();
+    match err {
+        SessionError::InvalidScenario(msg) => {
+            assert!(msg.contains("shares this instant"), "{msg}")
+        }
+        other => panic!("expected InvalidScenario, got {other:?}"),
+    }
+}

@@ -12,7 +12,7 @@ use tiptop_core::cluster::{
 };
 use tiptop_core::config::ScreenConfig;
 use tiptop_core::monitor::Monitor;
-use tiptop_core::reactive::{MigrationDecision, SchedulerPolicy};
+use tiptop_core::reactive::{MigrationDecision, MigrationMode, SchedulerPolicy};
 use tiptop_core::render::Frame;
 use tiptop_core::scenario::{Scenario, SessionError};
 use tiptop_kernel::kernel::Kernel;
@@ -448,15 +448,23 @@ fn migrate_at_is_validated_across_machines_at_build_time() {
     let e = err(onto_occupied);
     assert!(e.contains("destination already carries"), "{e}");
 
-    // Round trips are rejected with a dedicated message: after a->b, the
-    // job cannot come back to a (a tag resolves to one task per machine).
-    let e = err(base().migrate_at(at, "job", "a", "b").migrate_at(
-        SimTime::from_secs(4),
-        "job",
-        "b",
-        "a",
-    ));
-    assert!(e.contains("round-trip migrations are not supported"), "{e}");
+    // Round trips validate: a tag resolves to a (machine, incarnation)
+    // pair, so after a->b the job can come back to a as a fresh
+    // incarnation — but only once its previous stay on a is over, which
+    // the chronological walk checks per hop.
+    assert!(base()
+        .migrate_at(at, "job", "a", "b")
+        .migrate_at(SimTime::from_secs(4), "job", "b", "a")
+        .build()
+        .is_ok());
+
+    // The incarnation-aware walk still rejects a hop whose source stay is
+    // already over: after a->b->a the job is gone from b.
+    let e = err(base()
+        .migrate_at(at, "job", "a", "b")
+        .migrate_at(SimTime::from_secs(4), "job", "b", "a")
+        .migrate_at(SimTime::from_secs(6), "job", "b", "a"));
+    assert!(e.contains("already gone"), "{e}");
 
     // And a well-formed migration builds.
     assert!(base().migrate_at(at, "job", "a", "b").build().is_ok());
@@ -906,6 +914,7 @@ fn reactive_migration_is_byte_identical_at_1_2_and_8_threads() {
                 tag: "job".to_string(),
                 from: "node-a".to_string(),
                 to: "node-b".to_string(),
+                mode: MigrationMode::Restart,
             },
             fired: false,
         })];
@@ -1032,6 +1041,7 @@ fn infeasible_live_decisions_are_typed_errors_and_leave_the_cluster_runnable() {
         tag: tag.to_string(),
         from: from.to_string(),
         to: to.to_string(),
+        mode: MigrationMode::Restart,
     };
 
     // The headline case: migrating a tag that just exited.
@@ -1154,6 +1164,7 @@ fn conflicting_same_round_decisions_cannot_both_claim_one_job() {
                 tag: "job".to_string(),
                 from: "node-a".to_string(),
                 to: to.to_string(),
+                mode: MigrationMode::Restart,
             },
             fired: false,
         }) as Box<dyn SchedulerPolicy>
@@ -1204,6 +1215,7 @@ fn decision_on_the_final_round_still_applies() {
             tag: "job".to_string(),
             from: "node-a".to_string(),
             to: "node-b".to_string(),
+            mode: MigrationMode::Restart,
         },
         fired: false,
     })];
@@ -1282,6 +1294,7 @@ fn half_applied_decision_on_error_is_completed_and_recorded() {
             tag: "job".to_string(),
             from: "node-a".to_string(),
             to: "node-b".to_string(),
+            mode: MigrationMode::Restart,
         },
         fired: false,
     })];
@@ -1369,6 +1382,7 @@ fn misfired_kill_racing_a_natural_exit_reverts_the_destination_clone() {
             tag: "job".to_string(),
             from: "node-a".to_string(),
             to: "node-b".to_string(),
+            mode: MigrationMode::Restart,
         },
         fired: false,
     })];
@@ -1403,6 +1417,162 @@ fn misfired_kill_racing_a_natural_exit_reverts_the_destination_clone() {
     assert!(frames
         .iter()
         .all(|cf| cf.frame.row_for_comm("job").is_none()));
+}
+
+#[test]
+fn misfired_resume_kill_is_a_typed_invalid_decision_and_reverts_the_clone() {
+    // The resume-mode twin of the misfired-kill race above: the policy
+    // fires at t=1s while the job is alive, scheduling CheckpointKill +
+    // ResumeSpawn at the 1.5s boundary — but the job retires its last
+    // instruction at ~1.14s, so there is nothing left to checkpoint. That
+    // must surface as a *typed* InvalidDecision (not a zombie ESRCH, and
+    // never a zero-length resumed clone on the destination).
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .epoch(SimDuration::from_millis(500))
+            .user(Uid(1), "u1")
+    };
+    let near_done = Program::single(
+        ExecProfile::builder("spin")
+            .base_cpi(0.8)
+            .branches(0.18, 0.0)
+            .memory(MemoryBehavior::uniform(16 * 1024))
+            .build(),
+        1_000_000_000,
+    );
+    let mut session = ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1).spawn("job", SpawnSpec::new("job", Uid(1), near_done)),
+        )
+        .machine("node-b", node(2))
+        .build()
+        .unwrap();
+    let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![Box::new(MigrateOnSeq {
+        machine: "node-a",
+        on_seq: 0,
+        decision: MigrationDecision {
+            tag: "job".to_string(),
+            from: "node-a".to_string(),
+            to: "node-b".to_string(),
+            mode: MigrationMode::Resume,
+        },
+        fired: false,
+    })];
+    let mut sink = ClusterCollectSink::new();
+    let err = session
+        .run_reactive(2, 4, |_| vec![tool(1)], &mut policies, &mut sink)
+        .unwrap_err();
+    assert!(
+        matches!(&err, SessionError::InvalidDecision(msg)
+            if msg.contains("already ran to completion")),
+        "got {err:?}"
+    );
+    // The job finished on its own, before the boundary; no handover is
+    // recorded and the destination carries no resumed clone.
+    let a = session.session("node-a").unwrap();
+    let exited = a.kernel().exit_record(a.pid("job").unwrap()).unwrap();
+    assert!(exited.end_time < SimTime(1_500_000_000), "natural exit");
+    assert!(session.handovers().is_empty());
+    let b = session.session("node-b").unwrap();
+    if let Some(pid) = b.pid("job") {
+        assert!(
+            !b.kernel().is_alive(pid),
+            "a zero-length resumed clone must never appear"
+        );
+    }
+    // A later run shows no resurrected job anywhere.
+    let frames = session.run_collect(2, 2, |_| tool(1)).unwrap();
+    assert!(frames
+        .iter()
+        .all(|cf| cf.frame.row_for_comm("job").is_none()));
+}
+
+#[test]
+fn reactive_resume_migration_conserves_instructions_and_is_byte_identical() {
+    // A finite 20e9-instruction job: unmigrated it retires its last
+    // instruction at ~5.3s on the W3550. A resume-mode decision fires on
+    // node-a's third frame (t=3s) and applies at the 3.02s boundary; the
+    // job continues *mid-program* on node-b and must end with exactly the
+    // whole job's totals — restart-from-zero would never finish inside
+    // this run.
+    let finite = || {
+        Program::single(
+            ExecProfile::builder("job")
+                .base_cpi(0.8)
+                .branches(0.18, 0.0)
+                .memory(MemoryBehavior::uniform(16 * 1024))
+                .build(),
+            20_000_000_000,
+        )
+    };
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+    };
+    let run_at = |threads: usize| {
+        let mut session = ClusterScenario::new()
+            .machine(
+                "node-a",
+                node(1).spawn("job", SpawnSpec::new("job", Uid(1), finite()).seed(5)),
+            )
+            .machine("node-b", node(2))
+            .build()
+            .unwrap();
+        let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![Box::new(MigrateOnSeq {
+            machine: "node-a",
+            on_seq: 2,
+            decision: MigrationDecision {
+                tag: "job".to_string(),
+                from: "node-a".to_string(),
+                to: "node-b".to_string(),
+                mode: MigrationMode::Resume,
+            },
+            fired: false,
+        })];
+        let mut sink = ClusterCollectSink::new();
+        let applied = session
+            .run_reactive(threads, 8, |_| vec![tool(1)], &mut policies, &mut sink)
+            .unwrap();
+        (rendered(sink.frames()), applied, session)
+    };
+    let (golden, applied, session) = run_at(1);
+
+    assert_eq!(applied.len(), 1);
+    assert_eq!(applied[0].mode, MigrationMode::Resume);
+    assert_eq!(applied[0].applied_at.as_nanos(), 3_020_000_000);
+    assert_eq!(session.handovers().len(), 1);
+    assert_eq!(session.handovers()[0].mode, MigrationMode::Resume);
+
+    // Conservation: the resumed incarnation's exit record reports the
+    // *whole job's* retired instructions, and node-b only ran the
+    // remainder (well under the from-zero ~6.9s).
+    let b = session.session("node-b").unwrap();
+    let exit = b
+        .kernel()
+        .exit_record(b.pid("job").expect("resumed on b"))
+        .expect("finished on b inside the run");
+    assert_eq!(exit.total_instructions, 20_000_000_000);
+    assert_eq!(exit.start_time, applied[0].applied_at);
+    assert!(
+        exit.end_time.as_nanos() - exit.start_time.as_nanos() < 5_000_000_000,
+        "resumed mid-program, not restarted: ran {}ns on b",
+        exit.end_time.as_nanos() - exit.start_time.as_nanos()
+    );
+    // The source incarnation was checkpoint-killed exactly at the handover.
+    let a = session.session("node-a").unwrap();
+    let cut = a.kernel().exit_record(a.pid("job").unwrap()).unwrap();
+    assert_eq!(cut.end_time, applied[0].applied_at);
+
+    // Byte-identical merged streams at 1/2/8 worker threads.
+    for threads in [2, 8] {
+        let (stream, applied_n, _) = run_at(threads);
+        assert_eq!(golden, stream, "{threads} workers must not change one byte");
+        assert_eq!(applied_n.len(), 1);
+        assert_eq!(applied_n[0].applied_at, applied[0].applied_at);
+    }
 }
 
 #[test]

@@ -15,12 +15,15 @@ use tiptop_machine::pmu::{EventCounts, HwEvent, PmuCapabilities};
 use tiptop_machine::time::{SimDuration, SimTime};
 use tiptop_machine::topology::PuId;
 
+use tiptop_machine::access::TaskStream;
+
 use crate::engine::{EpochEngine, PerfCharge};
 use crate::errno::Errno;
 use crate::perf::{
     multiplex_active, PerfCounter, PerfEventAttr, PerfFd, PerfValue, MAX_FDS_PER_OBSERVER,
 };
 use crate::procfs::ProcStat;
+use crate::program::{Program, ProgramCursor};
 use crate::sched::CpuSet;
 use crate::task::{Pid, SpawnSpec, Task, TaskState, Uid};
 
@@ -68,6 +71,37 @@ pub struct ExitRecord {
     pub utime: SimDuration,
     pub total_instructions: u64,
     pub ground_truth: EventCounts,
+}
+
+/// A snapshot of a live task, taken at kill time, carrying everything needed
+/// to resume the task *mid-program* on this or another kernel: identity and
+/// scheduling attributes, the program with its cursor, accumulated
+/// instruction/event accounting, and the address-stream state (so the
+/// resumed task continues the exact access sequence, not a replay).
+///
+/// Produced by [`Kernel::checkpoint`], consumed by
+/// [`Kernel::spawn_from_checkpoint`]. `Clone` so a grid scheduler can hold a
+/// checkpoint while deciding where to place it.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    pub comm: String,
+    pub uid: Uid,
+    pub nice: i32,
+    pub affinity: CpuSet,
+    pub program: Program,
+    /// Where in the program execution stopped; the resumed task picks up
+    /// from this cursor rather than instruction zero.
+    pub cursor: ProgramCursor,
+    pub total_instructions: u64,
+    pub ground_truth: EventCounts,
+    pub utime: SimDuration,
+    pub stime: SimDuration,
+    pub cpi_hint: f64,
+    /// Address-stream state; re-namespaced under the destination pid's asid
+    /// at resume so checkpointed lines never alias another task's.
+    pub stream: TaskStream,
+    /// Instant the snapshot was taken (source-kernel clock).
+    pub taken_at: SimTime,
 }
 
 /// The simulated operating system.
@@ -216,6 +250,74 @@ impl Kernel {
         let task = self.tasks.get_mut(&pid).ok_or(Errno::ESRCH)?;
         task.affinity = cpus;
         Ok(())
+    }
+
+    /// Snapshot a live task's progress for later resumption (typically
+    /// immediately before [`Kernel::kill`] on a migration). `ESRCH` if the
+    /// task is unknown, already reaped, **or a zombie** — a program that ran
+    /// to completion has nothing left to resume, and callers must treat
+    /// that as "the job already finished", not as an empty checkpoint.
+    pub fn checkpoint(&self, pid: Pid) -> Result<Checkpoint, Errno> {
+        let t = self.tasks.get(&pid).ok_or(Errno::ESRCH)?;
+        if t.state == TaskState::Zombie {
+            return Err(Errno::ESRCH);
+        }
+        Ok(Checkpoint {
+            comm: t.comm.clone(),
+            uid: t.uid,
+            nice: t.nice,
+            affinity: t.affinity,
+            program: t.program.clone(),
+            cursor: t.cursor.clone(),
+            total_instructions: t.total_instructions,
+            ground_truth: t.ground_truth,
+            utime: t.utime,
+            stime: t.stime,
+            cpi_hint: t.cpi_hint,
+            stream: t.stream.clone(),
+            taken_at: self.engine.now(),
+        })
+    }
+
+    /// Resume a checkpointed task under a fresh pid. The task restarts
+    /// scheduling from scratch (fresh `start_time`, CFS-newcomer vruntime)
+    /// but continues the *program* from the checkpointed cursor with its
+    /// accumulated instruction/event accounting and address-stream state
+    /// intact — so its eventual [`ExitRecord`] reports whole-job totals, as
+    /// if the job had never moved. A pin that allows no PU of this machine's
+    /// topology falls back to no pin (the destination may be smaller than
+    /// the source).
+    pub fn spawn_from_checkpoint(&mut self, cp: Checkpoint) -> Pid {
+        let num_pus = self.cfg.machine.topology.num_pus();
+        let affinity = if (0..num_pus).any(|p| cp.affinity.allows(PuId(p))) {
+            cp.affinity
+        } else {
+            CpuSet::all()
+        };
+        let spec = SpawnSpec::new(cp.comm, cp.uid, cp.program)
+            .nice(cp.nice)
+            .affinity(affinity);
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let mut task = Task::new(pid, spec, self.engine.now());
+        task.cursor = cp.cursor;
+        task.total_instructions = cp.total_instructions;
+        task.ground_truth = cp.ground_truth;
+        task.utime = cp.utime;
+        task.stime = cp.stime;
+        task.cpi_hint = cp.cpi_hint;
+        task.stream = cp.stream.with_asid(pid.0 as u64);
+        let min_vr = self
+            .tasks
+            .values()
+            .filter(|t| t.state == TaskState::Runnable)
+            .map(|t| t.vruntime)
+            .fold(f64::INFINITY, f64::min);
+        if min_vr.is_finite() {
+            task.vruntime = min_vr;
+        }
+        self.tasks.insert(pid, task);
+        pid
     }
 
     /// Has the task exited (or never existed)?

@@ -52,7 +52,7 @@ pub mod world;
 
 pub use engine::{EpochEngine, PerfCharge};
 pub use errno::Errno;
-pub use kernel::{ExitRecord, Kernel, KernelConfig};
+pub use kernel::{Checkpoint, ExitRecord, Kernel, KernelConfig};
 pub use perf::{EventSel, GenericEvent, PerfEventAttr, PerfFd, PerfValue};
 pub use procfs::ProcStat;
 pub use program::{Continuation, NextWork, Phase, Program, ProgramCursor};
@@ -63,7 +63,7 @@ pub use world::World;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::errno::Errno;
-    pub use crate::kernel::{Kernel, KernelConfig};
+    pub use crate::kernel::{Checkpoint, Kernel, KernelConfig};
     pub use crate::perf::{EventSel, GenericEvent, PerfEventAttr, PerfFd, PerfValue};
     pub use crate::procfs::ProcStat;
     pub use crate::program::{Phase, Program};
@@ -515,6 +515,107 @@ mod kernel_tests {
             k.ground_truth(pid).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn checkpoint_resume_conserves_instruction_count() {
+        const INSNS: u64 = 1_000_000_000;
+        // Baseline: the job runs to completion on one kernel.
+        let mut base = kernel();
+        let pid = base.spawn(SpawnSpec::new(
+            "job",
+            Uid(1),
+            Program::single(spin_profile(), INSNS),
+        ));
+        base.advance(SimDuration::from_secs(2));
+        let baseline = base.exit_record(pid).unwrap().total_instructions;
+        assert_eq!(baseline, INSNS);
+
+        // Migrated: run partway on A, checkpoint at kill time, resume on B.
+        let mut a = kernel();
+        let pid_a = a.spawn(SpawnSpec::new(
+            "job",
+            Uid(1),
+            Program::single(spin_profile(), INSNS),
+        ));
+        a.advance(SimDuration::from_millis(100));
+        let cp = a.checkpoint(pid_a).unwrap();
+        a.kill(pid_a).unwrap();
+        let done_at_kill = cp.total_instructions;
+        assert!(
+            done_at_kill > 0 && done_at_kill < INSNS,
+            "checkpoint taken mid-program: {done_at_kill}"
+        );
+        let mut b = kernel();
+        let pid_b = b.spawn_from_checkpoint(cp);
+        assert_eq!(
+            b.stat(pid_b).unwrap().ground_truth_instructions,
+            done_at_kill,
+            "resumed task carries its accumulated progress"
+        );
+        b.advance(SimDuration::from_secs(2));
+        assert!(!b.is_alive(pid_b), "resumed job ran to completion");
+        let rec = b.exit_record(pid_b).unwrap();
+        assert_eq!(
+            rec.total_instructions, baseline,
+            "whole-job instruction count conserved across the migration"
+        );
+        assert!(
+            rec.end_time < SimTime::from_secs(1),
+            "resumed job finishes the remainder, not the whole program"
+        );
+    }
+
+    #[test]
+    fn checkpoint_of_unknown_or_completed_task_is_esrch() {
+        let mut k = kernel();
+        assert_eq!(k.checkpoint(Pid(9999)).unwrap_err(), Errno::ESRCH);
+        let pid = k.spawn(SpawnSpec::new(
+            "short",
+            Uid(1),
+            Program::single(spin_profile(), 1_000_000),
+        ));
+        k.advance(SimDuration::from_secs(1));
+        assert!(!k.is_alive(pid), "program ran to completion");
+        assert_eq!(
+            k.checkpoint(pid).unwrap_err(),
+            Errno::ESRCH,
+            "a finished job has nothing to resume"
+        );
+        // A zombie awaiting reaping is equally unresumable.
+        let pid2 = k.spawn(SpawnSpec::new(
+            "z",
+            Uid(1),
+            Program::endless(spin_profile()),
+        ));
+        k.kill(pid2).unwrap();
+        assert_eq!(k.checkpoint(pid2).unwrap_err(), Errno::ESRCH);
+    }
+
+    #[test]
+    fn resume_remaps_stream_and_relaxes_impossible_pins() {
+        let mut a = kernel();
+        let pid_a = a.spawn(
+            SpawnSpec::new("pinned", Uid(1), Program::endless(spin_profile()))
+                .affinity(CpuSet::single(tiptop_machine::topology::PuId(7)))
+                .nice(5),
+        );
+        a.advance(SimDuration::from_millis(100));
+        let cp = a.checkpoint(pid_a).unwrap();
+        assert_eq!(cp.nice, 5);
+
+        // Destination with fewer PUs than the pin names: pin falls away.
+        let mut small = MachineConfig::nehalem_w3550().noiseless();
+        small.topology = tiptop_machine::topology::Topology::new(1, 1, 2, 4096);
+        let mut b = Kernel::new(KernelConfig::new(small).seed(42));
+        let pid_b = b.spawn_from_checkpoint(cp);
+        let st = b.stat(pid_b).unwrap();
+        assert_eq!(st.nice, 5, "nice survives the migration");
+        b.advance(SimDuration::from_millis(100));
+        assert!(
+            b.stat(pid_b).unwrap().cpu_time() > SimDuration::ZERO,
+            "task runs despite the stale pin"
+        );
     }
 
     #[test]

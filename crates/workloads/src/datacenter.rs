@@ -272,9 +272,85 @@ pub fn grid_script(scale: f64) -> GridScript {
     }
 }
 
+/// The checkpoint-tournament script: the Figure 10 cast rearranged so the
+/// scheduling question is *how* to migrate, not whether. user1 keeps an
+/// endless canary (`sim-fluid`) on the contended node and submits one
+/// **finite** batch job (`sim-batch`) — the payload a scheduler can
+/// relocate to the spare node either restart-from-zero or
+/// checkpoint/resume. user2's five burst jobs are finite too (~1.5× the
+/// grid dwell), so even an unrelieved node eventually drains.
+pub struct TournamentScript {
+    /// user1's endless canary — the IPC series the detectors watch.
+    pub canary: Job,
+    /// user1's finite batch job — the one the scheduler relocates.
+    pub payload: Job,
+    /// Exactly the instructions the payload retires, for conservation
+    /// checks across restart/resume cells.
+    pub payload_insns: u64,
+    /// user2's five finite burst jobs, arriving together at `arrival`.
+    pub aggressors: Vec<Job>,
+    /// When the burst arrives.
+    pub arrival: SimDuration,
+    /// The grid dwell the detectors are calibrated against.
+    pub dwell: SimDuration,
+}
+
+/// Build the tournament script. `scale` compresses time like
+/// [`grid_script`]; the payload carries ~2000 scaled seconds of work so it
+/// is still mid-program when any reasonable detector fires, and the burst
+/// carries ~1.5 dwells so an unrelieved node drains on its own.
+pub fn tournament_script(scale: f64) -> TournamentScript {
+    assert!(scale > 0.0, "bad scale");
+    let arrival = burst_arrival(scale);
+    let dwell = SimDuration::from_secs_f64(1800.0 * scale);
+
+    let clock_ghz = 2.67e9;
+    // The payload targets IPC ~1.06 alone (the sim-grid profile), so its
+    // healthy retire rate is about one instruction per cycle.
+    let payload_insns = (2000.0 * scale * clock_ghz) as u64;
+    let burst_insns = (2700.0 * scale * clock_ghz * 1.2 * 0.8) as u64;
+
+    let canary = victim_jobs().swap_remove(0);
+    let payload = Job {
+        comm: "sim-batch".into(),
+        uid: USER1,
+        start: SimDuration::ZERO,
+        program: Program::single(
+            job_profile("sim-batch", 1.06, Some((6 << 20, 0.08))),
+            payload_insns,
+        ),
+        seed: 13,
+    };
+    let aggressors = aggressor_jobs(arrival, |profile| Program::single(profile, burst_insns));
+    TournamentScript {
+        canary,
+        payload,
+        payload_insns,
+        aggressors,
+        arrival,
+        dwell,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tournament_script_structure() {
+        let s = tournament_script(0.01);
+        assert_eq!(s.canary.comm, "sim-fluid");
+        assert_eq!(s.payload.comm, "sim-batch");
+        assert!(s.payload_insns > 0);
+        assert_eq!(s.aggressors.len(), 5);
+        assert!(s.arrival < s.arrival + s.dwell);
+        assert!(s
+            .aggressors
+            .iter()
+            .all(|j| j.uid == USER2 && j.start == s.arrival));
+        assert_eq!(s.payload.uid, USER1);
+        assert_eq!(s.payload.start, SimDuration::ZERO);
+    }
 
     #[test]
     fn grid_script_structure() {
