@@ -17,13 +17,18 @@
 //! The JSON is written by hand (the offline `serde` stub has no
 //! serializer): a flat object of per-experiment wall seconds plus totals —
 //! trivially diffable between commits.
+//!
+//! The harness also drives the [`scaling`] throughput curve. A plain run
+//! refreshes the committed `BENCH_cluster.json`; with `--check` the file
+//! is left untouched and instead acts as the regression anchor — CI fails
+//! if the fresh 100-machine frames/sec falls more than 30% below it.
 
 use std::time::Instant;
 
 use tiptop_bench::experiments::{
     fig01_snapshot, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions, fig09_compilers,
-    fig10_datacenter, fig11_interference, fleet, grid, reactive, table1_fp_micro, tournament,
-    validation,
+    fig10_datacenter, fig11_interference, fleet, grid, reactive, scaling, table1_fp_micro,
+    tournament, validation,
 };
 
 /// Release-profile wall-second baselines, seeded from the PR 3 trajectory
@@ -32,7 +37,7 @@ use tiptop_bench::experiments::{
 /// scripted grid baseline it compares against, `tournament` for its four
 /// detector×mode cells). A budget breach means the experiment
 /// regressed by more than [`REGRESSION_ALLOWANCE`] against this trajectory.
-const BASELINE_SECONDS: [(&str, f64); 13] = [
+const BASELINE_SECONDS: [(&str, f64); 14] = [
     ("fig01_snapshot", 0.400),
     ("table1_fp_micro", 0.002),
     ("fig03_evolution", 0.206),
@@ -46,7 +51,27 @@ const BASELINE_SECONDS: [(&str, f64); 13] = [
     ("reactive", 5.800),
     ("tournament", 10.500),
     ("validation", 0.009),
+    ("scaling", 3.000),
 ];
+
+/// The committed scaling curve; `--check` compares the fresh 100-machine
+/// throughput against it and fails on a >30% regression. Refreshed by a
+/// plain (non-`--check`) run, so CI never dirties the tree.
+const CLUSTER_JSON: &str = "BENCH_cluster.json";
+
+/// Allowed relative throughput loss at the 100-machine anchor.
+const CLUSTER_REGRESSION_ALLOWANCE: f64 = 0.30;
+
+/// The committed 100-machine `frames_per_sec` out of `BENCH_cluster.json`
+/// (hand-rolled scan — the offline serde stub has no deserializer either).
+fn anchor_fps(json: &str) -> Option<f64> {
+    let at = json.find("\"machines\": 100,")?;
+    let rest = &json[at..];
+    let key = "\"frames_per_sec\": ";
+    let rest = &rest[rest.find(key)? + key.len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
 
 /// Budgeted relative regression before `--check` fails.
 const REGRESSION_ALLOWANCE: f64 = 0.30;
@@ -121,6 +146,20 @@ fn main() {
     time("validation", &mut || {
         validation::run(29);
     });
+    let mut scaling_result = None;
+    time("scaling", &mut || {
+        scaling_result = Some(scaling::run(47));
+    });
+    let scaling_result = scaling_result.expect("scaling ran");
+    eprintln!("{}", scaling_result.report());
+
+    let prior_anchor = std::fs::read_to_string(CLUSTER_JSON)
+        .ok()
+        .and_then(|s| anchor_fps(&s));
+    if !check {
+        std::fs::write(CLUSTER_JSON, scaling_result.to_json()).expect("write cluster json");
+        println!("wrote {CLUSTER_JSON}");
+    }
 
     let total: f64 = entries.iter().map(|(_, t)| t).sum();
     let mut json = String::from("{\n");
@@ -165,6 +204,33 @@ fn main() {
                 breaches += 1;
             }
         }
+        // Cluster throughput gate: the fresh 100-machine frames/sec must
+        // stay within the allowance of the committed curve. Throughput (like
+        // the wall-time budgets) is calibrated for release.
+        if enforce {
+            match (prior_anchor, scaling_result.anchor()) {
+                (Some(prior), Some(point)) => {
+                    let floor = prior * (1.0 - CLUSTER_REGRESSION_ALLOWANCE);
+                    if point.frames_per_sec < floor {
+                        eprintln!(
+                            "--check: scaling 100-machine throughput {:.0} f/s fell below \
+                             {floor:.0} f/s (committed {prior:.0} f/s -{:.0}%)",
+                            point.frames_per_sec,
+                            CLUSTER_REGRESSION_ALLOWANCE * 100.0
+                        );
+                        breaches += 1;
+                    }
+                }
+                _ => {
+                    eprintln!(
+                        "--check: no committed 100-machine anchor in {CLUSTER_JSON} — \
+                         refresh it with a plain (non---check) release run"
+                    );
+                    breaches += 1;
+                }
+            }
+        }
+
         if breaches == 0 {
             eprintln!("--check: all {} experiments within budget", entries.len());
         } else if enforce {

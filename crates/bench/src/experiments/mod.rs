@@ -17,7 +17,10 @@
 //! merged stream, compared against the scripted baseline) and
 //! [`tournament`] (restart-vs-resume relocation crossed with the
 //! IPC-floor and CUSUM detectors — the checkpoint/restore subsystem
-//! measured as a 2×2 of wall-clock and recovered IPC).
+//! measured as a 2×2 of wall-clock and recovered IPC) and [`scaling`]
+//! (the throughput frontier: frames/sec and peak buffered bytes at 10,
+//! 100 and 1000 machines, batched columnar transport against a
+//! legacy-representation baseline measured in the same run).
 
 pub mod fig01_snapshot;
 pub mod fig03_evolution;
@@ -29,6 +32,7 @@ pub mod fig11_interference;
 pub mod fleet;
 pub mod grid;
 pub mod reactive;
+pub mod scaling;
 pub mod table1_fp_micro;
 pub mod tournament;
 pub mod validation;

@@ -1,0 +1,387 @@
+//! **Scaling** — the throughput frontier of the cluster merge: frames per
+//! second and peak buffered bytes against machine count at 10, 100 and
+//! 1000 machines, each shard running a few synthetic light jobs (pure
+//! compute, no memory traffic) so the measurement is dominated by the
+//! frame/stream path rather than cache simulation.
+//!
+//! Every scale point runs **two arms in the same process**:
+//!
+//! * the *batched* arm — the production path: columnar [`FrameBatch`]
+//!   transport, interned labels, the id-keyed
+//!   [`ClusterWindowSink`](tiptop_core::cluster::ClusterWindowSink) folding
+//!   straight from the columns;
+//! * the *baseline* arm — the legacy one-message-per-frame transport
+//!   ([`ClusterSession::run_per_frame`](tiptop_core::cluster::ClusterSession::run_per_frame))
+//!   feeding [`LegacyRepSink`], a shim that reconstructs the seed
+//!   representation's per-frame allocation profile (owned `String` labels
+//!   per message, a header-table clone per frame, a `HashMap<String, f64>`
+//!   per row, `String`-keyed window aggregation). The seed code itself is
+//!   gone — this shim is a transparent stand-in that re-pays the same
+//!   allocations on today's data, measured in the same binary and run.
+//!
+//! The ratio of the two is the headline speedup; the acceptance bar is
+//! ≥2× at the 100-machine point. `bench_timing` writes the whole curve to
+//! `BENCH_cluster.json` and `--check` fails CI if the 100-machine
+//! frames/sec regresses more than 30% against the committed curve.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+use tiptop_core::app::{Tiptop, TiptopOptions};
+use tiptop_core::cluster::{
+    ClusterFrame, ClusterFrameSink, ClusterScenario, ClusterSession, ClusterWindowSink, RunStats,
+};
+use tiptop_core::config::{ColumnKind, ScreenConfig};
+use tiptop_core::events::parse_event;
+use tiptop_core::expr::Expr;
+use tiptop_core::scenario::Scenario;
+use tiptop_core::symbols;
+use tiptop_kernel::program::Program;
+use tiptop_kernel::task::{SpawnSpec, Uid};
+use tiptop_machine::config::MachineConfig;
+use tiptop_machine::exec::ExecProfile;
+use tiptop_machine::time::SimDuration;
+
+use crate::experiments::default_threads;
+use crate::report::TableReport;
+
+/// The scale points and the refresh budget at each one, chosen so every
+/// point delivers enough frames to time robustly while the whole curve
+/// stays within the bench budget.
+pub const POINTS: [(usize, usize); 3] = [(10, 400), (100, 200), (1000, 20)];
+
+/// Window size for the aggregating sinks in both arms.
+pub const WINDOW: usize = 256;
+
+/// One measured scale point.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    pub machines: usize,
+    pub refreshes: usize,
+    /// Frames delivered by the batched arm (machines × refreshes).
+    pub frames: usize,
+    /// Channel messages on the batched arm (≪ frames when batching works).
+    pub batches: usize,
+    pub peak_buffered_frames: usize,
+    pub peak_buffered_bytes: usize,
+    /// Wall seconds of the batched arm's run (build excluded).
+    pub wall_seconds: f64,
+    pub frames_per_sec: f64,
+    /// The legacy-representation arm, measured in the same run.
+    pub baseline_wall_seconds: f64,
+    pub baseline_frames_per_sec: f64,
+    /// Process peak RSS (VmHWM) after this point, in bytes; 0 where
+    /// `/proc/self/status` is unavailable.
+    pub peak_rss_bytes: u64,
+}
+
+impl ScalePoint {
+    /// Batched over baseline throughput.
+    pub fn speedup(&self) -> f64 {
+        if self.baseline_frames_per_sec > 0.0 {
+            self.frames_per_sec / self.baseline_frames_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+pub struct ScalingResult {
+    pub points: Vec<ScalePoint>,
+    pub threads: usize,
+}
+
+/// The synthetic light job: fixed CPI, no loads or stores, so
+/// cache sampling short-circuits and the run measures the frame path.
+fn light_job(seed: u64) -> SpawnSpec {
+    SpawnSpec::new(
+        "shard-job",
+        Uid(1),
+        Program::endless(
+            ExecProfile::builder("shard-job")
+                .base_cpi(0.9)
+                .loads_per_insn(0.0)
+                .stores_per_insn(0.0)
+                .build(),
+        ),
+    )
+    .seed(seed)
+}
+
+/// Light jobs per shard: enough rows per frame that the per-row stream
+/// costs dominate the fixed per-refresh overhead, like a working node.
+const JOBS_PER_SHARD: usize = 3;
+
+/// A fresh `n`-machine cluster of light shards. The L3 is shrunk to keep
+/// the 1000-machine build's tag arrays (and RSS) proportionate — the light
+/// jobs never touch the caches, so the geometry does not affect timing.
+fn build_cluster(n: usize, seed: u64) -> ClusterSession {
+    let mut cluster = ClusterScenario::new();
+    for i in 0..n {
+        let s = seed + i as u64 + 1;
+        let mut sc = Scenario::new(MachineConfig::nehalem_w3550().noiseless().with_l3_kib(512))
+            .seed(s)
+            .user(Uid(1), "u1");
+        for j in 0..JOBS_PER_SHARD {
+            sc = sc.spawn(format!("shard-{j}"), light_job(s * 31 + j as u64));
+        }
+        cluster = cluster.machine(format!("m{i:04}"), sc);
+    }
+    cluster.build().expect("unique machine ids")
+}
+
+/// One observation per scheduler epoch (20 ms) — the highest meaningful
+/// sampling rate, so the measurement stresses the frame path rather than
+/// paying several un-observed sim epochs between refreshes.
+fn monitor() -> Box<Tiptop> {
+    Box::new(Tiptop::new(
+        TiptopOptions::default()
+            .observer(Uid::ROOT)
+            .delay(SimDuration::from_millis(20)),
+        ScreenConfig::default_screen(),
+    ))
+}
+
+/// Reconstructs the seed representation's per-frame cost on the legacy
+/// per-frame transport: owned `String` labels, a cloned header table,
+/// AST-walked metric evaluation with per-leaf name parsing, eagerly
+/// formatted cell text, a `HashMap<String, f64>` per row, and
+/// `String`-keyed window sums with per-row key clones — the cost profile
+/// the columnar path and compiled metric programs removed.
+struct LegacyRepSink {
+    window: usize,
+    open_frames: usize,
+    peak: usize,
+    windows: usize,
+    sums: BTreeMap<(String, String), BTreeMap<String, (f64, usize)>>,
+    frames: usize,
+    /// The screen's metric expressions, re-evaluated per row through the
+    /// AST walker with a per-leaf identifier parse — the seed-era cost the
+    /// compiled metric programs removed from the shared observe path.
+    exprs: Vec<Expr>,
+    /// Folded into from every reconstructed value so the work can't be
+    /// optimized away.
+    checksum: f64,
+}
+
+impl LegacyRepSink {
+    fn new(window: usize) -> Self {
+        let exprs = ScreenConfig::default_screen()
+            .columns
+            .into_iter()
+            .filter_map(|c| match c.kind {
+                ColumnKind::Metric { expr, .. } => Some(expr),
+                _ => None,
+            })
+            .collect();
+        LegacyRepSink {
+            window,
+            open_frames: 0,
+            peak: 0,
+            windows: 0,
+            sums: BTreeMap::new(),
+            frames: 0,
+            exprs,
+            checksum: 0.0,
+        }
+    }
+}
+
+impl ClusterFrameSink for LegacyRepSink {
+    fn on_frame(&mut self, cf: ClusterFrame) {
+        // Seed-era message: one owned String per label per frame.
+        let machine = cf.machine.as_str().to_string();
+        let source = cf.source.as_str().to_string();
+        // Seed-era Frame: the header table cloned per frame.
+        let headers: Vec<(String, usize)> = cf.frame.headers.to_vec();
+        self.checksum += headers.len() as f64;
+        let per = self.sums.entry((machine, source)).or_default();
+        for row in &cf.frame.rows {
+            // Seed-era observe: every metric evaluated by walking the
+            // boxed AST with identifier names parsed at every leaf.
+            for expr in &self.exprs {
+                self.checksum += expr
+                    .eval(&|name| {
+                        if parse_event(name).is_some() {
+                            return Some(row.cpu_pct + 1.0);
+                        }
+                        Some(1.0)
+                    })
+                    .unwrap_or(f64::NAN);
+            }
+            // Seed-era observe: every cell's text formatted eagerly,
+            // whether or not anything renders the frame.
+            self.checksum += row.cells().len() as f64;
+            // Seed-era Row: values materialized as a String-keyed map.
+            let mut values: HashMap<String, f64> = HashMap::new();
+            for (sym, v) in &row.values {
+                values.insert(symbols::resolve(*sym).to_string(), *v);
+            }
+            for (col, v) in &values {
+                // Seed-era fold: a key clone per row per column.
+                let e = per.entry(col.clone()).or_insert((0.0, 0));
+                e.0 += *v;
+                e.1 += 1;
+                self.checksum += *v;
+            }
+        }
+        self.frames += 1;
+        self.open_frames += 1;
+        self.peak = self.peak.max(self.open_frames);
+        if self.open_frames >= self.window {
+            self.windows += 1;
+            self.open_frames = 0;
+            self.sums.clear();
+        }
+    }
+}
+
+/// Process peak RSS from `/proc/self/status` (`VmHWM`), in bytes.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Run the scaling curve on the default worker pool.
+pub fn run(seed: u64) -> ScalingResult {
+    run_on(seed, default_threads(), &POINTS)
+}
+
+/// [`run`] with explicit threads and scale points (tests use tiny points).
+pub fn run_on(seed: u64, threads: usize, points: &[(usize, usize)]) -> ScalingResult {
+    let mut out = Vec::new();
+    for &(machines, refreshes) in points {
+        // Baseline arm: fresh cluster, per-frame transport, legacy shim.
+        let mut session = build_cluster(machines, seed);
+        let mut legacy = LegacyRepSink::new(WINDOW);
+        let t0 = Instant::now();
+        session
+            .run_per_frame(threads, refreshes, |_| monitor(), &mut legacy)
+            .expect("baseline arm");
+        let baseline_wall = t0.elapsed().as_secs_f64();
+        let baseline_stats = session.last_run_stats();
+        assert_eq!(legacy.frames, machines * refreshes);
+        assert!(legacy.checksum.is_finite());
+
+        // Batched arm: fresh cluster, columnar transport, id-keyed sink.
+        let mut session = build_cluster(machines, seed);
+        let mut sink = ClusterWindowSink::new(WINDOW);
+        let t0 = Instant::now();
+        session
+            .run(threads, refreshes, |_| monitor(), &mut sink)
+            .expect("batched arm");
+        let wall = t0.elapsed().as_secs_f64();
+        let stats: RunStats = session.last_run_stats();
+        assert_eq!(stats.frames, machines * refreshes);
+        assert_eq!(stats.frames, baseline_stats.frames);
+
+        out.push(ScalePoint {
+            machines,
+            refreshes,
+            frames: stats.frames,
+            batches: stats.batches,
+            peak_buffered_frames: stats.peak_buffered_frames,
+            peak_buffered_bytes: stats.peak_buffered_bytes,
+            wall_seconds: wall,
+            frames_per_sec: stats.frames as f64 / wall.max(1e-9),
+            baseline_wall_seconds: baseline_wall,
+            baseline_frames_per_sec: stats.frames as f64 / baseline_wall.max(1e-9),
+            peak_rss_bytes: peak_rss_bytes(),
+        });
+    }
+    ScalingResult {
+        points: out,
+        threads,
+    }
+}
+
+impl ScalingResult {
+    /// The 100-machine point — the acceptance and regression anchor.
+    pub fn anchor(&self) -> Option<&ScalePoint> {
+        self.points.iter().find(|p| p.machines == 100)
+    }
+
+    /// The hand-written `BENCH_cluster.json` body (the offline serde stub
+    /// has no serializer).
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        json.push_str("  \"schema\": \"tiptop-bench-cluster/1\",\n");
+        json.push_str(&format!(
+            "  \"profile\": \"{}\",\n",
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }
+        ));
+        json.push_str(&format!("  \"threads\": {},\n", self.threads));
+        json.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"machines\": {}, \"refreshes\": {}, \"frames\": {}, \
+                 \"batches\": {}, \"peak_buffered_frames\": {}, \
+                 \"peak_buffered_bytes\": {}, \"wall_seconds\": {:.4}, \
+                 \"frames_per_sec\": {:.0}, \"baseline_frames_per_sec\": {:.0}, \
+                 \"speedup\": {:.2}, \"peak_rss_bytes\": {}}}{comma}\n",
+                p.machines,
+                p.refreshes,
+                p.frames,
+                p.batches,
+                p.peak_buffered_frames,
+                p.peak_buffered_bytes,
+                p.wall_seconds,
+                p.frames_per_sec,
+                p.baseline_frames_per_sec,
+                p.speedup(),
+                p.peak_rss_bytes,
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    pub fn report(&self) -> String {
+        let mut t = TableReport::new(
+            format!("scaling frontier ({} worker threads)", self.threads),
+            &[
+                "machines",
+                "frames",
+                "frames/s",
+                "baseline f/s",
+                "speedup",
+                "msgs",
+                "peak buf frames",
+                "peak buf KiB",
+                "peak RSS MiB",
+            ],
+        );
+        for p in &self.points {
+            t.row(vec![
+                p.machines.to_string(),
+                p.frames.to_string(),
+                format!("{:.0}", p.frames_per_sec),
+                format!("{:.0}", p.baseline_frames_per_sec),
+                format!("{:.2}x", p.speedup()),
+                p.batches.to_string(),
+                p.peak_buffered_frames.to_string(),
+                format!("{:.0}", p.peak_buffered_bytes as f64 / 1024.0),
+                format!("{:.0}", p.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+            ]);
+        }
+        t.render()
+    }
+}

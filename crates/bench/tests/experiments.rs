@@ -9,8 +9,8 @@
 use tiptop_bench::experiments::tournament::Detector;
 use tiptop_bench::experiments::{
     evaluation_machines, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions,
-    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, reactive, tournament,
-    validation,
+    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, reactive, scaling,
+    tournament, validation,
 };
 use tiptop_core::reactive::MigrationMode;
 use tiptop_workloads::spec::{Compiler, SpecBenchmark};
@@ -727,4 +727,30 @@ fn tournament_resume_beats_restart_under_both_detectors() {
     );
 
     assert!(r.report().contains("resume saves"), "report renders");
+}
+
+#[test]
+fn scaling_batches_the_transport_and_reports_a_full_curve() {
+    // Tiny points: the full 10/100/1000 curve runs in bench_timing; this
+    // asserts the experiment's structure, not its release-profile numbers.
+    let r = scaling::run_on(53, 2, &[(4, 50)]);
+    assert_eq!(r.points.len(), 1);
+    let p = &r.points[0];
+    assert_eq!(p.machines, 4);
+    assert_eq!(p.frames, 200, "every frame delivered exactly once");
+    assert!(
+        p.batches < p.frames,
+        "transport must coalesce: {} messages for {} frames",
+        p.batches,
+        p.frames
+    );
+    assert!(p.peak_buffered_frames > 0, "merge buffered something");
+    assert!(p.peak_buffered_bytes > 0, "byte accounting is live");
+    assert!(p.frames_per_sec > 0.0 && p.baseline_frames_per_sec > 0.0);
+    assert!(p.speedup() > 0.0);
+    let json = r.to_json();
+    assert!(json.contains("\"schema\": \"tiptop-bench-cluster/1\""));
+    assert!(json.contains("\"machines\": 4,"));
+    assert!(json.contains("\"peak_rss_bytes\""));
+    assert!(r.report().contains("scaling frontier"));
 }

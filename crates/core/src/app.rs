@@ -7,20 +7,43 @@
 //! expressions, sort, render.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use tiptop_kernel::kernel::Kernel;
 use tiptop_kernel::program::{Phase, Program};
 use tiptop_kernel::task::{Pid, SpawnSpec, Uid};
 use tiptop_machine::access::MemoryBehavior;
 use tiptop_machine::exec::ExecProfile;
-use tiptop_machine::pmu::EventCounts;
+use tiptop_machine::pmu::{EventCounts, HwEvent};
 use tiptop_machine::time::SimDuration;
 
 use crate::collector::Collector;
 use crate::config::{ColumnKind, ScreenConfig};
 use crate::events::parse_event;
+use crate::expr::Compiled;
 use crate::procinfo::CpuTracker;
-use crate::render::{Frame, Row};
+use crate::render::{CellSpec, Frame, Row};
+use crate::symbols::{self, SymId};
+
+/// A metric expression variable resolved at screen-build time, so the
+/// per-row hot path never parses identifier names (see [`Expr::compile`]).
+///
+/// [`Expr::compile`]: crate::expr::Expr::compile
+#[derive(Clone, Copy, Debug)]
+enum VarSlot {
+    Event(HwEvent),
+    CpuPct,
+    DeltaT,
+    Time,
+}
+
+/// Per-metric-column evaluation plan: compiled when every identifier
+/// resolves (the common case), else the AST — whose per-row eval errors
+/// reproduce the historical NaN-cell behavior for unknown identifiers.
+enum MetricProg {
+    Fast(Compiled<VarSlot>),
+    Slow,
+}
 
 /// Row ordering.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -120,17 +143,94 @@ pub struct Tiptop {
     collector: Collector,
     cpu: CpuTracker,
     self_pid: Option<Pid>,
+    /// Header slice shared by every frame (the screen never changes
+    /// mid-run); one refcount bump per refresh instead of a `String` per
+    /// column per frame.
+    headers: Arc<[(String, usize)]>,
+    /// Interned header id per column, metric columns only — the typed row
+    /// values are keyed by these.
+    metric_syms: Vec<Option<SymId>>,
+    /// Compiled metric programs, one per metric column in screen order.
+    metric_progs: Vec<MetricProg>,
+    cpu_sym: SymId,
+    /// Deferred-formatting recipe shared by every row (see
+    /// [`CellSpec`]): cell text is only rendered if a consumer asks.
+    cell_plan: Arc<[CellSpec]>,
+    /// Whether any column needs a per-row kernel-state text capture
+    /// (`State`/`Processor`), so rows without them skip the vector.
+    plan_has_texts: bool,
 }
 
 impl Tiptop {
     pub fn new(options: TiptopOptions, screen: ScreenConfig) -> Self {
         let collector = Collector::new(options.observer, screen.required_events());
+        let headers: Arc<[(String, usize)]> = screen
+            .columns
+            .iter()
+            .map(|c| (c.header.clone(), c.width))
+            .collect::<Vec<_>>()
+            .into();
+        let metric_syms: Vec<Option<SymId>> = screen
+            .columns
+            .iter()
+            .map(|c| {
+                matches!(c.kind, ColumnKind::Metric { .. }).then(|| symbols::intern(&c.header))
+            })
+            .collect();
+        let metric_progs: Vec<MetricProg> = screen
+            .columns
+            .iter()
+            .filter_map(|c| match &c.kind {
+                ColumnKind::Metric { expr, .. } => Some(
+                    expr.compile(&mut |name| {
+                        if let Some(ev) = parse_event(name) {
+                            return Some(VarSlot::Event(ev));
+                        }
+                        match name {
+                            "%CPU" | "CPU_PCT" => Some(VarSlot::CpuPct),
+                            "DELTA_T" => Some(VarSlot::DeltaT),
+                            "TIME" => Some(VarSlot::Time),
+                            _ => None,
+                        }
+                    })
+                    .map(MetricProg::Fast)
+                    .unwrap_or(MetricProg::Slow),
+                ),
+                _ => None,
+            })
+            .collect();
+        let mut metric_i = 0usize;
+        let mut text_i = 0usize;
+        let cell_plan: Arc<[CellSpec]> = screen
+            .columns
+            .iter()
+            .map(|c| match &c.kind {
+                ColumnKind::Pid => CellSpec::Pid,
+                ColumnKind::User => CellSpec::User,
+                ColumnKind::CpuPct => CellSpec::CpuPct,
+                ColumnKind::Comm => CellSpec::Comm,
+                ColumnKind::State | ColumnKind::Processor => {
+                    text_i += 1;
+                    CellSpec::Text(text_i - 1)
+                }
+                ColumnKind::Metric { format, .. } => {
+                    metric_i += 1;
+                    CellSpec::Metric(metric_i - 1, *format)
+                }
+            })
+            .collect();
         Tiptop {
             options,
             screen,
             collector,
             cpu: CpuTracker::new(),
             self_pid: None,
+            headers,
+            metric_syms,
+            metric_progs,
+            cpu_sym: symbols::intern("%CPU"),
+            cell_plan,
+            plan_has_texts: text_i > 0,
         }
     }
 
@@ -186,11 +286,14 @@ impl Tiptop {
     pub fn refresh(&mut self, k: &mut Kernel) -> Frame {
         self.ensure_self_task(k);
         let now = k.now();
-        let deltas = self.collector.refresh(k);
+        self.collector.refresh(k);
 
         // Scan /proc.
         let pids = k.pids();
         self.cpu.retain_pids(&|p| pids.contains(&p));
+        // Borrowed (not moved) so the refresh makes no per-frame map copy;
+        // `cpu` and `collector` are disjoint fields, so the borrows coexist.
+        let deltas = self.collector.deltas();
         let mut entries: Vec<(Pid, tiptop_kernel::procfs::ProcStat, f64)> = Vec::new();
         let mut unobservable = 0usize;
         for pid in pids {
@@ -216,26 +319,33 @@ impl Tiptop {
                     self.build_row(k, *pid, stat, *pct, deltas[pid].counts, now)
                 })
                 .collect()
+        } else if entries.iter().all(|(pid, stat, _)| stat.tgid == *pid) {
+            // No multi-threaded process in sight (the cluster-shard common
+            // case): every task is its own group — skip the group map.
+            entries
+                .iter()
+                .map(|(pid, stat, pct)| {
+                    self.build_row(k, *pid, stat, *pct, deltas[pid].counts, now)
+                })
+                .collect()
         } else {
-            let mut groups: HashMap<Pid, (Vec<usize>, f64, EventCounts)> = HashMap::new();
+            // Representative stat: the main thread if present, else the
+            // first member seen.
+            let mut groups: HashMap<Pid, (usize, f64, EventCounts)> =
+                HashMap::with_capacity(entries.len());
             for (i, (pid, stat, pct)) in entries.iter().enumerate() {
                 let g = groups
                     .entry(stat.tgid)
-                    .or_insert((Vec::new(), 0.0, EventCounts::ZERO));
-                g.0.push(i);
+                    .or_insert((i, 0.0, EventCounts::ZERO));
+                if *pid == stat.tgid {
+                    g.0 = i;
+                }
                 g.1 += pct;
                 g.2.accumulate(&deltas[pid].counts);
             }
             let mut rows = Vec::with_capacity(groups.len());
-            for (tgid, (members, pct, counts)) in groups {
-                // Representative stat: the main thread if present, else the
-                // first member.
-                let rep = members
-                    .iter()
-                    .map(|&i| &entries[i])
-                    .find(|(pid, _, _)| *pid == tgid)
-                    .unwrap_or(&entries[members[0]]);
-                rows.push(self.build_row(k, tgid, &rep.1, pct, counts, now));
+            for (tgid, (rep, pct, counts)) in groups {
+                rows.push(self.build_row(k, tgid, &entries[rep].1, pct, counts, now));
             }
             rows
         };
@@ -258,12 +368,7 @@ impl Tiptop {
 
         Frame {
             time: now,
-            headers: self
-                .screen
-                .columns
-                .iter()
-                .map(|c| (c.header.clone(), c.width))
-                .collect(),
+            headers: self.headers.clone(),
             rows,
             unobservable,
         }
@@ -279,49 +384,68 @@ impl Tiptop {
         now: tiptop_machine::time::SimTime,
     ) -> Row {
         let delta_t = self.options.delay.as_secs_f64();
-        let env = |name: &str| -> Option<f64> {
-            if let Some(ev) = parse_event(name) {
-                return Some(counts.get(ev) as f64);
-            }
-            match name {
-                "%CPU" | "CPU_PCT" => Some(cpu_pct),
-                "DELTA_T" => Some(delta_t),
-                "TIME" => Some(now.as_secs_f64()),
-                _ => None,
-            }
-        };
-
         let user = k.username(stat.uid);
-        let mut cells = Vec::with_capacity(self.screen.columns.len());
-        let mut values = HashMap::new();
-        values.insert("%CPU".to_string(), cpu_pct);
-        for col in &self.screen.columns {
-            let cell = match &col.kind {
-                ColumnKind::Pid => display_pid.0.to_string(),
-                ColumnKind::User => user.clone(),
-                ColumnKind::CpuPct => format!("{cpu_pct:.1}"),
-                ColumnKind::State => stat.state.code().to_string(),
-                ColumnKind::Processor => stat
-                    .processor
-                    .map(|p| p.0.to_string())
-                    .unwrap_or_else(|| "-".into()),
-                ColumnKind::Comm => stat.comm.clone(),
-                ColumnKind::Metric { expr, format } => {
-                    let v = expr.eval(&env).unwrap_or(f64::NAN);
-                    values.insert(col.header.clone(), v);
-                    format.render(v)
+        // Kernel-state cells (task state, last PU) must be captured now —
+        // the kernel has moved on by the time anyone renders — but cell
+        // *formatting* is deferred to first access via the shared plan, so
+        // aggregating consumers never pay for it.
+        let mut texts: Vec<String> = Vec::new();
+        if self.plan_has_texts {
+            for col in &self.screen.columns {
+                match col.kind {
+                    ColumnKind::State => texts.push(stat.state.code().to_string()),
+                    ColumnKind::Processor => texts.push(
+                        stat.processor
+                            .map(|p| p.0.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                    ),
+                    _ => {}
                 }
-            };
-            cells.push(cell);
+            }
         }
-        Row {
-            pid: display_pid,
+        let mut values: Vec<(SymId, f64)> = Vec::with_capacity(self.screen.columns.len() + 1);
+        let mut metric_i = 0usize;
+        for (col, sym) in self.screen.columns.iter().zip(&self.metric_syms) {
+            if let ColumnKind::Metric { expr, .. } = &col.kind {
+                let v = match &self.metric_progs[metric_i] {
+                    MetricProg::Fast(prog) => prog.eval(&mut |slot| match slot {
+                        VarSlot::Event(ev) => counts.get(*ev) as f64,
+                        VarSlot::CpuPct => cpu_pct,
+                        VarSlot::DeltaT => delta_t,
+                        VarSlot::Time => now.as_secs_f64(),
+                    }),
+                    MetricProg::Slow => expr
+                        .eval(&|name: &str| {
+                            if let Some(ev) = parse_event(name) {
+                                return Some(counts.get(ev) as f64);
+                            }
+                            match name {
+                                "%CPU" | "CPU_PCT" => Some(cpu_pct),
+                                "DELTA_T" => Some(delta_t),
+                                "TIME" => Some(now.as_secs_f64()),
+                                _ => None,
+                            }
+                        })
+                        .unwrap_or(f64::NAN),
+                };
+                metric_i += 1;
+                values.push((sym.expect("metric columns carry a sym"), v));
+            }
+        }
+        // A metric column named "%CPU" (if a screen defines one) shadows
+        // the built-in entry, matching the old map-overwrite behavior.
+        if !values.iter().any(|(c, _)| *c == self.cpu_sym) {
+            values.push((self.cpu_sym, cpu_pct));
+        }
+        Row::deferred(
+            display_pid,
             user,
-            comm: stat.comm.clone(),
+            stat.comm.clone(),
             cpu_pct,
-            cells,
             values,
-        }
+            self.cell_plan.clone(),
+            texts,
+        )
     }
 
     /// Tear down all counters (end of run).

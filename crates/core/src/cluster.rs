@@ -95,16 +95,19 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt;
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 
 use tiptop_kernel::task::TaskState;
 use tiptop_machine::time::SimTime;
 
+use crate::batch::FrameBatch;
 use crate::monitor::Monitor;
 use crate::reactive::{AppliedDecision, MigrationDecision, MigrationMode, SchedulerPolicy};
-use crate::render::Frame;
+use crate::render::{Frame, Row};
 use crate::scenario::{HandoffBoard, Scenario, Session, SessionError, WorkloadEvent};
+use crate::symbols::{self, Label, SymId};
 
 /// Identity of one machine of the cluster, handed to the per-machine
 /// factories (monitor, stop predicate).
@@ -118,12 +121,14 @@ pub struct MachineRef<'a> {
 /// One frame of the merged cluster stream, labelled with its origin.
 #[derive(Clone, Debug)]
 pub struct ClusterFrame {
-    /// Machine id as declared on the [`ClusterScenario`].
-    pub machine: String,
+    /// Machine id as declared on the [`ClusterScenario`]. A [`Label`]
+    /// compares directly against `&str`/`String`, so consumers read it like
+    /// the `String` it used to be; producing one is a refcount bump.
+    pub machine: Label,
     /// Machine declaration index (the merge tie-breaker).
     pub machine_index: usize,
     /// Producing monitor's [`Monitor::name`].
-    pub source: String,
+    pub source: Label,
     /// Per-(machine, monitor) observation number (0-based).
     pub seq: usize,
     pub frame: Frame,
@@ -134,6 +139,19 @@ pub struct ClusterFrame {
 /// same-instant frames of one machine keep their monitor order.
 pub trait ClusterFrameSink {
     fn on_frame(&mut self, frame: ClusterFrame);
+
+    /// Deliver frames `range` of a columnar batch — the batched transport's
+    /// run delivery. The frames of the range are the next frames of the
+    /// merged stream, in order. The default materializes each one through
+    /// [`FrameBatch::take_frame`] and hands it to
+    /// [`ClusterFrameSink::on_frame`], so every existing sink keeps its
+    /// exact semantics; columnar-aware sinks ([`ClusterWindowSink`])
+    /// override this to fold straight from the columns.
+    fn on_batch(&mut self, batch: &mut FrameBatch, range: Range<usize>) {
+        for i in range {
+            self.on_frame(batch.take_frame(i));
+        }
+    }
 }
 
 /// Any closure can be a sink.
@@ -181,23 +199,27 @@ pub struct WindowStats {
     /// destination side of a registered migration handover (see
     /// [`ClusterWindowSink::dedupe_handovers`]); 0 unless deduping.
     pub handover_rows: usize,
-    /// Per-column `(sum, samples)` over every finite row value.
-    sums: BTreeMap<String, (f64, usize)>,
+    /// Per-column `(sum, samples)` over every finite row value, keyed by
+    /// the column's interned id — the fold allocates nothing per row.
+    sums: BTreeMap<SymId, (f64, usize)>,
 }
 
 impl WindowStats {
     /// Mean of a typed column (e.g. `"IPC"`, `"%CPU"`) over every row of
     /// every frame in the window; `None` if the column never appeared.
     pub fn mean(&self, column: &str) -> Option<f64> {
+        let id = symbols::lookup(column)?;
         self.sums
-            .get(column)
+            .get(&id)
             .filter(|(_, n)| *n > 0)
             .map(|(sum, n)| sum / *n as f64)
     }
 
-    /// Column names observed in this window.
-    pub fn columns(&self) -> impl Iterator<Item = &str> {
-        self.sums.keys().map(String::as_str)
+    /// Column names observed in this window, alphabetically.
+    pub fn columns(&self) -> impl Iterator<Item = Arc<str>> {
+        let mut names: Vec<Arc<str>> = self.sums.keys().map(|id| symbols::resolve(*id)).collect();
+        names.sort();
+        names.into_iter()
     }
 }
 
@@ -216,12 +238,15 @@ pub struct ClusterWindow {
     pub sources: BTreeMap<(String, String), WindowStats>,
 }
 
-/// Bounded-memory sink for long cluster runs: buffers at most `window`
-/// frames, folding each full window into per-source column aggregates
-/// ([`ClusterWindow`]) and dropping the raw frames. Peak memory is one
-/// window of frames plus `O(total / window)` small summaries — a fleet
-/// observed for hours never holds its whole stream, unlike
-/// [`ClusterCollectSink`].
+/// Bounded-memory sink for long cluster runs: folds each frame into the
+/// open window's per-source column aggregates *as it arrives* — no raw
+/// frame is ever buffered — closing the window ([`ClusterWindow`]) every
+/// `window` frames. Peak memory is `O(sources x columns)` of open-window
+/// state plus `O(total / window)` small summaries — a fleet observed for
+/// hours never holds its stream, unlike [`ClusterCollectSink`]. On the
+/// batched transport it folds straight from the columnar batches
+/// ([`ClusterFrameSink::on_batch`]), so the merged stream's rows are
+/// aggregated without ever materializing a labelled frame.
 ///
 /// Callers who need the raw frames spilled elsewhere (rendered to a file,
 /// forwarded downstream) can chain a closure sink in front; this sink's
@@ -241,25 +266,39 @@ pub struct ClusterWindow {
 #[derive(Debug)]
 pub struct ClusterWindowSink {
     window: usize,
-    buf: Vec<ClusterFrame>,
     peak: usize,
     windows: Vec<ClusterWindow>,
     /// Destination-side rows to exclude from aggregates, keyed by handover
-    /// instant: `(destination machine, command)`.
-    dedupe: BTreeMap<SimTime, Vec<(String, String)>>,
+    /// instant: interned `(destination machine, command)`. Entries are
+    /// dropped as soon as the stream advances past their instant (frames
+    /// arrive in nondecreasing time), so a long reactive run with many
+    /// migrations never accumulates stale instants.
+    dedupe: BTreeMap<SimTime, Vec<(SymId, SymId)>>,
+    /// The window currently being folded, if any frame has arrived since
+    /// the last close.
+    open: Option<OpenWindow>,
+}
+
+/// Incremental state of the window being folded.
+#[derive(Debug)]
+struct OpenWindow {
+    start: SimTime,
+    end: SimTime,
+    frames: usize,
+    sources: BTreeMap<(SymId, SymId), WindowStats>,
 }
 
 impl ClusterWindowSink {
-    /// `window` is the maximum number of frames buffered at any instant
+    /// `window` is the number of frames folded into each summary
     /// (must be ≥ 1).
     pub fn new(window: usize) -> Self {
         assert!(window >= 1, "window must hold at least one frame");
         ClusterWindowSink {
             window,
-            buf: Vec::new(),
             peak: 0,
             windows: Vec::new(),
             dedupe: BTreeMap::new(),
+            open: None,
         }
     }
 
@@ -283,15 +322,26 @@ impl ClusterWindowSink {
     /// one instant.
     pub fn dedupe_handovers(mut self, handovers: impl IntoIterator<Item = HandoverRecord>) -> Self {
         for h in handovers {
-            self.dedupe.entry(h.at).or_default().push((h.to, h.comm));
+            self.dedupe
+                .entry(h.at)
+                .or_default()
+                .push((symbols::intern(&h.to), symbols::intern(&h.comm)));
         }
         self
     }
 
-    /// The most frames ever buffered at once (≤ the window size, by
-    /// construction — the memory-bound guarantee, asserted in tests).
+    /// The most frames ever folded into one open window (≤ the window
+    /// size, by construction — the memory-bound guarantee, asserted in
+    /// tests). No raw frame is buffered at all; this counts the frames
+    /// the open aggregate currently summarizes.
     pub fn peak_buffered(&self) -> usize {
         self.peak
+    }
+
+    /// Handover-dedupe instants still registered (not yet passed by the
+    /// stream) — bounded-memory proof hook for tests.
+    pub fn pending_dedupe_instants(&self) -> usize {
+        self.dedupe.len()
     }
 
     /// Windows folded so far (the still-buffered tail is not included
@@ -302,58 +352,100 @@ impl ClusterWindowSink {
 
     /// Flush the partial final window and return every summary.
     pub fn finish(mut self) -> Vec<ClusterWindow> {
-        self.flush();
+        self.close_window();
         self.windows
     }
 
-    fn flush(&mut self) {
-        if self.buf.is_empty() {
-            return;
+    /// Fold one frame's rows into the open window. `comms` carries the
+    /// rows' interned commands when the caller already has them (the
+    /// batched path); otherwise each command is looked up only if this
+    /// instant has registered handovers.
+    fn fold(
+        &mut self,
+        machine: SymId,
+        source: SymId,
+        time: SimTime,
+        rows: &[Row],
+        comms: Option<&[SymId]>,
+    ) {
+        // Drop dedupe instants the stream has moved past — frames arrive
+        // in nondecreasing time, so an earlier instant can never match
+        // again. This is what keeps a long reactive run's dedupe map from
+        // growing without bound.
+        while self
+            .dedupe
+            .first_key_value()
+            .is_some_and(|(at, _)| *at < time)
+        {
+            self.dedupe.pop_first();
         }
-        let start = self.buf.first().expect("non-empty").frame.time;
-        let end = self.buf.last().expect("non-empty").frame.time;
-        let mut sources: BTreeMap<(String, String), WindowStats> = BTreeMap::new();
-        let frames = self.buf.len();
-        for cf in self.buf.drain(..) {
-            let ClusterFrame {
-                machine,
-                source,
-                frame,
-                ..
-            } = cf;
-            // Destination-side handover rows (if registered) are excluded
-            // from the aggregates; decide before `machine` moves into the
-            // source key.
-            let handover: Vec<bool> = match self.dedupe.get(&frame.time) {
-                None => Vec::new(),
-                Some(d) => frame
-                    .rows
-                    .iter()
-                    .map(|r| d.iter().any(|(to, comm)| *to == machine && *comm == r.comm))
-                    .collect(),
-            };
-            let stats = sources.entry((machine, source)).or_default();
-            stats.frames += 1;
-            for (i, row) in frame.rows.iter().enumerate() {
-                if handover.get(i).copied().unwrap_or(false) {
-                    stats.handover_rows += 1;
-                    continue;
-                }
-                stats.rows += 1;
-                for (col, v) in &row.values {
-                    if v.is_finite() {
-                        let (sum, n) = stats.sums.entry(col.clone()).or_insert((0.0, 0));
-                        *sum += *v;
-                        *n += 1;
-                    }
+
+        let ow = self.open.get_or_insert_with(|| OpenWindow {
+            start: time,
+            end: time,
+            frames: 0,
+            sources: BTreeMap::new(),
+        });
+        ow.end = time;
+        ow.frames += 1;
+        self.peak = self.peak.max(ow.frames);
+
+        let dedupe = self.dedupe.get(&time);
+        let stats = ow.sources.entry((machine, source)).or_default();
+        stats.frames += 1;
+        for (i, row) in rows.iter().enumerate() {
+            let is_handover = dedupe.is_some_and(|d| {
+                let comm = match comms {
+                    Some(c) => Some(c[i]),
+                    None => symbols::lookup(&row.comm),
+                };
+                comm.is_some_and(|c| d.iter().any(|&(to, dc)| to == machine && dc == c))
+            });
+            if is_handover {
+                stats.handover_rows += 1;
+                continue;
+            }
+            stats.rows += 1;
+            for &(col, v) in &row.values {
+                if v.is_finite() {
+                    let (sum, n) = stats.sums.entry(col).or_insert((0.0, 0));
+                    *sum += v;
+                    *n += 1;
                 }
             }
         }
+
+        if self
+            .open
+            .as_ref()
+            .is_some_and(|ow| ow.frames >= self.window)
+        {
+            self.close_window();
+        }
+    }
+
+    /// Close the open window, resolving its interned source keys to the
+    /// public `(machine, monitor)` strings — once per window, not per row.
+    fn close_window(&mut self) {
+        let Some(ow) = self.open.take() else { return };
+        let sources = ow
+            .sources
+            .into_iter()
+            .map(|((m, s), stats)| {
+                (
+                    (
+                        symbols::resolve(m).to_string(),
+                        symbols::resolve(s).to_string(),
+                    ),
+                    stats,
+                )
+            })
+            .collect();
         self.windows.push(ClusterWindow {
             index: self.windows.len(),
-            start,
-            end,
-            frames,
+            start: ow.start,
+            end: ow.end,
+            frames: ow.frames,
             sources,
         });
     }
@@ -361,10 +453,27 @@ impl ClusterWindowSink {
 
 impl ClusterFrameSink for ClusterWindowSink {
     fn on_frame(&mut self, frame: ClusterFrame) {
-        self.buf.push(frame);
-        self.peak = self.peak.max(self.buf.len());
-        if self.buf.len() >= self.window {
-            self.flush();
+        self.fold(
+            frame.machine.sym(),
+            frame.source.sym(),
+            frame.frame.time,
+            &frame.frame.rows,
+            None,
+        );
+    }
+
+    /// The columnar fast path: aggregate straight from the batch's rows —
+    /// no labelled frame is materialized, no row is moved or cloned.
+    fn on_batch(&mut self, batch: &mut FrameBatch, range: Range<usize>) {
+        for i in range {
+            let (machine, source) = batch.labels(i);
+            self.fold(
+                machine,
+                source,
+                batch.time(i),
+                batch.rows_of(i),
+                Some(batch.comms_of(i)),
+            );
         }
     }
 }
@@ -522,6 +631,12 @@ impl ClusterScenario {
                     )));
                 }
             }
+        }
+        // Warm the process-wide symbol table with every machine id, so the
+        // shard workers share interned ids from their first frame on and
+        // never race each other into the table's write path mid-run.
+        for (id, _) in &self.machines {
+            symbols::intern(id);
         }
 
         // Desugar migrations in chronological order (stable: same-instant
@@ -701,8 +816,27 @@ impl ClusterScenario {
             handovers,
             board,
             consumes,
+            last_stats: RunStats::default(),
         })
     }
+}
+
+/// Transport statistics of the most recent `run*` pool run (see
+/// [`ClusterSession::last_run_stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Frames the merge delivered to the sink.
+    pub frames: usize,
+    /// Channel messages carrying frames: batches on the batched transport,
+    /// frames on the per-frame one.
+    pub batches: usize,
+    /// Most frames the merge ever held buffered at once, waiting for
+    /// slower queues.
+    pub peak_buffered_frames: usize,
+    /// Estimated heap bytes behind that peak. Tracked by the batched
+    /// transport; the per-frame transport reports 0 (it never measures
+    /// its buffers).
+    pub peak_buffered_bytes: usize,
 }
 
 struct ShardSlot {
@@ -726,6 +860,8 @@ pub struct ClusterSession {
     /// `(instant, tag, producer machine index)` in instant order — the
     /// scripted runs' worker gating keys.
     consumes: Vec<Vec<(SimTime, String, usize)>>,
+    /// Transport statistics of the most recent pool run.
+    last_stats: RunStats,
 }
 
 impl fmt::Debug for ClusterSession {
@@ -797,6 +933,13 @@ impl ClusterSession {
         &self.handovers
     }
 
+    /// Transport statistics of the most recent `run`/`run_each`/`run_all`
+    /// pool run: frames delivered, channel messages, and the merge's peak
+    /// buffering — the scaling bench's memory-frontier numbers.
+    pub fn last_run_stats(&self) -> RunStats {
+        self.last_stats
+    }
+
     /// One machine's session, for pid lookups and exit records after a run.
     /// `None` for unknown ids — or for a shard whose session was lost to a
     /// panic (a torn session is never handed back).
@@ -847,6 +990,7 @@ impl ClusterSession {
             threads,
             max_refreshes,
             |mref| vec![(monitor(mref), until(mref))],
+            Transport::Batched,
             sink,
         )
     }
@@ -886,6 +1030,33 @@ impl ClusterSession {
                     })
                     .collect()
             },
+            Transport::Batched,
+            sink,
+        )
+    }
+
+    /// [`ClusterSession::run`] over the **per-frame transport**: one
+    /// channel message per frame, one merge queue per machine, every
+    /// frame's labels materialized at the worker — the transport the
+    /// cluster used before columnar batching. Kept public as the
+    /// differential baseline: the byte-identity tests drive both
+    /// transports and assert identical merged streams, and the scaling
+    /// bench measures the batched transport's win against it.
+    pub fn run_per_frame(
+        &mut self,
+        threads: usize,
+        refreshes: usize,
+        mut monitor: impl FnMut(MachineRef<'_>) -> Box<dyn Monitor + Send>,
+        sink: &mut dyn ClusterFrameSink,
+    ) -> Result<(), SessionError> {
+        self.run_units(
+            threads,
+            refreshes,
+            |mref| {
+                let u: Until = Box::new(|_| false);
+                vec![(monitor(mref), u)]
+            },
+            Transport::PerFrame,
             sink,
         )
     }
@@ -897,6 +1068,7 @@ impl ClusterSession {
         threads: usize,
         max_refreshes: usize,
         mut tools: impl FnMut(MachineRef<'_>) -> Vec<(Box<dyn Monitor + Send>, Until)>,
+        transport: Transport,
         sink: &mut dyn ClusterFrameSink,
     ) -> Result<(), SessionError> {
         let n = self.shards.len();
@@ -926,18 +1098,28 @@ impl ClusterSession {
         }
         let mut units: Vec<WorkUnit> = Vec::with_capacity(n);
         for ((index, slot), set) in self.shards.iter_mut().enumerate().zip(per_machine) {
+            let label = Label::new(&slot.id);
+            let sym = label.sym();
             units.push(WorkUnit {
                 index,
                 id: slot.id.clone(),
+                label,
+                sym,
                 session: slot.session.take().expect("checked above"),
                 slots: set
                     .into_iter()
-                    .map(|(monitor, until)| MonitorSlot {
-                        monitor,
-                        until,
-                        next_at: SimTime::ZERO,
-                        taken: 0,
-                        done: false,
+                    .map(|(monitor, until)| {
+                        let source = Label::new(monitor.name());
+                        let source_sym = source.sym();
+                        MonitorSlot {
+                            monitor,
+                            until,
+                            source,
+                            source_sym,
+                            next_at: SimTime::ZERO,
+                            taken: 0,
+                            done: false,
+                        }
                     })
                     .collect(),
                 consumes: self.consumes[index].clone(),
@@ -950,31 +1132,75 @@ impl ClusterSession {
             parts[i % threads].push(u);
         }
 
+        // The batched transport's per-worker queues are valid because a
+        // worker always executes its globally earliest pending step —
+        // resume-handoff gating breaks that (a gated earlier step can run
+        // after a later free one), so runs with scripted resume handoffs
+        // fall back to the per-frame transport's per-machine queues, where
+        // only per-machine order matters.
+        let transport = if self.consumes.iter().any(|c| !c.is_empty()) {
+            Transport::PerFrame
+        } else {
+            transport
+        };
+
         let (tx, rx) = mpsc::channel::<Msg>();
-        let mut merger = Merger::new(n);
+        // Spent batch shells cycle back to the workers through this pool,
+        // so a steady-state batched run reuses its buffers round after
+        // round instead of allocating fresh ones.
+        let pool: Arc<Mutex<Vec<FrameBatch>>> = Arc::new(Mutex::new(Vec::new()));
+        // Batched workers interleave their machines into one ordered
+        // stream each, so the merge needs one queue per *worker*; the
+        // per-frame transport keeps its queue per machine.
+        let mut merger = match transport {
+            Transport::PerFrame => MergerKind::PerFrame(Merger::new(n)),
+            Transport::Batched => MergerKind::Batched(BatchMerger::new(threads, pool.clone())),
+        };
         let mut first_err: Option<(usize, SessionError)> = None;
         let mut returned: Vec<(usize, Option<Session>)> = Vec::with_capacity(n);
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = parts
                 .into_iter()
-                .map(|part| {
+                .enumerate()
+                .map(|(queue, part)| {
                     let tx = tx.clone();
                     let board = self.board.clone();
-                    scope.spawn(move || run_worker(part, max_refreshes, tx, board))
+                    let cfg = WorkerCfg {
+                        queue,
+                        transport,
+                        batch_cap: BATCH_CAP,
+                        pool: pool.clone(),
+                    };
+                    scope.spawn(move || run_worker(part, max_refreshes, tx, board, cfg))
                 })
                 .collect();
             drop(tx);
 
             for msg in rx {
-                match msg {
-                    Msg::Frame { index, frame } => merger.push(index, frame, sink),
-                    Msg::Done { index } => merger.close(index, sink),
-                    Msg::Failed { index, error } => {
-                        merger.close(index, sink);
-                        if first_err.as_ref().is_none_or(|(i, _)| index < *i) {
-                            first_err = Some((index, error));
+                match (msg, &mut merger) {
+                    (Msg::Batch(b), MergerKind::Batched(m)) => m.push(b, sink),
+                    (Msg::Frame { queue, frame }, MergerKind::PerFrame(m)) => {
+                        m.push(queue, frame, sink)
+                    }
+                    (Msg::Done { queue }, MergerKind::PerFrame(m)) => m.close(queue, sink),
+                    (Msg::Done { queue }, MergerKind::Batched(m)) => m.close(queue, sink),
+                    (
+                        Msg::Failed {
+                            machine_index,
+                            error,
+                        },
+                        _,
+                    ) => {
+                        if first_err.as_ref().is_none_or(|(i, _)| machine_index < *i) {
+                            first_err = Some((machine_index, error));
                         }
+                    }
+                    // A worker only sends the message shape its transport
+                    // produces.
+                    (Msg::Batch(_), MergerKind::PerFrame(_))
+                    | (Msg::Frame { .. }, MergerKind::Batched(_)) => {
+                        unreachable!("message shape does not match the run's transport")
                     }
                 }
             }
@@ -986,6 +1212,10 @@ impl ClusterSession {
             }
         });
 
+        self.last_stats = match &merger {
+            MergerKind::PerFrame(m) => m.stats(),
+            MergerKind::Batched(m) => m.stats(),
+        };
         for (index, session) in returned {
             self.shards[index].session = session;
         }
@@ -1125,13 +1355,18 @@ impl ClusterSession {
             units.push(ReactiveUnit {
                 index,
                 id: slot.id.clone(),
+                label: Label::new(&slot.id),
                 session: slot.session.take().expect("checked above"),
                 slots: set
                     .into_iter()
-                    .map(|monitor| ReactiveSlot {
-                        monitor,
-                        next_at: SimTime::ZERO,
-                        taken: 0,
+                    .map(|monitor| {
+                        let source = Label::new(monitor.name());
+                        ReactiveSlot {
+                            monitor,
+                            source,
+                            next_at: SimTime::ZERO,
+                            taken: 0,
+                        }
                     })
                     .collect(),
                 torn: false,
@@ -1157,11 +1392,44 @@ impl ClusterSession {
     }
 }
 
+/// Which transport a pool run uses between workers and the merge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Transport {
+    /// One channel message per frame, one merge queue per machine, labels
+    /// materialized at the worker — the original transport, kept as the
+    /// differential baseline (see [`ClusterSession::run_per_frame`]).
+    PerFrame,
+    /// Columnar [`FrameBatch`]es, one merge queue per worker, interned
+    /// labels, shells recycled through a shared pool — the default.
+    Batched,
+}
+
+/// Frames per [`FrameBatch`] before a worker flushes it to the merge. Big
+/// enough to amortize the channel send and wake-up, small enough that the
+/// merge's run-delivery latency (and its buffering of other queues) stays
+/// a round or two.
+const BATCH_CAP: usize = 32;
+
+/// Per-worker transport configuration of one pool run.
+struct WorkerCfg {
+    /// This worker's merge queue (batched transport; per-frame uses the
+    /// machine index instead).
+    queue: usize,
+    transport: Transport,
+    batch_cap: usize,
+    /// Spent-shell recycling pool, shared with the merge.
+    pool: Arc<Mutex<Vec<FrameBatch>>>,
+}
+
 /// One monitor of one machine: its own interval clock, stop predicate and
 /// observation count.
 struct MonitorSlot {
     monitor: Box<dyn Monitor + Send>,
     until: Until,
+    /// The monitor's name as a shared label / interned id, captured once —
+    /// the hot loop never calls `name()` again.
+    source: Label,
+    source_sym: SymId,
     next_at: SimTime,
     taken: usize,
     done: bool,
@@ -1170,6 +1438,9 @@ struct MonitorSlot {
 struct WorkUnit {
     index: usize,
     id: String,
+    /// The machine id as a shared label / interned id, captured once.
+    label: Label,
+    sym: SymId,
     session: Session,
     slots: Vec<MonitorSlot>,
     /// Scripted resume handoffs this machine consumes — `(instant, tag,
@@ -1183,6 +1454,9 @@ struct WorkUnit {
 /// the control surface).
 struct ReactiveSlot {
     monitor: Box<dyn Monitor + Send>,
+    /// The monitor's name as a shared label, captured once — each round's
+    /// frames refbump it instead of allocating a `String`.
+    source: Label,
     next_at: SimTime,
     taken: usize,
 }
@@ -1190,6 +1464,8 @@ struct ReactiveSlot {
 struct ReactiveUnit {
     index: usize,
     id: String,
+    /// The machine id as a shared label, captured once.
+    label: Label,
     session: Session,
     slots: Vec<ReactiveSlot>,
     /// A panic tore this shard mid-epoch; its session is never handed back.
@@ -1580,9 +1856,9 @@ fn advance_due_unit(
             slot.taken += 1;
             slot.next_at = t_star + slot.monitor.interval();
             frames.push(ClusterFrame {
-                machine: unit.id.clone(),
+                machine: unit.label.clone(),
                 machine_index: unit.index,
-                source: slot.monitor.name().to_string(),
+                source: slot.source.clone(),
                 seq: slot.taken - 1,
                 frame,
             });
@@ -1732,9 +2008,23 @@ fn apply_decision(
 }
 
 enum Msg {
-    Frame { index: usize, frame: ClusterFrame },
-    Done { index: usize },
-    Failed { index: usize, error: SessionError },
+    /// A batch of consecutive frames from one batched-transport queue.
+    Batch(FrameBatch),
+    /// One frame of one per-frame-transport queue.
+    Frame { queue: usize, frame: ClusterFrame },
+    /// The queue has no more messages.
+    Done { queue: usize },
+    /// A machine failed; its queue still gets a `Done` when it closes.
+    Failed {
+        machine_index: usize,
+        error: SessionError,
+    },
+}
+
+/// The run's merge, matching its transport.
+enum MergerKind {
+    PerFrame(Merger),
+    Batched(BatchMerger),
 }
 
 struct MergeQueue {
@@ -1766,6 +2056,10 @@ struct Merger {
     /// How many queues are open with nothing buffered — while any exist,
     /// the merge must wait on them.
     blocked: usize,
+    delivered: usize,
+    messages: usize,
+    buffered: usize,
+    peak_buffered: usize,
 }
 
 impl Merger {
@@ -1774,6 +2068,19 @@ impl Merger {
             queues: (0..n).map(|_| MergeQueue::default()).collect(),
             frontier: BinaryHeap::with_capacity(n),
             blocked: n,
+            delivered: 0,
+            messages: 0,
+            buffered: 0,
+            peak_buffered: 0,
+        }
+    }
+
+    fn stats(&self) -> RunStats {
+        RunStats {
+            frames: self.delivered,
+            batches: self.messages,
+            peak_buffered_frames: self.peak_buffered,
+            peak_buffered_bytes: 0,
         }
     }
 
@@ -1788,6 +2095,9 @@ impl Merger {
             }
         }
         q.buf.push_back(frame);
+        self.messages += 1;
+        self.buffered += 1;
+        self.peak_buffered = self.peak_buffered.max(self.buffered);
         self.drain(sink);
     }
 
@@ -1820,8 +2130,185 @@ impl Merger {
                     }
                 }
             }
+            self.buffered -= 1;
+            self.delivered += 1;
             sink.on_frame(frame);
         }
+    }
+}
+
+/// One batched-transport merge queue: batches in arrival order, with a
+/// cursor into the head batch marking how far it has been delivered.
+struct BatchQueue {
+    buf: VecDeque<FrameBatch>,
+    /// Next undelivered frame of the head batch.
+    cursor: usize,
+    /// Still producing: its head bounds what may still arrive.
+    open: bool,
+}
+
+impl Default for BatchQueue {
+    fn default() -> Self {
+        BatchQueue {
+            buf: VecDeque::new(),
+            cursor: 0,
+            open: true,
+        }
+    }
+}
+
+/// The k-way merge over columnar batches — one queue per *worker*. Valid
+/// because a worker always steps its earliest-keyed machine next, so each
+/// worker's concatenated stream is `(time, machine_index)`-ordered; and
+/// since machines are partitioned across workers, no key can appear in two
+/// queues. That turns the per-frame heap pop into **run delivery**: the
+/// head queue delivers every consecutive frame below the other queues'
+/// minimum key with one `on_batch` call, so merge cost per frame drops
+/// from `O(log n)` plus a channel message to amortized `O(1)`.
+///
+/// Spent batch shells are cleared and pushed back into the shared pool for
+/// the workers to refill.
+struct BatchMerger {
+    queues: Vec<BatchQueue>,
+    /// Min-heap over `(head key, queue)` of every queue with undelivered
+    /// frames; each such queue appears exactly once.
+    frontier: BinaryHeap<Reverse<(SimTime, usize, usize)>>,
+    /// Queues open with nothing undelivered — while any exist, the merge
+    /// must wait on them.
+    blocked: usize,
+    pool: Arc<Mutex<Vec<FrameBatch>>>,
+    delivered: usize,
+    messages: usize,
+    buffered_frames: usize,
+    peak_frames: usize,
+    buffered_bytes: usize,
+    peak_bytes: usize,
+}
+
+impl BatchMerger {
+    fn new(n: usize, pool: Arc<Mutex<Vec<FrameBatch>>>) -> Self {
+        BatchMerger {
+            queues: (0..n).map(|_| BatchQueue::default()).collect(),
+            frontier: BinaryHeap::with_capacity(n),
+            blocked: n,
+            pool,
+            delivered: 0,
+            messages: 0,
+            buffered_frames: 0,
+            peak_frames: 0,
+            buffered_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    fn stats(&self) -> RunStats {
+        RunStats {
+            frames: self.delivered,
+            batches: self.messages,
+            peak_buffered_frames: self.peak_frames,
+            peak_buffered_bytes: self.peak_bytes,
+        }
+    }
+
+    /// Shell-pool bound: each worker needs at most a couple of shells in
+    /// flight; beyond that, dropping is cheaper than hoarding.
+    fn pool_cap(&self) -> usize {
+        2 * self.queues.len() + 4
+    }
+
+    fn push(&mut self, batch: FrameBatch, sink: &mut dyn ClusterFrameSink) {
+        self.messages += 1;
+        if batch.is_empty() {
+            recycle_into(&self.pool, self.pool_cap(), batch);
+            return;
+        }
+        let queue = batch.queue();
+        let q = &mut self.queues[queue];
+        if q.buf.is_empty() {
+            let (t, mi) = batch.first_key().expect("non-empty");
+            self.frontier.push(Reverse((t, mi, queue)));
+            // Per-queue messages are ordered (one worker owns the queue),
+            // so a batch never arrives after Done.
+            if q.open {
+                self.blocked -= 1;
+            }
+        }
+        self.buffered_frames += batch.len();
+        self.buffered_bytes += batch.approx_bytes();
+        self.peak_frames = self.peak_frames.max(self.buffered_frames);
+        self.peak_bytes = self.peak_bytes.max(self.buffered_bytes);
+        q.buf.push_back(batch);
+        self.drain(sink);
+    }
+
+    fn close(&mut self, queue: usize, sink: &mut dyn ClusterFrameSink) {
+        let q = &mut self.queues[queue];
+        if q.open {
+            q.open = false;
+            if q.buf.is_empty() {
+                self.blocked -= 1;
+            }
+        }
+        self.drain(sink);
+    }
+
+    fn drain(&mut self, sink: &mut dyn ClusterFrameSink) {
+        let cap = self.pool_cap();
+        while self.blocked == 0 {
+            let Some(Reverse((_, _, qi))) = self.frontier.pop() else {
+                return;
+            };
+            // Keys are unique across queues (machines are partitioned), so
+            // every consecutive head-batch frame strictly below the next
+            // queue's minimum is deliverable in one run.
+            let limit = self.frontier.peek().map(|Reverse((t, mi, _))| (*t, *mi));
+            let q = &mut self.queues[qi];
+            let batch = q.buf.front_mut().expect("frontier tracks non-empty queues");
+            let start = q.cursor;
+            let end = match limit {
+                None => batch.len(),
+                Some(lim) => {
+                    let mut end = start;
+                    while end < batch.len() && (batch.time(end), batch.machine_index(end)) < lim {
+                        end += 1;
+                    }
+                    end
+                }
+            };
+            debug_assert!(end > start, "the popped head key is the global minimum");
+            sink.on_batch(batch, start..end);
+            self.delivered += end - start;
+            self.buffered_frames -= end - start;
+            if end == batch.len() {
+                let spent = q.buf.pop_front().expect("head batch exists");
+                self.buffered_bytes = self.buffered_bytes.saturating_sub(spent.approx_bytes());
+                recycle_into(&self.pool, cap, spent);
+                q.cursor = 0;
+            } else {
+                q.cursor = end;
+            }
+            match q.buf.front() {
+                Some(head) => {
+                    let key = (head.time(q.cursor), head.machine_index(q.cursor), qi);
+                    self.frontier.push(Reverse(key));
+                }
+                None => {
+                    if q.open {
+                        self.blocked += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Clear a spent batch and hand its allocations back through the shared
+/// pool (dropped instead once the pool holds `cap` shells).
+fn recycle_into(pool: &Mutex<Vec<FrameBatch>>, cap: usize, mut batch: FrameBatch) {
+    batch.clear();
+    let mut pool = pool.lock().expect("shell pool poisoned");
+    if pool.len() < cap {
+        pool.push(batch);
     }
 }
 
@@ -1844,14 +2331,24 @@ fn run_worker(
     max_refreshes: usize,
     tx: mpsc::Sender<Msg>,
     board: Arc<HandoffBoard>,
+    cfg: WorkerCfg,
 ) -> Vec<(usize, Option<Session>)> {
     let mut finished: Vec<(usize, Option<Session>)> = Vec::new();
     let mut active: Vec<WorkUnit> = Vec::new();
+    // The batch being filled (batched transport). Always bound to this
+    // worker's queue; flushed when full, before any blocking wait, and at
+    // the end of the run.
+    let mut batch = match cfg.transport {
+        Transport::Batched => Some(take_shell(&cfg.pool, cfg.queue)),
+        Transport::PerFrame => None,
+    };
 
     for mut unit in units {
         if max_refreshes == 0 || unit.slots.is_empty() {
             board.mark_done(unit.index);
-            let _ = tx.send(Msg::Done { index: unit.index });
+            if cfg.transport == Transport::PerFrame {
+                let _ = tx.send(Msg::Done { queue: unit.index });
+            }
             finished.push((unit.index, Some(unit.session)));
             continue;
         }
@@ -1872,50 +2369,74 @@ fn run_worker(
             Err(e) => {
                 board.mark_done(unit.index);
                 let _ = tx.send(Msg::Failed {
-                    index: unit.index,
+                    machine_index: unit.index,
                     error: e,
                 });
+                if cfg.transport == Transport::PerFrame {
+                    let _ = tx.send(Msg::Done { queue: unit.index });
+                }
                 finished.push((unit.index, None));
             }
         }
     }
 
     while !active.is_empty() {
-        // The pending observations across every owned machine, earliest
-        // first: (time, machine index, monitor order) for determinism.
-        type StepKey = (SimTime, usize, usize);
-        let mut cands: Vec<(StepKey, (usize, usize))> = active
-            .iter()
-            .enumerate()
-            .flat_map(|(p, u)| {
-                u.slots
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| !s.done)
-                    .map(move |(sp, s)| ((s.next_at, u.index, sp), (p, sp)))
-            })
-            .collect();
-        cands.sort_by_key(|(key, _)| *key);
-
-        // The earliest step whose unit has no unpublished handoff to
-        // consume at or before the step target runs now.
+        // The earliest pending observation across every owned machine:
+        // (time, machine index, monitor order) for determinism.
         let mut chosen: Option<(usize, usize)> = None;
         let mut first_gate: Option<(usize, SimTime, String, usize)> = None;
-        for (key, (p, sp)) in &cands {
-            let gate = active[*p]
-                .consumes
-                .iter()
-                .filter(|(at, _, _)| *at <= key.0)
-                .find(|(at, tag, _)| !board.is_published(tag, *at))
-                .cloned();
-            match gate {
-                None => {
-                    chosen = Some((*p, *sp));
-                    break;
+        if active.iter().all(|u| u.consumes.is_empty()) {
+            // No resume gates anywhere on this worker — the overwhelmingly
+            // common shape. One allocation-free min-scan picks the step;
+            // no candidate list is built or sorted.
+            let mut best: Option<(SimTime, usize, usize)> = None;
+            for (p, u) in active.iter().enumerate() {
+                for (sp, s) in u.slots.iter().enumerate() {
+                    if s.done {
+                        continue;
+                    }
+                    let key = (s.next_at, u.index, sp);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                        chosen = Some((p, sp));
+                    }
                 }
-                Some((at, tag, producer)) => {
-                    if first_gate.is_none() {
-                        first_gate = Some((*p, at, tag, producer));
+            }
+        } else {
+            // The pending observations across every owned machine,
+            // earliest first; the earliest step whose unit has no
+            // unpublished handoff to consume at or before the step target
+            // runs now.
+            type StepKey = (SimTime, usize, usize);
+            let mut cands: Vec<(StepKey, (usize, usize))> = active
+                .iter()
+                .enumerate()
+                .flat_map(|(p, u)| {
+                    u.slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| !s.done)
+                        .map(move |(sp, s)| ((s.next_at, u.index, sp), (p, sp)))
+                })
+                .collect();
+            cands.sort_by_key(|(key, _)| *key);
+
+            for (key, (p, sp)) in &cands {
+                let gate = active[*p]
+                    .consumes
+                    .iter()
+                    .filter(|(at, _, _)| *at <= key.0)
+                    .find(|(at, tag, _)| !board.is_published(tag, *at))
+                    .cloned();
+                match gate {
+                    None => {
+                        chosen = Some((*p, *sp));
+                        break;
+                    }
+                    Some((at, tag, producer)) => {
+                        if first_gate.is_none() {
+                            first_gate = Some((*p, at, tag, producer));
+                        }
                     }
                 }
             }
@@ -1965,14 +2486,26 @@ fn run_worker(
                 };
                 board.mark_done(failed.index);
                 let _ = tx.send(Msg::Failed {
-                    index: failed.index,
+                    machine_index: failed.index,
                     error,
                 });
+                if cfg.transport == Transport::PerFrame {
+                    let _ = tx.send(Msg::Done {
+                        queue: failed.index,
+                    });
+                }
                 finished.push((failed.index, (!torn).then_some(failed.session)));
             }
             if !progressed && !any_failures {
                 let (pos, gate_at, tag, producer) =
                     first_gate.expect("a fully gated worker has a first gate");
+                // About to block on another worker: flush the partial
+                // batch first, or the merge (and with it every other
+                // worker's delivery) would stall on this queue's
+                // unsent frames for the whole wait.
+                if let Some(batch) = batch.as_mut() {
+                    flush_batch(batch, &tx, &cfg);
+                }
                 if !board.wait_published(&tag, gate_at, producer) {
                     // The producer's run is over and the checkpoint never
                     // appeared (it stopped early, or errored first): the
@@ -1988,9 +2521,14 @@ fn run_worker(
                     };
                     board.mark_done(failed.index);
                     let _ = tx.send(Msg::Failed {
-                        index: failed.index,
+                        machine_index: failed.index,
                         error,
                     });
+                    if cfg.transport == Transport::PerFrame {
+                        let _ = tx.send(Msg::Done {
+                            queue: failed.index,
+                        });
+                    }
                     finished.push((failed.index, Some(failed.session)));
                 }
             }
@@ -2011,16 +2549,29 @@ fn run_worker(
             Ok((frame, stop)) => {
                 let slot = &mut unit.slots[spos];
                 slot.taken += 1;
-                let _ = tx.send(Msg::Frame {
-                    index: unit.index,
-                    frame: ClusterFrame {
-                        machine: unit.id.clone(),
-                        machine_index: unit.index,
-                        source: slot.monitor.name().to_string(),
-                        seq: slot.taken - 1,
-                        frame,
-                    },
-                });
+                match batch.as_mut() {
+                    // Batched: move the frame's rows into the columnar
+                    // batch — no label allocation, no per-frame send.
+                    Some(batch) => {
+                        batch.push(unit.sym, unit.index, slot.source_sym, slot.taken - 1, frame);
+                        if batch.len() >= cfg.batch_cap {
+                            flush_batch(batch, &tx, &cfg);
+                        }
+                    }
+                    // Per-frame: one message per frame, labels refbumped.
+                    None => {
+                        let _ = tx.send(Msg::Frame {
+                            queue: unit.index,
+                            frame: ClusterFrame {
+                                machine: unit.label.clone(),
+                                machine_index: unit.index,
+                                source: slot.source.clone(),
+                                seq: slot.taken - 1,
+                                frame,
+                            },
+                        });
+                    }
+                }
                 if stop || slot.taken >= max_refreshes {
                     slot.done = true;
                 } else {
@@ -2039,14 +2590,19 @@ fn run_worker(
                     board.mark_done(done.index);
                     match torn_down {
                         Ok(()) => {
-                            let _ = tx.send(Msg::Done { index: done.index });
+                            if cfg.transport == Transport::PerFrame {
+                                let _ = tx.send(Msg::Done { queue: done.index });
+                            }
                             finished.push((done.index, Some(done.session)));
                         }
                         Err(error) => {
                             let _ = tx.send(Msg::Failed {
-                                index: done.index,
+                                machine_index: done.index,
                                 error,
                             });
+                            if cfg.transport == Transport::PerFrame {
+                                let _ = tx.send(Msg::Done { queue: done.index });
+                            }
                             finished.push((done.index, None));
                         }
                     }
@@ -2066,14 +2622,47 @@ fn run_worker(
                 };
                 board.mark_done(failed.index);
                 let _ = tx.send(Msg::Failed {
-                    index: failed.index,
+                    machine_index: failed.index,
                     error,
                 });
+                if cfg.transport == Transport::PerFrame {
+                    let _ = tx.send(Msg::Done {
+                        queue: failed.index,
+                    });
+                }
                 finished.push((failed.index, (!torn).then_some(failed.session)));
             }
         }
     }
+    if let Some(batch) = batch.as_mut() {
+        // Last frames out, then close this worker's queue.
+        flush_batch(batch, &tx, &cfg);
+        let _ = tx.send(Msg::Done { queue: cfg.queue });
+    }
     finished
+}
+
+/// Pop a recycled batch shell from the pool (or allocate the first few)
+/// and bind it to `queue`.
+fn take_shell(pool: &Mutex<Vec<FrameBatch>>, queue: usize) -> FrameBatch {
+    let mut b = pool
+        .lock()
+        .expect("shell pool poisoned")
+        .pop()
+        .unwrap_or_else(|| FrameBatch::new(queue));
+    b.set_queue(queue);
+    b.clear();
+    b
+}
+
+/// Send the filled batch to the merge, leaving a fresh (usually recycled)
+/// shell in its place. No-op on an empty batch.
+fn flush_batch(batch: &mut FrameBatch, tx: &mpsc::Sender<Msg>, cfg: &WorkerCfg) {
+    if batch.is_empty() {
+        return;
+    }
+    let full = std::mem::replace(batch, take_shell(&cfg.pool, cfg.queue));
+    let _ = tx.send(Msg::Batch(full));
 }
 
 /// Reject monitor sets that cannot drive a machine — shared by

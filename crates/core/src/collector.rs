@@ -10,8 +10,9 @@
 use std::collections::HashMap;
 
 use tiptop_kernel::kernel::Kernel;
-use tiptop_kernel::perf::{PerfEventAttr, PerfFd};
+use tiptop_kernel::perf::{PerfEventAttr, PerfFd, PerfValue};
 use tiptop_kernel::task::{Pid, Uid};
+use tiptop_kernel::Errno;
 use tiptop_machine::pmu::{EventCounts, HwEvent};
 
 use crate::events::selector_for;
@@ -44,6 +45,13 @@ pub struct Collector {
     /// Tasks we may not observe (EACCES) — remembered to avoid re-trying
     /// every refresh.
     forbidden: std::collections::HashSet<Pid>,
+    /// Last refresh's deltas, reused across refreshes so a cluster-scale
+    /// run makes no per-refresh map allocation.
+    deltas: HashMap<Pid, TaskDelta>,
+    /// Per-refresh scratch (read order, fd list, batched values) — reused.
+    scratch_order: Vec<Pid>,
+    scratch_fds: Vec<PerfFd>,
+    scratch_vals: Vec<Result<PerfValue, Errno>>,
 }
 
 impl Collector {
@@ -54,6 +62,10 @@ impl Collector {
             events,
             tasks: HashMap::new(),
             forbidden: Default::default(),
+            deltas: HashMap::new(),
+            scratch_order: Vec::new(),
+            scratch_fds: Vec::new(),
+            scratch_vals: Vec::new(),
         }
     }
 
@@ -75,13 +87,13 @@ impl Collector {
     /// tasks that exited since the previous refresh (their fds remain valid
     /// after exit and hold the final counts, as on Linux).
     ///
-    /// All counter reads go through [`Kernel::perf_read_batch`]: the
-    /// refresh snapshots *every* fd this observer holds in one pass over
-    /// the kernel's fd table instead of one lookup per fd — the batched
-    /// counter path of the cluster-scale engine.
-    pub fn refresh(&mut self, k: &mut Kernel) -> HashMap<Pid, TaskDelta> {
+    /// All counter reads go through [`Kernel::perf_read_batch_into`]: the
+    /// refresh snapshots every fd this observer holds in one batched call
+    /// into a reused buffer — together with the recycled delta map and
+    /// order/fd scratch, a steady-state refresh allocates nothing here.
+    pub fn refresh(&mut self, k: &mut Kernel) -> &HashMap<Pid, TaskDelta> {
         let live = k.pids();
-        let mut out: HashMap<Pid, TaskDelta> = HashMap::with_capacity(self.tasks.len());
+        self.deltas.clear();
 
         // Harvest final counts from vanished tasks (one batched read over
         // all their fds), then release the fds.
@@ -115,7 +127,7 @@ impl Collector {
                     cursor += 1;
                 }
                 if ok {
-                    out.insert(
+                    self.deltas.insert(
                         pid,
                         TaskDelta {
                             counts: finals.delta_since(&tc.last),
@@ -147,20 +159,23 @@ impl Collector {
         }
 
         // Read deltas of live tasks: snapshot every fd in one batched pass,
-        // then distribute the values per task.
-        let order: Vec<Pid> = self.tasks.keys().copied().collect();
-        let fds: Vec<_> = order
-            .iter()
-            .flat_map(|p| self.tasks[p].fds.iter().map(|&(_, fd)| fd))
-            .collect();
-        let vals = k.perf_read_batch(&fds);
+        // then distribute the values per task. Order, fd list and value
+        // buffer are collector-owned scratch, reused every refresh.
+        self.scratch_order.clear();
+        self.scratch_order.extend(self.tasks.keys().copied());
+        self.scratch_fds.clear();
+        for p in &self.scratch_order {
+            self.scratch_fds
+                .extend(self.tasks[p].fds.iter().map(|&(_, fd)| fd));
+        }
+        k.perf_read_batch_into(&self.scratch_fds, &mut self.scratch_vals);
         let mut cursor = 0usize;
-        for pid in order {
-            let tc = self.tasks.get_mut(&pid).expect("just listed");
+        for pid in &self.scratch_order {
+            let tc = self.tasks.get_mut(pid).expect("just listed");
             let mut now = EventCounts::ZERO;
             let mut ok = true;
             for &(ev, _) in &tc.fds {
-                match vals[cursor] {
+                match self.scratch_vals[cursor] {
                     Ok(v) => now.set(ev, v.scaled()),
                     Err(_) => ok = false,
                 }
@@ -173,15 +188,22 @@ impl Collector {
             tc.last = now;
             let full = tc.primed;
             tc.primed = true;
-            out.insert(
-                pid,
+            self.deltas.insert(
+                *pid,
                 TaskDelta {
                     counts: delta,
                     full_interval: full,
                 },
             );
         }
-        out
+        &self.deltas
+    }
+
+    /// The deltas of the most recent [`Collector::refresh`], by shared
+    /// reference — lets a caller that owns both the collector and other
+    /// state keep reading them after further immutable borrows.
+    pub fn deltas(&self) -> &HashMap<Pid, TaskDelta> {
+        &self.deltas
     }
 
     fn attach(&self, k: &mut Kernel, pid: Pid) -> Result<TaskCounters, AttachOutcome> {

@@ -51,6 +51,13 @@ pub enum Func {
 }
 
 impl Func {
+    fn arity(self) -> usize {
+        match self {
+            Func::Min | Func::Max | Func::Ratio => 2,
+            Func::Abs => 1,
+        }
+    }
+
     fn parse(name: &str) -> Option<(Func, usize)> {
         match name {
             "min" => Some((Func::Min, 2)),
@@ -70,6 +77,79 @@ pub enum Expr {
     Neg(Box<Expr>),
     Bin(BinOp, Box<Expr>, Box<Expr>),
     Call(Func, Vec<Expr>),
+}
+
+/// One step of a compiled expression program (postfix order).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op<S> {
+    Push(f64),
+    Load(S),
+    Neg,
+    Bin(BinOp),
+    Call(Func),
+}
+
+/// Operand-stack capacity of [`Compiled::eval`]; expressions that would
+/// nest deeper fail to compile (and evaluate through the AST instead).
+pub const MAX_COMPILED_DEPTH: usize = 16;
+
+/// An [`Expr`] flattened by [`Expr::compile`]: variables are resolved to
+/// caller-defined slots once, and evaluation runs the postfix program on a
+/// fixed-size stack — the per-row hot path of the cluster bench spends no
+/// time on identifier parsing and makes no heap allocation.
+#[derive(Clone, Debug)]
+pub struct Compiled<S> {
+    ops: Vec<Op<S>>,
+}
+
+impl<S> Compiled<S> {
+    /// Run the program; `load` supplies the value of each resolved slot.
+    /// Matches [`Expr::eval`] bit-for-bit on the same inputs (same ops in
+    /// the same order), so deferred cell text stays byte-identical.
+    pub fn eval(&self, load: &mut dyn FnMut(&S) -> f64) -> f64 {
+        let mut stack = [0.0f64; MAX_COMPILED_DEPTH];
+        let mut top = 0usize;
+        for op in &self.ops {
+            match op {
+                Op::Push(n) => {
+                    stack[top] = *n;
+                    top += 1;
+                }
+                Op::Load(s) => {
+                    stack[top] = load(s);
+                    top += 1;
+                }
+                Op::Neg => stack[top - 1] = -stack[top - 1],
+                Op::Bin(op) => {
+                    let (a, b) = (stack[top - 2], stack[top - 1]);
+                    top -= 1;
+                    stack[top - 1] = match op {
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
+                        BinOp::Div => a / b,
+                    };
+                }
+                Op::Call(f) => match f {
+                    Func::Abs => stack[top - 1] = stack[top - 1].abs(),
+                    Func::Min => {
+                        top -= 1;
+                        stack[top - 1] = stack[top - 1].min(stack[top]);
+                    }
+                    Func::Max => {
+                        top -= 1;
+                        stack[top - 1] = stack[top - 1].max(stack[top]);
+                    }
+                    Func::Ratio => {
+                        top -= 1;
+                        let (a, b) = (stack[top - 1], stack[top]);
+                        stack[top - 1] = if b == 0.0 { 0.0 } else { a / b };
+                    }
+                },
+            }
+        }
+        stack[top - 1]
+    }
 }
 
 /// A parse failure, with byte position in the source.
@@ -345,6 +425,55 @@ impl Expr {
         }
     }
 
+    /// Flatten to a postfix program with every variable resolved through
+    /// `resolve` exactly once, so per-row evaluation does no name parsing,
+    /// no boxed-node chasing, and no allocation (see [`Compiled::eval`]).
+    /// Returns `None` when an identifier fails to resolve or the operand
+    /// stack would exceed [`MAX_COMPILED_DEPTH`]; callers keep the AST and
+    /// fall back to [`Expr::eval`] for those (rare) screens.
+    pub fn compile<S>(&self, resolve: &mut dyn FnMut(&str) -> Option<S>) -> Option<Compiled<S>> {
+        let mut ops = Vec::new();
+        self.flatten(resolve, &mut ops)?;
+        let (mut depth, mut max) = (0usize, 0usize);
+        for op in &ops {
+            match op {
+                Op::Push(_) | Op::Load(_) => depth += 1,
+                Op::Neg => {}
+                Op::Bin(_) => depth -= 1,
+                Op::Call(f) => depth -= f.arity() - 1,
+            }
+            max = max.max(depth);
+        }
+        (max <= MAX_COMPILED_DEPTH).then_some(Compiled { ops })
+    }
+
+    fn flatten<S>(
+        &self,
+        resolve: &mut dyn FnMut(&str) -> Option<S>,
+        out: &mut Vec<Op<S>>,
+    ) -> Option<()> {
+        match self {
+            Expr::Num(n) => out.push(Op::Push(*n)),
+            Expr::Var(name) => out.push(Op::Load(resolve(name)?)),
+            Expr::Neg(e) => {
+                e.flatten(resolve, out)?;
+                out.push(Op::Neg);
+            }
+            Expr::Bin(op, a, b) => {
+                a.flatten(resolve, out)?;
+                b.flatten(resolve, out)?;
+                out.push(Op::Bin(*op));
+            }
+            Expr::Call(f, args) => {
+                for a in args {
+                    a.flatten(resolve, out)?;
+                }
+                out.push(Op::Call(*f));
+            }
+        }
+        Some(())
+    }
+
     /// All identifiers the expression references (for planning which
     /// counters to open).
     pub fn idents(&self) -> Vec<String> {
@@ -442,6 +571,52 @@ mod tests {
     fn unknown_identifier_is_an_eval_error() {
         let e = Expr::parse("BOGUS + 1").unwrap();
         assert!(e.eval(&|_| None).is_err());
+    }
+
+    #[test]
+    fn compiled_programs_match_ast_evaluation() {
+        let vars = [
+            ("INSTRUCTIONS", 52125e6),
+            ("CYCLES", 26456e6),
+            ("CACHE_MISSES", 3.0),
+            ("DELTA_T", 2.0),
+        ];
+        for src in [
+            "INSTRUCTIONS / CYCLES",
+            "100 * CACHE_MISSES / INSTRUCTIONS",
+            "INSTRUCTIONS / DELTA_T / 1e6",
+            "min(CYCLES, INSTRUCTIONS) + max(1, 2) - abs(0 - 4)",
+            "ratio(CACHE_MISSES, 0) + ratio(10, 4)",
+            "-CYCLES * 2",
+        ] {
+            let e = Expr::parse(src).unwrap();
+            let ast = e
+                .eval(&|n| vars.iter().find(|(v, _)| *v == n).map(|(_, x)| *x))
+                .unwrap();
+            // Resolve each var to its index; load by index at eval time.
+            let c = e
+                .compile(&mut |n| vars.iter().position(|(v, _)| *v == n))
+                .unwrap_or_else(|| panic!("{src} should compile"));
+            let fast = c.eval(&mut |i: &usize| vars[*i].1);
+            assert_eq!(ast.to_bits(), fast.to_bits(), "{src}");
+        }
+    }
+
+    #[test]
+    fn compile_fails_safe_on_unknown_idents_and_deep_nesting() {
+        let e = Expr::parse("BOGUS + 1").unwrap();
+        assert!(e.compile::<usize>(&mut |_| None).is_none());
+        // Right-nested parens grow the operand stack past the fixed limit.
+        let deep = "1+(".repeat(MAX_COMPILED_DEPTH + 1) + "1" + &")".repeat(MAX_COMPILED_DEPTH + 1);
+        let e = Expr::parse(&deep).unwrap();
+        assert!(e.compile(&mut |_| Some(0usize)).is_none());
+        // ...while the same shape within the limit compiles fine.
+        let ok = "1+(".repeat(4) + "1" + &")".repeat(4);
+        let e = Expr::parse(&ok).unwrap();
+        assert_eq!(
+            e.compile(&mut |_| Some(0usize)).unwrap().eval(&mut |_| 0.0),
+            5.0
+        );
     }
 
     #[test]

@@ -78,6 +78,7 @@
 
 pub mod app;
 pub mod baseline;
+pub mod batch;
 pub mod cluster;
 pub mod collector;
 pub mod config;
@@ -89,12 +90,15 @@ pub mod reactive;
 pub mod render;
 pub mod scenario;
 pub mod session;
+pub mod symbols;
 
 pub use app::{SortKey, Tiptop, TiptopOptions};
 pub use baseline::{PinInscount, PinReport, TopView};
+pub use batch::FrameBatch;
 pub use cluster::{
     ClusterCollectSink, ClusterFrame, ClusterFrameSink, ClusterRunError, ClusterScenario,
-    ClusterSession, ClusterWindow, ClusterWindowSink, HandoverRecord, MachineRef, WindowStats,
+    ClusterSession, ClusterWindow, ClusterWindowSink, HandoverRecord, MachineRef, RunStats,
+    WindowStats,
 };
 pub use collector::{Collector, TaskDelta};
 pub use config::{ColumnKind, ColumnSpec, NumFormat, ScreenConfig};
@@ -104,17 +108,20 @@ pub use procinfo::CpuTracker;
 pub use reactive::{
     AppliedDecision, Cusum, IpcFloor, MigrationDecision, MigrationMode, SchedulerPolicy,
 };
-pub use render::{Frame, Row};
+pub use render::{CellSpec, Frame, Row};
 pub use scenario::{Scenario, Session, SessionError, WorkloadEvent};
 pub use session::{cluster_series_for_comm, machine_frames, mean, series_for_comm, series_for_pid};
+pub use symbols::{Label, SymId, SymbolTable};
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::app::{SortKey, Tiptop, TiptopOptions};
     pub use crate::baseline::{PinInscount, TopView};
+    pub use crate::batch::FrameBatch;
     pub use crate::cluster::{
         ClusterCollectSink, ClusterFrame, ClusterFrameSink, ClusterRunError, ClusterScenario,
-        ClusterSession, ClusterWindow, ClusterWindowSink, HandoverRecord, MachineRef, WindowStats,
+        ClusterSession, ClusterWindow, ClusterWindowSink, HandoverRecord, MachineRef, RunStats,
+        WindowStats,
     };
     pub use crate::config::ScreenConfig;
     pub use crate::monitor::{CollectSink, FrameSink, Monitor};
@@ -126,4 +133,5 @@ pub mod prelude {
     pub use crate::session::{
         cluster_series_for_comm, machine_frames, mean, series_for_comm, series_for_pid,
     };
+    pub use crate::symbols::{Label, SymId};
 }

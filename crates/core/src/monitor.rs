@@ -19,6 +19,7 @@
 //! the timed workload events lives in [`crate::scenario`].
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 use tiptop_kernel::kernel::Kernel;
 use tiptop_kernel::task::Pid;
@@ -26,7 +27,7 @@ use tiptop_machine::time::SimDuration;
 
 use crate::app::Tiptop;
 use crate::baseline::{PinInscount, TopView};
-use crate::render::{Frame, Row};
+use crate::render::{values_of, Frame, Row};
 
 /// A tool that periodically observes a kernel and produces [`Frame`]s.
 ///
@@ -138,18 +139,21 @@ impl Monitor for TopView {
         let rows = self
             .refresh(k)
             .into_iter()
-            .map(|r| Row {
-                cells: vec![
+            .map(|r| {
+                let cells = vec![
                     r.pid.0.to_string(),
                     r.user.clone(),
                     format!("{:.1}", r.cpu_pct),
                     r.comm.clone(),
-                ],
-                values: [("%CPU".to_string(), r.cpu_pct)].into(),
-                pid: r.pid,
-                user: r.user,
-                comm: r.comm,
-                cpu_pct: r.cpu_pct,
+                ];
+                Row::new(
+                    r.pid,
+                    r.user,
+                    r.comm,
+                    r.cpu_pct,
+                    cells,
+                    values_of([("%CPU", r.cpu_pct)]),
+                )
             })
             .collect();
         Frame {
@@ -161,13 +165,19 @@ impl Monitor for TopView {
     }
 }
 
-fn top_headers() -> Vec<(String, usize)> {
-    vec![
-        ("PID".to_string(), 6),
-        ("USER".to_string(), 8),
-        ("%CPU".to_string(), 5),
-        ("COMMAND".to_string(), 12),
-    ]
+fn top_headers() -> Arc<[(String, usize)]> {
+    static HEADERS: OnceLock<Arc<[(String, usize)]>> = OnceLock::new();
+    HEADERS
+        .get_or_init(|| {
+            vec![
+                ("PID".to_string(), 6),
+                ("USER".to_string(), 8),
+                ("%CPU".to_string(), 5),
+                ("COMMAND".to_string(), 12),
+            ]
+            .into()
+        })
+        .clone()
 }
 
 impl Monitor for PinInscount {
@@ -200,18 +210,21 @@ impl Monitor for PinInscount {
     /// two samples — gets one final row from its exit record, like real
     /// `inscount2` printing its count when the program ends.
     fn observe(&mut self, k: &mut Kernel) -> Frame {
-        let pin_row = |pid: Pid, user: String, counted: u64, comm: String| Row {
-            cells: vec![
+        let pin_row = |pid: Pid, user: String, counted: u64, comm: String| {
+            let cells = vec![
                 pid.0.to_string(),
                 user.clone(),
                 counted.to_string(),
                 comm.clone(),
-            ],
-            values: [("INSN".to_string(), counted as f64)].into(),
-            pid,
-            user,
-            comm,
-            cpu_pct: 0.0,
+            ];
+            Row::new(
+                pid,
+                user,
+                comm,
+                0.0,
+                cells,
+                values_of([("INSN", counted as f64)]),
+            )
         };
 
         let mut rows: Vec<Row> = Vec::new();
@@ -244,14 +257,21 @@ impl Monitor for PinInscount {
             rows.push(pin_row(pid, k.username(stat.uid), counted, stat.comm));
         }
         rows.sort_by_key(|r| r.pid);
+        static HEADERS: OnceLock<Arc<[(String, usize)]>> = OnceLock::new();
+        let headers = HEADERS
+            .get_or_init(|| {
+                vec![
+                    ("PID".to_string(), 6),
+                    ("USER".to_string(), 8),
+                    ("INSN".to_string(), 14),
+                    ("COMMAND".to_string(), 12),
+                ]
+                .into()
+            })
+            .clone();
         Frame {
             time: k.now(),
-            headers: vec![
-                ("PID".to_string(), 6),
-                ("USER".to_string(), 8),
-                ("INSN".to_string(), 14),
-                ("COMMAND".to_string(), 12),
-            ],
+            headers,
             rows,
             unobservable: 0,
         }

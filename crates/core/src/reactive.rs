@@ -436,23 +436,25 @@ mod tests {
         let rows = rows
             .into_iter()
             .enumerate()
-            .map(|(i, (comm, user, ipc))| Row {
-                pid: Pid(100 + i as u32),
-                user: user.to_string(),
-                comm: comm.to_string(),
-                cpu_pct: 100.0,
-                cells: Vec::new(),
-                values: [("IPC".to_string(), ipc)].into(),
+            .map(|(i, (comm, user, ipc))| {
+                Row::new(
+                    Pid(100 + i as u32),
+                    user,
+                    comm,
+                    100.0,
+                    Vec::new(),
+                    crate::render::values_of([("IPC", ipc)]),
+                )
             })
             .collect();
         ClusterFrame {
-            machine: "node".to_string(),
+            machine: "node".into(),
             machine_index: 0,
-            source: "tiptop".to_string(),
+            source: "tiptop".into(),
             seq: t as usize,
             frame: Frame {
                 time: SimTime::from_secs(t),
-                headers: Vec::new(),
+                headers: Vec::new().into(),
                 rows,
                 unobservable: 0,
             },
@@ -524,7 +526,7 @@ mod tests {
             .source("tiptop")
             .evicting(|row: &Row| row.comm.starts_with("batch"));
         let mut other = frame_at(1, vec![("victim", "u1", 1.4)]);
-        other.source = "top".to_string();
+        other.source = "top".into();
         assert!(p.observe(&other).is_empty(), "wrong monitor is ignored");
         assert!(p
             .observe(&frame_at(1, vec![("victim", "u1", 1.4)]))
@@ -625,10 +627,10 @@ mod tests {
     fn cusum_ignores_other_machines_and_unwatched_frames() {
         let mut p = Cusum::new("node", "victim", 1, 0.0, 0.1, "spare").source("tiptop");
         let mut elsewhere = frame_at(1, vec![("victim", "u1", 1.4)]);
-        elsewhere.machine = "other".to_string();
+        elsewhere.machine = "other".into();
         assert!(p.observe(&elsewhere).is_empty());
         let mut wrong_source = frame_at(1, vec![("victim", "u1", 1.4)]);
-        wrong_source.source = "top".to_string();
+        wrong_source.source = "top".into();
         assert!(p.observe(&wrong_source).is_empty());
         assert_eq!(p.statistic(), 0.0, "ignored frames never calibrate");
     }

@@ -5,39 +5,165 @@
 //! batch mode streams the same rows as plain text for downstream filters.
 //! Here a [`Frame`] carries both the typed values (for experiments and
 //! tests) and the rendered text.
+//!
+//! The layout is tuned for the cluster hot path (thousands of frames per
+//! second through the merge): headers are an `Arc` slice shared by every
+//! frame a monitor produces (the screen never changes mid-run), and typed
+//! row values are a small vector keyed by interned [`SymId`]s instead of a
+//! per-row `HashMap<String, f64>` — [`Row::value`] still takes the header
+//! text, resolving it through the process-wide [`crate::symbols`] table.
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
 
 use tiptop_kernel::task::Pid;
 use tiptop_machine::time::SimTime;
 
-/// One displayed task row: rendered cells plus typed metric values.
+use crate::config::NumFormat;
+use crate::symbols::{self, SymId};
+
+/// How one cell of a deferred row materializes from the row's raw data.
+/// A monitor builds one spec slice per screen (shared by every row it ever
+/// produces) so the hot path carries no per-row formatting work at all.
+#[derive(Clone, Debug)]
+pub enum CellSpec {
+    Pid,
+    User,
+    CpuPct,
+    Comm,
+    /// The i-th pre-rendered text of the row (kernel-state columns — task
+    /// state, last processor — captured at observe time).
+    Text(usize),
+    /// The i-th metric value of the row, formatted on demand.
+    Metric(usize, NumFormat),
+}
+
+/// One displayed task row: typed metric values plus cell text that is
+/// formatted lazily — aggregating consumers (the cluster window sink)
+/// never pay for it, while [`Frame::render`] produces byte-identical
+/// output on first access.
 #[derive(Clone, Debug)]
 pub struct Row {
     pub pid: Pid,
     pub user: String,
     pub comm: String,
     pub cpu_pct: f64,
-    /// Rendered cell text, one per column.
-    pub cells: Vec<String>,
-    /// Typed values of metric columns (and `%CPU`), keyed by column header.
-    pub values: HashMap<String, f64>,
+    /// Typed values of metric columns (and `%CPU`), keyed by the interned
+    /// id of the column header (see [`crate::symbols`]). A handful of
+    /// entries per row, so lookups scan linearly — no per-row map.
+    pub values: Vec<(SymId, f64)>,
+    /// Deferred-formatting recipe; `None` for eagerly-built rows.
+    plan: Option<Arc<[CellSpec]>>,
+    /// Kernel-state cell texts captured at observe time ([`CellSpec::Text`]
+    /// operands); empty for screens without such columns.
+    texts: Vec<String>,
+    cells: OnceLock<Vec<String>>,
 }
 
 impl Row {
-    /// Typed value of a column, if numeric.
-    pub fn value(&self, header: &str) -> Option<f64> {
-        self.values.get(header).copied()
+    /// A row with eagerly-rendered cells (test and baseline-monitor sugar).
+    pub fn new(
+        pid: Pid,
+        user: impl Into<String>,
+        comm: impl Into<String>,
+        cpu_pct: f64,
+        cells: Vec<String>,
+        values: Vec<(SymId, f64)>,
+    ) -> Row {
+        let lock = OnceLock::new();
+        let _ = lock.set(cells);
+        Row {
+            pid,
+            user: user.into(),
+            comm: comm.into(),
+            cpu_pct,
+            values,
+            plan: None,
+            texts: Vec::new(),
+            cells: lock,
+        }
     }
+
+    /// A row whose cells format on first access from `plan` (shared per
+    /// screen) and `texts` (per-row kernel-state captures) — the cluster
+    /// hot path's constructor.
+    pub fn deferred(
+        pid: Pid,
+        user: String,
+        comm: String,
+        cpu_pct: f64,
+        values: Vec<(SymId, f64)>,
+        plan: Arc<[CellSpec]>,
+        texts: Vec<String>,
+    ) -> Row {
+        Row {
+            pid,
+            user,
+            comm,
+            cpu_pct,
+            values,
+            plan: Some(plan),
+            texts,
+            cells: OnceLock::new(),
+        }
+    }
+
+    /// Rendered cell text, one per column — formatted on first call for
+    /// deferred rows.
+    pub fn cells(&self) -> &[String] {
+        self.cells.get_or_init(|| {
+            let Some(plan) = &self.plan else {
+                return Vec::new();
+            };
+            plan.iter()
+                .map(|spec| match spec {
+                    CellSpec::Pid => self.pid.0.to_string(),
+                    CellSpec::User => self.user.clone(),
+                    CellSpec::CpuPct => format!("{:.1}", self.cpu_pct),
+                    CellSpec::Comm => self.comm.clone(),
+                    CellSpec::Text(i) => self.texts[*i].clone(),
+                    CellSpec::Metric(i, format) => {
+                        format.render(self.values.get(*i).map(|(_, v)| *v).unwrap_or(f64::NAN))
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// The cells if they have already been formatted (heap accounting).
+    pub fn materialized_cells(&self) -> Option<&[String]> {
+        self.cells.get().map(|v| &**v)
+    }
+
+    /// Typed value of a column, if numeric — looked up by header text.
+    pub fn value(&self, header: &str) -> Option<f64> {
+        let id = symbols::lookup(header)?;
+        self.value_by_sym(id)
+    }
+
+    /// Typed value of a column by its interned id (the allocation-free
+    /// lookup the cluster aggregation path uses).
+    pub fn value_by_sym(&self, id: SymId) -> Option<f64> {
+        self.values.iter().find(|(c, _)| *c == id).map(|(_, v)| *v)
+    }
+}
+
+/// Build a `values` vector from header text (test and construction sugar;
+/// hot paths intern once and push `(SymId, f64)` pairs directly).
+pub fn values_of<'a>(pairs: impl IntoIterator<Item = (&'a str, f64)>) -> Vec<(SymId, f64)> {
+    pairs
+        .into_iter()
+        .map(|(name, v)| (symbols::intern(name), v))
+        .collect()
 }
 
 /// One refresh of the screen.
 #[derive(Clone, Debug)]
 pub struct Frame {
     pub time: SimTime,
-    /// Column headers with display widths.
-    pub headers: Vec<(String, usize)>,
+    /// Column headers with display widths. Shared: a monitor builds its
+    /// header slice once and every frame refbumps it.
+    pub headers: Arc<[(String, usize)]>,
     pub rows: Vec<Row>,
     /// Tasks visible in /proc but not observable (other users, no privilege).
     pub unobservable: usize,
@@ -56,7 +182,7 @@ impl Frame {
 
     fn header_line(&self) -> String {
         let mut line = String::new();
-        for (h, w) in &self.headers {
+        for (h, w) in self.headers.iter() {
             let _ = write!(line, "{h:>w$} ", w = *w);
         }
         line.trim_end().to_string()
@@ -64,7 +190,7 @@ impl Frame {
 
     fn row_line(&self, row: &Row) -> String {
         let mut line = String::new();
-        for (cell, (_, w)) in row.cells.iter().zip(self.headers.iter()) {
+        for (cell, (_, w)) in row.cells().iter().zip(self.headers.iter()) {
             let _ = write!(line, "{cell:>w$} ", w = *w);
         }
         line.trim_end().to_string()
@@ -107,22 +233,24 @@ mod tests {
             ("IPC".to_string(), 5),
             ("COMMAND".to_string(), 12),
         ];
-        let row = |pid: u32, cpu: f64, ipc: f64, comm: &str| Row {
-            pid: Pid(pid),
-            user: "user1".into(),
-            comm: comm.into(),
-            cpu_pct: cpu,
-            cells: vec![
-                pid.to_string(),
-                format!("{cpu:.1}"),
-                format!("{ipc:.2}"),
-                comm.to_string(),
-            ],
-            values: [("%CPU".to_string(), cpu), ("IPC".to_string(), ipc)].into(),
+        let row = |pid: u32, cpu: f64, ipc: f64, comm: &str| {
+            Row::new(
+                Pid(pid),
+                "user1",
+                comm,
+                cpu,
+                vec![
+                    pid.to_string(),
+                    format!("{cpu:.1}"),
+                    format!("{ipc:.2}"),
+                    comm.to_string(),
+                ],
+                values_of([("%CPU", cpu), ("IPC", ipc)]),
+            )
         };
         Frame {
             time: SimTime::from_secs(5),
-            headers,
+            headers: headers.into(),
             rows: vec![
                 row(101, 100.0, 1.97, "mcf"),
                 row(102, 43.7, 1.62, "idleish"),
@@ -154,10 +282,48 @@ mod tests {
     }
 
     #[test]
+    fn deferred_cells_format_identically_and_lazily() {
+        let plan: Arc<[CellSpec]> = vec![
+            CellSpec::Pid,
+            CellSpec::User,
+            CellSpec::CpuPct,
+            CellSpec::Text(0),
+            CellSpec::Metric(0, NumFormat::Float(2)),
+            CellSpec::Comm,
+        ]
+        .into();
+        let row = Row::deferred(
+            Pid(101),
+            "user1".into(),
+            "mcf".into(),
+            100.0,
+            values_of([("IPC", 1.97)]),
+            plan,
+            vec!["R".to_string()],
+        );
+        assert!(row.materialized_cells().is_none(), "nothing formatted yet");
+        assert_eq!(row.cells(), ["101", "user1", "100.0", "R", "1.97", "mcf"]);
+        assert!(row.materialized_cells().is_some(), "formatted exactly once");
+        // Out-of-range metric indices render like NaN, not a panic.
+        let bare = Row::deferred(
+            Pid(1),
+            String::new(),
+            String::new(),
+            0.0,
+            Vec::new(),
+            vec![CellSpec::Metric(7, NumFormat::Int)].into(),
+            Vec::new(),
+        );
+        assert_eq!(bare.cells(), ["-"]);
+    }
+
+    #[test]
     fn typed_lookup() {
         let f = frame();
         assert_eq!(f.row_for(Pid(102)).unwrap().value("IPC"), Some(1.62));
         assert!(f.row_for(Pid(999)).is_none());
         assert_eq!(f.row_for_comm("mcf").unwrap().pid, Pid(101));
+        // Never-interned headers resolve to "no value", not a panic.
+        assert_eq!(f.rows[0].value("NO-SUCH-COLUMN-EVER"), None);
     }
 }

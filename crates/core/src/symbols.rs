@@ -1,0 +1,291 @@
+//! String interning for the cluster hot path: a process-wide
+//! [`SymbolTable`] mapping column headers, commands, machine ids and
+//! monitor names to dense `u32` [`SymId`]s, plus [`Label`] — a cheap
+//! shared string for frame labels.
+//!
+//! The merge/stream path used to pay a `String` per frame label and a
+//! `String` per row value key, per frame, per row. Interning replaces
+//! those with `Copy` ids through [`crate::render::Row`], the cluster
+//! merger and [`crate::cluster::ClusterWindowSink`]; labels that must
+//! stay textual ([`crate::cluster::ClusterFrame::machine`]) become
+//! [`Label`]s — one refcount bump per frame instead of one heap copy.
+//!
+//! The table is append-only and process-global so ids resolve anywhere
+//! (a [`crate::render::Row`] built by a bare [`crate::app::Tiptop`] and
+//! one built inside a cluster shard agree); a
+//! [`crate::cluster::ClusterScenario::build`] pre-interns its machine
+//! ids so every shard shares warm ids before the worker pool starts.
+//! Id *values* depend on interning order and must never be persisted —
+//! resolve to text at any boundary that outlives the process.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Interned string id. `Copy`, dense, and meaningless across processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(pub u32);
+
+#[derive(Default)]
+struct Inner {
+    ids: HashMap<Arc<str>, SymId>,
+    names: Vec<Arc<str>>,
+}
+
+/// An append-only, thread-safe string interner.
+#[derive(Default)]
+pub struct SymbolTable {
+    inner: RwLock<Inner>,
+}
+
+impl SymbolTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide table used by [`intern`]/[`resolve`]/[`lookup`].
+    pub fn global() -> &'static SymbolTable {
+        static GLOBAL: OnceLock<SymbolTable> = OnceLock::new();
+        GLOBAL.get_or_init(SymbolTable::new)
+    }
+
+    /// Id of `s`, interning it on first sight.
+    pub fn intern(&self, s: &str) -> SymId {
+        if let Some(&id) = self.inner.read().expect("symbol table poisoned").ids.get(s) {
+            return id;
+        }
+        let mut inner = self.inner.write().expect("symbol table poisoned");
+        if let Some(&id) = inner.ids.get(s) {
+            return id; // raced with another writer
+        }
+        let name: Arc<str> = Arc::from(s);
+        let id = SymId(inner.names.len() as u32);
+        inner.names.push(name.clone());
+        inner.ids.insert(name, id);
+        id
+    }
+
+    /// Id of `s` if it was ever interned.
+    pub fn lookup(&self, s: &str) -> Option<SymId> {
+        self.inner
+            .read()
+            .expect("symbol table poisoned")
+            .ids
+            .get(s)
+            .copied()
+    }
+
+    /// The string behind `id`. Panics on an id from another table.
+    pub fn resolve(&self, id: SymId) -> Arc<str> {
+        self.inner.read().expect("symbol table poisoned").names[id.0 as usize].clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .expect("symbol table poisoned")
+            .names
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Intern `s` in the process-wide table.
+pub fn intern(s: &str) -> SymId {
+    SymbolTable::global().intern(s)
+}
+
+/// Id of `s` in the process-wide table, if ever interned.
+pub fn lookup(s: &str) -> Option<SymId> {
+    SymbolTable::global().lookup(s)
+}
+
+/// The string behind a process-wide id.
+pub fn resolve(id: SymId) -> Arc<str> {
+    SymbolTable::global().resolve(id)
+}
+
+/// A shared, immutable string label (machine id, monitor name): cloning is
+/// a refcount bump, comparisons against `&str`/`String` work directly, so
+/// code written against `String` labels keeps reading naturally.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Label(Arc::from(s.as_ref()))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// This label's id in the process-wide table (interning it if new).
+    pub fn sym(&self) -> SymId {
+        intern(&self.0)
+    }
+}
+
+impl Deref for Label {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Label {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for Label {
+    fn from(s: Arc<str>) -> Self {
+        Label(s)
+    }
+}
+
+impl From<&Label> for Label {
+    fn from(l: &Label) -> Self {
+        l.clone()
+    }
+}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Label {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Label> for str {
+    fn eq(&self, other: &Label) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Label> for &str {
+    fn eq(&self, other: &Label) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Label> for String {
+    fn eq(&self, other: &Label) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolves() {
+        let t = SymbolTable::new();
+        let a = t.intern("IPC");
+        let b = t.intern("IPC");
+        let c = t.intern("%CPU");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(&*t.resolve(a), "IPC");
+        assert_eq!(&*t.resolve(c), "%CPU");
+        assert_eq!(t.lookup("IPC"), Some(a));
+        assert_eq!(t.lookup("never-seen"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn global_table_is_shared() {
+        let a = intern("symbols-test-global");
+        let b = intern("symbols-test-global");
+        assert_eq!(a, b);
+        assert_eq!(&*resolve(a), "symbols-test-global");
+    }
+
+    #[test]
+    fn labels_compare_with_plain_strings() {
+        let l = Label::new("node-a");
+        assert_eq!(l, "node-a");
+        assert_eq!("node-a", l);
+        assert_eq!(l, "node-a".to_string());
+        assert_eq!(l.clone(), l);
+        assert_eq!(format!("{l}"), "node-a");
+        assert_eq!(&l[..4], "node");
+        let map: std::collections::BTreeMap<Label, u32> = [(l.clone(), 1)].into();
+        assert_eq!(map.get("node-a"), Some(&1), "Borrow<str> lookup");
+    }
+
+    #[test]
+    fn concurrent_interning_yields_one_id_per_string() {
+        let t = Arc::new(SymbolTable::new());
+        let ids: Vec<SymId> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let t = t.clone();
+                    s.spawn(move || t.intern("contended"))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1606,3 +1606,129 @@ fn build_rejects_duplicate_ids_and_labels_scenario_errors() {
 
     assert!(ClusterScenario::new().build().is_err(), "empty cluster");
 }
+
+#[test]
+fn batched_and_per_frame_transports_are_byte_identical() {
+    // `run` ships columnar batches; `run_per_frame` is the legacy
+    // one-message-per-frame transport kept as a differential baseline.
+    // Both must produce the same merged stream, byte for byte.
+    let run = |threads: usize, per_frame: bool| {
+        let mut session = cluster().build().unwrap();
+        let mut sink = ClusterCollectSink::new();
+        let monitor = |m: MachineRef<'_>| -> Box<dyn Monitor + Send> {
+            tool(if m.index.is_multiple_of(2) { 1 } else { 2 })
+        };
+        if per_frame {
+            session
+                .run_per_frame(threads, 5, monitor, &mut sink)
+                .unwrap();
+        } else {
+            session.run(threads, 5, monitor, &mut sink).unwrap();
+        }
+        (rendered(sink.frames()), session.last_run_stats())
+    };
+    let (golden, batched) = run(1, false);
+    let (legacy, per_frame) = run(1, true);
+    assert_eq!(golden, legacy, "transports must agree frame for frame");
+    assert_eq!(batched.frames, per_frame.frames, "same frames delivered");
+    assert!(
+        batched.batches < batched.frames,
+        "batched path must coalesce sends: {} messages for {} frames",
+        batched.batches,
+        batched.frames
+    );
+    assert_eq!(
+        per_frame.batches, per_frame.frames,
+        "legacy path is one message per frame"
+    );
+    assert_eq!(golden, run(8, false).0, "8 batched workers agree");
+    assert_eq!(golden, run(8, true).0, "8 per-frame workers agree");
+}
+
+#[test]
+fn window_sink_stays_bounded_on_a_hundred_machine_run() {
+    // The scaling property: peak buffered frames in the window sink is
+    // bounded by the window size even when 100 machines feed the merge.
+    let mut cluster = ClusterScenario::new();
+    for i in 0..100u64 {
+        cluster = cluster.machine(
+            format!("m{i:03}"),
+            Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+                .seed(i + 1)
+                .user(Uid(1), "u1")
+                .spawn(
+                    "spin",
+                    SpawnSpec::new("spin", Uid(1), spin(0.9)).seed(i + 1),
+                ),
+        );
+    }
+    let mut session = cluster.build().unwrap();
+    const WINDOW: usize = 256;
+    const REFRESHES: usize = 6;
+    let mut sink = ClusterWindowSink::new(WINDOW);
+    session.run(4, REFRESHES, |_| tool(1), &mut sink).unwrap();
+
+    assert!(
+        sink.peak_buffered() <= WINDOW,
+        "peak {} must stay within the window {WINDOW}",
+        sink.peak_buffered()
+    );
+    let stats = session.last_run_stats();
+    assert_eq!(stats.frames, 100 * REFRESHES, "every frame delivered");
+    assert!(
+        stats.batches < stats.frames,
+        "100-machine run must batch: {} messages for {} frames",
+        stats.batches,
+        stats.frames
+    );
+    let windows = sink.finish();
+    assert_eq!(
+        windows.iter().map(|w| w.frames).sum::<usize>(),
+        100 * REFRESHES,
+        "every frame aggregated exactly once"
+    );
+}
+
+#[test]
+fn handover_dedupe_entries_are_pruned_as_the_stream_advances() {
+    use tiptop_core::cluster::{ClusterFrameSink, HandoverRecord};
+    // Regression: the dedupe map used to keep every registered instant for
+    // the life of the sink. Entries must drop once the merged stream
+    // advances past their instant.
+    let handovers = (1..=5u64).map(|s| HandoverRecord {
+        at: SimTime::from_secs(s),
+        tag: format!("job-{s}"),
+        comm: format!("job-{s}"),
+        from: "a".into(),
+        to: "b".into(),
+        mode: MigrationMode::Restart,
+    });
+    let mut sink = ClusterWindowSink::new(4).dedupe_handovers(handovers);
+    assert_eq!(sink.pending_dedupe_instants(), 5);
+    let frame_at = |t: u64| ClusterFrame {
+        machine: "b".into(),
+        machine_index: 0,
+        source: "tiptop".into(),
+        seq: 0,
+        frame: Frame {
+            time: SimTime::from_secs(t),
+            headers: Vec::new().into(),
+            rows: Vec::new(),
+            unobservable: 0,
+        },
+    };
+    sink.on_frame(frame_at(1));
+    assert_eq!(
+        sink.pending_dedupe_instants(),
+        5,
+        "entries at or ahead of the stream stay live"
+    );
+    sink.on_frame(frame_at(3));
+    assert_eq!(
+        sink.pending_dedupe_instants(),
+        3,
+        "instants strictly behind the stream are pruned"
+    );
+    sink.on_frame(frame_at(100));
+    assert_eq!(sink.pending_dedupe_instants(), 0, "map drains completely");
+}

@@ -194,7 +194,7 @@ fn frame_sink_receives_exactly_the_manually_driven_frames() {
         assert_eq!(l.rows.len(), s.rows.len());
         for (lr, sr) in l.rows.iter().zip(&s.rows) {
             assert_eq!(lr.pid, sr.pid);
-            assert_eq!(lr.cells, sr.cells, "identical rendered cells");
+            assert_eq!(lr.cells(), sr.cells(), "identical rendered cells");
             assert_eq!(lr.cpu_pct, sr.cpu_pct);
         }
     }

@@ -7,7 +7,7 @@
 //! itself lives in [`crate::engine`]; the kernel folds the engine's per-epoch
 //! [`PerfCharge`](crate::engine::PerfCharge)s into its counter fd table.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use tiptop_machine::config::MachineConfig;
 use tiptop_machine::machine::Machine;
@@ -412,31 +412,30 @@ impl Kernel {
         })
     }
 
-    /// Read many counters in **one pass over the fd table** — the batched
-    /// counterpart of [`Kernel::perf_read`]. A monitor refresh reads every
-    /// fd it holds; doing that with per-fd `perf_read` calls costs a map
-    /// lookup per fd, while this walks the counter table once and fills the
-    /// results positionally. Unknown fds yield `Err(EBADF)` in their slot,
-    /// exactly as the per-fd call would.
+    /// Read many counters in one call — the batched counterpart of
+    /// [`Kernel::perf_read`]. Unknown fds yield `Err(EBADF)` in their
+    /// slot, exactly as the per-fd call would.
     pub fn perf_read_batch(&self, fds: &[PerfFd]) -> Vec<Result<PerfValue, Errno>> {
-        let mut want: HashMap<PerfFd, Vec<usize>> = HashMap::with_capacity(fds.len());
-        for (i, &fd) in fds.iter().enumerate() {
-            want.entry(fd).or_default().push(i);
-        }
-        let mut out: Vec<Result<PerfValue, Errno>> = vec![Err(Errno::EBADF); fds.len()];
-        for (fd, c) in &self.counters {
-            if let Some(slots) = want.get(fd) {
-                let v = PerfValue {
+        let mut out = Vec::new();
+        self.perf_read_batch_into(fds, &mut out);
+        out
+    }
+
+    /// [`Kernel::perf_read_batch`] into a caller-owned buffer, so the
+    /// per-refresh hot path of a cluster monitor reuses one allocation
+    /// across its whole run.
+    pub fn perf_read_batch_into(&self, fds: &[PerfFd], out: &mut Vec<Result<PerfValue, Errno>>) {
+        out.clear();
+        out.extend(fds.iter().map(|fd| {
+            self.counters
+                .get(fd)
+                .map(|c| PerfValue {
                     value: c.count,
                     time_enabled: c.time_enabled,
                     time_running: c.time_running,
-                };
-                for &i in slots {
-                    out[i] = Ok(v);
-                }
-            }
-        }
-        out
+                })
+                .ok_or(Errno::EBADF)
+        }));
     }
 
     pub fn perf_enable(&mut self, fd: PerfFd) -> Result<(), Errno> {
