@@ -18,10 +18,12 @@
 //! serializer): a flat object of per-experiment wall seconds plus totals —
 //! trivially diffable between commits.
 //!
-//! The harness also drives the [`scaling`] throughput curve. A plain run
-//! refreshes the committed `BENCH_cluster.json`; with `--check` the file
-//! is left untouched and instead acts as the regression anchor — CI fails
-//! if the fresh 100-machine frames/sec falls more than 30% below it.
+//! The harness also drives the [`scaling`] throughput curve (the full
+//! worker-thread sweep at every point). A plain run refreshes the
+//! committed `BENCH_cluster.json`; with `--check` the file is left
+//! untouched and instead acts as the regression anchor — CI fails if the
+//! fresh 100-machine frames/sec, at **either** the single-thread or the
+//! 8-thread arm, falls more than 30% below the committed curve.
 
 use std::time::Instant;
 
@@ -51,7 +53,11 @@ const BASELINE_SECONDS: [(&str, f64); 14] = [
     ("reactive", 5.800),
     ("tournament", 10.500),
     ("validation", 0.009),
-    ("scaling", 3.000),
+    // The thread sweep runs the batched arm four times per point (1/2/4/8
+    // workers) plus one single-threaded baseline arm; the lane/loser-tree
+    // merge and the per-machine memory diet still bring the whole curve in
+    // under the old two-arm budget.
+    ("scaling", 1.500),
 ];
 
 /// The committed scaling curve; `--check` compares the fresh 100-machine
@@ -59,18 +65,40 @@ const BASELINE_SECONDS: [(&str, f64); 14] = [
 /// plain (non-`--check`) run, so CI never dirties the tree.
 const CLUSTER_JSON: &str = "BENCH_cluster.json";
 
-/// Allowed relative throughput loss at the 100-machine anchor.
+/// Allowed relative throughput loss at the 100-machine anchors.
 const CLUSTER_REGRESSION_ALLOWANCE: f64 = 0.30;
 
-/// The committed 100-machine `frames_per_sec` out of `BENCH_cluster.json`
-/// (hand-rolled scan — the offline serde stub has no deserializer either).
-fn anchor_fps(json: &str) -> Option<f64> {
-    let at = json.find("\"machines\": 100,")?;
-    let rest = &json[at..];
-    let key = "\"frames_per_sec\": ";
-    let rest = &rest[rest.find(key)? + key.len()..];
+/// The numeric value following `key` in `s`.
+fn scan_value(s: &str, key: &str) -> Option<f64> {
+    let rest = &s[s.find(key)? + key.len()..];
     let end = rest.find([',', '}'])?;
     rest[..end].trim().parse().ok()
+}
+
+/// The committed 100-machine `frames_per_sec` at `threads` workers out of
+/// `BENCH_cluster.json` (hand-rolled scan — the offline serde stub has no
+/// deserializer either). Schema `/2` carries one arm per swept thread
+/// count; a legacy `/1` file only answers for `threads == 1` (its single
+/// measured arm).
+fn anchor_fps(json: &str, threads: usize) -> Option<f64> {
+    let at = json.find("\"machines\": 100,")?;
+    let rest = &json[at..];
+    // Confine the scan to this point's span so an arm from the next point
+    // can never answer for this one.
+    let span_end = rest[1..]
+        .find("\"machines\": ")
+        .map(|i| i + 1)
+        .unwrap_or(rest.len());
+    let span = &rest[..span_end];
+    if json.contains("\"schema\": \"tiptop-bench-cluster/1\"") {
+        if threads != 1 {
+            return None;
+        }
+        return scan_value(span, "\"frames_per_sec\": ");
+    }
+    let tkey = format!("\"threads\": {threads},");
+    let arm = &span[span.find(&tkey)?..];
+    scan_value(arm, "\"frames_per_sec\": ")
 }
 
 /// Budgeted relative regression before `--check` fails.
@@ -153,9 +181,9 @@ fn main() {
     let scaling_result = scaling_result.expect("scaling ran");
     eprintln!("{}", scaling_result.report());
 
-    let prior_anchor = std::fs::read_to_string(CLUSTER_JSON)
-        .ok()
-        .and_then(|s| anchor_fps(&s));
+    let committed = std::fs::read_to_string(CLUSTER_JSON).ok();
+    let prior_anchor_1t = committed.as_deref().and_then(|s| anchor_fps(s, 1));
+    let prior_anchor_8t = committed.as_deref().and_then(|s| anchor_fps(s, 8));
     if !check {
         std::fs::write(CLUSTER_JSON, scaling_result.to_json()).expect("write cluster json");
         println!("wrote {CLUSTER_JSON}");
@@ -204,31 +232,46 @@ fn main() {
                 breaches += 1;
             }
         }
-        // Cluster throughput gate: the fresh 100-machine frames/sec must
-        // stay within the allowance of the committed curve. Throughput (like
-        // the wall-time budgets) is calibrated for release.
+        // Cluster throughput gates: the fresh 100-machine frames/sec must
+        // stay within the allowance of the committed curve at both the
+        // single-thread and the 8-thread arm (the latter guards the lane +
+        // merge path specifically). Throughput (like the wall-time
+        // budgets) is calibrated for release. An 8-thread anchor missing
+        // from a legacy `/1` committed file is reported, not failed — the
+        // next plain release run upgrades the file to `/2`.
         if enforce {
-            match (prior_anchor, scaling_result.anchor()) {
-                (Some(prior), Some(point)) => {
+            let mut gate = |threads: usize, prior: Option<f64>, required: bool| match (
+                prior,
+                scaling_result.anchor_fps(threads),
+            ) {
+                (Some(prior), Some(fresh)) => {
                     let floor = prior * (1.0 - CLUSTER_REGRESSION_ALLOWANCE);
-                    if point.frames_per_sec < floor {
+                    if fresh < floor {
                         eprintln!(
-                            "--check: scaling 100-machine throughput {:.0} f/s fell below \
-                             {floor:.0} f/s (committed {prior:.0} f/s -{:.0}%)",
-                            point.frames_per_sec,
+                            "--check: scaling 100-machine {threads}-thread throughput \
+                                 {fresh:.0} f/s fell below {floor:.0} f/s \
+                                 (committed {prior:.0} f/s -{:.0}%)",
                             CLUSTER_REGRESSION_ALLOWANCE * 100.0
                         );
                         breaches += 1;
                     }
                 }
-                _ => {
+                _ if required => {
                     eprintln!(
-                        "--check: no committed 100-machine anchor in {CLUSTER_JSON} — \
-                         refresh it with a plain (non---check) release run"
+                        "--check: no committed 100-machine {threads}-thread anchor in \
+                             {CLUSTER_JSON} — refresh it with a plain (non---check) release run"
                     );
                     breaches += 1;
                 }
-            }
+                _ => {
+                    eprintln!(
+                        "--check: 100-machine {threads}-thread anchor unavailable \
+                             (legacy {CLUSTER_JSON}?); gate skipped"
+                    );
+                }
+            };
+            gate(1, prior_anchor_1t, true);
+            gate(8, prior_anchor_8t, prior_anchor_8t.is_some());
         }
 
         if breaches == 0 {

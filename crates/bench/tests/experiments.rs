@@ -730,27 +730,47 @@ fn tournament_resume_beats_restart_under_both_detectors() {
 }
 
 #[test]
-fn scaling_batches_the_transport_and_reports_a_full_curve() {
-    // Tiny points: the full 10/100/1000 curve runs in bench_timing; this
-    // asserts the experiment's structure, not its release-profile numbers.
-    let r = scaling::run_on(53, 2, &[(4, 50)]);
+fn scaling_sweeps_threads_and_reports_a_full_curve() {
+    // Tiny points and a short sweep: the full 10/100/1000 × 1/2/4/8 curve
+    // runs in bench_timing; this asserts the experiment's structure, not
+    // its release-profile numbers.
+    let r = scaling::run_on(53, &[1, 2], &[(4, 50)]);
     assert_eq!(r.points.len(), 1);
+    assert_eq!(r.thread_sweep, vec![1, 2]);
     let p = &r.points[0];
     assert_eq!(p.machines, 4);
     assert_eq!(p.frames, 200, "every frame delivered exactly once");
+    assert_eq!(p.arms.len(), 2, "one arm per swept thread count");
+    let a1 = p.arm(1).expect("single-thread arm");
     assert!(
-        p.batches < p.frames,
+        a1.batches < p.frames,
         "transport must coalesce: {} messages for {} frames",
-        p.batches,
+        a1.batches,
         p.frames
     );
-    assert!(p.peak_buffered_frames > 0, "merge buffered something");
-    assert!(p.peak_buffered_bytes > 0, "byte accounting is live");
-    assert!(p.frames_per_sec > 0.0 && p.baseline_frames_per_sec > 0.0);
+    assert!(a1.peak_buffered_frames > 0, "merge buffered something");
+    assert!(a1.peak_buffered_bytes > 0, "byte accounting is live");
+    assert!(a1.frames_per_sec > 0.0 && p.baseline_frames_per_sec > 0.0);
+    assert!(
+        (a1.parallel_efficiency - 1.0).abs() < 1e-9,
+        "the 1-thread arm is its own efficiency base, got {}",
+        a1.parallel_efficiency
+    );
+    let a2 = p.arm(2).expect("2-thread arm");
+    assert!(a2.parallel_efficiency > 0.0);
     assert!(p.speedup() > 0.0);
+    assert!(
+        r.anchor().is_none(),
+        "no 100-machine point in this tiny run"
+    );
     let json = r.to_json();
-    assert!(json.contains("\"schema\": \"tiptop-bench-cluster/1\""));
+    assert!(json.contains("\"schema\": \"tiptop-bench-cluster/2\""));
+    assert!(json.contains("\"thread_sweep\": [1, 2]"));
     assert!(json.contains("\"machines\": 4,"));
+    assert!(json.contains("\"threads\": 2,"));
+    assert!(json.contains("\"parallel_efficiency\""));
     assert!(json.contains("\"peak_rss_bytes\""));
+    assert!(json.contains("\"rss_per_machine_bytes\""));
+    assert!(json.contains("\"rss_delta_bytes\""));
     assert!(r.report().contains("scaling frontier"));
 }

@@ -7,7 +7,7 @@
 //! expressions, sort, render.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock, Mutex};
 
 use tiptop_kernel::kernel::Kernel;
 use tiptop_kernel::program::{Phase, Program};
@@ -136,13 +136,15 @@ impl TiptopOptions {
     }
 }
 
-/// The tool.
-pub struct Tiptop {
-    options: TiptopOptions,
-    screen: ScreenConfig,
-    collector: Collector,
-    cpu: CpuTracker,
-    self_pid: Option<Pid>,
+/// Everything [`Tiptop`] derives from its screen at construction time and
+/// never mutates: headers, interned metric ids, compiled metric programs,
+/// and the deferred-formatting cell plan.
+///
+/// Built once per *distinct screen* per process and shared via
+/// [`ScreenPlan::shared`]: a 1000-machine fleet where every shard runs the
+/// default screen holds one plan allocation, not a thousand compiled
+/// copies.
+struct ScreenPlan {
     /// Header slice shared by every frame (the screen never changes
     /// mid-run); one refcount bump per refresh instead of a `String` per
     /// column per frame.
@@ -158,12 +160,28 @@ pub struct Tiptop {
     cell_plan: Arc<[CellSpec]>,
     /// Whether any column needs a per-row kernel-state text capture
     /// (`State`/`Processor`), so rows without them skip the vector.
-    plan_has_texts: bool,
+    has_texts: bool,
 }
 
-impl Tiptop {
-    pub fn new(options: TiptopOptions, screen: ScreenConfig) -> Self {
-        let collector = Collector::new(options.observer, screen.required_events());
+impl ScreenPlan {
+    /// The process-wide plan for `screen`, building it on first sight.
+    /// Keyed by the screen's full structural fingerprint, so two screens
+    /// agreeing on name *and* columns share one plan and any difference
+    /// gets its own.
+    fn shared(screen: &ScreenConfig) -> Arc<ScreenPlan> {
+        static CACHE: LazyLock<Mutex<HashMap<String, Arc<ScreenPlan>>>> =
+            LazyLock::new(|| Mutex::new(HashMap::new()));
+        let key = format!("{:?}|{:?}", screen.name, screen.columns);
+        Arc::clone(
+            CACHE
+                .lock()
+                .expect("screen plan cache poisoned")
+                .entry(key)
+                .or_insert_with(|| Arc::new(ScreenPlan::build(screen))),
+        )
+    }
+
+    fn build(screen: &ScreenConfig) -> ScreenPlan {
         let headers: Arc<[(String, usize)]> = screen
             .columns
             .iter()
@@ -219,19 +237,46 @@ impl Tiptop {
                 }
             })
             .collect();
+        ScreenPlan {
+            headers,
+            metric_syms,
+            metric_progs,
+            cpu_sym: symbols::intern("%CPU"),
+            cell_plan,
+            has_texts: text_i > 0,
+        }
+    }
+}
+
+/// The tool.
+pub struct Tiptop {
+    options: TiptopOptions,
+    screen: ScreenConfig,
+    collector: Collector,
+    cpu: CpuTracker,
+    self_pid: Option<Pid>,
+    /// Derived screen state, shared process-wide per distinct screen.
+    plan: Arc<ScreenPlan>,
+}
+
+impl Tiptop {
+    pub fn new(options: TiptopOptions, screen: ScreenConfig) -> Self {
+        let collector = Collector::new(options.observer, screen.required_events());
+        let plan = ScreenPlan::shared(&screen);
         Tiptop {
             options,
             screen,
             collector,
             cpu: CpuTracker::new(),
             self_pid: None,
-            headers,
-            metric_syms,
-            metric_progs,
-            cpu_sym: symbols::intern("%CPU"),
-            cell_plan,
-            plan_has_texts: text_i > 0,
+            plan,
         }
+    }
+
+    /// The shared deferred-formatting recipe — exposed so tests can assert
+    /// that identical screens share one plan allocation across instances.
+    pub fn cell_plan(&self) -> Arc<[CellSpec]> {
+        self.plan.cell_plan.clone()
     }
 
     /// Tool with default options and the Figure 1 screen, run as root.
@@ -368,7 +413,7 @@ impl Tiptop {
 
         Frame {
             time: now,
-            headers: self.headers.clone(),
+            headers: self.plan.headers.clone(),
             rows,
             unobservable,
         }
@@ -390,7 +435,7 @@ impl Tiptop {
         // *formatting* is deferred to first access via the shared plan, so
         // aggregating consumers never pay for it.
         let mut texts: Vec<String> = Vec::new();
-        if self.plan_has_texts {
+        if self.plan.has_texts {
             for col in &self.screen.columns {
                 match col.kind {
                     ColumnKind::State => texts.push(stat.state.code().to_string()),
@@ -405,9 +450,9 @@ impl Tiptop {
         }
         let mut values: Vec<(SymId, f64)> = Vec::with_capacity(self.screen.columns.len() + 1);
         let mut metric_i = 0usize;
-        for (col, sym) in self.screen.columns.iter().zip(&self.metric_syms) {
+        for (col, sym) in self.screen.columns.iter().zip(&self.plan.metric_syms) {
             if let ColumnKind::Metric { expr, .. } = &col.kind {
-                let v = match &self.metric_progs[metric_i] {
+                let v = match &self.plan.metric_progs[metric_i] {
                     MetricProg::Fast(prog) => prog.eval(&mut |slot| match slot {
                         VarSlot::Event(ev) => counts.get(*ev) as f64,
                         VarSlot::CpuPct => cpu_pct,
@@ -434,8 +479,8 @@ impl Tiptop {
         }
         // A metric column named "%CPU" (if a screen defines one) shadows
         // the built-in entry, matching the old map-overwrite behavior.
-        if !values.iter().any(|(c, _)| *c == self.cpu_sym) {
-            values.push((self.cpu_sym, cpu_pct));
+        if !values.iter().any(|(c, _)| *c == self.plan.cpu_sym) {
+            values.push((self.plan.cpu_sym, cpu_pct));
         }
         Row::deferred(
             display_pid,
@@ -443,7 +488,7 @@ impl Tiptop {
             stat.comm.clone(),
             cpu_pct,
             values,
-            self.cell_plan.clone(),
+            self.plan.cell_plan.clone(),
             texts,
         )
     }

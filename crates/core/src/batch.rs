@@ -14,7 +14,7 @@
 //! everything else materializes [`ClusterFrame`]s via
 //! [`FrameBatch::take_frame`], which moves the rows out without copying.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use tiptop_machine::time::SimTime;
 
@@ -195,6 +195,67 @@ impl FrameBatch {
     }
 }
 
+/// The bounded pool of recycled [`FrameBatch`] shells shared between the
+/// merge thread (which returns spent shells) and the shard workers (which
+/// take them to fill the next round). The bound matters: a bursty run —
+/// many small flushes racing one slow merge — would otherwise let returned
+/// shells accumulate without limit, each one pinning its grown row and
+/// metadata capacity. At the cap, [`ShellPool::put`] drops the shell
+/// instead, so idle transport memory is `O(cap)` no matter how long or
+/// bursty the run.
+#[derive(Debug)]
+pub struct ShellPool {
+    shells: Mutex<Vec<FrameBatch>>,
+    cap: usize,
+}
+
+impl ShellPool {
+    /// A pool holding at most `cap` idle shells.
+    pub fn new(cap: usize) -> Self {
+        ShellPool {
+            shells: Mutex::new(Vec::new()),
+            cap,
+        }
+    }
+
+    /// The bound: idle shells beyond this are dropped, not hoarded.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Idle shells currently pooled.
+    pub fn len(&self) -> usize {
+        self.shells.lock().expect("shell pool poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An empty shell bound to `queue`: a recycled one when available,
+    /// freshly allocated otherwise.
+    pub fn take(&self, queue: usize) -> FrameBatch {
+        match self.shells.lock().expect("shell pool poisoned").pop() {
+            Some(mut shell) => {
+                shell.set_queue(queue);
+                shell
+            }
+            None => FrameBatch::new(queue),
+        }
+    }
+
+    /// Clear a spent batch and return its allocations to the pool —
+    /// unless the pool already holds [`ShellPool::cap`] shells, in which
+    /// case the batch is dropped.
+    pub fn put(&self, mut batch: FrameBatch) {
+        batch.clear();
+        let mut shells = self.shells.lock().expect("shell pool poisoned");
+        if shells.len() < self.cap {
+            shells.push(batch);
+        }
+    }
+}
+
 fn take_row(row: &mut Row) -> Row {
     std::mem::replace(
         row,
@@ -276,5 +337,40 @@ mod tests {
         b.clear();
         assert!(b.is_empty());
         assert_eq!(b.first_key(), None);
+    }
+
+    #[test]
+    fn shell_pool_recycles_and_rebinds() {
+        let pool = ShellPool::new(4);
+        assert!(pool.is_empty());
+        let mut shell = pool.take(3);
+        assert_eq!(shell.queue(), 3);
+        let m = symbols::intern("pool-test-m0");
+        let src = symbols::intern("tiptop");
+        shell.push(m, 0, src, 0, frame(1, &["a"]));
+        pool.put(shell);
+        assert_eq!(pool.len(), 1);
+        let recycled = pool.take(7);
+        assert!(recycled.is_empty(), "put clears before pooling");
+        assert_eq!(recycled.queue(), 7, "take re-binds the shell's queue");
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn shell_pool_is_bounded() {
+        let pool = ShellPool::new(2);
+        for _ in 0..10 {
+            pool.put(FrameBatch::new(0));
+        }
+        assert_eq!(pool.len(), 2, "idle shells beyond the cap are dropped");
+        assert_eq!(pool.cap(), 2);
+        // Draining and refilling keeps honouring the bound.
+        let a = pool.take(0);
+        let b = pool.take(1);
+        let c = pool.take(2);
+        pool.put(a);
+        pool.put(b);
+        pool.put(c);
+        assert_eq!(pool.len(), 2);
     }
 }

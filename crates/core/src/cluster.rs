@@ -97,12 +97,13 @@ use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use tiptop_kernel::task::TaskState;
 use tiptop_machine::time::SimTime;
 
-use crate::batch::FrameBatch;
+use crate::batch::{FrameBatch, ShellPool};
 use crate::monitor::Monitor;
 use crate::reactive::{AppliedDecision, MigrationDecision, MigrationMode, SchedulerPolicy};
 use crate::render::{Frame, Row};
@@ -1144,11 +1145,17 @@ impl ClusterSession {
             transport
         };
 
-        let (tx, rx) = mpsc::channel::<Msg>();
+        // One single-producer lane per worker instead of a shared channel:
+        // workers never contend on one sender, and the merge thread drains
+        // whole lanes per wake-up instead of paying one park/unpark per
+        // message.
+        let hub = LaneHub::new(threads);
         // Spent batch shells cycle back to the workers through this pool,
         // so a steady-state batched run reuses its buffers round after
-        // round instead of allocating fresh ones.
-        let pool: Arc<Mutex<Vec<FrameBatch>>> = Arc::new(Mutex::new(Vec::new()));
+        // round instead of allocating fresh ones. Bounded: each worker
+        // only keeps a couple of shells in flight, so idle shells beyond
+        // that are dropped rather than hoarded for the rest of the run.
+        let pool = Arc::new(ShellPool::new(2 * threads + 4));
         // Batched workers interleave their machines into one ordered
         // stream each, so the merge needs one queue per *worker*; the
         // per-frame transport keeps its queue per machine.
@@ -1164,7 +1171,7 @@ impl ClusterSession {
                 .into_iter()
                 .enumerate()
                 .map(|(queue, part)| {
-                    let tx = tx.clone();
+                    let tx = hub.sender(queue);
                     let board = self.board.clone();
                     let cfg = WorkerCfg {
                         queue,
@@ -1175,32 +1182,34 @@ impl ClusterSession {
                     scope.spawn(move || run_worker(part, max_refreshes, tx, board, cfg))
                 })
                 .collect();
-            drop(tx);
 
-            for msg in rx {
-                match (msg, &mut merger) {
-                    (Msg::Batch(b), MergerKind::Batched(m)) => m.push(b, sink),
-                    (Msg::Frame { queue, frame }, MergerKind::PerFrame(m)) => {
-                        m.push(queue, frame, sink)
-                    }
-                    (Msg::Done { queue }, MergerKind::PerFrame(m)) => m.close(queue, sink),
-                    (Msg::Done { queue }, MergerKind::Batched(m)) => m.close(queue, sink),
-                    (
-                        Msg::Failed {
-                            machine_index,
-                            error,
-                        },
-                        _,
-                    ) => {
-                        if first_err.as_ref().is_none_or(|(i, _)| machine_index < *i) {
-                            first_err = Some((machine_index, error));
+            let mut inbox: Vec<Msg> = Vec::new();
+            while hub.recv_all(&mut inbox) {
+                for msg in inbox.drain(..) {
+                    match (msg, &mut merger) {
+                        (Msg::Batch(b), MergerKind::Batched(m)) => m.push(b, sink),
+                        (Msg::Frame { queue, frame }, MergerKind::PerFrame(m)) => {
+                            m.push(queue, frame, sink)
                         }
-                    }
-                    // A worker only sends the message shape its transport
-                    // produces.
-                    (Msg::Batch(_), MergerKind::PerFrame(_))
-                    | (Msg::Frame { .. }, MergerKind::Batched(_)) => {
-                        unreachable!("message shape does not match the run's transport")
+                        (Msg::Done { queue }, MergerKind::PerFrame(m)) => m.close(queue, sink),
+                        (Msg::Done { queue }, MergerKind::Batched(m)) => m.close(queue, sink),
+                        (
+                            Msg::Failed {
+                                machine_index,
+                                error,
+                            },
+                            _,
+                        ) => {
+                            if first_err.as_ref().is_none_or(|(i, _)| machine_index < *i) {
+                                first_err = Some((machine_index, error));
+                            }
+                        }
+                        // A worker only sends the message shape its
+                        // transport produces.
+                        (Msg::Batch(_), MergerKind::PerFrame(_))
+                        | (Msg::Frame { .. }, MergerKind::Batched(_)) => {
+                            unreachable!("message shape does not match the run's transport")
+                        }
                     }
                 }
             }
@@ -1418,7 +1427,7 @@ struct WorkerCfg {
     transport: Transport,
     batch_cap: usize,
     /// Spent-shell recycling pool, shared with the merge.
-    pool: Arc<Mutex<Vec<FrameBatch>>>,
+    pool: Arc<ShellPool>,
 }
 
 /// One monitor of one machine: its own interval clock, stop predicate and
@@ -2007,6 +2016,162 @@ fn apply_decision(
     ))
 }
 
+/// The worker→merge fan-in: one single-producer lane per worker instead of
+/// one shared [`std::sync::mpsc`] channel. A producer appends to its own
+/// lane under an uncontended mutex, so workers never serialize on a shared
+/// sender; the merge thread drains *every* lane per wake-up, so a busy run
+/// pays one park/unpark per drained burst instead of one per message.
+///
+/// The sleep protocol is an eventcount: the consumer publishes `sleeping`
+/// (SeqCst) *before* re-checking the lanes under the signal lock, and a
+/// producer that pushed a message loads `sleeping` (SeqCst) after its push.
+/// Either the producer's load observes the store — and it takes the signal
+/// lock to notify, serializing with the consumer's wait — or the load ran
+/// before the store in the total order, in which case the push it follows
+/// is visible to the consumer's re-check. A missed wake-up is impossible.
+///
+/// Per-lane FIFO is all the merge needs (each merge queue is fed by exactly
+/// one worker); cross-lane interleaving is as unordered as the shared
+/// channel was, and the deterministic merge never depended on it.
+struct LaneHub {
+    lanes: Vec<Mutex<LaneState>>,
+    /// True while the consumer is committing to sleep; producers that see
+    /// it take the signal lock and notify.
+    sleeping: AtomicBool,
+    signal: Mutex<()>,
+    wakeup: Condvar,
+}
+
+struct LaneState {
+    buf: Vec<Msg>,
+    /// Set when the lane's producer is gone (normal return or panic).
+    closed: bool,
+}
+
+/// What one full sweep over the lanes yielded.
+enum LanePoll {
+    /// At least one message was moved into the inbox.
+    Got,
+    /// Nothing buffered, but producers remain.
+    Empty,
+    /// Every lane is closed and drained: the stream is over.
+    Finished,
+}
+
+impl LaneHub {
+    fn new(lanes: usize) -> Arc<Self> {
+        Arc::new(LaneHub {
+            lanes: (0..lanes)
+                .map(|_| {
+                    Mutex::new(LaneState {
+                        buf: Vec::new(),
+                        closed: false,
+                    })
+                })
+                .collect(),
+            sleeping: AtomicBool::new(false),
+            signal: Mutex::new(()),
+            wakeup: Condvar::new(),
+        })
+    }
+
+    /// The single producer handle of lane `lane`. Dropping it (including
+    /// by a panicking worker thread) closes the lane, like an mpsc sender
+    /// disconnect.
+    fn sender(self: &Arc<Self>, lane: usize) -> LaneTx {
+        LaneTx {
+            hub: self.clone(),
+            lane,
+        }
+    }
+
+    /// Wake the consumer if it is parked (or committing to park).
+    fn wake(&self) {
+        if self.sleeping.load(Ordering::SeqCst) {
+            let _guard = self.signal.lock().expect("lane signal poisoned");
+            self.wakeup.notify_one();
+        }
+    }
+
+    /// Sweep every lane once, appending drained messages to `inbox`.
+    fn poll(&self, inbox: &mut Vec<Msg>) -> LanePoll {
+        let mut got = false;
+        let mut open = false;
+        for lane in &self.lanes {
+            let mut state = lane.lock().expect("lane poisoned");
+            if !state.buf.is_empty() {
+                inbox.append(&mut state.buf);
+                got = true;
+            }
+            if !state.closed {
+                open = true;
+            }
+        }
+        if got {
+            LanePoll::Got
+        } else if open {
+            LanePoll::Empty
+        } else {
+            LanePoll::Finished
+        }
+    }
+
+    /// Drain all lanes into `inbox`, blocking until at least one message
+    /// arrives. Returns `false` once every lane is closed and drained.
+    fn recv_all(&self, inbox: &mut Vec<Msg>) -> bool {
+        loop {
+            match self.poll(inbox) {
+                LanePoll::Got => return true,
+                LanePoll::Finished => return false,
+                LanePoll::Empty => {}
+            }
+            let guard = self.signal.lock().expect("lane signal poisoned");
+            self.sleeping.store(true, Ordering::SeqCst);
+            // Re-check after publishing `sleeping`: a producer that pushed
+            // before observing it is caught here, not slept through.
+            let verdict = self.poll(inbox);
+            match verdict {
+                LanePoll::Got | LanePoll::Finished => {
+                    self.sleeping.store(false, Ordering::SeqCst);
+                    return matches!(verdict, LanePoll::Got);
+                }
+                LanePoll::Empty => {
+                    // Spurious wakes loop back through the outer poll.
+                    let _guard = self.wakeup.wait(guard).expect("lane signal poisoned");
+                    self.sleeping.store(false, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}
+
+/// The producing end of one [`LaneHub`] lane. Not `Clone` — a lane has
+/// exactly one producer, which is what keeps per-queue message order free.
+struct LaneTx {
+    hub: Arc<LaneHub>,
+    lane: usize,
+}
+
+impl LaneTx {
+    fn send(&self, msg: Msg) {
+        {
+            let mut state = self.hub.lanes[self.lane].lock().expect("lane poisoned");
+            state.buf.push(msg);
+        }
+        self.hub.wake();
+    }
+}
+
+impl Drop for LaneTx {
+    fn drop(&mut self) {
+        {
+            let mut state = self.hub.lanes[self.lane].lock().expect("lane poisoned");
+            state.closed = true;
+        }
+        self.hub.wake();
+    }
+}
+
 enum Msg {
     /// A batch of consecutive frames from one batched-transport queue.
     Batch(FrameBatch),
@@ -2157,6 +2322,131 @@ impl Default for BatchQueue {
     }
 }
 
+/// A loser (tournament) tree over the merge queues' head keys — the
+/// k-way merge's select-min structure. `tree[0]` names the winning leaf;
+/// each internal node `1..k` stores the leaf that *lost* the match played
+/// there. Replacing one leaf's key replays only the matches on that leaf's
+/// root path — `O(log k)` with no allocation and, unlike a binary heap, no
+/// pop/push pair per delivery: the winner is simply re-seeded in place.
+/// The runner-up (the bound for run delivery) also lives on the winner's
+/// root path, so reading it is `O(log k)` too, against the heap's
+/// pop-peek-push dance.
+struct LoserTree {
+    k: usize,
+    /// `tree[0]`: the overall winner; `tree[1..k]`: the loser per match.
+    tree: Vec<usize>,
+    /// Head key per leaf; `None` means exhausted (+∞).
+    keys: Vec<Option<(SimTime, usize)>>,
+}
+
+impl LoserTree {
+    fn new(k: usize) -> Self {
+        let k = k.max(1);
+        let mut t = LoserTree {
+            k,
+            tree: vec![0; k],
+            keys: vec![None; k],
+        };
+        t.rebuild();
+        t
+    }
+
+    /// Does leaf `a` beat leaf `b`? Exhausted leaves lose to live ones;
+    /// the leaf index breaks exact ties deterministically (merge keys are
+    /// unique across queues, so live ties only occur between `None`s).
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (&self.keys[a], &self.keys[b]) {
+            (Some(ka), Some(kb)) => (ka, a) < (kb, b),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Bottom-up full rebuild: play every match, storing losers.
+    fn rebuild(&mut self) {
+        let k = self.k;
+        if k == 1 {
+            self.tree[0] = 0;
+            return;
+        }
+        // Leaf `i` sits at external node `k + i`; internal node `n` plays
+        // the winners of `2n` and `2n + 1`.
+        let mut winner_at = vec![0usize; 2 * k];
+        for i in 0..k {
+            winner_at[k + i] = i;
+        }
+        for node in (1..k).rev() {
+            let (a, b) = (winner_at[2 * node], winner_at[2 * node + 1]);
+            let (winner, loser) = if self.beats(a, b) { (a, b) } else { (b, a) };
+            winner_at[node] = winner;
+            self.tree[node] = loser;
+        }
+        self.tree[0] = winner_at[1];
+    }
+
+    /// Replace leaf `leaf`'s key. For the reigning winner this replays
+    /// only its root path: having won every match on the way up, the
+    /// stored losers there are exactly its would-be opponents, so the
+    /// local matches reconstruct the tournament — the classic `O(log k)`
+    /// k-way-merge step, and this merge's hot path (the winner advances
+    /// after every delivered run). For any *other* leaf that invariant
+    /// does not hold (its own path stores the leaf itself at the match it
+    /// lost, and its true opponent lives further up), so the bracket is
+    /// re-seeded instead — the rare path, taken only when an empty queue
+    /// receives a batch, and still just `O(k)` over the worker count.
+    fn set(&mut self, leaf: usize, key: Option<(SimTime, usize)>) {
+        let was_winner = self.tree[0] == leaf;
+        self.keys[leaf] = key;
+        if self.k == 1 {
+            return;
+        }
+        if !was_winner {
+            self.rebuild();
+            return;
+        }
+        let mut winner = leaf;
+        let mut node = (self.k + leaf) / 2;
+        while node >= 1 {
+            let loser = self.tree[node];
+            if self.beats(loser, winner) {
+                self.tree[node] = winner;
+                winner = loser;
+            }
+            node /= 2;
+        }
+        self.tree[0] = winner;
+    }
+
+    /// The leaf holding the minimum key, or `None` once every leaf is
+    /// exhausted.
+    fn winner(&self) -> Option<usize> {
+        let w = self.tree[0];
+        self.keys[w].map(|_| w)
+    }
+
+    /// The minimum key among every *other* leaf — the second-best key.
+    /// The runner-up lost a match directly against the winner, so it is
+    /// one of the losers stored on the winner's root path.
+    fn runner_up(&self) -> Option<(SimTime, usize)> {
+        if self.k == 1 {
+            return None;
+        }
+        let w = self.tree[0];
+        let mut best: Option<(SimTime, usize)> = None;
+        let mut node = (self.k + w) / 2;
+        while node >= 1 {
+            if let Some(key) = self.keys[self.tree[node]] {
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            node /= 2;
+        }
+        best
+    }
+}
+
 /// The k-way merge over columnar batches — one queue per *worker*. Valid
 /// because a worker always steps its earliest-keyed machine next, so each
 /// worker's concatenated stream is `(time, machine_index)`-ordered; and
@@ -2164,19 +2454,21 @@ impl Default for BatchQueue {
 /// queues. That turns the per-frame heap pop into **run delivery**: the
 /// head queue delivers every consecutive frame below the other queues'
 /// minimum key with one `on_batch` call, so merge cost per frame drops
-/// from `O(log n)` plus a channel message to amortized `O(1)`.
+/// from `O(log n)` plus a channel message to amortized `O(1)`. The
+/// frontier is a [`LoserTree`] over the queues' head keys, so advancing
+/// the winning queue replays one root path in place of a heap pop/push.
 ///
 /// Spent batch shells are cleared and pushed back into the shared pool for
 /// the workers to refill.
 struct BatchMerger {
     queues: Vec<BatchQueue>,
-    /// Min-heap over `(head key, queue)` of every queue with undelivered
-    /// frames; each such queue appears exactly once.
-    frontier: BinaryHeap<Reverse<(SimTime, usize, usize)>>,
+    /// Tournament over each queue's head `(time, machine_index)` key;
+    /// exhausted queues hold `None`.
+    frontier: LoserTree,
     /// Queues open with nothing undelivered — while any exist, the merge
     /// must wait on them.
     blocked: usize,
-    pool: Arc<Mutex<Vec<FrameBatch>>>,
+    pool: Arc<ShellPool>,
     delivered: usize,
     messages: usize,
     buffered_frames: usize,
@@ -2186,10 +2478,10 @@ struct BatchMerger {
 }
 
 impl BatchMerger {
-    fn new(n: usize, pool: Arc<Mutex<Vec<FrameBatch>>>) -> Self {
+    fn new(n: usize, pool: Arc<ShellPool>) -> Self {
         BatchMerger {
             queues: (0..n).map(|_| BatchQueue::default()).collect(),
-            frontier: BinaryHeap::with_capacity(n),
+            frontier: LoserTree::new(n),
             blocked: n,
             pool,
             delivered: 0,
@@ -2210,23 +2502,17 @@ impl BatchMerger {
         }
     }
 
-    /// Shell-pool bound: each worker needs at most a couple of shells in
-    /// flight; beyond that, dropping is cheaper than hoarding.
-    fn pool_cap(&self) -> usize {
-        2 * self.queues.len() + 4
-    }
-
     fn push(&mut self, batch: FrameBatch, sink: &mut dyn ClusterFrameSink) {
         self.messages += 1;
         if batch.is_empty() {
-            recycle_into(&self.pool, self.pool_cap(), batch);
+            self.pool.put(batch);
             return;
         }
         let queue = batch.queue();
         let q = &mut self.queues[queue];
         if q.buf.is_empty() {
-            let (t, mi) = batch.first_key().expect("non-empty");
-            self.frontier.push(Reverse((t, mi, queue)));
+            let key = batch.first_key().expect("non-empty");
+            self.frontier.set(queue, Some(key));
             // Per-queue messages are ordered (one worker owns the queue),
             // so a batch never arrives after Done.
             if q.open {
@@ -2253,15 +2539,14 @@ impl BatchMerger {
     }
 
     fn drain(&mut self, sink: &mut dyn ClusterFrameSink) {
-        let cap = self.pool_cap();
         while self.blocked == 0 {
-            let Some(Reverse((_, _, qi))) = self.frontier.pop() else {
+            let Some(qi) = self.frontier.winner() else {
                 return;
             };
             // Keys are unique across queues (machines are partitioned), so
             // every consecutive head-batch frame strictly below the next
             // queue's minimum is deliverable in one run.
-            let limit = self.frontier.peek().map(|Reverse((t, mi, _))| (*t, *mi));
+            let limit = self.frontier.runner_up();
             let q = &mut self.queues[qi];
             let batch = q.buf.front_mut().expect("frontier tracks non-empty queues");
             let start = q.cursor;
@@ -2275,40 +2560,31 @@ impl BatchMerger {
                     end
                 }
             };
-            debug_assert!(end > start, "the popped head key is the global minimum");
+            debug_assert!(end > start, "the winning head key is the global minimum");
             sink.on_batch(batch, start..end);
             self.delivered += end - start;
             self.buffered_frames -= end - start;
             if end == batch.len() {
                 let spent = q.buf.pop_front().expect("head batch exists");
                 self.buffered_bytes = self.buffered_bytes.saturating_sub(spent.approx_bytes());
-                recycle_into(&self.pool, cap, spent);
+                self.pool.put(spent);
                 q.cursor = 0;
             } else {
                 q.cursor = end;
             }
             match q.buf.front() {
                 Some(head) => {
-                    let key = (head.time(q.cursor), head.machine_index(q.cursor), qi);
-                    self.frontier.push(Reverse(key));
+                    let key = (head.time(q.cursor), head.machine_index(q.cursor));
+                    self.frontier.set(qi, Some(key));
                 }
                 None => {
+                    self.frontier.set(qi, None);
                     if q.open {
                         self.blocked += 1;
                     }
                 }
             }
         }
-    }
-}
-
-/// Clear a spent batch and hand its allocations back through the shared
-/// pool (dropped instead once the pool holds `cap` shells).
-fn recycle_into(pool: &Mutex<Vec<FrameBatch>>, cap: usize, mut batch: FrameBatch) {
-    batch.clear();
-    let mut pool = pool.lock().expect("shell pool poisoned");
-    if pool.len() < cap {
-        pool.push(batch);
     }
 }
 
@@ -2329,7 +2605,7 @@ fn recycle_into(pool: &Mutex<Vec<FrameBatch>>, cap: usize, mut batch: FrameBatch
 fn run_worker(
     units: Vec<WorkUnit>,
     max_refreshes: usize,
-    tx: mpsc::Sender<Msg>,
+    tx: LaneTx,
     board: Arc<HandoffBoard>,
     cfg: WorkerCfg,
 ) -> Vec<(usize, Option<Session>)> {
@@ -2339,7 +2615,7 @@ fn run_worker(
     // worker's queue; flushed when full, before any blocking wait, and at
     // the end of the run.
     let mut batch = match cfg.transport {
-        Transport::Batched => Some(take_shell(&cfg.pool, cfg.queue)),
+        Transport::Batched => Some(cfg.pool.take(cfg.queue)),
         Transport::PerFrame => None,
     };
 
@@ -2347,7 +2623,7 @@ fn run_worker(
         if max_refreshes == 0 || unit.slots.is_empty() {
             board.mark_done(unit.index);
             if cfg.transport == Transport::PerFrame {
-                let _ = tx.send(Msg::Done { queue: unit.index });
+                tx.send(Msg::Done { queue: unit.index });
             }
             finished.push((unit.index, Some(unit.session)));
             continue;
@@ -2368,14 +2644,40 @@ fn run_worker(
             }
             Err(e) => {
                 board.mark_done(unit.index);
-                let _ = tx.send(Msg::Failed {
+                tx.send(Msg::Failed {
                     machine_index: unit.index,
                     error: e,
                 });
                 if cfg.transport == Transport::PerFrame {
-                    let _ = tx.send(Msg::Done { queue: unit.index });
+                    tx.send(Msg::Done { queue: unit.index });
                 }
                 finished.push((unit.index, None));
+            }
+        }
+    }
+
+    // With no resume gates anywhere on this worker — the overwhelmingly
+    // common shape — step selection runs off a persistent min-heap over
+    // every live slot's (next_at, machine index, monitor order) key:
+    // O(log n) per step instead of an O(n) rescan of every owned slot,
+    // which is what dominated the 1000-machine point. The key is the same
+    // tuple the scan minimized, so the chosen order (and the merged
+    // stream) is identical. Entries go stale only when their unit leaves
+    // `active` (teardown or failure) or their slot finishes; `slot_of`
+    // maps a popped machine index back to its `active` position, with
+    // usize::MAX marking a retired unit.
+    let use_heap = active.iter().all(|u| u.consumes.is_empty());
+    let mut agenda: BinaryHeap<Reverse<(SimTime, usize, usize)>> = BinaryHeap::new();
+    let mut slot_of: Vec<usize> = Vec::new();
+    if use_heap {
+        let max_index = active.iter().map(|u| u.index + 1).max().unwrap_or(0);
+        slot_of = vec![usize::MAX; max_index];
+        for (p, u) in active.iter().enumerate() {
+            slot_of[u.index] = p;
+            for (sp, s) in u.slots.iter().enumerate() {
+                if !s.done {
+                    agenda.push(Reverse((s.next_at, u.index, sp)));
+                }
             }
         }
     }
@@ -2385,22 +2687,24 @@ fn run_worker(
         // (time, machine index, monitor order) for determinism.
         let mut chosen: Option<(usize, usize)> = None;
         let mut first_gate: Option<(usize, SimTime, String, usize)> = None;
-        if active.iter().all(|u| u.consumes.is_empty()) {
-            // No resume gates anywhere on this worker — the overwhelmingly
-            // common shape. One allocation-free min-scan picks the step;
-            // no candidate list is built or sorted.
-            let mut best: Option<(SimTime, usize, usize)> = None;
-            for (p, u) in active.iter().enumerate() {
-                for (sp, s) in u.slots.iter().enumerate() {
-                    if s.done {
-                        continue;
-                    }
-                    let key = (s.next_at, u.index, sp);
-                    if best.is_none_or(|b| key < b) {
-                        best = Some(key);
-                        chosen = Some((p, sp));
-                    }
+        if use_heap {
+            while let Some(&Reverse((at, index, sp))) = agenda.peek() {
+                let p = slot_of.get(index).copied().unwrap_or(usize::MAX);
+                if p == usize::MAX {
+                    // The unit already retired; skip its leftovers.
+                    agenda.pop();
+                    continue;
                 }
+                let slot = &active[p].slots[sp];
+                if slot.done || slot.next_at != at {
+                    agenda.pop();
+                    continue;
+                }
+                // Pop the winning entry now: after the step the slot's key
+                // advances (or the slot finishes) and is re-pushed then.
+                agenda.pop();
+                chosen = Some((p, sp));
+                break;
             }
         } else {
             // The pending observations across every owned machine,
@@ -2485,12 +2789,12 @@ fn run_worker(
                     },
                 };
                 board.mark_done(failed.index);
-                let _ = tx.send(Msg::Failed {
+                tx.send(Msg::Failed {
                     machine_index: failed.index,
                     error,
                 });
                 if cfg.transport == Transport::PerFrame {
-                    let _ = tx.send(Msg::Done {
+                    tx.send(Msg::Done {
                         queue: failed.index,
                     });
                 }
@@ -2520,12 +2824,12 @@ fn run_worker(
                         ))),
                     };
                     board.mark_done(failed.index);
-                    let _ = tx.send(Msg::Failed {
+                    tx.send(Msg::Failed {
                         machine_index: failed.index,
                         error,
                     });
                     if cfg.transport == Transport::PerFrame {
-                        let _ = tx.send(Msg::Done {
+                        tx.send(Msg::Done {
                             queue: failed.index,
                         });
                     }
@@ -2560,7 +2864,7 @@ fn run_worker(
                     }
                     // Per-frame: one message per frame, labels refbumped.
                     None => {
-                        let _ = tx.send(Msg::Frame {
+                        tx.send(Msg::Frame {
                             queue: unit.index,
                             frame: ClusterFrame {
                                 machine: unit.label.clone(),
@@ -2576,9 +2880,15 @@ fn run_worker(
                     slot.done = true;
                 } else {
                     slot.next_at += slot.monitor.interval();
+                    if use_heap {
+                        agenda.push(Reverse((slot.next_at, unit.index, spos)));
+                    }
                 }
                 if unit.slots.iter().all(|s| s.done) {
                     let mut done = active.swap_remove(pos);
+                    if use_heap {
+                        retire_slot(&mut slot_of, done.index, pos, &active);
+                    }
                     // A teardown panic tears the shard like an observe
                     // panic would: surface it and withhold the session.
                     let torn_down = guard(&done.id, || {
@@ -2591,17 +2901,17 @@ fn run_worker(
                     match torn_down {
                         Ok(()) => {
                             if cfg.transport == Transport::PerFrame {
-                                let _ = tx.send(Msg::Done { queue: done.index });
+                                tx.send(Msg::Done { queue: done.index });
                             }
                             finished.push((done.index, Some(done.session)));
                         }
                         Err(error) => {
-                            let _ = tx.send(Msg::Failed {
+                            tx.send(Msg::Failed {
                                 machine_index: done.index,
                                 error,
                             });
                             if cfg.transport == Transport::PerFrame {
-                                let _ = tx.send(Msg::Done { queue: done.index });
+                                tx.send(Msg::Done { queue: done.index });
                             }
                             finished.push((done.index, None));
                         }
@@ -2610,6 +2920,9 @@ fn run_worker(
             }
             Err(e) => {
                 let failed = active.swap_remove(pos);
+                if use_heap {
+                    retire_slot(&mut slot_of, failed.index, pos, &active);
+                }
                 // A panic may have torn the shard mid-epoch; only a clean
                 // SessionError hands the session back.
                 let torn = matches!(e, SessionError::ShardPanicked { .. });
@@ -2621,12 +2934,12 @@ fn run_worker(
                     },
                 };
                 board.mark_done(failed.index);
-                let _ = tx.send(Msg::Failed {
+                tx.send(Msg::Failed {
                     machine_index: failed.index,
                     error,
                 });
                 if cfg.transport == Transport::PerFrame {
-                    let _ = tx.send(Msg::Done {
+                    tx.send(Msg::Done {
                         queue: failed.index,
                     });
                 }
@@ -2637,32 +2950,29 @@ fn run_worker(
     if let Some(batch) = batch.as_mut() {
         // Last frames out, then close this worker's queue.
         flush_batch(batch, &tx, &cfg);
-        let _ = tx.send(Msg::Done { queue: cfg.queue });
+        tx.send(Msg::Done { queue: cfg.queue });
     }
     finished
 }
 
-/// Pop a recycled batch shell from the pool (or allocate the first few)
-/// and bind it to `queue`.
-fn take_shell(pool: &Mutex<Vec<FrameBatch>>, queue: usize) -> FrameBatch {
-    let mut b = pool
-        .lock()
-        .expect("shell pool poisoned")
-        .pop()
-        .unwrap_or_else(|| FrameBatch::new(queue));
-    b.set_queue(queue);
-    b.clear();
-    b
+/// Book-keeping for the heap-selection path after `active.swap_remove(pos)`:
+/// void the retired unit's map entry and re-point the unit that moved into
+/// `pos` (the former tail, if any).
+fn retire_slot(slot_of: &mut [usize], removed_index: usize, pos: usize, active: &[WorkUnit]) {
+    slot_of[removed_index] = usize::MAX;
+    if let Some(moved) = active.get(pos) {
+        slot_of[moved.index] = pos;
+    }
 }
 
 /// Send the filled batch to the merge, leaving a fresh (usually recycled)
 /// shell in its place. No-op on an empty batch.
-fn flush_batch(batch: &mut FrameBatch, tx: &mpsc::Sender<Msg>, cfg: &WorkerCfg) {
+fn flush_batch(batch: &mut FrameBatch, tx: &LaneTx, cfg: &WorkerCfg) {
     if batch.is_empty() {
         return;
     }
-    let full = std::mem::replace(batch, take_shell(&cfg.pool, cfg.queue));
-    let _ = tx.send(Msg::Batch(full));
+    let full = std::mem::replace(batch, cfg.pool.take(cfg.queue));
+    tx.send(Msg::Batch(full));
 }
 
 /// Reject monitor sets that cannot drive a machine — shared by
@@ -2760,4 +3070,110 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
 fn assert_shard_is_send() {
     fn is_send<T: Send>() {}
     is_send::<Session>();
+}
+
+#[cfg(test)]
+mod loser_tree_tests {
+    use super::LoserTree;
+    use tiptop_machine::time::SimTime;
+
+    fn key(t: u64, mi: usize) -> Option<(SimTime, usize)> {
+        Some((SimTime(t), mi))
+    }
+
+    /// The reference answer: a linear scan for the minimum live key.
+    fn naive_winner(keys: &[Option<(SimTime, usize)>]) -> Option<usize> {
+        keys.iter()
+            .enumerate()
+            .filter_map(|(i, k)| k.map(|k| (k, i)))
+            .min()
+            .map(|(_, i)| i)
+    }
+
+    fn naive_runner_up(
+        keys: &[Option<(SimTime, usize)>],
+        winner: usize,
+    ) -> Option<(SimTime, usize)> {
+        keys.iter()
+            .enumerate()
+            .filter(|(i, _)| *i != winner)
+            .filter_map(|(_, k)| *k)
+            .min()
+    }
+
+    fn check(t: &LoserTree, keys: &[Option<(SimTime, usize)>]) {
+        assert_eq!(t.winner(), naive_winner(keys));
+        if let Some(w) = t.winner() {
+            assert_eq!(t.runner_up(), naive_runner_up(keys, w));
+        }
+    }
+
+    #[test]
+    fn non_winner_update_does_not_clobber_the_champion() {
+        // The regression that motivated re-seeding on non-winner updates:
+        // leaf 0 holds the minimum, leaf 1 (exhausted, stored as the loser
+        // of its own match) receives a *larger* key. A naive root-path
+        // replay meets only itself on the way up and overwrites tree[0].
+        let mut t = LoserTree::new(2);
+        t.set(0, key(5, 0));
+        t.set(1, key(7, 1));
+        let keys = [key(5, 0), key(7, 1)];
+        check(&t, &keys);
+        assert_eq!(t.winner(), Some(0));
+    }
+
+    #[test]
+    fn tracks_min_through_mixed_updates() {
+        // Odd width, winner advances, queues empty out and refill — every
+        // state checked against a linear scan.
+        for k in 1..=9usize {
+            let mut t = LoserTree::new(k);
+            let mut keys: Vec<Option<(SimTime, usize)>> = vec![None; k];
+            // Deterministic pseudo-random walk (LCG); no rand dependency.
+            let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+            let mut step = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for round in 0..200 {
+                let r = step();
+                let leaf = (r as usize) % k;
+                // Merge keys are unique across queues: embed the leaf in
+                // the machine-index tie-breaker like the real merge does.
+                let next = if r % 5 == 0 {
+                    None
+                } else {
+                    key(1 + round as u64 * 10 + (r % 7), leaf)
+                };
+                keys[leaf] = next;
+                t.set(leaf, next);
+                check(&t, &keys);
+                // Advance the winner (the hot path) every other round.
+                if round % 2 == 1 {
+                    if let Some(w) = t.winner() {
+                        let bumped = key(1000 + round as u64 * 3, w);
+                        keys[w] = bumped;
+                        t.set(w, bumped);
+                        check(&t, &keys);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhausting_every_leaf_empties_the_tree() {
+        let mut t = LoserTree::new(4);
+        for i in 0..4 {
+            t.set(i, key(10 + i as u64, i));
+        }
+        for _ in 0..4 {
+            let w = t.winner().expect("live leaves remain");
+            t.set(w, None);
+        }
+        assert_eq!(t.winner(), None);
+        assert_eq!(t.runner_up(), None);
+    }
 }

@@ -256,7 +256,7 @@ impl HandoffBoard {
 /// schedule of [`WorkloadEvent`]s. Build it into a [`Session`] to run.
 #[derive(Debug)]
 pub struct Scenario {
-    machine: MachineConfig,
+    machine: Arc<MachineConfig>,
     seed: u64,
     epoch: Option<SimDuration>,
     users: Vec<(Uid, String)>,
@@ -264,9 +264,12 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    pub fn new(machine: MachineConfig) -> Self {
+    /// Accepts an owned [`MachineConfig`] or an already-shared
+    /// `Arc<MachineConfig>`; a fleet built from one `Arc` shares the
+    /// allocation across every shard.
+    pub fn new(machine: impl Into<Arc<MachineConfig>>) -> Self {
         Scenario {
-            machine,
+            machine: machine.into(),
             seed: 0,
             epoch: None,
             users: Vec::new(),

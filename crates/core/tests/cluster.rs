@@ -80,7 +80,7 @@ fn rendered(frames: &[ClusterFrame]) -> String {
 }
 
 #[test]
-fn merged_stream_is_byte_identical_at_1_2_and_8_threads() {
+fn merged_stream_is_byte_identical_at_1_2_8_and_16_threads() {
     let run_at = |threads: usize| {
         let mut session = cluster().build().unwrap();
         let frames = session
@@ -94,6 +94,10 @@ fn merged_stream_is_byte_identical_at_1_2_and_8_threads() {
     let single = run_at(1);
     assert_eq!(single, run_at(2), "2 workers must not change one byte");
     assert_eq!(single, run_at(8), "8 workers must not change one byte");
+    // 16 lanes into a 4-machine cluster: more lanes than shards, so some
+    // lanes stay empty for the whole run — the loser tree must keep
+    // treating them as +∞ without ever stalling or reordering the merge.
+    assert_eq!(single, run_at(16), "16 workers must not change one byte");
     assert!(single.contains("[ppc #4 tiptop]"), "every machine finished");
 }
 
@@ -1643,6 +1647,59 @@ fn batched_and_per_frame_transports_are_byte_identical() {
     );
     assert_eq!(golden, run(8, false).0, "8 batched workers agree");
     assert_eq!(golden, run(8, true).0, "8 per-frame workers agree");
+    assert_eq!(golden, run(16, false).0, "16 batched workers agree");
+    assert_eq!(golden, run(16, true).0, "16 per-frame workers agree");
+}
+
+#[test]
+fn shards_share_immutable_state_across_the_fleet() {
+    use std::sync::Arc;
+
+    // A fleet of identical machines built from one shared config: every
+    // shard's kernel must point at the *same* allocation, not a copy —
+    // the per-machine memory diet at 1000 machines depends on it.
+    let cfg = Arc::new(MachineConfig::nehalem_w3550().noiseless());
+    let mut cluster = ClusterScenario::new();
+    for i in 0..6u64 {
+        cluster = cluster.machine(
+            format!("m{i}"),
+            Scenario::new(Arc::clone(&cfg))
+                .seed(i + 1)
+                .user(Uid(1), "u1")
+                .spawn(
+                    "spin",
+                    SpawnSpec::new("spin", Uid(1), spin(0.9)).seed(i + 1),
+                ),
+        );
+    }
+    let mut session = cluster.build().unwrap();
+    session.run_collect(2, 1, |_| tool(1)).unwrap();
+    let ids: Vec<String> = session.machines().map(|m| m.id.to_string()).collect();
+    assert_eq!(ids.len(), 6);
+    for id in &ids {
+        let shard = session.session(id).expect("shard session exists");
+        assert!(
+            Arc::ptr_eq(&cfg, &shard.kernel().machine().shared_config()),
+            "shard '{id}' must share the fleet's config allocation"
+        );
+    }
+
+    // Cloning a program (a spawn spec fanned out, a checkpoint taken) is a
+    // refcount bump on the shared phase list, not a deep copy.
+    let program = spin(0.9);
+    let cloned = program.clone();
+    assert!(
+        std::ptr::eq(program.phases().as_ptr(), cloned.phases().as_ptr()),
+        "cloned programs must share one phase allocation"
+    );
+
+    // Two monitors on the same screen share one compiled cell plan.
+    let a = Tiptop::new(TiptopOptions::default(), ScreenConfig::default_screen());
+    let b = Tiptop::new(TiptopOptions::default(), ScreenConfig::default_screen());
+    assert!(
+        Arc::ptr_eq(&a.cell_plan(), &b.cell_plan()),
+        "identical screens must share one plan allocation"
+    );
 }
 
 #[test]

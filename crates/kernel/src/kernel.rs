@@ -8,6 +8,7 @@
 //! [`PerfCharge`](crate::engine::PerfCharge)s into its counter fd table.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use tiptop_machine::config::MachineConfig;
 use tiptop_machine::machine::Machine;
@@ -20,7 +21,7 @@ use tiptop_machine::access::TaskStream;
 use crate::engine::{EpochEngine, PerfCharge};
 use crate::errno::Errno;
 use crate::perf::{
-    multiplex_active, PerfCounter, PerfEventAttr, PerfFd, PerfValue, MAX_FDS_PER_OBSERVER,
+    multiplex_active_into, PerfCounter, PerfEventAttr, PerfFd, PerfValue, MAX_FDS_PER_OBSERVER,
 };
 use crate::procfs::ProcStat;
 use crate::program::{Program, ProgramCursor};
@@ -30,7 +31,9 @@ use crate::task::{Pid, SpawnSpec, Task, TaskState, Uid};
 /// Kernel construction parameters.
 #[derive(Clone, Debug)]
 pub struct KernelConfig {
-    pub machine: MachineConfig,
+    /// Shared behind an [`Arc`]: every kernel in a simulated fleet built
+    /// from the same hardware model points at one config allocation.
+    pub machine: Arc<MachineConfig>,
     /// Scheduler epoch. Coarser than a real kernel tick, but far finer than
     /// tiptop's seconds-scale refresh; 20 ms keeps multi-hour simulations
     /// cheap while timesharing still averages out within one refresh.
@@ -39,9 +42,9 @@ pub struct KernelConfig {
 }
 
 impl KernelConfig {
-    pub fn new(machine: MachineConfig) -> Self {
+    pub fn new(machine: impl Into<Arc<MachineConfig>>) -> Self {
         KernelConfig {
-            machine,
+            machine: machine.into(),
             epoch: SimDuration::from_millis(20),
             seed: 0,
         }
@@ -119,7 +122,7 @@ pub struct Kernel {
 
 impl Kernel {
     pub fn new(cfg: KernelConfig) -> Self {
-        let machine = Machine::new(cfg.machine.clone(), cfg.seed);
+        let machine = Machine::new(Arc::clone(&cfg.machine), cfg.seed);
         let engine = EpochEngine::new(machine, cfg.epoch);
         let mut users = BTreeMap::new();
         users.insert(Uid::ROOT, "root".to_string());
@@ -478,9 +481,10 @@ impl Kernel {
             ..
         } = self;
         let pmu = cfg.machine.uarch.pmu;
+        let mut scratch = ChargeScratch::default();
         engine.advance(dur, tasks, exited, |epoch_index, charges| {
             for charge in charges {
-                apply_perf_charge(counters, pmu, epoch_index, charge);
+                apply_perf_charge(counters, pmu, epoch_index, charge, &mut scratch);
             }
         });
     }
@@ -508,6 +512,16 @@ impl Kernel {
     }
 }
 
+/// Reusable event-list buffers for [`apply_perf_charge`]: one set per
+/// [`Kernel::advance`] call instead of fresh heap allocations per task per
+/// epoch (the fleet bench runs millions of charges per simulated minute).
+#[derive(Default)]
+struct ChargeScratch {
+    fixed: Vec<HwEvent>,
+    programmable: Vec<HwEvent>,
+    active: Vec<HwEvent>,
+}
+
 /// Update all counters attached to `charge.pid` for an epoch in which the
 /// task ran for `charge.run_dur` and the hardware observed `charge.delta`.
 /// Multiplexing rotates with `epoch_index`, like the kernel's tick.
@@ -516,18 +530,21 @@ fn apply_perf_charge(
     pmu: PmuCapabilities,
     epoch_index: u64,
     charge: &PerfCharge,
+    scratch: &mut ChargeScratch,
 ) {
     let pid = charge.pid;
 
     // Distinct requested events for this task, split fixed/programmable.
-    let mut fixed: Vec<HwEvent> = Vec::new();
-    let mut programmable: Vec<HwEvent> = Vec::new();
+    let fixed = &mut scratch.fixed;
+    let programmable = &mut scratch.programmable;
+    fixed.clear();
+    programmable.clear();
     for c in counters.values() {
         if c.task == pid && c.enabled {
             let bucket = if c.hw.is_fixed() && fixed_slot(c.hw) < pmu.fixed_counters {
-                &mut fixed
+                &mut *fixed
             } else {
-                &mut programmable
+                &mut *programmable
             };
             if !bucket.contains(&c.hw) {
                 bucket.push(c.hw);
@@ -535,7 +552,13 @@ fn apply_perf_charge(
         }
     }
     programmable.sort_by_key(|e| e.index());
-    let active = multiplex_active(&programmable, pmu.programmable_counters, epoch_index);
+    multiplex_active_into(
+        programmable,
+        pmu.programmable_counters,
+        epoch_index,
+        &mut scratch.active,
+    );
+    let active = &scratch.active;
 
     for c in counters.values_mut() {
         if c.task != pid || !c.enabled {

@@ -135,12 +135,28 @@ pub const MAX_FDS_PER_OBSERVER: usize = 4096;
 /// the *active window* of events for this epoch. Rotation advances one event
 /// per epoch, like the kernel's multiplexing tick.
 pub fn multiplex_active(events: &[HwEvent], budget: usize, epoch_index: u64) -> Vec<HwEvent> {
+    let mut out = Vec::new();
+    multiplex_active_into(events, budget, epoch_index, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`multiplex_active`]: writes the active set
+/// into `out` (cleared first), so a hot caller can reuse one buffer across
+/// every task and epoch.
+pub fn multiplex_active_into(
+    events: &[HwEvent],
+    budget: usize,
+    epoch_index: u64,
+    out: &mut Vec<HwEvent>,
+) {
+    out.clear();
     if events.len() <= budget {
-        return events.to_vec();
+        out.extend_from_slice(events);
+        return;
     }
     let n = events.len();
     let start = (epoch_index as usize) % n;
-    (0..budget).map(|i| events[(start + i) % n]).collect()
+    out.extend((0..budget).map(|i| events[(start + i) % n]));
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 //! IPC against instructions executed so the Nehalem/Core/PPC970 curves
 //! align).
 
+use std::sync::Arc;
+
 use tiptop_machine::exec::ExecProfile;
 use tiptop_machine::time::SimDuration;
 
@@ -56,9 +58,13 @@ pub enum Continuation {
 }
 
 /// A complete program: phases plus continuation behaviour.
+///
+/// The phase list lives behind an `Arc<[Phase]>`: cloning a `Program` — a
+/// spawn spec fanned out across a fleet, a checkpoint of a running task —
+/// bumps a refcount instead of deep-copying every [`ExecProfile`] in it.
 #[derive(Clone, Debug)]
 pub struct Program {
-    phases: Vec<Phase>,
+    phases: Arc<[Phase]>,
     continuation: Continuation,
 }
 
@@ -67,7 +73,7 @@ impl Program {
     pub fn run_once(phases: Vec<Phase>) -> Program {
         assert!(!phases.is_empty(), "a program needs at least one phase");
         Program {
-            phases,
+            phases: phases.into(),
             continuation: Continuation::Exit,
         }
     }
@@ -76,7 +82,7 @@ impl Program {
     pub fn looping(phases: Vec<Phase>) -> Program {
         assert!(!phases.is_empty(), "a program needs at least one phase");
         Program {
-            phases,
+            phases: phases.into(),
             continuation: Continuation::Loop,
         }
     }

@@ -99,6 +99,13 @@ impl AccessOutcome {
 /// Stores 64-bit *line* tags (already shifted by the line size and qualified
 /// with the owning task's address-space id by the caller). `u64::MAX` is
 /// reserved as the invalid tag.
+///
+/// The tag array is allocated **lazily, on the first access**: a machine
+/// whose workload never touches memory (the cluster bench's pure-compute
+/// jobs, any `loads_per_insn == 0` profile) carries the geometry but none
+/// of the `sets × ways × 8` bytes — at fleet scale that is hundreds of KiB
+/// per simulated machine that is never paid. An untouched cache behaves
+/// exactly like an all-invalid one: every probe misses, no lines resident.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
@@ -106,6 +113,7 @@ pub struct SetAssocCache {
     num_sets: u64,
     ways: usize,
     /// `sets * ways` tags, LRU-ordered within each set: index 0 is MRU.
+    /// Empty until the first [`SetAssocCache::access`].
     tags: Vec<u64>,
     hits: u64,
     misses: u64,
@@ -122,7 +130,7 @@ impl SetAssocCache {
             line_shift: geometry.line_bytes.trailing_zeros(),
             num_sets: sets,
             ways,
-            tags: vec![INVALID; sets as usize * ways],
+            tags: Vec::new(),
             hits: 0,
             misses: 0,
         }
@@ -144,6 +152,10 @@ impl SetAssocCache {
     pub fn access(&mut self, addr: u64) -> bool {
         let line = self.line_of(addr);
         debug_assert_ne!(line, INVALID, "reserved tag");
+        if self.tags.is_empty() {
+            // First touch: materialize the tag array.
+            self.tags = vec![INVALID; self.num_sets as usize * self.ways];
+        }
         let set = (line % self.num_sets) as usize;
         let base = set * self.ways;
         let slots = &mut self.tags[base..base + self.ways];
@@ -171,6 +183,9 @@ impl SetAssocCache {
 
     /// Is `addr`'s line currently resident? Does not touch LRU state.
     pub fn probe(&self, addr: u64) -> bool {
+        if self.tags.is_empty() {
+            return false;
+        }
         let line = self.line_of(addr);
         let set = (line % self.num_sets) as usize;
         let base = set * self.ways;
@@ -187,11 +202,17 @@ impl SetAssocCache {
         self.tags.iter().filter(|&&t| t != INVALID).count()
     }
 
-    /// Drop all contents and statistics.
+    /// Drop all contents and statistics — including the tag array itself,
+    /// returning the cache to its unallocated (lazy) state.
     pub fn flush(&mut self) {
-        self.tags.fill(INVALID);
+        self.tags = Vec::new();
         self.hits = 0;
         self.misses = 0;
+    }
+
+    /// Heap bytes currently held by the tag array (0 until first access).
+    pub fn allocated_bytes(&self) -> usize {
+        self.tags.capacity() * std::mem::size_of::<u64>()
     }
 }
 
@@ -314,5 +335,18 @@ mod tests {
         assert_eq!(c.stats(), (0, 0));
         assert_eq!(c.resident_lines(), 0);
         assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn tags_allocate_lazily_on_first_access() {
+        let mut c = tiny();
+        assert_eq!(c.allocated_bytes(), 0, "untouched cache owns no tags");
+        assert!(!c.probe(0));
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(0), "first access is a cold miss");
+        assert_eq!(c.allocated_bytes(), 8 * 8, "4 sets x 2 ways x 8 bytes");
+        assert!(c.probe(0));
+        c.flush();
+        assert_eq!(c.allocated_bytes(), 0, "flush deallocates, not just fills");
     }
 }

@@ -10,6 +10,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -81,8 +82,13 @@ struct SampleStats {
 }
 
 /// The simulated machine.
+///
+/// The configuration is held behind an [`Arc`]: a fleet of identical
+/// simulated machines (the cluster bench instantiates 1000) shares one
+/// `MachineConfig` allocation — topology tree, uarch tables and all —
+/// instead of deep-copying it per machine.
 pub struct Machine {
-    cfg: MachineConfig,
+    cfg: Arc<MachineConfig>,
     l1: Vec<SetAssocCache>,
     l2: Vec<SetAssocCache>,
     l3: Vec<SetAssocCache>,
@@ -91,7 +97,8 @@ pub struct Machine {
 }
 
 impl Machine {
-    pub fn new(cfg: MachineConfig, seed: u64) -> Self {
+    pub fn new(cfg: impl Into<Arc<MachineConfig>>, seed: u64) -> Self {
+        let cfg = cfg.into();
         let cores = cfg.topology.num_cores();
         let sockets = cfg.topology.sockets();
         Machine {
@@ -112,6 +119,11 @@ impl Machine {
 
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// The shared configuration handle (a clone is a refcount bump).
+    pub fn shared_config(&self) -> Arc<MachineConfig> {
+        Arc::clone(&self.cfg)
     }
 
     pub fn topology(&self) -> &Topology {
@@ -159,7 +171,10 @@ impl Machine {
         if n == 0 {
             return Vec::new();
         }
-        let topo = self.cfg.topology.clone();
+        // Refcount bump, not a deep copy: keeps the config borrowable
+        // alongside the `&mut self` cache sampling below.
+        let cfg = Arc::clone(&self.cfg);
+        let topo = &cfg.topology;
 
         // --- sanity: one slice per PU ---
         {
@@ -178,13 +193,13 @@ impl Machine {
         }
 
         // --- phase 1: jointly sample the cache hierarchy ---
-        let stats = self.sample_caches(slices, &topo);
+        let stats = self.sample_caches(slices, topo);
 
         // --- phase 2: analytic CPI and event accounting per slice ---
         let mut out = Vec::with_capacity(n);
         for (i, s) in slices.iter_mut().enumerate() {
             let st = &stats[i];
-            let u = &self.cfg.uarch;
+            let u = &cfg.uarch;
             let p = s.profile;
 
             let smt_busy = busy_on_core[topo.core_of(s.pu).0] > 1;
@@ -205,12 +220,12 @@ impl Machine {
             let assist_cpi = p.fp_per_insn * assist_frac * u.fp_assist_cost;
 
             let mut cpi = base + mem_cpi + branch_cpi + assist_cpi;
-            if self.cfg.cpi_noise > 0.0 {
+            if cfg.cpi_noise > 0.0 {
                 // Cheap symmetric noise: mean 0, bounded, deterministic.
                 let g: f64 = self.noise_rng.random::<f64>() + self.noise_rng.random::<f64>()
                     - self.noise_rng.random::<f64>()
                     - self.noise_rng.random::<f64>();
-                cpi *= (1.0 + self.cfg.cpi_noise * g).max(0.2);
+                cpi *= (1.0 + cfg.cpi_noise * g).max(0.2);
             }
 
             let mut instructions = (s.cycles as f64 / cpi).floor() as u64;
