@@ -29,8 +29,8 @@ use std::time::Instant;
 
 use tiptop_bench::experiments::{
     fig01_snapshot, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions, fig09_compilers,
-    fig10_datacenter, fig11_interference, fleet, grid, reactive, scaling, table1_fp_micro,
-    tournament, validation,
+    fig10_datacenter, fig11_interference, fleet, grid, policy_lab, reactive, scaling,
+    table1_fp_micro, tournament, validation,
 };
 
 /// Release-profile wall-second baselines, seeded from the PR 3 trajectory
@@ -39,7 +39,7 @@ use tiptop_bench::experiments::{
 /// scripted grid baseline it compares against, `tournament` for its four
 /// detector×mode cells). A budget breach means the experiment
 /// regressed by more than [`REGRESSION_ALLOWANCE`] against this trajectory.
-const BASELINE_SECONDS: [(&str, f64); 14] = [
+const BASELINE_SECONDS: [(&str, f64); 15] = [
     ("fig01_snapshot", 0.400),
     ("table1_fp_micro", 0.002),
     ("fig03_evolution", 0.206),
@@ -52,6 +52,10 @@ const BASELINE_SECONDS: [(&str, f64); 14] = [
     ("grid", 2.900),
     ("reactive", 5.800),
     ("tournament", 10.500),
+    // Nine policy×scenario cells; the three `fleet` cells carry four
+    // endless background jobs each, so the grid costs ~2.7× the
+    // tournament's four cells.
+    ("policy_lab", 29.240),
     ("validation", 0.009),
     // The thread sweep runs the batched arm four times per point (1/2/4/8
     // workers) plus one single-threaded baseline arm; the lane/loser-tree
@@ -170,6 +174,9 @@ fn main() {
     });
     time("tournament", &mut || {
         tournament::run(43, 0.01);
+    });
+    time("policy_lab", &mut || {
+        policy_lab::run(53, 0.01);
     });
     time("validation", &mut || {
         validation::run(29);

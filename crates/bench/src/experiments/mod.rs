@@ -17,10 +17,13 @@
 //! merged stream, compared against the scripted baseline) and
 //! [`tournament`] (restart-vs-resume relocation crossed with the
 //! IPC-floor and CUSUM detectors — the checkpoint/restore subsystem
-//! measured as a 2×2 of wall-clock and recovered IPC) and [`scaling`]
+//! measured as a 2×2 of wall-clock and recovered IPC), [`scaling`]
 //! (the throughput frontier: frames/sec and peak buffered bytes at 10,
 //! 100 and 1000 machines, batched columnar transport against a
-//! legacy-representation baseline measured in the same run).
+//! legacy-representation baseline measured in the same run) and
+//! [`policy_lab`] (the pluggable-scheduling payoff: detector × placement
+//! policies crossed with scenarios that also swap the *in-kernel* epoch
+//! planner, ranked by payload wall-clock).
 
 pub mod fig01_snapshot;
 pub mod fig03_evolution;
@@ -31,6 +34,7 @@ pub mod fig10_datacenter;
 pub mod fig11_interference;
 pub mod fleet;
 pub mod grid;
+pub mod policy_lab;
 pub mod reactive;
 pub mod scaling;
 pub mod table1_fp_micro;

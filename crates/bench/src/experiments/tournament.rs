@@ -48,16 +48,17 @@ use crate::report::{Series, TableReport};
 /// [`grid`]: crate::experiments::grid
 pub const DELAY_S: f64 = crate::experiments::grid::DELAY_S;
 
-/// The canary the detectors watch and the payload they relocate.
-const CANARY: &str = "sim-fluid";
-const PAYLOAD: &str = "sim-batch";
+/// The canary the detectors watch and the payload they relocate (shared
+/// with [`policy_lab`](crate::experiments::policy_lab)).
+pub const CANARY: &str = "sim-fluid";
+pub const PAYLOAD: &str = "sim-batch";
 
 /// The floor guarded on the canary — same level as the `reactive`
 /// experiment (healthy ~1.26, dwell ~1.0).
-const IPC_FLOOR: f64 = 1.15;
+pub const IPC_FLOOR: f64 = 1.15;
 /// Refreshes of sustained breach before the floor fires: short, because the
 /// tournament measures relocation modes, not detector patience.
-const FLOOR_PATIENCE_REFRESHES: u64 = 2;
+pub const FLOOR_PATIENCE_REFRESHES: u64 = 2;
 
 /// CUSUM calibration: the canary's first four samples are cold-start ramp
 /// (its warm tier takes ~8 s to settle into the L3) and are skipped, the
@@ -68,10 +69,10 @@ const FLOOR_PATIENCE_REFRESHES: u64 = 2;
 /// effective patience, so the two families legitimately disagree on the
 /// trigger instant (one refresh apart) and the tournament compares modes
 /// under each.
-const CUSUM_SKIP: usize = 4;
-const CUSUM_WARMUP: usize = 3;
-const CUSUM_DRIFT: f64 = 0.05;
-const CUSUM_THRESHOLD: f64 = 0.45;
+pub const CUSUM_SKIP: usize = 4;
+pub const CUSUM_WARMUP: usize = 3;
+pub const CUSUM_DRIFT: f64 = 0.05;
+pub const CUSUM_THRESHOLD: f64 = 0.45;
 
 /// The two detector families the tournament ranks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -165,7 +166,7 @@ pub fn run_cell_stream(
     render_stream(&merged, &decisions)
 }
 
-fn render_stream(merged: &[ClusterFrame], decisions: &[AppliedDecision]) -> String {
+pub(crate) fn render_stream(merged: &[ClusterFrame], decisions: &[AppliedDecision]) -> String {
     let mut out: String = merged
         .iter()
         .map(|cf| {
@@ -195,8 +196,9 @@ fn render_stream(merged: &[ClusterFrame], decisions: &[AppliedDecision]) -> Stri
 }
 
 /// The two-node cast: the contended node carries the canary, the payload
-/// and the burst; the spare sits idle until the relocation.
-fn nodes(seed: u64, script: &TournamentScript) -> (Scenario, Scenario) {
+/// and the burst; the spare sits idle until the relocation. Shared with
+/// [`policy_lab`](crate::experiments::policy_lab), which adds a third node.
+pub(crate) fn nodes(seed: u64, script: &TournamentScript) -> (Scenario, Scenario) {
     let machine = || {
         MachineConfig::datacenter_e5640()
             .noiseless()

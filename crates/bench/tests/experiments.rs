@@ -6,11 +6,12 @@
 //! the §2.4 validation; Figure 1 and Table 1 are covered by their module
 //! tests.
 
+use tiptop_bench::experiments::policy_lab::{LabPolicy, LabScenario};
 use tiptop_bench::experiments::tournament::Detector;
 use tiptop_bench::experiments::{
     evaluation_machines, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions,
-    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, reactive, scaling,
-    tournament, validation,
+    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, policy_lab, reactive,
+    scaling, tournament, validation,
 };
 use tiptop_core::reactive::MigrationMode;
 use tiptop_workloads::spec::{Compiler, SpecBenchmark};
@@ -773,4 +774,140 @@ fn scaling_sweeps_threads_and_reports_a_full_curve() {
     assert!(json.contains("\"rss_per_machine_bytes\""));
     assert!(json.contains("\"rss_delta_bytes\""));
     assert!(r.report().contains("scaling frontier"));
+}
+
+#[test]
+fn policy_lab_ranks_least_loaded_placement_first_in_the_fleet() {
+    let r = policy_lab::run_on(53, 0.01, 1);
+    assert_eq!(r.cells.len(), 9, "the full 3x3 grid ran");
+
+    // Structure: every cell fired exactly one migration, landed it at an
+    // epoch boundary after its trigger, and recovered the canary above the
+    // dwell level on the victim node.
+    for c in &r.cells {
+        assert_eq!(
+            c.migrations, 1,
+            "{:?}/{:?} fired once",
+            c.policy, c.scenario
+        );
+        assert!(c.applied >= c.trigger, "applied at the next epoch boundary");
+        assert!(
+            c.payload_wall > c.applied,
+            "the payload finished after the hop"
+        );
+        assert!(
+            c.canary_recovery_ipc > 1.0,
+            "{:?}/{:?}: canary recovered past the dwell (~1.0), got {}",
+            c.policy,
+            c.scenario,
+            c.canary_recovery_ipc
+        );
+    }
+
+    // The population detector calibrates on the same plateau the CUSUM
+    // skips and confirms on the second dwell sample — one refresh ahead of
+    // the CUSUM, level with the floor's patience.
+    for scenario in LabScenario::ALL {
+        let population = r.cell(LabPolicy::Population, scenario);
+        let cusum = r.cell(LabPolicy::Cusum, scenario);
+        let floor = r.cell(LabPolicy::Floor, scenario);
+        assert!(
+            population.trigger < cusum.trigger,
+            "{scenario:?}: population ({}) should fire before cusum ({})",
+            population.trigger,
+            cusum.trigger
+        );
+        assert_eq!(
+            population.trigger, floor.trigger,
+            "{scenario:?}: population and floor confirm on the same refresh"
+        );
+    }
+
+    // Fixed placement always relieves onto the designated spare; live
+    // placement routes around it to the idle third node the moment the
+    // spare is busy.
+    for scenario in [LabScenario::BurstCfs, LabScenario::BurstRr] {
+        for policy in LabPolicy::ALL {
+            assert_eq!(r.cell(policy, scenario).destination, "node-spare");
+        }
+    }
+    assert_eq!(
+        r.cell(LabPolicy::Floor, LabScenario::Fleet).destination,
+        "node-spare"
+    );
+    assert_eq!(
+        r.cell(LabPolicy::Cusum, LabScenario::Fleet).destination,
+        "node-spare"
+    );
+    assert_eq!(
+        r.cell(LabPolicy::Population, LabScenario::Fleet)
+            .destination,
+        policy_lab::IDLE_NODE,
+        "least-loaded placement picks the idle machine from live fleet load"
+    );
+
+    // The ranked table: in the fleet scenario, population+least-loaded wins
+    // wall-clock outright because the fixed policies co-locate the payload
+    // with the background load.
+    assert_eq!(
+        r.ranking(LabScenario::Fleet),
+        vec![LabPolicy::Population, LabPolicy::Cusum, LabPolicy::Floor]
+    );
+    let fleet_floor = r.cell(LabPolicy::Floor, LabScenario::Fleet);
+    let burst_floor = r.cell(LabPolicy::Floor, LabScenario::BurstCfs);
+    assert!(
+        fleet_floor.payload_wall > burst_floor.payload_wall,
+        "fixed placement pays for co-locating with the busy spare \
+         ({} vs {})",
+        fleet_floor.payload_wall,
+        burst_floor.payload_wall
+    );
+    let fleet_population = r.cell(LabPolicy::Population, LabScenario::Fleet);
+    assert!(
+        fleet_population.payload_wall < fleet_floor.payload_wall,
+        "routing around the busy spare wins wall-clock"
+    );
+    assert!(
+        fleet_population.recovered_ipc > fleet_floor.recovered_ipc,
+        "and recovers more IPC on the destination"
+    );
+
+    // In the burst scenarios nobody is co-located, so the walls collapse to
+    // the trigger instants: floor and population tie (same trigger, same
+    // destination) and the stable ranking keeps declaration order.
+    assert_eq!(
+        r.ranking(LabScenario::BurstCfs),
+        vec![LabPolicy::Cusum, LabPolicy::Floor, LabPolicy::Population]
+    );
+    assert_eq!(
+        r.ranking(LabScenario::BurstRr),
+        vec![LabPolicy::Cusum, LabPolicy::Floor, LabPolicy::Population]
+    );
+
+    // The kernel-layer axis is real: the same burst under round-robin
+    // kernels produces a different stream than under CFS-like kernels.
+    let rr = policy_lab::run_cell_stream(53, 0.01, 1, LabPolicy::Population, LabScenario::BurstRr);
+    let cfs =
+        policy_lab::run_cell_stream(53, 0.01, 1, LabPolicy::Population, LabScenario::BurstCfs);
+    assert_ne!(rr, cfs, "swapping the epoch planner must change the frames");
+    assert!(rr.contains("[decision population+least-loaded resume 'sim-batch'"));
+
+    // Determinism: the cell exercising both new layers (round-robin kernels
+    // + population/least-loaded policy) is byte-identical at 2 and 8
+    // worker threads.
+    assert_eq!(
+        rr,
+        policy_lab::run_cell_stream(53, 0.01, 2, LabPolicy::Population, LabScenario::BurstRr),
+        "2 workers must not change one byte"
+    );
+    assert_eq!(
+        rr,
+        policy_lab::run_cell_stream(53, 0.01, 8, LabPolicy::Population, LabScenario::BurstRr),
+        "8 workers must not change one byte"
+    );
+
+    let report = r.report();
+    assert!(report.contains("policy lab (3 policies × 3 scenarios"));
+    assert!(report.contains("population+least-loaded"));
+    assert!(report.contains("node-idle"));
 }

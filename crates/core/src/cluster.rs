@@ -100,6 +100,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use tiptop_kernel::sched::SchedulerSelect;
 use tiptop_kernel::task::TaskState;
 use tiptop_machine::time::SimTime;
 
@@ -520,6 +521,7 @@ struct Migration {
 pub struct ClusterScenario {
     machines: Vec<(String, Scenario)>,
     migrations: Vec<Migration>,
+    scheduler: Option<SchedulerSelect>,
 }
 
 impl ClusterScenario {
@@ -531,6 +533,14 @@ impl ClusterScenario {
     /// must be unique; declaration order fixes the merge tie-breaker.
     pub fn machine(mut self, id: impl Into<String>, scenario: Scenario) -> Self {
         self.machines.push((id.into(), scenario));
+        self
+    }
+
+    /// Fleet-wide in-kernel planner: every machine that did not pick its
+    /// own [`Scenario::scheduler`] boots with this one. Applies to machines
+    /// declared before *or* after the call.
+    pub fn scheduler(mut self, scheduler: SchedulerSelect) -> Self {
+        self.scheduler = Some(scheduler);
         self
     }
 
@@ -622,6 +632,11 @@ impl ClusterScenario {
             return Err(SessionError::InvalidScenario(
                 "cluster has no machines".into(),
             ));
+        }
+        if let Some(scheduler) = &self.scheduler {
+            for (_, scenario) in &mut self.machines {
+                scenario.default_scheduler(scheduler);
+            }
         }
         {
             let mut seen = std::collections::HashSet::new();

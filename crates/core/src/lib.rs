@@ -106,7 +106,8 @@ pub use expr::Expr;
 pub use monitor::{CollectSink, FrameSink, Monitor};
 pub use procinfo::CpuTracker;
 pub use reactive::{
-    AppliedDecision, Cusum, IpcFloor, MigrationDecision, MigrationMode, SchedulerPolicy,
+    AppliedDecision, Balanced, Cusum, IpcFloor, LeastLoaded, MigrationDecision, MigrationMode,
+    Population, SchedulerPolicy,
 };
 pub use render::{CellSpec, Frame, Row};
 pub use scenario::{Scenario, Session, SessionError, WorkloadEvent};
@@ -126,7 +127,8 @@ pub mod prelude {
     pub use crate::config::ScreenConfig;
     pub use crate::monitor::{CollectSink, FrameSink, Monitor};
     pub use crate::reactive::{
-        AppliedDecision, Cusum, IpcFloor, MigrationDecision, MigrationMode, SchedulerPolicy,
+        AppliedDecision, Balanced, Cusum, IpcFloor, LeastLoaded, MigrationDecision, MigrationMode,
+        Population, SchedulerPolicy,
     };
     pub use crate::render::Frame;
     pub use crate::scenario::{Scenario, Session, SessionError, WorkloadEvent};

@@ -14,7 +14,7 @@
 //! Decisions are keyed to sim-time, so a reactive run is byte-identical at
 //! any worker-thread count.
 //!
-//! Two built-in policies cover the classic detector families:
+//! Three built-in policies cover the classic detector families:
 //!
 //! * [`IpcFloor`] — threshold detection on a monitored IPC series (the
 //!   simplest online change-point detector): when a watched job's IPC stays
@@ -24,14 +24,25 @@
 //!   reference IPC over a warmup window, then accumulates downward
 //!   deviations beyond a drift allowance and fires when the cumulative sum
 //!   crosses a decision threshold.
+//! * [`Population`] — a population-based change-point detector in the
+//!   spirit of Prates et al.: the warmup samples form a reference
+//!   *population* (mean and spread), and a change-point is declared once a
+//!   confirmation run of samples falls outside the population's tolerance
+//!   band.
 //!
 //! Either policy can issue its migrations in [`MigrationMode::Restart`]
 //! (the destination re-runs the job from instruction zero) or
 //! [`MigrationMode::Resume`] (the source checkpoints at kill time and the
 //! destination continues mid-program; see
 //! [`Kernel::checkpoint`](tiptop_kernel::kernel::Kernel::checkpoint)).
+//!
+//! Detectors answer *when* to migrate; **placement** answers *where to*.
+//! The built-in detectors name a fixed relief machine, while
+//! [`LeastLoaded`] tracks live per-machine load off the same merged stream
+//! and [`Balanced`] composes the two — any detector's eviction decisions,
+//! re-routed at fire time to the machine the fleet currently loads least.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 use tiptop_machine::time::{SimDuration, SimTime};
 
@@ -426,6 +437,269 @@ impl SchedulerPolicy for Cusum {
     }
 }
 
+/// Population-based change-point detection on a monitored IPC series
+/// (after Prates et al.): rather than a fixed floor or an accumulated sum,
+/// the detector builds a reference *population* from the first `warmup`
+/// watched samples — mean `μ` and population standard deviation `σ` — and
+/// declares a change-point when `confirm` consecutive samples fall below
+/// the tolerance band `μ − sigmas·σ`.
+///
+/// * **Calibration** — optionally [`Population::skip`] the cold-start ramp,
+///   then the next `warmup` samples form the population; nothing fires
+///   while calibrating. The band adapts to the job's own noise level: a
+///   jittery signal widens `σ` and keeps ordinary wobble inside the band.
+/// * **Confirmation run** — one outlier is not a change-point; a sample
+///   back inside the band resets the run. Only `confirm` consecutive
+///   out-of-population samples fire the eviction (the population analogue
+///   of [`IpcFloor`]'s cooldown).
+/// * Firing evicts co-runners exactly as the other detectors do (same
+///   default rule, same at-most-once dedupe) and resets the run, so a
+///   persisting shift must re-confirm before firing again.
+pub struct Population {
+    machine: String,
+    comm: String,
+    skip: usize,
+    warmup: usize,
+    sigmas: f64,
+    confirm: usize,
+    to: String,
+    mode: MigrationMode,
+    source: Option<String>,
+    evict: Option<EvictRule>,
+    samples: Vec<f64>,
+    run: usize,
+    moved: HashSet<String>,
+}
+
+impl Population {
+    /// Watch `comm` on `machine`; calibrate a population over `warmup`
+    /// samples, then fire after `confirm` consecutive samples below
+    /// `μ − sigmas·σ`, relieving onto `to`.
+    pub fn new(
+        machine: impl Into<String>,
+        comm: impl Into<String>,
+        warmup: usize,
+        sigmas: f64,
+        confirm: usize,
+        to: impl Into<String>,
+    ) -> Self {
+        assert!(
+            warmup > 0,
+            "population needs at least one calibration sample"
+        );
+        assert!(confirm > 0, "confirmation run must be at least one sample");
+        Population {
+            machine: machine.into(),
+            comm: comm.into(),
+            skip: 0,
+            warmup,
+            sigmas,
+            confirm,
+            to: to.into(),
+            mode: MigrationMode::Restart,
+            source: None,
+            evict: None,
+            samples: Vec::new(),
+            run: 0,
+            moved: HashSet::new(),
+        }
+    }
+
+    /// Restrict the watched frames to one monitor's.
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Ignore the first `n` watched samples entirely (cold-start ramp; see
+    /// [`Cusum::skip`]).
+    pub fn skip(mut self, n: usize) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Issue migrations in this mode (default [`MigrationMode::Restart`]).
+    pub fn mode(mut self, mode: MigrationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Install a custom eviction rule over the triggering frame's rows
+    /// (the watched victim itself is never evicted).
+    pub fn evicting(mut self, rule: impl FnMut(&Row) -> bool + 'static) -> Self {
+        self.evict = Some(Box::new(rule));
+        self
+    }
+
+    /// The calibrated `(μ, σ)` of the reference population, once `warmup`
+    /// samples are in (test/diagnostic introspection).
+    pub fn reference(&self) -> Option<(f64, f64)> {
+        (self.samples.len() >= self.warmup).then(|| {
+            let n = self.samples.len() as f64;
+            let mean = self.samples.iter().sum::<f64>() / n;
+            let var = self.samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+            (mean, var.sqrt())
+        })
+    }
+
+    /// Length of the current out-of-population confirmation run.
+    pub fn breach_run(&self) -> usize {
+        self.run
+    }
+}
+
+impl SchedulerPolicy for Population {
+    fn name(&self) -> &str {
+        "population"
+    }
+
+    fn observe(&mut self, cf: &ClusterFrame) -> Vec<MigrationDecision> {
+        if cf.machine != self.machine || self.source.as_ref().is_some_and(|s| *s != cf.source) {
+            return Vec::new();
+        }
+        let Some(victim) = cf.frame.row_for_comm(&self.comm) else {
+            return Vec::new();
+        };
+        let Some(ipc) = victim.value("IPC").filter(|v| v.is_finite()) else {
+            return Vec::new();
+        };
+        if self.skip > 0 {
+            self.skip -= 1;
+            return Vec::new();
+        }
+        if self.samples.len() < self.warmup {
+            self.samples.push(ipc);
+            return Vec::new();
+        }
+        let (mean, sd) = self.reference().expect("population is calibrated");
+        if ipc >= mean - self.sigmas * sd {
+            self.run = 0;
+            return Vec::new();
+        }
+        self.run += 1;
+        if self.run < self.confirm {
+            return Vec::new();
+        }
+        self.run = 0;
+        evict_corunners(
+            cf,
+            victim,
+            &self.machine,
+            &self.to,
+            self.mode,
+            &mut self.evict,
+            &mut self.moved,
+        )
+    }
+}
+
+/// Live fleet-load tracker and placement rule: remembers, per machine, the
+/// load reported by that machine's latest frame (the summed `%CPU` of its
+/// non-root rows) and picks the least-loaded machine as a migration
+/// destination. Ties break on the *machine index* — the declaration order
+/// of [`ClusterScenario::machine`](crate::cluster::ClusterScenario) — so
+/// the choice is stable across runs and worker-thread counts.
+#[derive(Default)]
+pub struct LeastLoaded {
+    source: Option<String>,
+    /// machine name → (declaration index, latest load).
+    loads: BTreeMap<String, (usize, f64)>,
+}
+
+impl LeastLoaded {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Only count frames of this monitor toward load (e.g. `"tiptop"` when
+    /// a `top` runs alongside it).
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Fold one frame of the merged stream into the per-machine loads.
+    pub fn observe(&mut self, cf: &ClusterFrame) {
+        if self.source.as_ref().is_some_and(|s| *s != cf.source) {
+            return;
+        }
+        let load: f64 = cf
+            .frame
+            .rows
+            .iter()
+            .filter(|r| r.user != "root")
+            .map(|r| r.cpu_pct)
+            .sum();
+        self.loads
+            .insert(cf.machine.to_string(), (cf.machine_index, load));
+    }
+
+    /// The latest observed load of `machine`, if any frame arrived yet.
+    pub fn load_of(&self, machine: &str) -> Option<f64> {
+        self.loads.get(machine).map(|(_, load)| *load)
+    }
+
+    /// The least-loaded machine other than `exclude` (typically the
+    /// migration source); `None` until some other machine has reported.
+    /// Ties break on the lowest machine index.
+    pub fn pick(&self, exclude: &str) -> Option<String> {
+        self.loads
+            .iter()
+            .filter(|(name, _)| name.as_str() != exclude)
+            .min_by(|(_, (ia, la)), (_, (ib, lb))| la.partial_cmp(lb).unwrap().then(ia.cmp(ib)))
+            .map(|(name, _)| name.clone())
+    }
+}
+
+/// Detector × placement composition: wraps any [`SchedulerPolicy`] and
+/// re-routes each decision's destination to the machine [`LeastLoaded`]
+/// currently ranks lowest, instead of the detector's fixed relief machine.
+/// The inner detector still decides *when* and *what* to evict; the
+/// placement rule decides *where to*, from fleet state as of the deciding
+/// frame.
+pub struct Balanced {
+    inner: Box<dyn SchedulerPolicy>,
+    placement: LeastLoaded,
+    name: String,
+}
+
+impl Balanced {
+    pub fn new(inner: impl SchedulerPolicy + 'static) -> Self {
+        let name = format!("{}+least-loaded", inner.name());
+        Balanced {
+            inner: Box::new(inner),
+            placement: LeastLoaded::new(),
+            name,
+        }
+    }
+
+    /// Only count frames of this monitor toward load (the inner detector
+    /// keeps its own source filter).
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.placement = self.placement.source(source);
+        self
+    }
+}
+
+impl SchedulerPolicy for Balanced {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn observe(&mut self, cf: &ClusterFrame) -> Vec<MigrationDecision> {
+        // Fold the frame into the load picture first, so a decision fired
+        // on this very frame already sees it.
+        self.placement.observe(cf);
+        let mut decisions = self.inner.observe(cf);
+        for d in &mut decisions {
+            if let Some(to) = self.placement.pick(&d.from) {
+                d.to = to;
+            }
+        }
+        decisions
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -633,5 +907,181 @@ mod tests {
         wrong_source.source = "top".into();
         assert!(p.observe(&wrong_source).is_empty());
         assert_eq!(p.statistic(), 0.0, "ignored frames never calibrate");
+    }
+
+    #[test]
+    fn population_calibrates_mu_sigma_then_fires_at_the_confirmed_step() {
+        // Warmup population 1.38/1.42/1.38/1.42: μ = 1.40, σ = 0.02. With
+        // sigmas = 3 the tolerance band floors at 1.34.
+        let mut p = Population::new("node", "victim", 4, 3.0, 2, "spare");
+        assert_eq!(p.reference(), None, "not calibrated before warmup");
+        for (t, ipc) in [(1, 1.38), (2, 1.42), (3, 1.38), (4, 1.42)] {
+            assert!(p
+                .observe(&frame_at(t, vec![("victim", "u1", ipc)]))
+                .is_empty());
+        }
+        let (mean, sd) = p.reference().expect("calibrated after 4 samples");
+        assert!((mean - 1.40).abs() < 1e-12, "μ = {mean}");
+        assert!((sd - 0.02).abs() < 1e-12, "σ = {sd}");
+        // In-band wobble (1.36 > 1.34) never starts a run.
+        assert!(p
+            .observe(&frame_at(5, vec![("victim", "u1", 1.36)]))
+            .is_empty());
+        assert_eq!(p.breach_run(), 0);
+        // A step to 1.0 is out of population; confirm = 2 means the second
+        // consecutive out-of-band sample — t=7, the change-point instant —
+        // fires, not the first.
+        assert!(p
+            .observe(&frame_at(
+                6,
+                vec![("victim", "u1", 1.0), ("batch", "u2", 1.2)]
+            ))
+            .is_empty());
+        assert_eq!(p.breach_run(), 1);
+        let fired = p.observe(&frame_at(
+            7,
+            vec![("victim", "u1", 1.0), ("batch", "u2", 1.2)],
+        ));
+        assert_eq!(
+            fired,
+            vec![MigrationDecision {
+                tag: "batch".to_string(),
+                from: "node".to_string(),
+                to: "spare".to_string(),
+                mode: MigrationMode::Restart,
+            }]
+        );
+        assert_eq!(p.breach_run(), 0, "firing resets the confirmation run");
+    }
+
+    #[test]
+    fn population_recovery_resets_the_confirmation_run() {
+        let mut p = Population::new("node", "victim", 2, 2.0, 2, "spare").skip(1);
+        // Skip the ramp sample, calibrate on 1.4/1.4 (σ = 0): any sample
+        // below μ is out of population.
+        for (t, ipc) in [(1, 0.7), (2, 1.4), (3, 1.4)] {
+            assert!(p
+                .observe(&frame_at(t, vec![("victim", "u1", ipc)]))
+                .is_empty());
+        }
+        // Outlier, recovery, outlier: the run never reaches confirm = 2.
+        for (t, ipc) in [(4, 1.0), (5, 1.4), (6, 1.0)] {
+            assert!(p
+                .observe(&frame_at(
+                    t,
+                    vec![("victim", "u1", ipc), ("batch", "u2", 1.2)]
+                ))
+                .is_empty());
+        }
+        assert_eq!(p.breach_run(), 1);
+        // The second consecutive outlier confirms the change-point.
+        let fired = p.observe(&frame_at(
+            7,
+            vec![("victim", "u1", 1.0), ("batch", "u2", 1.2)],
+        ));
+        assert_eq!(fired.len(), 1);
+    }
+
+    /// A frame labelled as coming from `machine` (declaration index `idx`);
+    /// rows are `(comm, user, ipc)` like [`frame_at`]'s, plus a `%CPU`.
+    fn fleet_frame(
+        machine: &str,
+        idx: usize,
+        t: u64,
+        rows: Vec<(&str, &str, f64, f64)>,
+    ) -> ClusterFrame {
+        let cpus: Vec<f64> = rows.iter().map(|(_, _, _, cpu)| *cpu).collect();
+        let mut cf = frame_at(
+            t,
+            rows.into_iter()
+                .map(|(comm, user, ipc, _)| (comm, user, ipc))
+                .collect(),
+        );
+        for (row, cpu) in cf.frame.rows.iter_mut().zip(cpus) {
+            row.cpu_pct = cpu;
+        }
+        cf.machine = machine.into();
+        cf.machine_index = idx;
+        cf
+    }
+
+    #[test]
+    fn least_loaded_picks_live_minimum_and_ties_break_on_machine_index() {
+        let mut ll = LeastLoaded::new();
+        assert_eq!(ll.pick("node-a"), None, "nothing observed yet");
+        ll.observe(&fleet_frame(
+            "node-a",
+            0,
+            1,
+            vec![("job1", "u1", 1.2, 180.0), ("sys", "root", 1.0, 40.0)],
+        ));
+        ll.observe(&fleet_frame(
+            "node-b",
+            1,
+            1,
+            vec![("job2", "u2", 1.2, 90.0)],
+        ));
+        ll.observe(&fleet_frame(
+            "node-c",
+            2,
+            1,
+            vec![("job3", "u3", 1.2, 90.0)],
+        ));
+        // Root rows don't count toward load.
+        assert_eq!(ll.load_of("node-a"), Some(180.0));
+        // b and c tie at 90: the lower machine index wins, stably.
+        assert_eq!(ll.pick("node-a"), Some("node-b".to_string()));
+        // The source machine is excluded even when it is the minimum.
+        assert_eq!(ll.pick("node-b"), Some("node-c".to_string()));
+        // Loads are live: a newer frame replaces a machine's standing.
+        ll.observe(&fleet_frame(
+            "node-c",
+            2,
+            2,
+            vec![("job3", "u3", 1.2, 10.0)],
+        ));
+        assert_eq!(ll.pick("node-a"), Some("node-c".to_string()));
+    }
+
+    #[test]
+    fn balanced_reroutes_decisions_to_the_least_loaded_machine() {
+        // IpcFloor aims at a fixed "spare", but the wrapper re-routes to
+        // whatever machine the fleet currently loads least.
+        let mut p = Balanced::new(IpcFloor::new(
+            "node",
+            "victim",
+            1.0,
+            SimDuration::ZERO,
+            "spare",
+        ));
+        assert_eq!(p.name(), "ipc-floor+least-loaded");
+        p.observe(&fleet_frame(
+            "spare",
+            1,
+            1,
+            vec![("busy", "u3", 1.2, 150.0)],
+        ));
+        p.observe(&fleet_frame("idle", 2, 1, vec![]));
+        // Arm, then breach.
+        assert!(p
+            .observe(&fleet_frame(
+                "node",
+                0,
+                1,
+                vec![("victim", "u1", 1.4, 100.0)]
+            ))
+            .is_empty());
+        let fired = p.observe(&fleet_frame(
+            "node",
+            0,
+            2,
+            vec![("victim", "u1", 0.5, 100.0), ("batch", "u2", 1.2, 100.0)],
+        ));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(
+            fired[0].to, "idle",
+            "destination comes from live load, not the detector's fixed relief"
+        );
+        assert_eq!(fired[0].tag, "batch");
     }
 }

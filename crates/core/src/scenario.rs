@@ -38,11 +38,12 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use tiptop_kernel::errno::Errno;
 use tiptop_kernel::kernel::{Checkpoint, Kernel, KernelConfig};
-use tiptop_kernel::sched::CpuSet;
+use tiptop_kernel::sched::{CpuSet, SchedulerSelect};
 use tiptop_kernel::task::Uid;
 use tiptop_kernel::task::{Pid, SpawnSpec};
 use tiptop_machine::config::MachineConfig;
 use tiptop_machine::time::{SimDuration, SimTime};
+use tiptop_machine::topology::PuId;
 
 use crate::monitor::{CollectSink, FrameSink, Monitor};
 use crate::render::Frame;
@@ -259,6 +260,7 @@ pub struct Scenario {
     machine: Arc<MachineConfig>,
     seed: u64,
     epoch: Option<SimDuration>,
+    scheduler: Option<SchedulerSelect>,
     users: Vec<(Uid, String)>,
     events: Vec<(SimTime, WorkloadEvent)>,
 }
@@ -272,14 +274,19 @@ impl Scenario {
             machine: machine.into(),
             seed: 0,
             epoch: None,
+            scheduler: None,
             users: Vec::new(),
             events: Vec::new(),
         }
     }
 
-    /// Adopt an existing [`KernelConfig`] (machine + epoch + seed).
+    /// Adopt an existing [`KernelConfig`] (machine + epoch + seed +
+    /// scheduler).
     pub fn from_kernel_config(cfg: KernelConfig) -> Self {
-        Scenario::new(cfg.machine).epoch(cfg.epoch).seed(cfg.seed)
+        Scenario::new(cfg.machine)
+            .epoch(cfg.epoch)
+            .seed(cfg.seed)
+            .scheduler(cfg.scheduler)
     }
 
     /// Deterministic seed for the machine and the task address streams.
@@ -292,6 +299,20 @@ impl Scenario {
     pub fn epoch(mut self, epoch: SimDuration) -> Self {
         self.epoch = Some(epoch);
         self
+    }
+
+    /// Pick the in-kernel epoch planner (defaults to the CFS-like policy).
+    pub fn scheduler(mut self, scheduler: SchedulerSelect) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Cluster-layer default: adopt `scheduler` unless this machine already
+    /// chose its own planner.
+    pub(crate) fn default_scheduler(&mut self, scheduler: &SchedulerSelect) {
+        if self.scheduler.is_none() {
+            self.scheduler = Some(scheduler.clone());
+        }
     }
 
     /// Register a user name for a uid (like `/etc/passwd`).
@@ -479,9 +500,35 @@ impl Scenario {
             }
         }
 
+        // Affinity masks are validated here, not at apply time: a pin (or a
+        // spawn affinity) that no PU of this machine satisfies would
+        // otherwise surface as a mid-run sched_setaffinity EINVAL — a
+        // scripting mistake, so reject it before the kernel boots. (The
+        // `CpuSet` constructors still assert internally; scripts that build
+        // masks from untrusted input use `CpuSet::try_of`/`try_single`.)
+        let num_pus = self.machine.topology.num_pus();
+        for (at, ev) in &self.events {
+            let (tag, cpus, what) = match ev {
+                WorkloadEvent::Pin { tag, cpus } => (tag, cpus, "pin"),
+                WorkloadEvent::Spawn { tag, spec } | WorkloadEvent::ResumeSpawn { tag, spec } => {
+                    (tag, &spec.affinity, "spawn affinity")
+                }
+                _ => continue,
+            };
+            if !(0..num_pus).any(|pu| cpus.allows(PuId(pu))) {
+                return Err(SessionError::InvalidScenario(format!(
+                    "{what} for '{tag}' at {at:?} allows none of the machine's \
+                     {num_pus} PUs"
+                )));
+            }
+        }
+
         let mut cfg = KernelConfig::new(self.machine).seed(self.seed);
         if let Some(epoch) = self.epoch {
             cfg = cfg.epoch(epoch);
+        }
+        if let Some(scheduler) = self.scheduler {
+            cfg = cfg.scheduler(scheduler);
         }
         let mut kernel = Kernel::new(cfg);
         for (uid, name) in self.users {

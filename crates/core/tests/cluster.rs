@@ -1789,3 +1789,83 @@ fn handover_dedupe_entries_are_pruned_as_the_stream_advances() {
     sink.on_frame(frame_at(100));
     assert_eq!(sink.pending_dedupe_instants(), 0, "map drains completely");
 }
+
+/// Satellite goldens for the pluggable in-kernel scheduler: the default
+/// selection reproduces the explicit CFS-like stream byte-for-byte (the
+/// pre-refactor behaviour), and each alternative planner is deterministic
+/// at any worker-thread count.
+#[test]
+fn scheduler_selection_default_matches_cfs_and_alternatives_are_deterministic() {
+    use tiptop_kernel::sched::SchedulerSelect;
+
+    // Two nodes, one of them oversubscribed (ten runnables on eight PUs)
+    // so the planners genuinely disagree about who runs each epoch.
+    let run_with = |scheduler: Option<SchedulerSelect>, threads: usize| {
+        let mut busy = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(11)
+            .user(Uid(1), "u1");
+        for i in 0..10u64 {
+            busy = busy.spawn(
+                format!("spin-{i}"),
+                SpawnSpec::new(format!("spin-{i}"), Uid(1), spin(0.8 + 0.03 * i as f64))
+                    .seed(100 + i),
+            );
+        }
+        let calm = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(12)
+            .user(Uid(1), "u1")
+            .spawn("spin", SpawnSpec::new("spin", Uid(1), spin(0.9)).seed(12));
+        let mut cluster = ClusterScenario::new()
+            .machine("busy", busy)
+            .machine("calm", calm);
+        if let Some(scheduler) = scheduler {
+            cluster = cluster.scheduler(scheduler);
+        }
+        let mut session = cluster.build().unwrap();
+        let frames = session
+            .run_collect(threads, 4, |_m: MachineRef<'_>| tool(1))
+            .unwrap();
+        rendered(&frames)
+    };
+
+    // Byte-identity golden: leaving the knob alone is exactly CFS-like —
+    // the pre-refactor stream — at 1, 2 and 8 workers.
+    let default_stream = run_with(None, 1);
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            default_stream,
+            run_with(None, threads),
+            "default scheduler: {threads} workers must not change one byte"
+        );
+        assert_eq!(
+            default_stream,
+            run_with(Some(SchedulerSelect::cfs_like()), threads),
+            "explicit cfs_like at {threads} workers must reproduce the default stream"
+        );
+    }
+
+    // Each alternative planner: deterministic across worker-thread counts.
+    let fifo = run_with(Some(SchedulerSelect::fifo()), 1);
+    let round_robin = run_with(Some(SchedulerSelect::round_robin()), 1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            fifo,
+            run_with(Some(SchedulerSelect::fifo()), threads),
+            "fifo: {threads} workers must not change one byte"
+        );
+        assert_eq!(
+            round_robin,
+            run_with(Some(SchedulerSelect::round_robin()), threads),
+            "round-robin: {threads} workers must not change one byte"
+        );
+    }
+
+    // And the knob is real: under oversubscription the three planners
+    // produce three different streams.
+    assert_ne!(default_stream, fifo, "fifo must differ from cfs");
+    assert_ne!(
+        default_stream, round_robin,
+        "round-robin must differ from cfs"
+    );
+    assert_ne!(fifo, round_robin, "fifo must differ from round-robin");
+}

@@ -336,23 +336,35 @@ fn timed_pin_takes_effect_at_the_scheduled_instant() {
         "losing the SMT sibling must raise IPC: {shared} -> {alone}"
     );
 
-    // Pinning to a PU the machine does not have is a typed syscall error.
-    let mut session = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+    // Pinning to a PU the machine does not have is a typed scenario error,
+    // caught at build time rather than as a mid-run sched_setaffinity
+    // EINVAL. (CpuSet::single(PuId(63)) itself is a legal 64-PU mask — the
+    // mismatch is against *this machine's* 8 PUs.)
+    let err = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
         .user(Uid(1), "user1")
         .spawn("a", SpawnSpec::new("a", Uid(1), spin("a")))
         .pin_at(SimTime::from_secs(1), "a", CpuSet::single(PuId(63)))
         .build()
-        .unwrap();
-    let err = session.advance_to(SimTime::from_secs(2)).unwrap_err();
+        .unwrap_err();
     assert!(
-        matches!(
-            err,
-            SessionError::Syscall {
-                call: "sched_setaffinity",
-                errno: Errno::EINVAL,
-                ..
-            }
-        ),
+        matches!(&err, SessionError::InvalidScenario(msg) if msg.contains("pin for 'a'")),
+        "got {err:?}"
+    );
+
+    // Same for a spawn affinity off the machine; masks beyond the 64-PU
+    // limit never panic when built through the fallible constructors.
+    assert!(CpuSet::try_single(PuId(64)).is_none());
+    let off_machine = CpuSet::try_of(&[PuId(32), PuId(63)]).unwrap();
+    let err = Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+        .user(Uid(1), "user1")
+        .spawn(
+            "a",
+            SpawnSpec::new("a", Uid(1), spin("a")).affinity(off_machine),
+        )
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(&err, SessionError::InvalidScenario(msg) if msg.contains("spawn affinity")),
         "got {err:?}"
     );
 }

@@ -20,7 +20,7 @@ use tiptop_machine::topology::PuId;
 
 use crate::kernel::ExitRecord;
 use crate::program::NextWork;
-use crate::sched::{plan_epoch, weight_for_nice, SchedEntity};
+use crate::sched::{weight_for_nice, CfsLike, SchedCtx, SchedEntity, Scheduler};
 use crate::task::{Pid, Task, TaskState};
 
 /// What one task was charged for one epoch: how long it ran and what the
@@ -40,17 +40,34 @@ pub struct EpochEngine {
     epoch: SimDuration,
     now: SimTime,
     epoch_index: u64,
+    scheduler: Box<dyn Scheduler>,
 }
 
 impl EpochEngine {
+    /// Engine with the default CFS-like planner.
     pub fn new(machine: Machine, epoch: SimDuration) -> Self {
+        Self::with_scheduler(machine, epoch, Box::new(CfsLike))
+    }
+
+    /// Engine planning epochs with `scheduler` (see `KernelConfig`).
+    pub fn with_scheduler(
+        machine: Machine,
+        epoch: SimDuration,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Self {
         assert!(!epoch.is_zero(), "epoch must be positive");
         EpochEngine {
             machine,
             epoch,
             now: SimTime::ZERO,
             epoch_index: 0,
+            scheduler,
         }
+    }
+
+    /// Name of the active epoch planner.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
     }
 
     pub fn now(&self) -> SimTime {
@@ -115,7 +132,11 @@ impl EpochEngine {
                 last_pu: t.last_pu,
             })
             .collect();
-        let plan = plan_epoch(self.machine.topology(), &entities);
+        let plan = self.scheduler.plan(&SchedCtx {
+            topo: self.machine.topology(),
+            runnable: &entities,
+            epoch_index: self.epoch_index,
+        });
 
         // Per-task epoch bookkeeping. `remaining` tracks unspent cycle
         // budget (used = budget - remaining); `blocked` marks tasks that

@@ -25,7 +25,7 @@ use crate::perf::{
 };
 use crate::procfs::ProcStat;
 use crate::program::{Program, ProgramCursor};
-use crate::sched::CpuSet;
+use crate::sched::{CpuSet, SchedulerSelect};
 use crate::task::{Pid, SpawnSpec, Task, TaskState, Uid};
 
 /// Kernel construction parameters.
@@ -39,6 +39,9 @@ pub struct KernelConfig {
     /// cheap while timesharing still averages out within one refresh.
     pub epoch: SimDuration,
     pub seed: u64,
+    /// Which epoch planner the kernel boots with. Defaults to the paper's
+    /// CFS-like policy; swapping it is a config change, never a kernel edit.
+    pub scheduler: SchedulerSelect,
 }
 
 impl KernelConfig {
@@ -47,6 +50,7 @@ impl KernelConfig {
             machine: machine.into(),
             epoch: SimDuration::from_millis(20),
             seed: 0,
+            scheduler: SchedulerSelect::default(),
         }
     }
 
@@ -58,6 +62,11 @@ impl KernelConfig {
 
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
+        self
+    }
+
+    pub fn scheduler(mut self, s: SchedulerSelect) -> Self {
+        self.scheduler = s;
         self
     }
 }
@@ -123,7 +132,7 @@ pub struct Kernel {
 impl Kernel {
     pub fn new(cfg: KernelConfig) -> Self {
         let machine = Machine::new(Arc::clone(&cfg.machine), cfg.seed);
-        let engine = EpochEngine::new(machine, cfg.epoch);
+        let engine = EpochEngine::with_scheduler(machine, cfg.epoch, cfg.scheduler.make());
         let mut users = BTreeMap::new();
         users.insert(Uid::ROOT, "root".to_string());
         Kernel {

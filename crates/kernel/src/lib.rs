@@ -56,7 +56,10 @@ pub use kernel::{Checkpoint, ExitRecord, Kernel, KernelConfig};
 pub use perf::{EventSel, GenericEvent, PerfEventAttr, PerfFd, PerfValue};
 pub use procfs::ProcStat;
 pub use program::{Continuation, NextWork, Phase, Program, ProgramCursor};
-pub use sched::{plan_epoch, weight_for_nice, CpuSet, EpochPlan, SchedEntity};
+pub use sched::{
+    place_in_order, plan_epoch, weight_for_nice, CfsLike, CpuSet, EpochPlan, Fifo, RoundRobin,
+    SchedCtx, SchedEntity, Scheduler, SchedulerSelect,
+};
 pub use task::{Pid, SpawnSpec, Task, TaskState, Uid};
 pub use world::World;
 
@@ -67,7 +70,7 @@ pub mod prelude {
     pub use crate::perf::{EventSel, GenericEvent, PerfEventAttr, PerfFd, PerfValue};
     pub use crate::procfs::ProcStat;
     pub use crate::program::{Phase, Program};
-    pub use crate::sched::CpuSet;
+    pub use crate::sched::{CpuSet, Scheduler, SchedulerSelect};
     pub use crate::task::{Pid, SpawnSpec, TaskState, Uid};
     pub use crate::world::World;
     pub use tiptop_machine::time::{SimDuration, SimTime};

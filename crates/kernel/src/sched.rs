@@ -13,6 +13,15 @@
 //! busy — and the mostly-idle tiptop process itself lands "on the least
 //! loaded core", §2.5), then (3) any free PU. `taskset`-style affinity masks
 //! restrict all choices.
+//!
+//! The pick *order* is pluggable: a [`Scheduler`] turns a [`SchedCtx`] (the
+//! topology plus every runnable entity) into an [`EpochPlan`] once per
+//! epoch. [`CfsLike`] is the default and what every paper figure runs on;
+//! [`Fifo`] and [`RoundRobin`] are alternative planners, and custom ones
+//! plug in through [`SchedulerSelect::custom`] without touching the kernel.
+
+use std::fmt;
+use std::sync::Arc;
 
 use tiptop_machine::topology::{PuId, Topology};
 
@@ -44,6 +53,26 @@ impl CpuSet {
         }
         assert!(m != 0, "empty CpuSet");
         CpuSet(m)
+    }
+
+    /// Fallible [`CpuSet::single`]: `None` when `pu` is beyond the 64-PU
+    /// mask. User-facing builders (`Scenario::pin_at`, spawn affinities)
+    /// route through this so a bad mask surfaces as a typed scenario error
+    /// instead of a panic.
+    pub fn try_single(pu: PuId) -> Option<CpuSet> {
+        (pu.0 < 64).then(|| CpuSet(1 << pu.0))
+    }
+
+    /// Fallible [`CpuSet::of`]: `None` for an empty set or any PU ≥ 64.
+    pub fn try_of(pus: &[PuId]) -> Option<CpuSet> {
+        let mut m = 0u64;
+        for pu in pus {
+            if pu.0 >= 64 {
+                return None;
+            }
+            m |= 1 << pu.0;
+        }
+        (m != 0).then_some(CpuSet(m))
     }
 
     pub fn allows(&self, pu: PuId) -> bool {
@@ -94,11 +123,9 @@ impl EpochPlan {
 /// Plan one epoch: assign the lowest-vruntime runnable tasks to PUs.
 ///
 /// Deterministic: ties break on pid, placement preferences are fixed-order.
+/// This is the [`CfsLike`] policy as a free function, kept for callers that
+/// predate the [`Scheduler`] trait.
 pub fn plan_epoch(topo: &Topology, runnable: &[SchedEntity]) -> EpochPlan {
-    let num_pus = topo.num_pus();
-    let mut assignment: Vec<Option<Pid>> = vec![None; num_pus];
-    let mut core_busy = vec![0u32; topo.num_cores()];
-
     // Lowest vruntime first; ties on pid for determinism.
     let mut order: Vec<&SchedEntity> = runnable.iter().collect();
     order.sort_by(|a, b| {
@@ -107,15 +134,24 @@ pub fn plan_epoch(topo: &Topology, runnable: &[SchedEntity]) -> EpochPlan {
             .unwrap()
             .then_with(|| a.pid.cmp(&b.pid))
     });
+    place_in_order(topo, &order)
+}
 
+/// The greedy placement pass shared by every planner: walk `order` (highest
+/// priority first) and give each entity its preferred free PU — warm, then
+/// fully idle core, then warm-but-shared, then any allowed. Entities left
+/// over when PUs run out simply don't run this epoch.
+pub fn place_in_order(topo: &Topology, order: &[&SchedEntity]) -> EpochPlan {
+    let mut assignment: Vec<Option<Pid>> = vec![None; topo.num_pus()];
+    let mut core_busy = vec![0u32; topo.num_cores()];
     for ent in order {
         let chosen = choose_pu(topo, &assignment, &core_busy, ent);
         if let Some(pu) = chosen {
             assignment[pu.0] = Some(ent.pid);
             core_busy[topo.core_of(pu).0] += 1;
         }
-        // else: no allowed PU free this epoch; the task keeps its low
-        // vruntime and wins next epoch — round-robin timesharing.
+        // else: no allowed PU free this epoch; under CfsLike the task keeps
+        // its low vruntime and wins next epoch — timesharing.
     }
     EpochPlan { assignment }
 }
@@ -149,6 +185,150 @@ fn choose_pu(
     }
     // 4. Any free allowed PU (SMT sibling of a busy core).
     topo.pus().find(|&pu| free_allowed(pu))
+}
+
+/// What a [`Scheduler`] sees when planning one epoch: the machine topology
+/// plus every runnable entity (vruntime, weight, affinity mask, last-ran
+/// PU) and the index of the epoch being planned.
+#[derive(Debug)]
+pub struct SchedCtx<'a> {
+    pub topo: &'a Topology,
+    pub runnable: &'a [SchedEntity],
+    /// 0-based epoch count since the engine booted; lets a planner rotate
+    /// or age without carrying its own clock.
+    pub epoch_index: u64,
+}
+
+/// An in-kernel epoch planner. Once per epoch the engine hands the planner
+/// a [`SchedCtx`] and applies whatever [`EpochPlan`] comes back; everything
+/// else (perf counting, memory, migration) is policy-agnostic.
+///
+/// Implementations must be deterministic functions of the contexts seen so
+/// far — the cluster layer replays machines on arbitrary worker threads and
+/// expects byte-identical streams. `Send + Sync` because kernels are
+/// sharded across cluster workers and shared behind `World`'s lock.
+pub trait Scheduler: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// Plan one epoch.
+    fn plan(&mut self, ctx: &SchedCtx<'_>) -> EpochPlan;
+}
+
+/// The default planner — the paper's CFS-like policy: lowest vruntime wins,
+/// ties on pid, warmth-aware placement. Byte-identical to the historical
+/// free-function scheduler ([`plan_epoch`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CfsLike;
+
+impl Scheduler for CfsLike {
+    fn name(&self) -> &'static str {
+        "cfs-like"
+    }
+
+    fn plan(&mut self, ctx: &SchedCtx<'_>) -> EpochPlan {
+        plan_epoch(ctx.topo, ctx.runnable)
+    }
+}
+
+/// First-come-first-served: earliest-spawned (lowest-pid) runnable tasks
+/// win every epoch, vruntime ignored. Under oversubscription late arrivals
+/// starve until a winner exits — the contrast policy for fairness studies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn plan(&mut self, ctx: &SchedCtx<'_>) -> EpochPlan {
+        let mut order: Vec<&SchedEntity> = ctx.runnable.iter().collect();
+        order.sort_by_key(|e| e.pid);
+        place_in_order(ctx.topo, &order)
+    }
+}
+
+/// Fixed-quantum round-robin: pid order rotated one slot per epoch, so
+/// under oversubscription every task runs in turn regardless of how much it
+/// has consumed. Stateless — the rotation derives from
+/// [`SchedCtx::epoch_index`], keeping replays and checkpoints trivial.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobin;
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn plan(&mut self, ctx: &SchedCtx<'_>) -> EpochPlan {
+        let mut order: Vec<&SchedEntity> = ctx.runnable.iter().collect();
+        order.sort_by_key(|e| e.pid);
+        if !order.is_empty() {
+            let k = (ctx.epoch_index % order.len() as u64) as usize;
+            order.rotate_left(k);
+        }
+        place_in_order(ctx.topo, &order)
+    }
+}
+
+/// A cloneable, `Debug`-gable scheduler choice: a named factory, so
+/// `KernelConfig` (and `Scenario` above it) stays `Clone + Debug` while the
+/// planner itself may hold mutable state. Third-party planners register
+/// through [`SchedulerSelect::custom`] — swapping the in-kernel scheduler
+/// never requires editing the kernel.
+#[derive(Clone)]
+pub struct SchedulerSelect {
+    name: &'static str,
+    make: Arc<dyn Fn() -> Box<dyn Scheduler> + Send + Sync>,
+}
+
+impl SchedulerSelect {
+    /// The default CFS-like planner.
+    pub fn cfs_like() -> SchedulerSelect {
+        SchedulerSelect::custom("cfs-like", || Box::new(CfsLike))
+    }
+
+    /// First-come-first-served planner.
+    pub fn fifo() -> SchedulerSelect {
+        SchedulerSelect::custom("fifo", || Box::new(Fifo))
+    }
+
+    /// Rotating fixed-quantum planner.
+    pub fn round_robin() -> SchedulerSelect {
+        SchedulerSelect::custom("round-robin", || Box::new(RoundRobin))
+    }
+
+    /// Any user planner; `make` is called once per kernel boot.
+    pub fn custom(
+        name: &'static str,
+        make: impl Fn() -> Box<dyn Scheduler> + Send + Sync + 'static,
+    ) -> SchedulerSelect {
+        SchedulerSelect {
+            name,
+            make: Arc::new(make),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Instantiate the planner.
+    pub fn make(&self) -> Box<dyn Scheduler> {
+        (self.make)()
+    }
+}
+
+impl Default for SchedulerSelect {
+    fn default() -> SchedulerSelect {
+        SchedulerSelect::cfs_like()
+    }
+}
+
+impl fmt::Debug for SchedulerSelect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SchedulerSelect({:?})", self.name)
+    }
 }
 
 #[cfg(test)]
@@ -274,5 +454,81 @@ mod tests {
         rev.reverse();
         let p2 = plan_epoch(&t, &rev);
         assert_eq!(p1, p2, "plan must not depend on input order");
+    }
+
+    #[test]
+    fn try_constructors_reject_what_asserts_reject() {
+        assert!(CpuSet::try_single(PuId(63)).is_some());
+        assert!(CpuSet::try_single(PuId(64)).is_none());
+        assert!(CpuSet::try_of(&[]).is_none());
+        assert!(CpuSet::try_of(&[PuId(0), PuId(64)]).is_none());
+        assert_eq!(
+            CpuSet::try_of(&[PuId(0), PuId(4)]),
+            Some(CpuSet::of(&[PuId(0), PuId(4)]))
+        );
+    }
+
+    #[test]
+    fn cfs_like_matches_free_function() {
+        let t = topo();
+        let runnable: Vec<_> = (0..10).map(|i| ent(i, (10 - i) as f64)).collect();
+        let ctx = SchedCtx {
+            topo: &t,
+            runnable: &runnable,
+            epoch_index: 3,
+        };
+        assert_eq!(CfsLike.plan(&ctx), plan_epoch(&t, &runnable));
+    }
+
+    #[test]
+    fn fifo_ignores_vruntime_under_oversubscription() {
+        let t = topo();
+        // pids 0..9; give the oldest pids the *worst* vruntimes so CfsLike
+        // and Fifo disagree about who sits out.
+        let runnable: Vec<_> = (0..10).map(|i| ent(i, -(i as f64))).collect();
+        let ctx = SchedCtx {
+            topo: &t,
+            runnable: &runnable,
+            epoch_index: 0,
+        };
+        let plan = Fifo.plan(&ctx);
+        let scheduled: Vec<u32> = plan.running_pairs().map(|(_, p)| p.0).collect();
+        assert!(
+            !scheduled.contains(&8) && !scheduled.contains(&9),
+            "fifo must run the 8 earliest pids, got {scheduled:?}"
+        );
+        assert_eq!(plan.num_running(), 8);
+    }
+
+    #[test]
+    fn round_robin_rotates_the_loser_each_epoch() {
+        // 1 core, 1 PU, three runnable tasks: each epoch a different task
+        // must win the single slot, in pid rotation.
+        let t = Topology::new(1, 1, 1, 4096);
+        let runnable: Vec<_> = (0..3).map(|i| ent(i, 0.0)).collect();
+        let winners: Vec<u32> = (0..6)
+            .map(|epoch| {
+                let ctx = SchedCtx {
+                    topo: &t,
+                    runnable: &runnable,
+                    epoch_index: epoch,
+                };
+                RoundRobin.plan(&ctx).assignment[0].unwrap().0
+            })
+            .collect();
+        assert_eq!(winners, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn scheduler_select_is_clone_debug_and_makes_named_planners() {
+        let sel = SchedulerSelect::default();
+        assert_eq!(sel.name(), "cfs-like");
+        assert_eq!(format!("{sel:?}"), "SchedulerSelect(\"cfs-like\")");
+        let copy = sel.clone();
+        assert_eq!(copy.make().name(), "cfs-like");
+        assert_eq!(SchedulerSelect::fifo().make().name(), "fifo");
+        assert_eq!(SchedulerSelect::round_robin().make().name(), "round-robin");
+        let custom = SchedulerSelect::custom("mine", || Box::new(Fifo));
+        assert_eq!(custom.name(), "mine");
     }
 }

@@ -7,7 +7,7 @@
 //! | crate | role |
 //! |-------|------|
 //! | [`machine`](tiptop_machine) | multicore CPU simulator: Nehalem/Core/PPC970 models, SMT topology, set-associative L1/L2/shared-L3 caches, per-hw-thread PMU events |
-//! | [`kernel`](tiptop_kernel) | OS layer: tasks, CFS-like scheduler with affinity, `/proc`, `perf_event_open`-style syscalls with multiplexing |
+//! | [`kernel`](tiptop_kernel) | OS layer: tasks, a pluggable `Scheduler` trait (CFS-like default, FIFO, round-robin) with affinity, `/proc`, `perf_event_open`-style syscalls with multiplexing |
 //! | [`workloads`](tiptop_workloads) | SPEC CPU2006 stand-ins, the §3.1 diverging R program, micro-benchmarks, data-center job scripts |
 //! | [`core`](tiptop_core) | **tiptop itself**: collector, metric DSL, screens, live/batch rendering, baselines (`top`, Pin-style `inscount`), the `Scenario`/`Monitor` session API, and the multi-machine `ClusterScenario`/`ClusterSession` layer |
 //!
@@ -30,8 +30,13 @@
 //! memory on long runs by folding the stream into tumbling-window
 //! aggregates (migration handovers deduped on request). The loop closes
 //! with [`run_reactive`](tiptop_core::cluster::ClusterSession::run_reactive):
-//! [`SchedulerPolicy`](tiptop_core::reactive::SchedulerPolicy)s — e.g. the
-//! [`IpcFloor`](tiptop_core::reactive::IpcFloor) threshold detector —
+//! [`SchedulerPolicy`](tiptop_core::reactive::SchedulerPolicy)s — the
+//! [`IpcFloor`](tiptop_core::reactive::IpcFloor) threshold detector, the
+//! [`Cusum`](tiptop_core::reactive::Cusum) and
+//! [`Population`](tiptop_core::reactive::Population) change-point
+//! detectors, optionally composed with live
+//! [`LeastLoaded`](tiptop_core::reactive::LeastLoaded) placement via
+//! [`Balanced`](tiptop_core::reactive::Balanced) —
 //! watch the merged stream *during* the run and issue live migrations,
 //! applied deterministically at the next scheduler-epoch boundary.
 //!
