@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use tiptop_bench::experiments::{
     fig01_snapshot, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions, fig09_compilers,
-    fig10_datacenter, fig11_interference, fleet, grid, policy_lab, reactive, scaling,
+    fig10_datacenter, fig11_interference, fleet, grid, pipelines, policy_lab, reactive, scaling,
     table1_fp_micro, tournament, validation,
 };
 
@@ -39,7 +39,7 @@ use tiptop_bench::experiments::{
 /// scripted grid baseline it compares against, `tournament` for its four
 /// detector×mode cells). A budget breach means the experiment
 /// regressed by more than [`REGRESSION_ALLOWANCE`] against this trajectory.
-const BASELINE_SECONDS: [(&str, f64); 15] = [
+const BASELINE_SECONDS: [(&str, f64); 16] = [
     ("fig01_snapshot", 0.400),
     ("table1_fp_micro", 0.002),
     ("fig03_evolution", 0.206),
@@ -56,6 +56,9 @@ const BASELINE_SECONDS: [(&str, f64); 15] = [
     // endless background jobs each, so the grid costs ~2.7× the
     // tournament's four cells.
     ("policy_lab", 29.240),
+    // Four three-machine pipelines (chain, fan-out, shuffle, random DAG)
+    // through the cluster's lockstep driver.
+    ("pipelines", 0.020),
     ("validation", 0.009),
     // The thread sweep runs the batched arm four times per point (1/2/4/8
     // workers) plus one single-threaded baseline arm; the lane/loser-tree
@@ -177,6 +180,9 @@ fn main() {
     });
     time("policy_lab", &mut || {
         policy_lab::run(53, 0.01);
+    });
+    time("pipelines", &mut || {
+        pipelines::run(7);
     });
     time("validation", &mut || {
         validation::run(29);

@@ -20,10 +20,14 @@
 //! measured as a 2×2 of wall-clock and recovered IPC), [`scaling`]
 //! (the throughput frontier: frames/sec and peak buffered bytes at 10,
 //! 100 and 1000 machines, batched columnar transport against a
-//! legacy-representation baseline measured in the same run) and
+//! legacy-representation baseline measured in the same run),
 //! [`policy_lab`] (the pluggable-scheduling payoff: detector × placement
 //! policies crossed with scenarios that also swap the *in-kernel* epoch
-//! planner, ranked by payload wall-clock).
+//! planner, ranked by payload wall-clock) and [`pipelines`]
+//! (dependency-driven scenario DAGs: ETL-chain, build-farm, map-shuffle
+//! and seeded random-DAG scripts whose stages are submitted by after-exit
+//! edges and resolved — across machines — by the cluster's lockstep
+//! driver).
 
 pub mod fig01_snapshot;
 pub mod fig03_evolution;
@@ -34,6 +38,7 @@ pub mod fig10_datacenter;
 pub mod fig11_interference;
 pub mod fleet;
 pub mod grid;
+pub mod pipelines;
 pub mod policy_lab;
 pub mod reactive;
 pub mod scaling;

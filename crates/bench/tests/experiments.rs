@@ -10,8 +10,8 @@ use tiptop_bench::experiments::policy_lab::{LabPolicy, LabScenario};
 use tiptop_bench::experiments::tournament::Detector;
 use tiptop_bench::experiments::{
     evaluation_machines, fig03_evolution, fig06_07_phases, fig08_ipc_vs_instructions,
-    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, policy_lab, reactive,
-    scaling, tournament, validation,
+    fig09_compilers, fig10_datacenter, fig11_interference, fleet, grid, pipelines, policy_lab,
+    reactive, scaling, tournament, validation,
 };
 use tiptop_core::reactive::MigrationMode;
 use tiptop_workloads::spec::{Compiler, SpecBenchmark};
@@ -910,4 +910,99 @@ fn policy_lab_ranks_least_loaded_placement_first_in_the_fleet() {
     assert!(report.contains("policy lab (3 policies × 3 scenarios"));
     assert!(report.contains("population+least-loaded"));
     assert!(report.contains("node-idle"));
+}
+
+#[test]
+fn pipelines_pin_stage_ordering_critical_path_and_thread_byte_identity() {
+    let golden = pipelines::run_on(7, 1);
+
+    // The ETL chain is strictly sequential: declaration order is execution
+    // order, and every stage starts exactly 50 ms after its predecessor
+    // exits (the submission gap is above the scheduler epoch, so the
+    // after-exit edges fire exactly).
+    let etl = golden.run_named("etl-chain");
+    let order: Vec<&str> = etl.records.iter().map(|r| r.tag.as_str()).collect();
+    assert_eq!(order, ["extract", "transform", "load", "report"]);
+    for w in etl.records.windows(2) {
+        assert!(
+            (w[1].start - (w[0].end + 0.050)).abs() < 1e-9,
+            "{} must start exactly 50ms after {} exits ({} vs {})",
+            w[1].tag,
+            w[0].tag,
+            w[1].start,
+            w[0].end + 0.050
+        );
+    }
+    // A chain's wall-clock IS its critical path: the sum of its stage
+    // durations plus its three submission gaps.
+    let chain_path: f64 = etl.records.iter().map(|r| r.end - r.start).sum::<f64>() + 3.0 * 0.050;
+    assert!((etl.wall - chain_path).abs() < 1e-9);
+    assert_eq!(etl.depth, 4);
+
+    // The build farm fans out: configure first, then every compile unit
+    // starts exactly at its staggered delay, and the farm's wall-clock
+    // beats the serialized sum of its compile durations.
+    let farm = golden.run_named("build-farm");
+    assert_eq!(farm.records[0].tag, "configure");
+    let configure_end = farm.records[0].end;
+    let mut compile_sum = 0.0;
+    for r in &farm.records[1..] {
+        let unit: usize = r.tag.strip_prefix("compile-").unwrap().parse().unwrap();
+        let delay = 0.030 + 0.010 * unit as f64;
+        assert!(
+            (r.start - (configure_end + delay)).abs() < 1e-9,
+            "{} must start exactly {delay}s after configure exits",
+            r.tag
+        );
+        compile_sum += r.end - r.start;
+    }
+    assert!(
+        farm.wall < compile_sum,
+        "fan-out must beat the serialized compile time ({} vs {compile_sum})",
+        farm.wall
+    );
+    assert_eq!(farm.depth, 2);
+
+    // Map-shuffle fans out to the mappers and back in to node-0's sorters,
+    // every edge crossing machines with exact firing instants.
+    let shuffle = golden.run_named("map-shuffle");
+    assert_eq!(shuffle.records[0].tag, "extract");
+    for i in 0..2 {
+        let map = shuffle
+            .records
+            .iter()
+            .find(|r| r.tag == format!("map-{i}"))
+            .unwrap();
+        let sort = shuffle
+            .records
+            .iter()
+            .find(|r| r.tag == format!("sort-{i}"))
+            .unwrap();
+        assert_ne!(map.machine, 0, "mappers run off the extract node");
+        assert_eq!(sort.machine, 0, "sorters shuffle back to node-0");
+        let delay = 0.040 + 0.020 * i as f64;
+        assert!((map.start - (shuffle.records[0].end + delay)).abs() < 1e-9);
+        assert!((sort.start - (map.end + 0.030)).abs() < 1e-9);
+    }
+
+    // Byte-identity at 2 and 8 workers, for all four scripts — including
+    // the seeded random DAG, the determinism case of the byte-identity
+    // suite: same seed, same merged stream, same records, byte for byte.
+    for threads in [2usize, 8] {
+        let other = pipelines::run_on(7, threads);
+        for (a, b) in golden.runs.iter().zip(&other.runs) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.stream, b.stream,
+                "{}: {threads} workers must not change one byte",
+                a.name
+            );
+            assert_eq!(a.records.len(), b.records.len());
+            for (x, y) in a.records.iter().zip(&b.records) {
+                assert_eq!((x.tag.as_str(), x.machine), (y.tag.as_str(), y.machine));
+                assert_eq!(x.start.to_bits(), y.start.to_bits(), "{}", x.tag);
+                assert_eq!(x.end.to_bits(), y.end.to_bits(), "{}", x.tag);
+            }
+        }
+    }
 }

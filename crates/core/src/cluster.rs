@@ -42,6 +42,20 @@
 //!   run and issue live migrations — restart or checkpoint/resume, per the
 //!   decision's [`MigrationMode`] — validated at run time and applied at
 //!   the next epoch boundary (see [`crate::reactive`]).
+//! * **Cross-machine dependency edges** — a machine's scenario may key an
+//!   event on a tag that completes on *another* machine
+//!   ([`Trigger::AfterExit`], via [`Scenario::spawn_after`] and friends):
+//!   a pipeline stage on node B starts when the extract job on node A
+//!   exits. [`ClusterScenario::build`] lifts every dependency edge out of
+//!   the machine scenarios, validates the fleet-wide DAG (typed
+//!   [`DagError`]s for cycles, unknown or migrated-away dependencies),
+//!   hands same-machine chains back to their [`Session`]s, and resolves
+//!   the rest centrally: scripted runs of such a cluster use a
+//!   round-barrier lockstep driver that keeps the merged stream
+//!   byte-identical at any thread count.
+//!
+//! [`Trigger::AfterExit`]: crate::scenario::Trigger::AfterExit
+//! [`Scenario::spawn_after`]: crate::scenario::Scenario::spawn_after
 //!
 //! Failure is contained per shard: a [`SessionError`] inside one machine
 //! surfaces as [`SessionError::Shard`], a panic as
@@ -102,13 +116,14 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use tiptop_kernel::sched::SchedulerSelect;
 use tiptop_kernel::task::TaskState;
-use tiptop_machine::time::SimTime;
+use tiptop_machine::time::{SimDuration, SimTime};
 
 use crate::batch::{FrameBatch, ShellPool};
 use crate::monitor::Monitor;
 use crate::reactive::{AppliedDecision, MigrationDecision, MigrationMode, SchedulerPolicy};
 use crate::render::{Frame, Row};
-use crate::scenario::{HandoffBoard, Scenario, Session, SessionError, WorkloadEvent};
+use crate::scenario::validation;
+use crate::scenario::{DagError, HandoffBoard, Scenario, Session, SessionError, WorkloadEvent};
 use crate::symbols::{self, Label, SymId};
 
 /// Identity of one machine of the cluster, handed to the per-machine
@@ -814,6 +829,205 @@ impl ClusterScenario {
             }
         }
 
+        // ------------------------------------------------------------------
+        // Dependency edges ([`Trigger::AfterExit`]). Lift every dependency-
+        // triggered event out of the machine scenarios, validate the whole
+        // fleet's DAG, then classify each edge: an edge whose dependency
+        // chain is scripted entirely on its own machine goes straight back
+        // (the [`Session`] resolves those natively); everything else —
+        // cross-machine edges, and edges keyed on a tag that is itself
+        // spawned by a cross-machine edge — stays in the cluster's registry
+        // and is resolved centrally by the lockstep driver (`run_units`
+        // routes to it whenever the registry is non-empty).
+        let mut drained: Vec<(usize, String, SimDuration, WorkloadEvent)> = Vec::new();
+        for (i, (_, scenario)) in self.machines.iter_mut().enumerate() {
+            for (dep, delay, ev) in scenario.drain_deferred() {
+                drained.push((i, dep, delay, ev));
+            }
+        }
+        let mut deps: Vec<ClusterDep> = Vec::new();
+        if !drained.is_empty() {
+            // Where each dependency-spawned tag will live: its spawn is
+            // injected on the machine that declared the edge. One spawn per
+            // tag, and never also a scripted one — incarnations must not
+            // overlap and a dependent tag's timeline is unknown at build
+            // time.
+            let mut deferred_spawn_host: BTreeMap<String, usize> = BTreeMap::new();
+            for (i, _, _, ev) in &drained {
+                if !ev.is_spawn() {
+                    continue;
+                }
+                let tag = ev.tag();
+                if self
+                    .machines
+                    .iter()
+                    .any(|(_, sc)| !sc.spawn_events(tag).is_empty())
+                {
+                    return Err(SessionError::InvalidScenario(format!(
+                        "duplicate spawn tag '{tag}': spawned both at a scripted instant \
+                         and by a dependency edge (incarnations of one tag must not \
+                         overlap)"
+                    )));
+                }
+                if deferred_spawn_host.insert(tag.to_string(), *i).is_some() {
+                    return Err(SessionError::InvalidScenario(format!(
+                        "duplicate spawn tag '{tag}': two dependency-triggered spawns \
+                         (incarnations of one tag must not overlap)"
+                    )));
+                }
+            }
+            // Scripted events must not target dependency-spawned tags.
+            for tag in deferred_spawn_host.keys() {
+                for (_, sc) in &self.machines {
+                    if let Some(at) = sc.first_timed_event_on(tag) {
+                        return Err(SessionError::InvalidDag(
+                            DagError::TimedEventOnDependentTag {
+                                tag: tag.clone(),
+                                at,
+                            },
+                        ));
+                    }
+                }
+            }
+            // Cluster-wide Kahn over the spawn-after edges.
+            {
+                let edges: Vec<(&str, &str)> = drained
+                    .iter()
+                    .filter(|(_, _, _, ev)| ev.is_spawn())
+                    .map(|(_, dep, _, ev)| (dep.as_str(), ev.tag()))
+                    .collect();
+                if let Some(tags) = validation::spawn_edge_cycle(&edges) {
+                    return Err(SessionError::InvalidDag(DagError::Cycle { tags }));
+                }
+            }
+            // Resolve each edge's dependency to the machine hosting its
+            // *final* incarnation. Migrations were desugared into timed
+            // spawns above, so a migrated tag resolves to its last
+            // destination; its completion is that incarnation's exit.
+            let mut resolved: Vec<ResolvedEdge> = Vec::new();
+            for (i, dep, delay, ev) in drained {
+                let host = match deferred_spawn_host.get(&dep) {
+                    Some(h) => *h,
+                    None => {
+                        let mut best: Option<(SimTime, usize)> = None;
+                        let mut tie = false;
+                        for (j, (_, sc)) in self.machines.iter().enumerate() {
+                            let Some(last) = sc.spawn_events(&dep).last().map(|(at, _)| *at) else {
+                                continue;
+                            };
+                            match best {
+                                Some((at, _)) if at == last => tie = true,
+                                Some((at, _)) if at > last => {}
+                                _ => {
+                                    best = Some((last, j));
+                                    tie = false;
+                                }
+                            }
+                        }
+                        match best {
+                            None => {
+                                return Err(SessionError::InvalidDag(DagError::UnknownDependency {
+                                    event_tag: ev.tag().to_string(),
+                                    dependency: dep,
+                                }))
+                            }
+                            Some(_) if tie => {
+                                return Err(SessionError::InvalidScenario(format!(
+                                    "dependency '{dep}' is ambiguous: two machines spawn \
+                                     its final incarnation at the same instant"
+                                )))
+                            }
+                            Some((_, j)) => j,
+                        }
+                    }
+                };
+                // A dependency whose final incarnation is checkpoint-killed
+                // (migrated away and never returned) never completes.
+                if self.machines[host].1.ends_checkpoint_killed(&dep) {
+                    return Err(SessionError::InvalidDag(DagError::DependencyOnKilled {
+                        dependency: dep,
+                    }));
+                }
+                // A non-spawn event applies on the machine that declared it;
+                // its target must live there.
+                if !ev.is_spawn() {
+                    let target = ev.tag();
+                    let on_consumer = !self.machines[i].1.spawn_events(target).is_empty()
+                        || deferred_spawn_host.get(target) == Some(&i);
+                    if !on_consumer {
+                        return Err(SessionError::Shard {
+                            machine: self.machines[i].0.clone(),
+                            error: Box::new(SessionError::InvalidScenario(format!(
+                                "event against unknown tag '{target}'"
+                            ))),
+                        });
+                    }
+                }
+                let min_incarnations = if deferred_spawn_host.contains_key(&dep) {
+                    1
+                } else {
+                    self.machines[host].1.spawn_events(&dep).len().max(1)
+                };
+                resolved.push(ResolvedEdge {
+                    consumer: i,
+                    dep,
+                    delay,
+                    ev,
+                    host,
+                    min_incarnations,
+                });
+            }
+            // Edges whose whole dependency chain is scripted on their own
+            // machine go back to the Session (fixpoint: an edge counts once
+            // the edge spawning its dependency went back too).
+            let mut native: Vec<bool> = resolved
+                .iter()
+                .map(|e| {
+                    e.host == e.consumer
+                        && !self.machines[e.consumer].1.spawn_events(&e.dep).is_empty()
+                })
+                .collect();
+            {
+                let spawn_edge_of: BTreeMap<&str, usize> = resolved
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.ev.is_spawn())
+                    .map(|(k, e)| (e.ev.tag(), k))
+                    .collect();
+                loop {
+                    let mut changed = false;
+                    for k in 0..resolved.len() {
+                        if native[k] || resolved[k].host != resolved[k].consumer {
+                            continue;
+                        }
+                        if let Some(&se) = spawn_edge_of.get(resolved[k].dep.as_str()) {
+                            if native[se] && !native[k] {
+                                native[k] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+            }
+            for (k, e) in resolved.into_iter().enumerate() {
+                if native[k] {
+                    self.machines[e.consumer].1.defer(e.dep, e.delay, e.ev);
+                } else {
+                    deps.push(ClusterDep {
+                        consumer: e.consumer,
+                        dep: e.dep,
+                        host: e.host,
+                        min_incarnations: e.min_incarnations,
+                        delay: e.delay,
+                        ev: Some(e.ev),
+                    });
+                }
+            }
+        }
+
         let board = HandoffBoard::new(self.machines.len());
         let mut shards = Vec::with_capacity(self.machines.len());
         for (id, scenario) in self.machines {
@@ -832,9 +1046,37 @@ impl ClusterScenario {
             handovers,
             board,
             consumes,
+            deps,
             last_stats: RunStats::default(),
         })
     }
+}
+
+/// One drained dependency edge with its dependency's host resolved — the
+/// intermediate form between build-time validation and classification.
+struct ResolvedEdge {
+    consumer: usize,
+    dep: String,
+    delay: SimDuration,
+    ev: WorkloadEvent,
+    host: usize,
+    min_incarnations: usize,
+}
+
+/// One cross-machine dependency edge held by the cluster: `ev` fires on
+/// machine `consumer`, `delay` after the completion of `dep`'s final
+/// incarnation (`min_incarnations` spawns) on machine `host`. Resolved by
+/// the lockstep driver; `ev` is taken when the edge fires, and an edge
+/// whose host or consumer shard fails is dropped so the rest of the fleet
+/// keeps running.
+#[derive(Debug)]
+struct ClusterDep {
+    consumer: usize,
+    dep: String,
+    host: usize,
+    min_incarnations: usize,
+    delay: SimDuration,
+    ev: Option<WorkloadEvent>,
 }
 
 /// Transport statistics of the most recent `run*` pool run (see
@@ -876,6 +1118,9 @@ pub struct ClusterSession {
     /// `(instant, tag, producer machine index)` in instant order — the
     /// scripted runs' worker gating keys.
     consumes: Vec<Vec<(SimTime, String, usize)>>,
+    /// Cross-machine dependency edges, in declaration order. Non-empty
+    /// registries route every scripted run through the lockstep driver.
+    deps: Vec<ClusterDep>,
     /// Transport statistics of the most recent pool run.
     last_stats: RunStats,
 }
@@ -921,6 +1166,8 @@ impl std::error::Error for ClusterRunError {
 }
 
 type Until = Box<dyn FnMut(&Frame) -> bool + Send>;
+/// The monitor set one machine runs: each tool paired with its stop rule.
+type ToolSet = Vec<(Box<dyn Monitor + Send>, Until)>;
 
 impl ClusterSession {
     pub fn len(&self) -> usize {
@@ -1083,10 +1330,18 @@ impl ClusterSession {
         &mut self,
         threads: usize,
         max_refreshes: usize,
-        mut tools: impl FnMut(MachineRef<'_>) -> Vec<(Box<dyn Monitor + Send>, Until)>,
+        mut tools: impl FnMut(MachineRef<'_>) -> ToolSet,
         transport: Transport,
         sink: &mut dyn ClusterFrameSink,
     ) -> Result<(), SessionError> {
+        // Cross-machine dependency edges need central resolution: the
+        // lockstep driver marches the whole fleet in rounds, resolving
+        // completions between epoch-bounded passes. (The free-running
+        // worker pool below would let a consumer overrun its dependency's
+        // still-unknown exit instant.)
+        if self.deps.iter().any(|d| d.ev.is_some()) {
+            return self.run_lockstep(threads, max_refreshes, &mut tools, sink);
+        }
         let n = self.shards.len();
         for slot in &self.shards {
             if slot.session.is_none() {
@@ -1099,7 +1354,7 @@ impl ClusterSession {
         // Build and validate every machine's monitors and stop predicates
         // *before* taking any session out of its slot, so an error here
         // leaves the cluster untouched and re-runnable.
-        let mut per_machine: Vec<Vec<(Box<dyn Monitor + Send>, Until)>> = Vec::with_capacity(n);
+        let mut per_machine: Vec<ToolSet> = Vec::with_capacity(n);
         for (index, slot) in self.shards.iter().enumerate() {
             let mref = MachineRef {
                 id: &slot.id,
@@ -1249,6 +1504,173 @@ impl ClusterSession {
         }
     }
 
+    /// The round-barrier driver behind every scripted run of a cluster with
+    /// cross-machine dependency edges. Rounds are keyed to t\* — the
+    /// globally earliest pending observation — and between rounds the
+    /// whole fleet marches to t\* in *passes*:
+    ///
+    /// * each pass first resolves completions: every edge whose
+    ///   dependency's final incarnation has completed on its host injects
+    ///   its event on the consumer at `max(exit + delay, consumer-now)`;
+    /// * then every machine short of t\* advances to the pass target —
+    ///   capped by its unresolved edges (an exit at or before the host's
+    ///   pass-start watermark would already have resolved, so the event
+    ///   cannot fire at or before `watermark + delay`), floored at one
+    ///   scheduler epoch for progress, and hard-gated by unpublished
+    ///   resume-handoff checkpoints.
+    ///
+    /// The caps make cross-machine firing instants *exact* whenever the
+    /// consumer trails `exit + delay` (always, unless mutually-gated
+    /// sub-epoch edges force the epoch floor, where the documented
+    /// clamp-forward applies). Pass structure is a pure function of the
+    /// scenario, and frames are delivered at t\* in `(machine, monitor)`
+    /// order — so the merged stream is byte-identical at any thread count;
+    /// threads only parallelize the advance between barriers.
+    ///
+    /// Unlike the free-running pool, every machine keeps pace with the
+    /// fleet until the run's last observation — a machine whose own
+    /// monitors finished early still advances (and its jobs still
+    /// complete) so stages depending on it keep firing.
+    fn run_lockstep(
+        &mut self,
+        threads: usize,
+        max_refreshes: usize,
+        tools: &mut dyn FnMut(MachineRef<'_>) -> ToolSet,
+        sink: &mut dyn ClusterFrameSink,
+    ) -> Result<(), SessionError> {
+        let n = self.shards.len();
+        for slot in &self.shards {
+            if slot.session.is_none() {
+                return Err(SessionError::ShardPanicked {
+                    machine: slot.id.clone(),
+                    message: "session was lost to a panic in an earlier run".into(),
+                });
+            }
+        }
+        // Build and validate every machine's monitors before taking any
+        // session out of its slot (same guarantees as the pool path).
+        let mut per_machine: Vec<ToolSet> = Vec::with_capacity(n);
+        for (index, slot) in self.shards.iter().enumerate() {
+            let mref = MachineRef {
+                id: &slot.id,
+                index,
+            };
+            let set = tools(mref);
+            validate_monitor_set(
+                &slot.id,
+                set.iter().map(|(m, _)| m.as_ref() as &dyn Monitor),
+            )?;
+            per_machine.push(set);
+        }
+        let mut units: Vec<Option<WorkUnit>> = Vec::with_capacity(n);
+        for ((index, slot), set) in self.shards.iter_mut().enumerate().zip(per_machine) {
+            let label = Label::new(&slot.id);
+            let sym = label.sym();
+            units.push(Some(WorkUnit {
+                index,
+                id: slot.id.clone(),
+                label,
+                sym,
+                session: slot.session.take().expect("checked above"),
+                slots: set
+                    .into_iter()
+                    .map(|(monitor, until)| {
+                        let source = Label::new(monitor.name());
+                        let source_sym = source.sym();
+                        MonitorSlot {
+                            monitor,
+                            until,
+                            source,
+                            source_sym,
+                            next_at: SimTime::ZERO,
+                            taken: 0,
+                            done: false,
+                        }
+                    })
+                    .collect(),
+                consumes: self.consumes[index].clone(),
+            }));
+        }
+
+        let mut finished: Vec<(usize, Option<Session>)> = Vec::new();
+        let mut first_err: Option<(usize, SessionError)> = None;
+        let mut frames = 0usize;
+
+        // Prime every machine's monitors (serially — priming advances no
+        // time). A machine with nothing to observe is handed back
+        // untouched; it does not join the fleet's marching order.
+        for i in 0..n {
+            if max_refreshes == 0 || units[i].as_ref().is_some_and(|u| u.slots.is_empty()) {
+                let unit = units[i].take().expect("just built");
+                finished.push((unit.index, Some(unit.session)));
+                continue;
+            }
+            let unit = units[i].as_mut().expect("just built");
+            let primed = guard(&unit.id, || {
+                for slot in &mut unit.slots {
+                    slot.monitor.prime(unit.session.kernel_mut());
+                }
+                Ok(())
+            });
+            match primed {
+                Ok(()) => {
+                    let now = unit.session.now();
+                    for slot in &mut unit.slots {
+                        slot.next_at = now + slot.monitor.interval();
+                    }
+                }
+                Err(e) => fail_unit(&mut units, &mut finished, &mut first_err, i, e),
+            }
+        }
+
+        let rounds = lockstep_rounds(
+            &mut units,
+            &mut self.deps,
+            &self.board,
+            threads,
+            max_refreshes,
+            sink,
+            &mut finished,
+            &mut first_err,
+            &mut frames,
+        );
+
+        // Teardown every surviving machine; a teardown panic tears the
+        // shard like an observe panic would.
+        for u in units.iter_mut() {
+            let Some(mut unit) = u.take() else { continue };
+            let torn_down = guard(&unit.id, || {
+                for slot in &mut unit.slots {
+                    slot.monitor.teardown(unit.session.kernel_mut());
+                }
+                Ok(())
+            });
+            match torn_down {
+                Ok(()) => finished.push((unit.index, Some(unit.session))),
+                Err(error) => {
+                    if first_err.as_ref().is_none_or(|(i, _)| unit.index < *i) {
+                        first_err = Some((unit.index, error));
+                    }
+                    finished.push((unit.index, None));
+                }
+            }
+        }
+
+        self.last_stats = RunStats {
+            frames,
+            batches: 0,
+            peak_buffered_frames: 0,
+            peak_buffered_bytes: 0,
+        };
+        for (index, session) in finished {
+            self.shards[index].session = session;
+        }
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => rounds,
+        }
+    }
+
     /// [`ClusterSession::run_each`] without early stopping: every machine
     /// produces exactly `refreshes` frames.
     pub fn run(
@@ -1354,6 +1776,15 @@ impl ClusterSession {
         policies: &mut [Box<dyn SchedulerPolicy>],
         sink: &mut dyn ClusterFrameSink,
     ) -> Result<Vec<AppliedDecision>, SessionError> {
+        if self.deps.iter().any(|d| d.ev.is_some()) {
+            return Err(SessionError::InvalidScenario(
+                "cross-machine dependency edges are not supported by run_reactive: \
+                 dependency-triggered events and live policy decisions would contend \
+                 for the same injection instants; use run/run_each/run_all for \
+                 scenarios with cross-machine edges"
+                    .into(),
+            ));
+        }
         let n = self.shards.len();
         for slot in &self.shards {
             if slot.session.is_none() {
@@ -2968,6 +3399,258 @@ fn run_worker(
         tx.send(Msg::Done { queue: cfg.queue });
     }
     finished
+}
+
+/// Remove a failed machine from the lockstep fleet: record its error
+/// (first failure by machine index wins, like the pool path), hand its
+/// session back unless a panic tore it, and leave its slot `None` so the
+/// passes skip it and its dependency edges get dropped.
+fn fail_unit(
+    units: &mut [Option<WorkUnit>],
+    finished: &mut Vec<(usize, Option<Session>)>,
+    first_err: &mut Option<(usize, SessionError)>,
+    index: usize,
+    e: SessionError,
+) {
+    let Some(unit) = units[index].take() else {
+        return;
+    };
+    let torn = matches!(e, SessionError::ShardPanicked { .. });
+    let error = match e {
+        e @ SessionError::ShardPanicked { .. } => e,
+        other => SessionError::Shard {
+            machine: unit.id.clone(),
+            error: Box::new(other),
+        },
+    };
+    if first_err.as_ref().is_none_or(|(i, _)| index < *i) {
+        *first_err = Some((index, error));
+    }
+    finished.push((index, (!torn).then_some(unit.session)));
+}
+
+/// The observation rounds of [`ClusterSession::run_lockstep`]: march the
+/// fleet to each round's t\* in epoch-bounded passes, resolving
+/// cross-machine dependency completions between passes, then observe every
+/// due monitor in `(machine, monitor)` order straight into the sink.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_rounds(
+    units: &mut [Option<WorkUnit>],
+    deps: &mut [ClusterDep],
+    board: &Arc<HandoffBoard>,
+    threads: usize,
+    max_refreshes: usize,
+    sink: &mut dyn ClusterFrameSink,
+    finished: &mut Vec<(usize, Option<Session>)>,
+    first_err: &mut Option<(usize, SessionError)>,
+    frames: &mut usize,
+) -> Result<(), SessionError> {
+    let n = units.len();
+    loop {
+        // The globally earliest pending observation instant.
+        let t_star = units
+            .iter()
+            .flatten()
+            .flat_map(|u| u.slots.iter().filter(|s| !s.done).map(|s| s.next_at))
+            .min();
+        let Some(t_star) = t_star else { break };
+
+        // March every live machine to t*.
+        loop {
+            // Resolve completions to fixpoint: an injected event can apply
+            // immediately (its instant may be the consumer's now) and end a
+            // task another edge keys on.
+            loop {
+                let mut any = false;
+                for d in deps.iter_mut() {
+                    if d.ev.is_none() {
+                        continue;
+                    }
+                    let (host, consumer) = (d.host, d.consumer);
+                    let Some(host_u) = units[host].as_ref() else {
+                        // The host shard is gone: the edge can never
+                        // resolve — drop it so the consumer runs free.
+                        d.ev = None;
+                        continue;
+                    };
+                    let Some(exit) = host_u.session.completion_of(&d.dep, d.min_incarnations)
+                    else {
+                        continue;
+                    };
+                    if units[consumer].is_none() {
+                        d.ev = None;
+                        continue;
+                    }
+                    let ev = d.ev.take().expect("checked above");
+                    let delay = d.delay;
+                    let cons_u = units[consumer].as_mut().expect("checked above");
+                    let fire = (exit + delay).max(cons_u.session.now());
+                    let session = &mut cons_u.session;
+                    let r = guard(&cons_u.id, || session.schedule_at(fire, ev));
+                    if let Err(e) = r {
+                        fail_unit(units, finished, first_err, consumer, e);
+                    }
+                    any = true;
+                }
+                if !any {
+                    break;
+                }
+            }
+
+            if units.iter().flatten().all(|u| u.session.now() >= t_star) {
+                break;
+            }
+
+            // Pass targets, from pass-start watermarks. An unresolved edge
+            // caps its consumer at `host-watermark + delay`: completions at
+            // or before the watermark resolved above, so the edge cannot
+            // fire at or before that cap — advancing to it is safe and
+            // keeps the eventual injection exact. The epoch floor keeps
+            // mutually-gated machines moving; unpublished resume-handoff
+            // checkpoints stay hard gates.
+            let w: Vec<Option<SimTime>> = units
+                .iter()
+                .map(|u| u.as_ref().map(|u| u.session.now()))
+                .collect();
+            let mut targets: Vec<Option<SimTime>> = vec![None; n];
+            for (i, u) in units.iter().enumerate() {
+                let Some(u) = u else { continue };
+                let now = w[i].expect("live unit has a watermark");
+                if now >= t_star {
+                    continue;
+                }
+                let mut cap = t_star;
+                for d in deps.iter().filter(|d| d.ev.is_some() && d.consumer == i) {
+                    if let Some(wh) = w[d.host] {
+                        cap = cap.min(wh + d.delay);
+                    }
+                }
+                let mut target = cap
+                    .max(u.session.kernel().epoch_boundary_after(now))
+                    .min(t_star);
+                for (at, tag, _) in &u.consumes {
+                    if *at <= target && now < *at && !board.is_published(tag, *at) {
+                        target = target.min(SimTime(at.0.saturating_sub(1)));
+                    }
+                }
+                if target > now {
+                    targets[i] = Some(target);
+                }
+            }
+
+            let mut work: Vec<(&mut WorkUnit, SimTime)> = units
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, u)| {
+                    let t = targets[i]?;
+                    u.as_mut().map(|u| (u, t))
+                })
+                .collect();
+            if work.is_empty() {
+                // Unreachable given the epoch floor and build-time
+                // rejection of same-instant resume cycles; defensive.
+                drop(work);
+                let stuck: Vec<String> = units
+                    .iter()
+                    .flatten()
+                    .filter(|u| u.session.now() < t_star)
+                    .map(|u| u.id.clone())
+                    .collect();
+                return Err(SessionError::InvalidScenario(format!(
+                    "cross-machine dependency stall at {t_star:?}: machines {stuck:?} \
+                     cannot advance (mutually gated handoffs)"
+                )));
+            }
+            // Advance the pass concurrently; the barrier at the end of the
+            // scope keeps pass structure (and the stream) deterministic.
+            let results: Vec<(usize, Result<(), SessionError>)> = if work.len() == 1 {
+                let (u, t) = work.pop().expect("one mover");
+                let session = &mut u.session;
+                vec![(u.index, guard(&u.id, || session.advance_to(t)))]
+            } else {
+                let workers = threads.clamp(1, work.len());
+                let mut parts: Vec<Vec<(&mut WorkUnit, SimTime)>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (k, wt) in work.into_iter().enumerate() {
+                    parts[k % workers].push(wt);
+                }
+                let mut results = Vec::new();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = parts
+                        .into_iter()
+                        .map(|part| {
+                            scope.spawn(move || {
+                                part.into_iter()
+                                    .map(|(u, t)| {
+                                        let session = &mut u.session;
+                                        (u.index, guard(&u.id, || session.advance_to(t)))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        results.extend(h.join().expect("worker thread panicked"));
+                    }
+                });
+                results
+            };
+            for (i, r) in results {
+                if let Err(e) = r {
+                    fail_unit(units, finished, first_err, i, e);
+                }
+            }
+        }
+
+        // Observe every due monitor at t*, machine order then set order —
+        // exactly the (time, machine) merge — straight into the sink.
+        for i in 0..n {
+            let mut failure: Option<SessionError> = None;
+            if let Some(u) = units[i].as_mut() {
+                for sp in 0..u.slots.len() {
+                    let step = {
+                        let session = &mut u.session;
+                        let slot = &mut u.slots[sp];
+                        if slot.done || slot.next_at != t_star {
+                            continue;
+                        }
+                        guard(&u.id, || {
+                            let frame = slot.monitor.observe(session.kernel_mut());
+                            let stop = (slot.until)(&frame);
+                            Ok((frame, stop))
+                        })
+                    };
+                    match step {
+                        Ok((frame, stop)) => {
+                            let slot = &mut u.slots[sp];
+                            slot.taken += 1;
+                            sink.on_frame(ClusterFrame {
+                                machine: u.label.clone(),
+                                machine_index: u.index,
+                                source: slot.source.clone(),
+                                seq: slot.taken - 1,
+                                frame,
+                            });
+                            *frames += 1;
+                            if stop || slot.taken >= max_refreshes {
+                                slot.done = true;
+                            } else {
+                                slot.next_at += slot.monitor.interval();
+                            }
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                fail_unit(units, finished, first_err, i, e);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Book-keeping for the heap-selection path after `active.swap_remove(pos)`:

@@ -110,7 +110,7 @@ pub use reactive::{
     Population, SchedulerPolicy,
 };
 pub use render::{CellSpec, Frame, Row};
-pub use scenario::{Scenario, Session, SessionError, WorkloadEvent};
+pub use scenario::{DagError, Scenario, Session, SessionError, Trigger, WorkloadEvent};
 pub use session::{cluster_series_for_comm, machine_frames, mean, series_for_comm, series_for_pid};
 pub use symbols::{Label, SymId, SymbolTable};
 
@@ -131,7 +131,7 @@ pub mod prelude {
         Population, SchedulerPolicy,
     };
     pub use crate::render::Frame;
-    pub use crate::scenario::{Scenario, Session, SessionError, WorkloadEvent};
+    pub use crate::scenario::{DagError, Scenario, Session, SessionError, Trigger, WorkloadEvent};
     pub use crate::session::{
         cluster_series_for_comm, machine_frames, mean, series_for_comm, series_for_pid,
     };

@@ -1,0 +1,317 @@
+//! The one event-feasibility checker behind both validation sites, plus the
+//! dependency-DAG validation (Kahn topological sort).
+//!
+//! [`Scenario::build`](super::Scenario::build) validates a whole scripted
+//! schedule up front; [`Session::schedule_at`](super::Session::schedule_at)
+//! validates a single event injected mid-run. Both ask the same question —
+//! "is this event feasible against the tag's state at its instant?" — so
+//! both route through [`check_event`] and differ only in how they phrase
+//! the refusal: build time wraps it as
+//! [`SessionError::InvalidScenario`], run time as
+//! [`SessionError::InvalidDecision`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use tiptop_machine::time::SimTime;
+
+use super::errors::{DagError, SessionError};
+use super::events::WorkloadEvent;
+
+/// What is known about an event's target tag at the event's instant —
+/// assembled from the build-time schedule walk or from live session state.
+pub(crate) struct TagFacts {
+    /// An incarnation of the tag is live at the instant.
+    pub live: bool,
+    /// A spawn of the tag is pending: its instant, and whether it is
+    /// guaranteed to apply before the event under test (run-time queues
+    /// insert after same-instant events, so a pending spawn at `s <= at`
+    /// applies first; the build-time walk knows apply order directly and
+    /// passes `false` for a spawn that comes later).
+    pub pending_spawn: Option<(SimTime, bool)>,
+    /// A kill of the tag is pending at the instant.
+    pub pending_kill: Option<SimTime>,
+    /// Some incarnation of the tag existed at some point.
+    pub ever_spawned: bool,
+    /// When the latest incarnation ended, if known.
+    pub dead_at: Option<SimTime>,
+}
+
+/// Why an event is infeasible against its tag's state. Rendered as a
+/// build-time or a run-time error by [`Infeasible::build_error`] /
+/// [`Infeasible::decision_error`] — identical conditions, context-specific
+/// phrasing.
+pub(crate) enum Infeasible {
+    /// A spawn while another spawn of the tag is still pending.
+    SpawnAliasesPending { spawn_at: SimTime },
+    /// A spawn while the previous incarnation is still live (and not
+    /// claimed by a kill pending no later than the spawn).
+    SpawnAliasesLive,
+    /// A kill while another kill of the tag is already pending.
+    DuplicateKill { kill_at: SimTime },
+    /// The event lands before the tag's spawn applies.
+    PrecedesSpawn { spawn_at: SimTime },
+    /// The tag's current incarnation already ended.
+    AfterEnd { end: Option<SimTime> },
+    /// No event ever spawns the tag.
+    UnknownTag,
+}
+
+impl Infeasible {
+    /// The build-time rendering ([`SessionError::InvalidScenario`]).
+    pub(crate) fn build_error(&self, tag: &str, at: SimTime) -> SessionError {
+        SessionError::InvalidScenario(match self {
+            Infeasible::SpawnAliasesPending { .. } | Infeasible::SpawnAliasesLive => {
+                format!(
+                    "duplicate spawn tag '{tag}': the previous incarnation is still \
+                     live at {at:?} (incarnations of one tag must not overlap)"
+                )
+            }
+            Infeasible::DuplicateKill { kill_at } => {
+                format!("'{tag}' already has a kill pending at {kill_at:?}")
+            }
+            Infeasible::PrecedesSpawn { spawn_at } => {
+                format!(
+                    "event against '{tag}' at {at:?} precedes its spawn at \
+                     {spawn_at:?} (same-instant events apply in declaration order)"
+                )
+            }
+            Infeasible::AfterEnd { end } => match end {
+                Some(kill_at) => {
+                    format!("event against '{tag}' at {at:?} follows its kill at {kill_at:?}")
+                }
+                None => format!("event against '{tag}' at {at:?} follows its end"),
+            },
+            Infeasible::UnknownTag => format!("event against unknown tag '{tag}'"),
+        })
+    }
+
+    /// The run-time rendering ([`SessionError::InvalidDecision`]).
+    pub(crate) fn decision_error(&self, tag: &str, at: SimTime) -> SessionError {
+        SessionError::InvalidDecision(match self {
+            Infeasible::SpawnAliasesPending { spawn_at } => {
+                format!(
+                    "tag '{tag}' already has a spawn pending at {spawn_at:?} \
+                     (incarnation addressing never aliases two live tasks)"
+                )
+            }
+            Infeasible::SpawnAliasesLive => {
+                format!(
+                    "tag '{tag}' already names a live task on this machine \
+                     (incarnation addressing never aliases two live tasks)"
+                )
+            }
+            Infeasible::DuplicateKill { kill_at } => {
+                format!("'{tag}' already has a kill pending at {kill_at:?}")
+            }
+            Infeasible::PrecedesSpawn { spawn_at } => {
+                format!(
+                    "event against '{tag}' at {at:?} precedes its spawn at \
+                     {spawn_at:?}"
+                )
+            }
+            Infeasible::AfterEnd { .. } => format!("'{tag}' already exited"),
+            Infeasible::UnknownTag => format!("no task tagged '{tag}' on this machine"),
+        })
+    }
+}
+
+/// Is `ev` feasible against a tag in the state described by `facts` at
+/// instant `at`? The shared core of build-time and run-time validation:
+///
+/// * a spawn starts a *new incarnation* — allowed once the previous
+///   incarnation is dead (or has a kill pending no later than `at`),
+///   rejected while it is live or while another spawn is pending;
+/// * a kill is rejected while another kill of the same tag is pending
+///   (two decisions cannot both claim one job);
+/// * a kill/renice/pin must land inside a live incarnation: after the
+///   tag's spawn applies and before its end.
+pub(crate) fn check_event(
+    facts: &TagFacts,
+    ev: &WorkloadEvent,
+    at: SimTime,
+) -> Result<(), Infeasible> {
+    if ev.is_spawn() {
+        if let Some((spawn_at, _)) = facts.pending_spawn {
+            return Err(Infeasible::SpawnAliasesPending { spawn_at });
+        }
+        let claimed = facts.pending_kill.is_some_and(|k| k <= at);
+        if facts.live && !claimed {
+            return Err(Infeasible::SpawnAliasesLive);
+        }
+        return Ok(());
+    }
+    if ev.is_kill() {
+        if let Some(kill_at) = facts.pending_kill {
+            return Err(Infeasible::DuplicateKill { kill_at });
+        }
+    }
+    if facts.live {
+        return Ok(());
+    }
+    match facts.pending_spawn {
+        Some((_, true)) => Ok(()),
+        Some((spawn_at, false)) => Err(Infeasible::PrecedesSpawn { spawn_at }),
+        None if facts.ever_spawned => Err(Infeasible::AfterEnd { end: facts.dead_at }),
+        None => Err(Infeasible::UnknownTag),
+    }
+}
+
+/// A dependency-triggered event as declared: `(dep, event)` — the edge
+/// `dep → event.tag()` when the event is a spawn.
+pub(crate) struct DeferredDecl<'a> {
+    pub dep: &'a str,
+    pub ev: &'a WorkloadEvent,
+}
+
+/// Validate the dependency edges of one machine's schedule: every
+/// dependency must be spawned somewhere, spawn-after edges must form a DAG,
+/// a dependency whose final incarnation is checkpoint-killed (migrated
+/// away) can never fire its dependents, and timed events must not target
+/// dependency-spawned tags (their timeline is unknown at build time).
+///
+/// `timed` is the absolute-instant half of the schedule, already sorted.
+pub(crate) fn validate_dag(
+    timed: &[(SimTime, WorkloadEvent)],
+    deferred: &[DeferredDecl<'_>],
+) -> Result<(), SessionError> {
+    if deferred.is_empty() {
+        return Ok(());
+    }
+
+    // Tags spawned by the timed schedule vs by dependency edges.
+    let timed_spawns: BTreeSet<&str> = timed
+        .iter()
+        .filter(|(_, ev)| ev.is_spawn())
+        .map(|(_, ev)| ev.tag())
+        .collect();
+    let mut deferred_spawns: BTreeSet<&str> = BTreeSet::new();
+    for d in deferred {
+        if !d.ev.is_spawn() {
+            continue;
+        }
+        let tag = d.ev.tag();
+        if timed_spawns.contains(tag) {
+            return Err(SessionError::InvalidScenario(format!(
+                "duplicate spawn tag '{tag}': spawned both at a scripted instant and by \
+                 a dependency edge (incarnations of one tag must not overlap)"
+            )));
+        }
+        if !deferred_spawns.insert(tag) {
+            return Err(SessionError::InvalidScenario(format!(
+                "duplicate spawn tag '{tag}': two dependency-triggered spawns \
+                 (incarnations of one tag must not overlap)"
+            )));
+        }
+    }
+
+    // Every dependency and every deferred event's target must be spawned
+    // somewhere.
+    for d in deferred {
+        if !timed_spawns.contains(d.dep) && !deferred_spawns.contains(d.dep) {
+            return Err(SessionError::InvalidDag(DagError::UnknownDependency {
+                event_tag: d.ev.tag().to_string(),
+                dependency: d.dep.to_string(),
+            }));
+        }
+        let tag = d.ev.tag();
+        if !d.ev.is_spawn() && !timed_spawns.contains(tag) && !deferred_spawns.contains(tag) {
+            return Err(SessionError::InvalidScenario(format!(
+                "event against unknown tag '{tag}'"
+            )));
+        }
+    }
+
+    // Timed events must not target dependency-spawned tags.
+    for (at, ev) in timed {
+        if deferred_spawns.contains(ev.tag()) {
+            return Err(SessionError::InvalidDag(
+                DagError::TimedEventOnDependentTag {
+                    tag: ev.tag().to_string(),
+                    at: *at,
+                },
+            ));
+        }
+    }
+
+    // A dependency whose final incarnation is checkpoint-killed never
+    // completes on this schedule.
+    for d in deferred {
+        if dep_ends_checkpoint_killed(timed, d.dep) {
+            return Err(SessionError::InvalidDag(DagError::DependencyOnKilled {
+                dependency: d.dep.to_string(),
+            }));
+        }
+    }
+
+    // Kahn topological sort over the spawn-after edges.
+    let edges: Vec<(&str, &str)> = deferred
+        .iter()
+        .filter(|d| d.ev.is_spawn())
+        .map(|d| (d.dep, d.ev.tag()))
+        .collect();
+    if let Some(tags) = spawn_edge_cycle(&edges) {
+        return Err(SessionError::InvalidDag(DagError::Cycle { tags }));
+    }
+    Ok(())
+}
+
+/// Does the timed schedule end `dep`'s life with a checkpoint-kill (no
+/// later spawn-like event)? Then its exit never lands here.
+pub(crate) fn dep_ends_checkpoint_killed(timed: &[(SimTime, WorkloadEvent)], dep: &str) -> bool {
+    // Walk in apply order; the last spawn/kill-like event for the tag wins.
+    let mut ends_migrated = false;
+    for (_, ev) in timed {
+        if ev.tag() != dep {
+            continue;
+        }
+        if ev.is_spawn() {
+            ends_migrated = false;
+        } else if matches!(ev, WorkloadEvent::CheckpointKill { .. }) {
+            ends_migrated = true;
+        } else if matches!(ev, WorkloadEvent::Kill { .. }) {
+            ends_migrated = false;
+        }
+    }
+    ends_migrated
+}
+
+/// Kahn topological sort over `dep → spawned-tag` edges; `Some(tags)` (the
+/// sorted set of tags stuck on a cycle) when the edges loop.
+pub(crate) fn spawn_edge_cycle(edges: &[(&str, &str)]) -> Option<Vec<String>> {
+    // Nodes = every tag appearing as a dependency-spawned target; sources
+    // outside that set (timed spawns) have no in-edges of their own.
+    let targets: BTreeSet<&str> = edges.iter().map(|(_, to)| *to).collect();
+    let mut indegree: BTreeMap<&str, usize> = targets.iter().map(|t| (*t, 0)).collect();
+    let mut out: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges {
+        if targets.contains(from) {
+            out.entry(from).or_default().push(to);
+            *indegree.entry(to).or_default() += 1;
+        }
+    }
+    let mut queue: VecDeque<&str> = indegree
+        .iter()
+        .filter(|(_, deg)| **deg == 0)
+        .map(|(t, _)| *t)
+        .collect();
+    let mut resolved = 0usize;
+    while let Some(t) = queue.pop_front() {
+        resolved += 1;
+        for next in out.get(t).into_iter().flatten() {
+            let deg = indegree.get_mut(next).expect("target registered");
+            *deg -= 1;
+            if *deg == 0 {
+                queue.push_back(next);
+            }
+        }
+    }
+    if resolved == targets.len() {
+        return None;
+    }
+    let stuck: Vec<String> = indegree
+        .iter()
+        .filter(|(_, deg)| **deg > 0)
+        .map(|(t, _)| t.to_string())
+        .collect();
+    Some(stuck)
+}

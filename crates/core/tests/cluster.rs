@@ -14,7 +14,7 @@ use tiptop_core::config::ScreenConfig;
 use tiptop_core::monitor::Monitor;
 use tiptop_core::reactive::{MigrationDecision, MigrationMode, SchedulerPolicy};
 use tiptop_core::render::Frame;
-use tiptop_core::scenario::{Scenario, SessionError};
+use tiptop_core::scenario::{DagError, Scenario, SessionError};
 use tiptop_kernel::kernel::Kernel;
 use tiptop_kernel::program::Program;
 use tiptop_kernel::task::{SpawnSpec, Uid};
@@ -1868,4 +1868,258 @@ fn scheduler_selection_default_matches_cfs_and_alternatives_are_deterministic() 
         "round-robin must differ from cfs"
     );
     assert_ne!(fifo, round_robin, "fifo must differ from round-robin");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-machine dependency edges: a machine's scenario keys events on tags
+// that complete on other machines; the lockstep driver resolves them with
+// exact firing instants and a byte-identical merged stream.
+
+fn work(comm: &str, cpi: f64, insns: u64, seed: u64) -> SpawnSpec {
+    SpawnSpec::new(
+        comm,
+        Uid(1),
+        Program::single(
+            ExecProfile::builder(comm)
+                .base_cpi(cpi)
+                .branches(0.18, 0.0)
+                .memory(MemoryBehavior::uniform(16 * 1024))
+                .build(),
+            insns,
+        ),
+    )
+    .seed(seed)
+}
+
+/// A three-machine pipeline wired entirely by dependency edges: `extract`
+/// on node-0 fans out to `map-a` (node-1) and `map-b` (node-2), which fan
+/// back in as `sort-a`/`sort-b` on node-0.
+fn pipeline_cluster() -> ClusterScenario {
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+    };
+    ClusterScenario::new()
+        .machine(
+            "node-0",
+            node(11)
+                .spawn("extract", work("extract", 0.8, 1_500_000_000, 1))
+                .spawn_after(
+                    "map-a",
+                    SimDuration::from_millis(60),
+                    "sort-a",
+                    work("sort-a", 0.9, 800_000_000, 4),
+                )
+                .spawn_after(
+                    "map-b",
+                    SimDuration::from_millis(80),
+                    "sort-b",
+                    work("sort-b", 0.9, 800_000_000, 5),
+                ),
+        )
+        .machine(
+            "node-1",
+            node(22).spawn_after(
+                "extract",
+                SimDuration::from_millis(100),
+                "map-a",
+                work("map-a", 1.0, 1_000_000_000, 2),
+            ),
+        )
+        .machine(
+            "node-2",
+            node(33).spawn_after(
+                "extract",
+                SimDuration::from_millis(250),
+                "map-b",
+                work("map-b", 1.0, 1_000_000_000, 3),
+            ),
+        )
+}
+
+#[test]
+fn cross_machine_fan_out_fan_in_is_byte_identical_at_1_2_and_8_threads() {
+    let run_at = |threads: usize| {
+        let mut session = pipeline_cluster().build().unwrap();
+        let frames = session.run_collect(threads, 5, |_| tool(1)).unwrap();
+        (rendered(&frames), session)
+    };
+    let (golden, session) = run_at(1);
+    assert_eq!(golden, run_at(2).0, "2 workers must not change one byte");
+    assert_eq!(golden, run_at(8).0, "8 workers must not change one byte");
+
+    // Every stage ran and exited on its machine.
+    let exit = |machine: &str, tag: &str| {
+        let s = session.session(machine).unwrap();
+        let pid = s.pid(tag).unwrap_or_else(|| panic!("{tag} never spawned"));
+        s.kernel()
+            .exit_record(pid)
+            .unwrap_or_else(|| panic!("{tag} never exited"))
+            .clone()
+    };
+    let extract = exit("node-0", "extract");
+    let map_a = exit("node-1", "map-a");
+    let map_b = exit("node-2", "map-b");
+    let sort_a = exit("node-0", "sort-a");
+    let sort_b = exit("node-0", "sort-b");
+
+    // Fan-out: each map stage starts exactly `delay` after extract's exit
+    // — on a different machine than the one extract ran on.
+    assert_eq!(
+        map_a.start_time,
+        extract.end_time + SimDuration::from_millis(100),
+        "map-a must start exactly 100ms after extract exits"
+    );
+    assert_eq!(
+        map_b.start_time,
+        extract.end_time + SimDuration::from_millis(250),
+        "map-b must start exactly 250ms after extract exits"
+    );
+    // Fan-in: the sort stages land back on node-0, keyed on the remote
+    // map exits.
+    assert_eq!(
+        sort_a.start_time,
+        map_a.end_time + SimDuration::from_millis(60),
+        "sort-a must start exactly 60ms after map-a exits"
+    );
+    assert_eq!(
+        sort_b.start_time,
+        map_b.end_time + SimDuration::from_millis(80),
+        "sort-b must start exactly 80ms after map-b exits"
+    );
+}
+
+#[test]
+fn cross_machine_kill_after_lands_exactly() {
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+    };
+    let mut session = ClusterScenario::new()
+        .machine(
+            "node-0",
+            node(1)
+                .spawn(
+                    "victim",
+                    SpawnSpec::new("victim", Uid(1), spin(0.9)).seed(9),
+                )
+                .kill_after("trigger", SimDuration::from_millis(120), "victim"),
+        )
+        .machine(
+            "node-1",
+            node(2).spawn("trigger", work("trigger", 0.8, 1_200_000_000, 7)),
+        )
+        .machine(
+            "node-2",
+            node(3).spawn("spin", SpawnSpec::new("spin", Uid(1), spin(1.0)).seed(5)),
+        )
+        .build()
+        .unwrap();
+    session
+        .run_collect(2, 4, |_| tool(1))
+        .expect("run must succeed");
+    let trigger = {
+        let s = session.session("node-1").unwrap();
+        let pid = s.pid("trigger").unwrap();
+        s.kernel().exit_record(pid).unwrap().clone()
+    };
+    let victim = {
+        let s = session.session("node-0").unwrap();
+        let pid = s.pid("victim").unwrap();
+        s.kernel().exit_record(pid).unwrap().clone()
+    };
+    assert_eq!(
+        victim.end_time,
+        trigger.end_time + SimDuration::from_millis(120),
+        "the cross-machine kill must land exactly 120ms after the trigger exits"
+    );
+}
+
+#[test]
+fn cluster_dependency_cycle_is_a_typed_error() {
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+    };
+    let err = ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1)
+                .spawn("seed", work("seed", 0.8, 100_000_000, 1))
+                .spawn_after("x", SimDuration::ZERO, "y", work("y", 1.0, 1_000_000, 2)),
+        )
+        .machine(
+            "node-b",
+            node(2).spawn_after("y", SimDuration::ZERO, "x", work("x", 1.0, 1_000_000, 3)),
+        )
+        .build()
+        .unwrap_err();
+    match err {
+        SessionError::InvalidDag(DagError::Cycle { tags }) => {
+            assert_eq!(tags, vec!["x".to_string(), "y".to_string()]);
+        }
+        other => panic!("expected a typed cross-machine cycle error, got: {other}"),
+    }
+}
+
+#[test]
+fn cluster_unknown_dependency_is_a_typed_error() {
+    let node = |seed: u64| {
+        Scenario::new(MachineConfig::nehalem_w3550().noiseless())
+            .seed(seed)
+            .user(Uid(1), "u1")
+    };
+    let err = ClusterScenario::new()
+        .machine(
+            "node-a",
+            node(1).spawn("seed", work("seed", 0.8, 100_000_000, 1)),
+        )
+        .machine(
+            "node-b",
+            node(2).spawn_after(
+                "ghost",
+                SimDuration::ZERO,
+                "y",
+                work("y", 1.0, 1_000_000, 2),
+            ),
+        )
+        .build()
+        .unwrap_err();
+    match err {
+        SessionError::InvalidDag(DagError::UnknownDependency {
+            event_tag,
+            dependency,
+        }) => {
+            assert_eq!(event_tag, "y");
+            assert_eq!(dependency, "ghost");
+        }
+        other => panic!("expected a typed unknown-dependency error, got: {other}"),
+    }
+}
+
+#[test]
+fn run_reactive_rejects_clusters_with_cross_machine_edges() {
+    let mut session = pipeline_cluster().build().unwrap();
+    let mut sink = ClusterCollectSink::new();
+    let err = session
+        .run_reactive(
+            2,
+            3,
+            |_| vec![tool(1) as Box<dyn Monitor + Send>],
+            &mut [],
+            &mut sink,
+        )
+        .unwrap_err();
+    match err {
+        SessionError::InvalidScenario(msg) => {
+            assert!(
+                msg.contains("not supported by run_reactive"),
+                "unexpected message: {msg}"
+            );
+        }
+        other => panic!("expected a typed rejection, got: {other}"),
+    }
 }

@@ -15,6 +15,9 @@
 //! * [`micro`] — Table 1's x87/SSE micro-benchmark and the §2.4 validation
 //!   kernels with analytically known event counts.
 //! * [`datacenter`] — the job scripts of Fig 1 and Fig 10.
+//! * [`pipelines`] — dependency-driven multi-stage scripts (ETL chains,
+//!   build-farm fan-out, map-shuffle rounds, seeded random DAGs) wired by
+//!   after-exit edges rather than wall-clock instants.
 //!
 //! All constructors return [`tiptop_kernel::Program`]s ready to spawn, and
 //! take a `scale` factor so tests can run the same shapes at a fraction of
@@ -22,6 +25,7 @@
 
 pub mod datacenter;
 pub mod micro;
+pub mod pipelines;
 pub mod rlang;
 pub mod spec;
 
